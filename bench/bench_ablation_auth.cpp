@@ -1,0 +1,163 @@
+// ABL-AUTH — identity-based message authentication (paper section 7:
+// "secure communication with identity-based cryptography").
+//
+// Threat: malicious RELAYS tamper with gossip messages in transit —
+// rewriting a share so an accomplice's x is boosted. Without
+// authentication the receiver integrates forged mass; with the secure
+// channel the tag fails and the message is discarded (push-sum treats that
+// exactly like loss, which it tolerates).
+//
+// The bench runs the same synchronous vector gossip twice per seed — once
+// integrating every message blindly, once verifying — and reports the
+// resulting aggregation error and the accomplice's reputation inflation.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "crypto/identity_auth.hpp"
+#include "gossip/secure_channel.hpp"
+
+using namespace gt;
+
+namespace {
+
+struct AuthOutcome {
+  double rms = 0.0;        ///< RMS error vs the exact product
+  double inflation = 0.0;  ///< accomplice score / true score
+  double rejected_frac = 0.0;
+};
+
+/// One gossip convergence (fixed steps) with per-message sealing; relays
+/// tamper with probability `tamper_p`; receivers verify iff `authenticate`.
+AuthOutcome run_secured_gossip(const trust::SparseMatrix& s, bool authenticate,
+                               double tamper_p, std::uint64_t seed) {
+  const std::size_t n = s.size();
+  const std::vector<double> v(n, 1.0 / static_cast<double>(n));
+  const auto exact = s.transpose_multiply(v);
+
+  crypto::IdentityAuthority pkg(seed ^ 0xa0717);
+  gossip::SecureGossipChannel channel(pkg);
+  std::vector<crypto::PrivateKey> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    keys.push_back(pkg.extract(static_cast<crypto::Identity>(i)));
+
+  // State: per node (x, w) vectors, initialized per Algorithm 2.
+  std::vector<std::vector<double>> x(n, std::vector<double>(n, 0.0));
+  std::vector<std::vector<double>> w(n, std::vector<double>(n, 0.0));
+  const double uniform = 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = s.row(i);
+    if (row.empty()) {
+      for (std::size_t j = 0; j < n; ++j) x[i][j] = v[i] * uniform;
+    } else {
+      for (const auto& e : row) x[i][e.col] = e.value * v[i];
+    }
+    w[i][i] = 1.0;
+  }
+
+  Rng rng(seed ^ 0x5ec);
+  const std::size_t accomplice = n - 1;  // relay ring boosts the last peer
+  const std::size_t steps = 40;
+  std::uint64_t total_msgs = 0;
+  for (std::size_t step = 0; step < steps; ++step) {
+    std::vector<std::vector<double>> inbox_x(n, std::vector<double>(n, 0.0));
+    std::vector<std::vector<double>> inbox_w(n, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+      // Halve; keep half locally.
+      std::vector<gossip::Triplet> half;
+      half.reserve(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        const double hx = 0.5 * x[i][j];
+        const double hw = 0.5 * w[i][j];
+        inbox_x[i][j] += hx;
+        inbox_w[i][j] += hw;
+        if (hx != 0.0 || hw != 0.0)
+          half.push_back({hx, static_cast<std::uint64_t>(j), hw});
+      }
+      std::size_t target = rng.next_below(n - 1);
+      if (target >= i) ++target;
+
+      auto msg = channel.seal(keys[i], half);
+      ++total_msgs;
+      gossip::tamper_in_transit(msg, accomplice, /*boost=*/0.01, tamper_p, rng);
+
+      if (authenticate) {
+        const auto opened = channel.open(msg);
+        if (!opened) continue;  // rejected: acts as message loss
+        for (const auto& t : *opened) {
+          inbox_x[target][t.id] += t.x;
+          inbox_w[target][t.id] += t.w;
+        }
+      } else {
+        const auto blind = gossip::unpack_triplets(msg.payload);
+        for (const auto& t : *blind) {
+          inbox_x[target][t.id] += t.x;
+          inbox_w[target][t.id] += t.w;
+        }
+      }
+    }
+    x.swap(inbox_x);
+    w.swap(inbox_w);
+  }
+
+  // Read out node views, average defined ratios.
+  std::vector<double> est(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double acc = 0.0;
+    std::size_t cnt = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (w[i][j] > 1e-300) {
+        acc += x[i][j] / w[i][j];
+        ++cnt;
+      }
+    }
+    est[j] = cnt ? acc / static_cast<double>(cnt) : 0.0;
+  }
+
+  AuthOutcome out;
+  out.rms = rms_relative_error(exact, est);
+  out.inflation = exact[accomplice] > 0 ? est[accomplice] / exact[accomplice] : 0.0;
+  out.rejected_frac =
+      static_cast<double>(channel.rejected()) / static_cast<double>(total_msgs);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_preamble("ABL-AUTH identity-based message authentication",
+                        "section 7 innovation: secure gossip communication");
+  const std::size_t n = quick_mode() ? 64 : 128;
+  const std::vector<double> tamper_rates =
+      quick_mode() ? std::vector<double>{0.1}
+                   : std::vector<double>{0.0, 0.05, 0.1, 0.2};
+
+  Table table("Vector gossip with tampering relays, n = " + std::to_string(n) +
+              ", 40 steps");
+  table.set_header({"tamper prob", "mode", "RMS error", "accomplice inflation",
+                    "msgs rejected"});
+
+  for (const double p : tamper_rates) {
+    for (const bool auth : {false, true}) {
+      RunningStats rms, inflation, rejected;
+      for (const auto seed : bench::point_seeds()) {
+        const auto w = bench::ThreatWorkload::make_clean(n, seed);
+        const auto out = run_secured_gossip(w.honest, auth, p, seed);
+        rms.add(out.rms);
+        inflation.add(out.inflation);
+        rejected.add(out.rejected_frac);
+      }
+      table.add_row({cell(p, 2), auth ? "authenticated" : "unauthenticated",
+                     cell(rms.mean(), 4), cell(inflation.mean(), 2),
+                     cell(rejected.mean(), 3)});
+    }
+  }
+  bench::emit(table, "abl_auth");
+  std::printf("\nshape check: unauthenticated gossip lets forged shares "
+              "inflate the accomplice's reputation many-fold and corrupts the "
+              "whole vector; with identity-based tags the tampered messages "
+              "are dropped (acting as benign loss) and the error returns to "
+              "the gossip-noise floor.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// ABL-BLOOM — Bloom-filter reputation storage (paper section 7 names
+// "efficient reputation storage with Bloom filters" a key innovation).
+//
+// Sweeps the per-peer bit budget and the number of score buckets, and
+// reports storage (bytes vs the explicit <id, score> table), lookup
+// accuracy (mean |log(approx/true)| quantization error), and ranking
+// fidelity (Kendall tau + top-1% power-node selection overlap) on a real
+// converged reputation vector.
+#include <cstdio>
+#include <iostream>
+
+#include "baseline/power_iteration.hpp"
+#include "bench_common.hpp"
+#include "bloom/score_store.hpp"
+#include "common/stats.hpp"
+#include "core/power_nodes.hpp"
+
+#include <cmath>
+
+using namespace gt;
+
+int main() {
+  bench::print_preamble("ABL-BLOOM reputation storage tradeoff",
+                        "section 7 innovation: Bloom-filter score storage");
+  const std::size_t n = quick_mode() ? 1000 : 4000;
+
+  // One converged reputation vector to store.
+  const auto w = bench::ThreatWorkload::make_clean(n, base_seed());
+  const auto scores = baseline::power_iteration(w.honest, 0.15, 0.01).scores;
+  const std::size_t explicit_bytes = n * 16;  // <id8, double8> per peer
+
+  Table table("Storing a converged " + std::to_string(n) +
+              "-peer reputation vector (explicit table: " +
+              std::to_string(explicit_bytes) + " bytes)");
+  table.set_header({"bits/peer", "buckets", "bytes", "vs explicit",
+                    "mean |log err|", "kendall tau", "power overlap"});
+
+  const std::vector<double> budgets = quick_mode()
+                                          ? std::vector<double>{8.0, 16.0}
+                                          : std::vector<double>{4.0, 8.0, 16.0, 32.0};
+  const std::vector<std::size_t> bucket_counts =
+      quick_mode() ? std::vector<std::size_t>{8}
+                   : std::vector<std::size_t>{4, 8, 16};
+
+  const auto true_power = core::select_power_nodes(scores, 0.01);
+  for (const double bits : budgets) {
+    for (const std::size_t buckets : bucket_counts) {
+      bloom::ScoreStoreConfig cfg;
+      cfg.bits_per_peer = bits;
+      cfg.num_buckets = buckets;
+      const bloom::BloomScoreStore store(scores, cfg);
+      const auto approx = store.approximate_scores(n);
+
+      double log_err = 0.0;
+      for (std::size_t i = 0; i < n; ++i)
+        log_err += std::abs(std::log(std::max(approx[i], 1e-12) /
+                                     std::max(scores[i], 1e-12)));
+      log_err /= static_cast<double>(n);
+
+      const auto approx_power = core::select_power_nodes(approx, 0.01);
+      std::size_t overlap = 0;
+      for (const auto p : approx_power)
+        for (const auto t : true_power)
+          if (p == t) ++overlap;
+
+      table.add_row({cell(bits, 0), cell(buckets), cell(store.storage_bytes()),
+                     cell(static_cast<double>(store.storage_bytes()) /
+                              static_cast<double>(explicit_bytes),
+                          3),
+                     cell(log_err, 3), cell(kendall_tau(scores, approx), 3),
+                     cell(static_cast<double>(overlap) /
+                              static_cast<double>(true_power.size()),
+                          2)});
+    }
+  }
+  bench::emit(table, "abl_bloom");
+  std::printf("\nshape check: 8-16 bits/peer with 8-16 buckets keeps ranking "
+              "fidelity high at a fraction of the explicit table's size; "
+              "below ~4 bits/peer Bloom false positives start downgrading "
+              "scores (lookup is lowest-bucket-wins, so noise can only "
+              "deflate, never inflate, a reputation).\n");
+  return 0;
+}

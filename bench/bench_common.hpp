@@ -1,0 +1,101 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Every bench runs standalone with no arguments, prints the paper-style
+// table/series, and honors:
+//   GT_QUICK=1  -> shrink sweeps (CI smoke run)
+//   GT_SEEDS=k  -> simulation runs averaged per data point (default 10/3)
+//   GT_SEED=s   -> base seed
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "threat/models.hpp"
+#include "trust/feedback.hpp"
+#include "trust/generator.hpp"
+
+namespace gt::bench {
+
+/// Paper section 6.1 workload: power-law feedback with d_max=200, d_avg=20
+/// (clamped for small n), honest counterfactual + attacked ledger pair.
+struct ThreatWorkload {
+  std::vector<threat::PeerProfile> peers;
+  trust::SparseMatrix honest;    ///< normalized matrix, truthful ratings
+  trust::SparseMatrix attacked;  ///< normalized matrix, threat ratings
+  trust::FeedbackLedger attacked_ledger;
+
+  static ThreatWorkload make(std::size_t n, double malicious_fraction,
+                             bool collusive, std::size_t group_size,
+                             std::uint64_t seed) {
+    Rng rng(seed);
+    threat::ThreatConfig tcfg;
+    tcfg.n = n;
+    tcfg.malicious_fraction = malicious_fraction;
+    tcfg.collusive = collusive;
+    tcfg.collusion_group_size = group_size;
+    auto peers = threat::make_population(tcfg, rng);
+
+    trust::FeedbackGenConfig gen;
+    gen.n = n;
+    gen.d_max = std::min<std::size_t>(200, n / 2);
+    gen.d_avg = std::min(20.0, static_cast<double>(n) / 4.0);
+
+    trust::FeedbackLedger honest_ledger(n);
+    trust::FeedbackLedger attacked_ledger(n);
+    threat::generate_honest_counterfactual(honest_ledger, peers, tcfg, gen,
+                                           Rng(seed + 1));
+    threat::generate_threat_feedback(attacked_ledger, peers, tcfg, gen,
+                                     Rng(seed + 1));
+    return ThreatWorkload{std::move(peers), honest_ledger.normalized_matrix(),
+                          attacked_ledger.normalized_matrix(),
+                          std::move(attacked_ledger)};
+  }
+
+  /// Honest-only workload (no attack; honest == attacked).
+  static ThreatWorkload make_clean(std::size_t n, std::uint64_t seed) {
+    return make(n, 0.0, false, 5, seed);
+  }
+};
+
+/// Seeds for one data point.
+inline std::vector<std::uint64_t> point_seeds() {
+  std::vector<std::uint64_t> seeds;
+  const auto base = base_seed();
+  for (std::size_t k = 0; k < runs_per_point(); ++k)
+    seeds.push_back(base + 1000 * (k + 1));
+  return seeds;
+}
+
+/// Prints the table and, when GT_CSV_DIR is set, also writes
+/// <dir>/<name>.csv for plotting scripts.
+inline void emit(const Table& table, const char* name) {
+  table.print(std::cout);
+  const auto dir = env_string("GT_CSV_DIR", "");
+  if (!dir.empty()) {
+    const std::string path = dir + "/" + name + ".csv";
+    std::ofstream csv(path);
+    if (csv) {
+      table.write_csv(csv);
+      std::printf("[csv written to %s]\n", path.c_str());
+    } else {
+      std::printf("[failed to open %s]\n", path.c_str());
+    }
+  }
+}
+
+inline void print_preamble(const char* experiment, const char* paper_artifact) {
+  std::printf("== %s ==\n", experiment);
+  std::printf("reproduces: %s\n", paper_artifact);
+  std::printf("runs per data point: %zu%s (GT_SEEDS overrides; GT_QUICK=1 "
+              "shrinks the sweep)\n\n",
+              runs_per_point(), quick_mode() ? " [quick mode]" : "");
+}
+
+}  // namespace gt::bench

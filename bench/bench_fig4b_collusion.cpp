@@ -1,0 +1,74 @@
+// FIG4B — paper Figure 4(b): "RMS aggregation error under collusive peers
+// working collectively to abuse the system", for various collusion group
+// sizes at 5% and 10% collusive peers, with power nodes (alpha = 0.15)
+// versus without (alpha = 0).
+//
+// Colluders rate their gang maximally and slander outsiders — their
+// normalized trust rows become an absorbing spider trap that drains honest
+// reputation mass unless the power-node teleport leaks it back out.
+// Expected shape: without power nodes the error saturates (the trap wins);
+// with alpha = 0.15 the error stays far lower across all group sizes —
+// the paper reports >= 30% less error at 5% colluders for groups >= 6.
+#include <cstdio>
+#include <iostream>
+
+#include "baseline/power_iteration.hpp"
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+
+using namespace gt;
+
+int main() {
+  bench::print_preamble("FIG4B collusive peers",
+                        "Figure 4(b) (section 6.3, collusion robustness)");
+  const std::size_t n = quick_mode() ? 300 : 1000;
+  const double power_fraction = 0.01;
+  const std::vector<double> fractions{0.05, 0.10};
+  const std::vector<std::size_t> group_sizes =
+      quick_mode() ? std::vector<std::size_t>{2, 6}
+                   : std::vector<std::size_t>{2, 4, 6, 8, 10, 15};
+
+  Table table("Honest-peer RMS aggregation error (Eq. 8), n = " +
+              std::to_string(n));
+  table.set_header({"collusive %", "group size", "no power (a=0)",
+                    "power nodes (a=0.15)", "gain a=0", "gain a=0.15"});
+
+  for (const double gamma : fractions) {
+    for (const std::size_t gsize : group_sizes) {
+      std::vector<std::string> cells_rms, cells_gain;
+      for (const double alpha : {0.0, 0.15}) {
+        RunningStats rms, gain;
+        for (const auto seed : bench::point_seeds()) {
+          const auto w =
+              bench::ThreatWorkload::make(n, gamma, /*collusive=*/true, gsize, seed);
+          core::GossipTrustConfig cfg;
+          cfg.alpha = alpha;
+          cfg.power_node_fraction = power_fraction;
+          cfg.max_cycles = 25;
+          core::GossipTrustEngine engine(n, cfg);
+          Rng rng(seed ^ 0xf164b);
+          const auto run = engine.run(w.attacked, rng);
+          const auto ref = baseline::fixed_power_iteration(w.honest, alpha,
+                                                           run.power_nodes, 1e-12);
+          rms.add(threat::honest_rms_error(w.peers, ref.scores, run.scores));
+          gain.add(
+              threat::malicious_reputation_gain(w.peers, ref.scores, run.scores));
+        }
+        cells_rms.push_back(cell(rms.mean(), 4));
+        cells_gain.push_back(cell(gain.mean(), 2));
+      }
+      table.add_row({cell(gamma * 100, 0), cell(gsize), cells_rms[0], cells_rms[1],
+                     cells_gain[0], cells_gain[1]});
+    }
+  }
+  bench::emit(table, "fig4b");
+  std::printf("\nshape check: without power nodes the collusion trap inflates "
+              "the gangs' reputation mass ~3x more (gain columns) and the "
+              "honest-score error is larger at 5%% colluders across group "
+              "sizes (the paper's >=30%% improvement). At 10%% colluders the "
+              "gain containment still holds uniformly, but inflated gangs can "
+              "capture anchor slots in some runs, adding teleport distortion "
+              "to honest scores — an operational hazard of score-derived "
+              "power nodes under heavy collusion.\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// PERF — component micro-benchmarks (google-benchmark): the hot paths of
+// the simulator, so regressions in the kernels every experiment leans on
+// are caught in isolation.
+#include <benchmark/benchmark.h>
+
+#include "bloom/bloom_filter.hpp"
+#include "bloom/score_store.hpp"
+#include "common/powerlaw.hpp"
+#include "common/rng.hpp"
+#include "dht/chord.hpp"
+#include "gossip/pushsum.hpp"
+#include "gossip/vector_gossip.hpp"
+#include "graph/topology.hpp"
+#include "trust/feedback.hpp"
+#include "trust/generator.hpp"
+
+namespace {
+
+using namespace gt;
+
+trust::SparseMatrix bench_matrix(std::size_t n) {
+  trust::FeedbackLedger ledger(n);
+  trust::FeedbackGenConfig cfg;
+  cfg.n = n;
+  cfg.d_max = std::min<std::size_t>(200, n / 2);
+  cfg.d_avg = std::min(20.0, static_cast<double>(n) / 4.0);
+  Rng rng(7);
+  const std::vector<double> quality(n, 0.9);
+  trust::generate_honest_feedback(ledger, quality, cfg, rng);
+  return ledger.normalized_matrix();
+}
+
+void BM_RngU64(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
+}
+BENCHMARK(BM_RngU64);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler zipf(100000, 1.2);
+  Rng rng(2);
+  for (auto _ : state) benchmark::DoNotOptimize(zipf.sample(rng));
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_TopologyGnutella(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(3);
+    benchmark::DoNotOptimize(graph::make_gnutella_like(n, rng));
+  }
+}
+BENCHMARK(BM_TopologyGnutella)->Arg(1000)->Arg(4000);
+
+void BM_TransposeMultiply(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto s = bench_matrix(n);
+  const std::vector<double> v(n, 1.0 / static_cast<double>(n));
+  for (auto _ : state) benchmark::DoNotOptimize(s.transpose_multiply(v));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.nonzeros()));
+}
+BENCHMARK(BM_TransposeMultiply)->Arg(1000)->Arg(4000);
+
+void BM_ScalarPushSumStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> x(n, 1.0), w(n, 1.0);
+  gossip::ScalarPushSum ps(x, w, gossip::PushSumConfig{});
+  Rng rng(4);
+  gossip::PushSumResult res;
+  for (auto _ : state) ps.step(rng, nullptr, res);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ScalarPushSumStep)->Arg(1000)->Arg(10000);
+
+void BM_VectorGossipStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto s = bench_matrix(n);
+  const std::vector<double> v(n, 1.0 / static_cast<double>(n));
+  gossip::VectorGossip vg(n, gossip::PushSumConfig{});
+  vg.initialize(s, v);
+  Rng rng(5);
+  gossip::VectorGossipResult res;
+  for (auto _ : state) vg.step(rng, nullptr, res);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_VectorGossipStep)->Arg(500)->Arg(1000);
+
+void BM_BloomInsertContains(benchmark::State& state) {
+  auto filter = bloom::BloomFilter::with_capacity(10000, 0.01);
+  Rng rng(6);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    filter.insert(key);
+    benchmark::DoNotOptimize(filter.contains(key));
+    ++key;
+  }
+}
+BENCHMARK(BM_BloomInsertContains);
+
+void BM_ScoreStoreLookup(benchmark::State& state) {
+  Rng rng(8);
+  std::vector<double> scores(4000);
+  for (auto& s : scores) s = rng.next_double() + 1e-6;
+  bloom::ScoreStoreConfig cfg;
+  const bloom::BloomScoreStore store(scores, cfg);
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.lookup(id % 4000));
+    ++id;
+  }
+}
+BENCHMARK(BM_ScoreStoreLookup);
+
+void BM_ChordLookup(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const dht::ChordRing ring(n, 9);
+  Rng rng(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.lookup(rng.next_below(n), rng.next_u64()));
+  }
+}
+BENCHMARK(BM_ChordLookup)->Arg(1024)->Arg(8192);
+
+}  // namespace
+
+BENCHMARK_MAIN();

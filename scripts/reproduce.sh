@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Reproduces every table and figure of the paper plus the ablations.
+#
+# Usage:
+#   scripts/reproduce.sh [quick]
+#
+# "quick" shrinks sweeps and seed counts for a fast smoke run (~1 min);
+# the full run uses 5 seeds per data point (GT_SEEDS overrides) and takes
+# on the order of an hour on one core.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-full}"
+if [[ "$MODE" == "quick" ]]; then
+  export GT_QUICK=1
+  export GT_SEEDS="${GT_SEEDS:-2}"
+else
+  export GT_SEEDS="${GT_SEEDS:-5}"
+fi
+export GT_CSV_DIR="${GT_CSV_DIR:-$PWD/results}"
+mkdir -p "$GT_CSV_DIR"
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/bench_*; do
+  echo "######## $b"
+  "$b"
+  echo
+done
+echo "CSV tables written to $GT_CSV_DIR"

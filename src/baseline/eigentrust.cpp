@@ -1,0 +1,63 @@
+#include "baseline/eigentrust.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/stats.hpp"
+
+namespace gt::baseline {
+
+EigenTrustResult eigentrust(const trust::SparseMatrix& s,
+                            const std::vector<std::size_t>& pretrusted, double a,
+                            double tol, std::size_t max_iterations) {
+  const std::size_t n = s.size();
+  if (n == 0) throw std::invalid_argument("eigentrust: empty matrix");
+  if (a < 0.0 || a > 1.0) throw std::invalid_argument("eigentrust: a must be in [0,1]");
+  if (pretrusted.empty() && a > 0.0)
+    throw std::invalid_argument("eigentrust: pre-trusted set required when a > 0");
+
+  std::vector<double> p(n, 0.0);
+  if (!pretrusted.empty()) {
+    const double share = 1.0 / static_cast<double>(pretrusted.size());
+    for (const auto i : pretrusted) {
+      if (i >= n) throw std::out_of_range("eigentrust: pre-trusted id out of range");
+      p[i] = share;
+    }
+  }
+
+  EigenTrustResult result;
+  std::vector<double> v(n, 1.0 / static_cast<double>(n));
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    std::vector<double> next = s.transpose_multiply(v);
+    normalize_l1(next);
+    if (a > 0.0) {
+      for (std::size_t i = 0; i < n; ++i) next[i] = (1.0 - a) * next[i] + a * p[i];
+    }
+    const double change = mean_relative_error(next, v);
+    v = std::move(next);
+    ++result.iterations;
+    if (change < tol) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.scores = std::move(v);
+  return result;
+}
+
+std::uint64_t eigentrust_dht_messages(const trust::SparseMatrix& s,
+                                      const dht::ChordRing& ring, std::size_t rounds) {
+  const std::size_t n = s.size();
+  if (ring.num_nodes() != n)
+    throw std::invalid_argument("eigentrust_dht_messages: ring size mismatch");
+  std::uint64_t hops_per_round = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& e : s.row(i)) {
+      const auto key = dht::hash_key(static_cast<std::uint64_t>(e.col));
+      hops_per_round += ring.lookup(i, key).hops;
+    }
+  }
+  return hops_per_round * rounds;
+}
+
+}  // namespace gt::baseline

@@ -1,0 +1,44 @@
+// EigenTrust baseline (Kamvar et al., WWW'03), including its DHT cost model.
+//
+// EigenTrust computes the same principal eigenvector but damps toward a
+// fixed *pre-trusted* set P (chosen a priori, not re-selected per cycle
+// like GossipTrust's power nodes):
+//
+//   V(t+1) = (1 - a) S^T V(t) + a p,   p uniform over the pre-trusted set.
+//
+// In the DHT deployment each peer's score is maintained by score managers
+// located via DHT lookups; we model the message cost of one aggregation
+// round as one lookup per nonzero trust-matrix entry (each rater sends its
+// local score share to the ratee's score manager), using the Chord
+// substrate for hop counts. GossipTrust's corresponding per-step cost is
+// one message per node — the comparison bench contrasts the two.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dht/chord.hpp"
+#include "trust/matrix.hpp"
+
+namespace gt::baseline {
+
+struct EigenTrustResult {
+  std::vector<double> scores;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Exact EigenTrust fixed point with a fixed pre-trusted set.
+EigenTrustResult eigentrust(const trust::SparseMatrix& s,
+                            const std::vector<std::size_t>& pretrusted, double a = 0.15,
+                            double tol = 1e-12, std::size_t max_iterations = 10000);
+
+/// DHT message-cost model for `rounds` aggregation rounds: every nonzero
+/// entry (i, j) of S costs one Chord lookup from node i toward
+/// hash(score-manager of j) per round. Returns total routing messages
+/// (sum of hops).
+std::uint64_t eigentrust_dht_messages(const trust::SparseMatrix& s,
+                                      const dht::ChordRing& ring, std::size_t rounds);
+
+}  // namespace gt::baseline

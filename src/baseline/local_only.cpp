@@ -1,0 +1,57 @@
+#include "baseline/local_only.hpp"
+
+#include <stdexcept>
+
+namespace gt::baseline {
+
+std::vector<double> notrust_scores(std::size_t n) {
+  if (n == 0) return {};
+  return std::vector<double>(n, 1.0 / static_cast<double>(n));
+}
+
+namespace {
+
+/// Observer's normalized rating vector (Eq. 1 applied to one row).
+std::vector<double> normalized_row(const trust::FeedbackLedger& ledger,
+                                   std::size_t observer) {
+  const std::size_t n = ledger.num_peers();
+  std::vector<double> row(n, 0.0);
+  double total = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    row[j] = ledger.raw_score(observer, j);
+    total += row[j];
+  }
+  if (total > 0.0)
+    for (auto& x : row) x /= total;
+  return row;
+}
+
+}  // namespace
+
+std::vector<double> local_scores(const trust::FeedbackLedger& ledger,
+                                 std::size_t observer) {
+  if (observer >= ledger.num_peers())
+    throw std::out_of_range("local_scores: observer out of range");
+  return normalized_row(ledger, observer);
+}
+
+std::vector<double> neighborhood_scores(const trust::FeedbackLedger& ledger,
+                                        const graph::Graph& overlay,
+                                        std::size_t observer) {
+  const std::size_t n = ledger.num_peers();
+  if (overlay.num_nodes() != n)
+    throw std::invalid_argument("neighborhood_scores: overlay size mismatch");
+  if (observer >= n) throw std::out_of_range("neighborhood_scores: observer");
+
+  std::vector<double> acc = normalized_row(ledger, observer);
+  std::size_t opinions = 1;
+  for (const auto nbr : overlay.neighbors(observer)) {
+    const auto row = normalized_row(ledger, nbr);
+    for (std::size_t j = 0; j < n; ++j) acc[j] += row[j];
+    ++opinions;
+  }
+  for (auto& x : acc) x /= static_cast<double>(opinions);
+  return acc;
+}
+
+}  // namespace gt::baseline

@@ -1,0 +1,36 @@
+// Limited-information baselines.
+//
+// * NoTrust (Fig. 5's comparator): source selection ignores reputation —
+//   a uniformly random provider is chosen. Represented here as a scoring
+//   function returning a constant vector so the file-sharing selector code
+//   path is identical for every system under test.
+// * Local-only scoring (Marti & Garcia-Molina [12]): a peer trusts only
+//   its own experience, optionally blended with its overlay neighbors'
+//   experience — no global aggregation. Used in ablations to show why
+//   global aggregation is worth its gossip cost.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/topology.hpp"
+#include "trust/feedback.hpp"
+
+namespace gt::baseline {
+
+/// NoTrust: every peer equally scored (uniform vector).
+std::vector<double> notrust_scores(std::size_t n);
+
+/// Node `observer`'s purely local view: its own normalized ratings of each
+/// peer; peers it never rated get 0.
+std::vector<double> local_scores(const trust::FeedbackLedger& ledger,
+                                 std::size_t observer);
+
+/// Local + neighbor blend: observer's own normalized ratings averaged with
+/// each overlay neighbor's normalized ratings (equal weight per opinion).
+/// This is the "incorporating neighbors' ratings" variant of [12].
+std::vector<double> neighborhood_scores(const trust::FeedbackLedger& ledger,
+                                        const graph::Graph& overlay,
+                                        std::size_t observer);
+
+}  // namespace gt::baseline

@@ -1,0 +1,74 @@
+#include "baseline/power_iteration.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/stats.hpp"
+
+namespace gt::baseline {
+
+std::vector<double> exact_cycle(const trust::SparseMatrix& s,
+                                const std::vector<double>& v,
+                                const std::vector<core::NodeId>& power, double alpha) {
+  std::vector<double> next = s.transpose_multiply(v);
+  normalize_l1(next);
+  core::apply_power_node_mix(next, power, alpha);
+  return next;
+}
+
+PowerIterationResult power_iteration(const trust::SparseMatrix& s, double alpha,
+                                     double power_node_fraction, double tol,
+                                     std::size_t max_iterations) {
+  const std::size_t n = s.size();
+  if (n == 0) throw std::invalid_argument("power_iteration: empty matrix");
+
+  PowerIterationResult result;
+  std::vector<double> v(n, 1.0 / static_cast<double>(n));
+  std::vector<core::NodeId> power;
+
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    std::vector<double> next = exact_cycle(s, v, power, alpha);
+    power = core::select_power_nodes(next, power_node_fraction);
+    const double change = mean_relative_error(next, v);
+    v = std::move(next);
+    ++result.iterations;
+    if (change < tol) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.scores = std::move(v);
+  result.power_nodes = std::move(power);
+  return result;
+}
+
+PowerIterationResult plain_power_iteration(const trust::SparseMatrix& s, double tol,
+                                           std::size_t max_iterations) {
+  return power_iteration(s, /*alpha=*/0.0, /*power_node_fraction=*/0.0, tol,
+                         max_iterations);
+}
+
+PowerIterationResult fixed_power_iteration(const trust::SparseMatrix& s, double alpha,
+                                           std::vector<core::NodeId> power,
+                                           double tol, std::size_t max_iterations) {
+  const std::size_t n = s.size();
+  if (n == 0) throw std::invalid_argument("fixed_power_iteration: empty matrix");
+
+  PowerIterationResult result;
+  std::vector<double> v(n, 1.0 / static_cast<double>(n));
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    std::vector<double> next = exact_cycle(s, v, power, alpha);
+    const double change = mean_relative_error(next, v);
+    v = std::move(next);
+    ++result.iterations;
+    if (change < tol) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.scores = std::move(v);
+  result.power_nodes = std::move(power);
+  return result;
+}
+
+}  // namespace gt::baseline

@@ -1,0 +1,51 @@
+// Centralized exact aggregation: the ground truth every error metric in the
+// paper's evaluation is measured against ("calculated" scores in Eq. 8).
+//
+// Runs dense-vector power iteration V <- S^T V with exactly the same
+// normalization and power-node/greedy-factor mixing as the gossip engine,
+// so the only difference between this and GossipTrust output is gossip
+// error — which is precisely what Table 3 and Fig. 4 quantify.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/power_nodes.hpp"
+#include "trust/matrix.hpp"
+
+namespace gt::baseline {
+
+struct PowerIterationResult {
+  std::vector<double> scores;
+  std::vector<core::NodeId> power_nodes;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Exact fixed point of the GossipTrust update (tol on mean relative change).
+PowerIterationResult power_iteration(const trust::SparseMatrix& s, double alpha,
+                                     double power_node_fraction, double tol = 1e-12,
+                                     std::size_t max_iterations = 10000);
+
+/// Plain principal-eigenvector power iteration (alpha = 0): Eq. (2) alone.
+PowerIterationResult plain_power_iteration(const trust::SparseMatrix& s,
+                                           double tol = 1e-12,
+                                           std::size_t max_iterations = 10000);
+
+/// One exact aggregation cycle (used by tests to check gossip against the
+/// exact product): out = normalize(S^T v) then the alpha mix over `power`.
+std::vector<double> exact_cycle(const trust::SparseMatrix& s,
+                                const std::vector<double>& v,
+                                const std::vector<core::NodeId>& power, double alpha);
+
+/// Power iteration with a FIXED power-node set (no per-cycle reselection).
+/// Used to build the honest reference in the attack experiments: the
+/// reference is evaluated with the same anchors the attacked system chose,
+/// so Eq. (8) measures attack-induced error rather than power-set
+/// mismatch between two self-consistent runs.
+PowerIterationResult fixed_power_iteration(const trust::SparseMatrix& s, double alpha,
+                                           std::vector<core::NodeId> power,
+                                           double tol = 1e-12,
+                                           std::size_t max_iterations = 10000);
+
+}  // namespace gt::baseline

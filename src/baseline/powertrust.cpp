@@ -1,0 +1,35 @@
+#include "baseline/powertrust.hpp"
+
+#include <unordered_map>
+
+namespace gt::baseline {
+
+trust::SparseMatrix look_ahead_matrix(const trust::SparseMatrix& s) {
+  const std::size_t n = s.size();
+  trust::SparseMatrix::Builder b(n);
+  std::unordered_map<trust::NodeId, double> row;
+  for (trust::NodeId i = 0; i < n; ++i) {
+    row.clear();
+    // Own opinions: S.
+    for (const auto& e : s.row(i)) row[e.col] += e.value;
+    // One-hop look-ahead: (S^2)_ij = sum_k s_ik * s_kj — the opinions of
+    // everyone peer i trusts, weighted by that trust.
+    for (const auto& e : s.row(i)) {
+      for (const auto& f : s.row(e.col)) row[f.col] += e.value * f.value;
+    }
+    row.erase(i);  // no self-trust, same invariant as Eq. (1)
+    for (const auto& [col, value] : row) {
+      if (value > 0.0) b.add(i, col, value);
+    }
+  }
+  return std::move(b).build().row_normalized();
+}
+
+PowerIterationResult powertrust(const trust::SparseMatrix& s, double alpha,
+                                double power_node_fraction, double tol,
+                                std::size_t max_iterations) {
+  const auto w = look_ahead_matrix(s);
+  return power_iteration(w, alpha, power_node_fraction, tol, max_iterations);
+}
+
+}  // namespace gt::baseline

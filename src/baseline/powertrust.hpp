@@ -1,0 +1,37 @@
+// PowerTrust baseline (Zhou & Hwang, IEEE TPDS 2007) — the authors' own
+// DHT-based predecessor, from which GossipTrust inherits power nodes and
+// the greedy factor. Reproduced here as an exact comparator:
+//
+//   * look-ahead random walk (LRW): each peer augments its trust row with
+//     its ratees' rows, W = row-normalize(S + S^2). Looking one hop ahead
+//     thickens the chain's connectivity and shrinks lambda2/lambda1, which
+//     is PowerTrust's claimed convergence accelerator;
+//   * power nodes + greedy factor: v = (1 - alpha) W^T v + alpha P with P
+//     uniform over the top-m nodes, reselected per round (identical
+//     machinery to core/power_nodes, shared here).
+//
+// The bench table contrasts PowerTrust's iteration count (it should need
+// fewer rounds thanks to LRW) and its ranking agreement with GossipTrust.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "baseline/power_iteration.hpp"
+#include "trust/matrix.hpp"
+
+namespace gt::baseline {
+
+/// Sparse look-ahead matrix W = row-normalize(S + S * S). Row i mixes the
+/// peer's own opinions with the opinions of everyone it trusts, weighted
+/// by that trust.
+trust::SparseMatrix look_ahead_matrix(const trust::SparseMatrix& s);
+
+/// Full PowerTrust aggregation: power iteration of the LRW matrix with
+/// per-round power-node reselection and greedy-factor damping.
+PowerIterationResult powertrust(const trust::SparseMatrix& s, double alpha = 0.15,
+                                double power_node_fraction = 0.01,
+                                double tol = 1e-12,
+                                std::size_t max_iterations = 10000);
+
+}  // namespace gt::baseline

@@ -1,0 +1,33 @@
+// Spectral estimation for the convergence-bound theory.
+//
+// The paper (section 4.1, citing PowerTrust) bounds the number of
+// aggregation cycles by d <= ceil(log_b delta) with b = lambda2/lambda1,
+// the eigenvalue ratio of the trust matrix: the iteration error contracts
+// by factor b per cycle. This module estimates |lambda1| and |lambda2| of
+// S^T by orthogonal (subspace) iteration so tests and benches can check
+// the measured cycle counts against the predicted bound.
+#pragma once
+
+#include <cstddef>
+
+#include "trust/matrix.hpp"
+
+namespace gt::baseline {
+
+struct SpectralEstimate {
+  double lambda1 = 0.0;  ///< dominant eigenvalue magnitude (1 for stochastic S)
+  double lambda2 = 0.0;  ///< magnitude of the second eigenvalue
+  double ratio() const { return lambda1 > 0.0 ? lambda2 / lambda1 : 0.0; }
+
+  /// The paper's cycle bound d <= ceil(log_b delta): error delta is
+  /// reached once ratio()^d <= delta.
+  std::size_t predicted_cycles(double delta) const;
+};
+
+/// Two-vector orthogonal iteration on S^T (with the same uniform dangling
+/// redistribution the aggregation uses). Deterministic: starts from fixed
+/// orthogonal vectors.
+SpectralEstimate estimate_spectral_gap(const trust::SparseMatrix& s,
+                                       std::size_t iterations = 300);
+
+}  // namespace gt::baseline

@@ -1,0 +1,97 @@
+#include "bloom/score_store.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace gt::bloom {
+
+BloomScoreStore::BloomScoreStore(std::span<const double> scores,
+                                 const ScoreStoreConfig& config) {
+  if (scores.empty()) throw std::invalid_argument("BloomScoreStore: empty scores");
+  const std::size_t levels = std::max<std::size_t>(config.num_buckets, 1);
+  const std::size_t n = scores.size();
+
+  // Log-spaced bucket edges between the smallest positive and the largest
+  // score: converged reputation vectors are heavy-tailed, so log spacing
+  // keeps relative quantization error roughly constant across magnitudes.
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0.0;
+  for (const double s : scores) {
+    if (s > 0.0) lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  if (!std::isfinite(lo) || hi <= 0.0) {  // all-zero vector: one big bucket
+    lo = 1e-12;
+    hi = 1.0;
+  }
+  lo = std::max(lo, hi * 1e-9);  // cap dynamic range to keep buckets useful
+
+  boundaries_.resize(levels > 1 ? levels - 1 : 0);
+  representatives_.resize(levels);
+  const double ratio = hi / lo;
+  auto edge = [&](std::size_t k) {
+    return lo * std::pow(ratio, static_cast<double>(k) / static_cast<double>(levels));
+  };
+  for (std::size_t k = 0; k + 1 < levels; ++k) boundaries_[k] = edge(k + 1);
+  for (std::size_t k = 0; k < levels; ++k)
+    representatives_[k] = std::sqrt(edge(k) * edge(k + 1));
+
+  // Count the population of each bucket, then size each filter from the
+  // global bits budget proportionally to its population.
+  std::vector<std::size_t> population(levels, 0);
+  for (const double s : scores) ++population[bucket_of(s)];
+
+  const double total_bits =
+      std::max(64.0 * static_cast<double>(levels),
+               config.bits_per_peer * static_cast<double>(n));
+  filters_.reserve(levels);
+  for (std::size_t k = 0; k < levels; ++k) {
+    const double share = n ? static_cast<double>(population[k]) /
+                                 static_cast<double>(n)
+                           : 0.0;
+    const auto bits = static_cast<std::size_t>(
+        std::max(64.0, std::floor(total_bits * share)));
+    std::size_t hashes = config.hashes;
+    if (hashes == 0) {
+      const double items = std::max<double>(1.0, static_cast<double>(population[k]));
+      hashes = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::llround(static_cast<double>(bits) / items * std::log(2.0))));
+      hashes = std::min<std::size_t>(hashes, 16);
+    }
+    filters_.emplace_back(bits, hashes);
+  }
+  for (std::size_t id = 0; id < n; ++id)
+    filters_[bucket_of(scores[id])].insert(static_cast<std::uint64_t>(id));
+}
+
+std::size_t BloomScoreStore::bucket_of(double score) const {
+  const auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), score);
+  return static_cast<std::size_t>(it - boundaries_.begin());
+}
+
+double BloomScoreStore::lookup(std::uint64_t peer) const {
+  // Probe lowest-first: a false positive can then only *under*-report a
+  // score, so Bloom noise can never inflate a malicious peer's reputation.
+  for (std::size_t k = 0; k < filters_.size(); ++k) {
+    if (filters_[k].contains(peer)) return representatives_[k];
+  }
+  return representatives_.front();
+}
+
+std::vector<double> BloomScoreStore::approximate_scores(std::size_t n) const {
+  std::vector<double> out(n);
+  for (std::size_t id = 0; id < n; ++id)
+    out[id] = lookup(static_cast<std::uint64_t>(id));
+  return out;
+}
+
+std::size_t BloomScoreStore::storage_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& f : filters_) bytes += f.storage_bytes();
+  return bytes;
+}
+
+}  // namespace gt::bloom

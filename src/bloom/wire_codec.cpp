@@ -1,0 +1,121 @@
+#include "bloom/wire_codec.hpp"
+
+#include <cmath>
+
+namespace gt::bloom {
+
+namespace {
+
+constexpr int kExponentBias = 49;   // stored field = binary exponent + 49
+constexpr int kMantissaBits = 10;   // implicit leading 1 + 10 bits
+constexpr std::uint16_t kMantissaMax = (1u << kMantissaBits) - 1;
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+bool get_varint(std::span<const std::uint8_t> bytes, std::size_t& pos,
+                std::uint64_t& v) {
+  v = 0;
+  int shift = 0;
+  while (pos < bytes.size() && shift < 64) {
+    const std::uint8_t b = bytes[pos++];
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if (!(b & 0x80)) return true;
+    shift += 7;
+  }
+  return false;
+}
+
+std::size_t varint_size(std::uint64_t v) {
+  std::size_t size = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++size;
+  }
+  return size;
+}
+
+}  // namespace
+
+std::uint16_t quantize16(double value) {
+  if (!(value > 0.0) || !std::isfinite(value)) return 0;
+  int k = 0;
+  const double f = std::frexp(value, &k);  // value = f * 2^k, f in [0.5, 1)
+  // Normalize to (1 + m/2^10) * 2^(k-1).
+  int exponent = k - 1;
+  auto mantissa = static_cast<int>(std::lround((2.0 * f - 1.0) *
+                                               static_cast<double>(1 << kMantissaBits)));
+  if (mantissa > static_cast<int>(kMantissaMax)) {
+    mantissa = 0;
+    ++exponent;
+  }
+  int field = exponent + kExponentBias;
+  if (field < 1) return 0;  // underflow: below ~1.7e-15
+  if (field > 63) {         // overflow: saturate at the top cell (~1.6e4)
+    field = 63;
+    mantissa = kMantissaMax;
+  }
+  return static_cast<std::uint16_t>((field << kMantissaBits) |
+                                    static_cast<std::uint16_t>(mantissa));
+}
+
+double dequantize16(std::uint16_t q) {
+  if (q == 0) return 0.0;
+  const int field = q >> kMantissaBits;
+  const int mantissa = q & kMantissaMax;
+  const double frac =
+      1.0 + static_cast<double>(mantissa) / static_cast<double>(1 << kMantissaBits);
+  return std::ldexp(frac, field - kExponentBias);
+}
+
+std::vector<std::uint8_t> encode_wire(std::span<const WireTriplet> triplets) {
+  std::vector<std::uint8_t> out;
+  out.reserve(2 + triplets.size() * 7);
+  put_varint(out, triplets.size());
+  for (const auto& t : triplets) {
+    put_varint(out, t.id);
+    const std::uint16_t qx = quantize16(t.x);
+    const std::uint16_t qw = quantize16(t.w);
+    out.push_back(static_cast<std::uint8_t>(qx & 0xff));
+    out.push_back(static_cast<std::uint8_t>(qx >> 8));
+    out.push_back(static_cast<std::uint8_t>(qw & 0xff));
+    out.push_back(static_cast<std::uint8_t>(qw >> 8));
+  }
+  return out;
+}
+
+std::optional<std::vector<WireTriplet>> decode_wire(
+    std::span<const std::uint8_t> bytes) {
+  std::size_t pos = 0;
+  std::uint64_t count = 0;
+  if (!get_varint(bytes, pos, count)) return std::nullopt;
+  if (count > bytes.size()) return std::nullopt;  // cheap sanity bound
+  std::vector<WireTriplet> out;
+  out.reserve(count);
+  for (std::uint64_t k = 0; k < count; ++k) {
+    WireTriplet t;
+    if (!get_varint(bytes, pos, t.id)) return std::nullopt;
+    if (pos + 4 > bytes.size()) return std::nullopt;
+    const auto qx = static_cast<std::uint16_t>(bytes[pos] | (bytes[pos + 1] << 8));
+    const auto qw = static_cast<std::uint16_t>(bytes[pos + 2] | (bytes[pos + 3] << 8));
+    pos += 4;
+    t.x = dequantize16(qx);
+    t.w = dequantize16(qw);
+    out.push_back(t);
+  }
+  if (pos != bytes.size()) return std::nullopt;  // trailing garbage
+  return out;
+}
+
+std::size_t wire_size(std::span<const WireTriplet> triplets) {
+  std::size_t size = varint_size(triplets.size());
+  for (const auto& t : triplets) size += varint_size(t.id) + 4;
+  return size;
+}
+
+}  // namespace gt::bloom

@@ -1,0 +1,51 @@
+// Compact wire encoding for gossip reputation vectors.
+//
+// A raw gossip message is up to n <x, id, w> triplets at 24 bytes each
+// (section 5's internal representation). Reputation shares span many
+// orders of magnitude but only need a few significant bits — gossip noise
+// dwarfs fine mantissa detail — so the wire codec packs each triplet as
+//
+//   id     : varint (small ids dominate in practice)
+//   x, w   : 16-bit minifloat (1 sign-free magnitude: 5-bit exponent
+//            offset + 11-bit mantissa) — relative error <= ~0.05%
+//
+// for ~6-7 bytes/triplet instead of 24. Encoding is lossy but calibrated:
+// x and w are quantized with the SAME scheme, so their ratio (the only
+// thing push-sum consumes) keeps its relative accuracy. This complements
+// the Bloom score store (storage at rest) on the transmission path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace gt::bloom {
+
+/// One decoded share, mirroring gossip::Triplet but defined here to keep
+/// the codec independent of the gossip layer.
+struct WireTriplet {
+  double x = 0.0;
+  std::uint64_t id = 0;
+  double w = 0.0;
+};
+
+/// Quantizes a non-negative double to the 16-bit wire minifloat.
+/// Values below ~1e-15 encode to 0; values above ~1e4 saturate.
+std::uint16_t quantize16(double value);
+
+/// Inverse of quantize16 (midpoint of the quantization cell).
+double dequantize16(std::uint16_t q);
+
+/// Encodes triplets into the packed wire format.
+std::vector<std::uint8_t> encode_wire(std::span<const WireTriplet> triplets);
+
+/// Decodes a packed message; std::nullopt on malformed input.
+std::optional<std::vector<WireTriplet>> decode_wire(
+    std::span<const std::uint8_t> bytes);
+
+/// Wire size of one message without materializing it.
+std::size_t wire_size(std::span<const WireTriplet> triplets);
+
+}  // namespace gt::bloom

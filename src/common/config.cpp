@@ -1,0 +1,48 @@
+#include "common/config.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace gt {
+
+namespace {
+
+const char* get_env(const char* name) { return std::getenv(name); }
+
+}  // namespace
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = get_env(name);
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v) return fallback;
+  return static_cast<std::size_t>(parsed);
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = get_env(name);
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v) return fallback;
+  return parsed;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = get_env(name);
+  return (v && *v) ? std::string(v) : fallback;
+}
+
+bool quick_mode() { return env_size("GT_QUICK", 0) != 0; }
+
+std::size_t runs_per_point() {
+  const std::size_t fallback = quick_mode() ? 3 : 10;
+  return env_size("GT_SEEDS", fallback);
+}
+
+std::uint64_t base_seed() {
+  return static_cast<std::uint64_t>(env_size("GT_SEED", 42));
+}
+
+}  // namespace gt

@@ -1,0 +1,45 @@
+// Experiment configuration: the paper's Table 2 defaults plus environment
+// overrides used by the benchmark harnesses (GT_QUICK for smoke-sized runs,
+// GT_SEEDS / GT_SEED for reproducibility control).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gt {
+
+/// Paper Table 2: parameters and default values.
+struct PaperDefaults {
+  std::size_t n = 1000;          ///< number of peers
+  double alpha = 0.15;           ///< greedy factor toward power nodes
+  std::size_t d_max = 200;       ///< maximum feedback amount
+  std::size_t d_avg = 20;        ///< average feedback amount
+  double malicious_pct = 0.0;    ///< percentage of malicious peers (gamma)
+  double power_node_frac = 0.01; ///< q: up to 1% of nodes are power nodes
+  double delta = 1e-3;           ///< global aggregation threshold
+  double epsilon = 1e-4;         ///< gossip error threshold
+};
+
+/// Reads an environment variable as size_t, returning fallback when unset
+/// or unparsable.
+std::size_t env_size(const char* name, std::size_t fallback);
+
+/// Reads an environment variable as double.
+double env_double(const char* name, double fallback);
+
+/// Reads an environment variable as string.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// True when GT_QUICK is set to a non-zero value: benches shrink sweeps and
+/// seed counts so CI finishes fast.
+bool quick_mode();
+
+/// Number of independent simulation runs per data point. Paper uses >= 10;
+/// we default to 10 (3 in quick mode) and honor GT_SEEDS.
+std::size_t runs_per_point();
+
+/// Base seed for an experiment; honors GT_SEED, defaults to 42.
+std::uint64_t base_seed();
+
+}  // namespace gt

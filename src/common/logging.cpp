@@ -1,0 +1,49 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace gt {
+namespace {
+
+LogLevel parse_level_env() {
+  const char* v = std::getenv("GT_LOG");
+  if (!v || !*v) return LogLevel::kOff;
+  if (std::strcmp(v, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(v, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(v, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(v, "error") == 0) return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level{static_cast<int>(parse_level_env())};
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(level_storage().load(std::memory_order_relaxed)); }
+
+void set_log_level(LogLevel level) {
+  level_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (level < log_level()) return;
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace gt

@@ -1,0 +1,51 @@
+// Leveled logger for simulations. Off by default so benchmark output stays
+// clean; enable with GT_LOG=debug|info|warn|error or programmatically.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gt {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; initialized from GT_LOG on first use.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emits one line to stderr if `level` passes the global threshold.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, ss_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+
+}  // namespace detail
+
+#define GT_LOG(level_enum)                                  \
+  if (::gt::log_level() > (level_enum)) {                   \
+  } else                                                    \
+    ::gt::detail::LogStream(level_enum)
+
+#define GT_DEBUG() GT_LOG(::gt::LogLevel::kDebug)
+#define GT_INFO() GT_LOG(::gt::LogLevel::kInfo)
+#define GT_WARN() GT_LOG(::gt::LogLevel::kWarn)
+#define GT_ERROR() GT_LOG(::gt::LogLevel::kError)
+
+}  // namespace gt

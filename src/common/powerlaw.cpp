@@ -1,0 +1,161 @@
+#include "common/powerlaw.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace gt {
+
+BoundedParetoSampler::BoundedParetoSampler(double exponent, std::size_t x_max)
+    : exponent_(exponent), x_max_(x_max) {
+  if (x_max_ < 1) throw std::invalid_argument("BoundedParetoSampler: x_max must be >= 1");
+  if (exponent_ <= 0.0)
+    throw std::invalid_argument("BoundedParetoSampler: exponent must be positive");
+}
+
+std::size_t BoundedParetoSampler::sample(Rng& rng) const {
+  if (x_max_ == 1) return 1;
+  const double h = static_cast<double>(x_max_) + 1.0;  // continuous support [1, h)
+  const double u = rng.next_double();
+  double x = 0.0;
+  if (std::abs(exponent_ - 1.0) < 1e-12) {
+    x = std::exp(u * std::log(h));
+  } else {
+    const double a = 1.0 - exponent_;
+    const double ha = std::pow(h, a);
+    x = std::pow(u * (ha - 1.0) + 1.0, 1.0 / a);
+  }
+  auto v = static_cast<std::size_t>(x);
+  return std::clamp<std::size_t>(v, 1, x_max_);
+}
+
+double BoundedParetoSampler::mean() const noexcept {
+  const double h = static_cast<double>(x_max_) + 1.0;
+  if (std::abs(exponent_ - 1.0) < 1e-12) {
+    return (h - 1.0) / std::log(h);
+  }
+  if (std::abs(exponent_ - 2.0) < 1e-12) {
+    return std::log(h) / (1.0 - 1.0 / h);
+  }
+  const double a1 = 1.0 - exponent_;  // normalizer exponent
+  const double a2 = 2.0 - exponent_;  // first-moment exponent
+  const double num = (std::pow(h, a2) - 1.0) / a2;
+  const double den = (std::pow(h, a1) - 1.0) / a1;
+  return num / den;
+}
+
+double solve_pareto_exponent_for_mean(double target_mean, std::size_t x_max) {
+  if (target_mean <= 1.0 || target_mean >= static_cast<double>(x_max))
+    throw std::invalid_argument("solve_pareto_exponent_for_mean: mean out of range");
+  // Mean decreases monotonically in the exponent; bisect on [0.05, 10].
+  double lo = 0.05, hi = 10.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double m = BoundedParetoSampler(mid, x_max).mean();
+    if (m > target_mean) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::vector<std::size_t> power_law_feedback_counts(std::size_t n, std::size_t x_max,
+                                                   double avg, Rng& rng) {
+  const double exponent = solve_pareto_exponent_for_mean(avg, x_max);
+  BoundedParetoSampler sampler(exponent, x_max);
+  std::vector<std::size_t> counts(n);
+  for (auto& c : counts) c = sampler.sample(rng);
+  // Guarantee the maximum is actually reached so the most active peer issues
+  // d_max feedbacks, as the paper's "maximum feedback amount" setting implies.
+  if (n > 0) {
+    auto it = std::max_element(counts.begin(), counts.end());
+    *it = x_max;
+  }
+  return counts;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be positive");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    acc += std::pow(static_cast<double>(r + 1), -s);
+    cdf_[r] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t rank) const {
+  assert(rank < cdf_.size());
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+TwoSegmentZipfSampler::TwoSegmentZipfSampler(std::size_t n, std::size_t split,
+                                             double s_head, double s_tail) {
+  if (n == 0) throw std::invalid_argument("TwoSegmentZipfSampler: n must be positive");
+  split = std::min(split, n);
+  pmf_.resize(n);
+  for (std::size_t r = 0; r < split; ++r)
+    pmf_[r] = std::pow(static_cast<double>(r + 1), -s_head);
+  if (split < n) {
+    // Scale the tail so the two segments join continuously at the split rank.
+    double scale = 1.0;
+    if (split > 0) {
+      const double head_at_split = std::pow(static_cast<double>(split), -s_head);
+      const double tail_at_split = std::pow(static_cast<double>(split), -s_tail);
+      scale = head_at_split / tail_at_split;
+    }
+    for (std::size_t r = split; r < n; ++r)
+      pmf_[r] = scale * std::pow(static_cast<double>(r + 1), -s_tail);
+  }
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    acc += pmf_[r];
+    cdf_[r] = acc;
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    pmf_[r] /= acc;
+    cdf_[r] /= acc;
+  }
+}
+
+std::size_t TwoSegmentZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double TwoSegmentZipfSampler::pmf(std::size_t rank) const {
+  assert(rank < pmf_.size());
+  return pmf_[rank];
+}
+
+SaroiuFileCountSampler::SaroiuFileCountSampler(double log_mean, double log_sigma,
+                                               std::size_t min_files,
+                                               std::size_t max_files)
+    : log_mean_(log_mean),
+      log_sigma_(log_sigma),
+      min_files_(min_files),
+      max_files_(max_files) {
+  if (min_files_ > max_files_)
+    throw std::invalid_argument("SaroiuFileCountSampler: min > max");
+}
+
+std::size_t SaroiuFileCountSampler::sample(Rng& rng) const {
+  const double z = rng.next_gaussian();
+  const double x = std::exp(log_mean_ + log_sigma_ * z);
+  const auto v = static_cast<std::size_t>(std::llround(x));
+  return std::clamp(v, min_files_, max_files_);
+}
+
+}  // namespace gt

@@ -1,0 +1,98 @@
+// Heavy-tailed samplers used throughout the paper's workloads:
+//   * feedback counts per peer follow a power law with max d_max = 200 and
+//     average d_avg = 20 (paper section 6.1);
+//   * file replica counts follow a power law with popularity rate phi = 1.2
+//     (section 6.4);
+//   * query popularity follows a two-segment Zipf: phi = 0.63 for ranks
+//     1..250 and phi = 1.24 below (section 6.4, modelled on Gnutella);
+//   * files per peer follow the Saroiu measurement study, which we model as
+//     a clamped lognormal.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gt {
+
+/// Discrete bounded Pareto sampler on {1, ..., x_max} with density
+/// proportional to x^-exponent. Uses inverse-CDF of the continuous bounded
+/// Pareto then floors, which preserves the tail index.
+class BoundedParetoSampler {
+ public:
+  BoundedParetoSampler(double exponent, std::size_t x_max);
+
+  std::size_t sample(Rng& rng) const;
+
+  double exponent() const noexcept { return exponent_; }
+  std::size_t x_max() const noexcept { return x_max_; }
+
+  /// Expected value of the continuous bounded Pareto on [1, x_max].
+  double mean() const noexcept;
+
+ private:
+  double exponent_;
+  std::size_t x_max_;
+};
+
+/// Finds the power-law exponent such that a bounded Pareto on [1, x_max]
+/// has the requested mean (bisection). Used to hit d_avg = 20 with
+/// d_max = 200 exactly as the paper's setup demands.
+double solve_pareto_exponent_for_mean(double target_mean, std::size_t x_max);
+
+/// Draws one feedback-count per peer so that counts are power-law
+/// distributed with maximum x_max and (approximately) average avg.
+std::vector<std::size_t> power_law_feedback_counts(std::size_t n, std::size_t x_max,
+                                                   double avg, Rng& rng);
+
+/// Zipf sampler over ranks {0, ..., n-1} with P(rank r) proportional to
+/// (r+1)^-s. Precomputes the CDF; sampling is a binary search.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t sample(Rng& rng) const;
+
+  /// Probability mass of a given rank.
+  double pmf(std::size_t rank) const;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Two-segment Zipf used by the paper for query popularity: exponent
+/// s_head for ranks < split, s_tail for the rest, continuous at the split.
+class TwoSegmentZipfSampler {
+ public:
+  TwoSegmentZipfSampler(std::size_t n, std::size_t split, double s_head, double s_tail);
+
+  std::size_t sample(Rng& rng) const;
+  double pmf(std::size_t rank) const;
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+  std::vector<double> pmf_;
+};
+
+/// Saroiu-style files-per-peer sampler: lognormal clamped to [min, max].
+/// Parameters default to a median of ~100 files with a heavy upper tail,
+/// matching the measured Gnutella sharing distribution the paper cites.
+class SaroiuFileCountSampler {
+ public:
+  SaroiuFileCountSampler(double log_mean = 4.6, double log_sigma = 1.5,
+                         std::size_t min_files = 1, std::size_t max_files = 5000);
+
+  std::size_t sample(Rng& rng) const;
+
+ private:
+  double log_mean_;
+  double log_sigma_;
+  std::size_t min_files_;
+  std::size_t max_files_;
+};
+
+}  // namespace gt

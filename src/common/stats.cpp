@@ -1,0 +1,174 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+namespace gt {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double rms_relative_error(std::span<const double> reference,
+                          std::span<const double> estimate, double floor) {
+  if (reference.size() != estimate.size())
+    throw std::invalid_argument("rms_relative_error: size mismatch");
+  double acc = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    if (std::abs(reference[i]) < floor) continue;
+    const double rel = (reference[i] - estimate[i]) / reference[i];
+    acc += rel * rel;
+    ++counted;
+  }
+  return counted ? std::sqrt(acc / static_cast<double>(counted)) : 0.0;
+}
+
+double l1_distance(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("l1_distance: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += std::abs(a[i] - b[i]);
+  return acc;
+}
+
+double l2_distance(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("l2_distance: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double linf_distance(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("linf_distance: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc = std::max(acc, std::abs(a[i] - b[i]));
+  return acc;
+}
+
+double mean_relative_error(std::span<const double> reference,
+                           std::span<const double> estimate, double floor) {
+  if (reference.size() != estimate.size())
+    throw std::invalid_argument("mean_relative_error: size mismatch");
+  if (reference.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    // Components negligible on BOTH sides count as converged-to-zero:
+    // otherwise a score decaying geometrically toward 0 contributes a
+    // near-constant |delta|/floor term and stalls convergence detection
+    // long after the component stopped mattering.
+    if (std::abs(reference[i]) < floor && std::abs(estimate[i]) < floor) continue;
+    const double denom = std::max(std::abs(reference[i]), floor);
+    acc += std::abs(reference[i] - estimate[i]) / denom;
+  }
+  return acc / static_cast<double>(reference.size());
+}
+
+void normalize_l1(std::vector<double>& v) {
+  const double s = std::accumulate(v.begin(), v.end(), 0.0);
+  if (s <= 0.0) return;
+  for (auto& x : v) x /= s;
+}
+
+double sum(std::span<const double> v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+std::vector<std::size_t> top_k_indices(std::span<const double> v, std::size_t k) {
+  std::vector<std::size_t> idx(v.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  k = std::min(k, idx.size());
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::size_t a, std::size_t b) { return v[a] > v[b]; });
+  idx.resize(k);
+  return idx;
+}
+
+double kendall_tau(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("kendall_tau: size mismatch");
+  const std::size_t n = a.size();
+  if (n < 2) return 1.0;
+  long long concordant = 0, discordant = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double da = a[i] - a[j];
+      const double db = b[i] - b[j];
+      const double prod = da * db;
+      if (prod > 0)
+        ++concordant;
+      else if (prod < 0)
+        ++discordant;
+      // ties contribute to neither (tau-a convention on the denominator)
+    }
+  }
+  const double pairs = 0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+  return static_cast<double>(concordant - discordant) / pairs;
+}
+
+double percentile(std::vector<double> data, double pct) {
+  if (data.empty()) throw std::invalid_argument("percentile: empty data");
+  pct = std::clamp(pct, 0.0, 100.0);
+  std::sort(data.begin(), data.end());
+  const double pos = pct / 100.0 * static_cast<double>(data.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, data.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return data[lo] + frac * (data[hi] - data[lo]);
+}
+
+std::string format_sci(double v, int precision) {
+  char buf[64];
+  const double av = std::abs(v);
+  if (v != 0.0 && (av < 1e-2 || av >= 1e5)) {
+    std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  }
+  return buf;
+}
+
+std::string format_exp(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+  return buf;
+}
+
+}  // namespace gt

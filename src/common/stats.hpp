@@ -1,0 +1,82 @@
+// Statistics helpers shared by the experiments: running moments, vector
+// error metrics (including the paper's Eq. 8 RMS relative error), and
+// simple percentile summaries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gt {
+
+/// Welford-style running mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  ///< sample variance (n-1 denominator)
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// RMS relative error as defined in the paper's Eq. (8):
+///   E = sqrt( (1/n) * sum_i ((v_i - u_i) / v_i)^2 )
+/// where v is the reference (calculated) vector and u the estimate
+/// (gossiped). Components with |v_i| < floor are skipped to keep the metric
+/// finite on zero-reputation nodes; `n` counts only the included terms.
+double rms_relative_error(std::span<const double> reference,
+                          std::span<const double> estimate,
+                          double floor = 1e-12);
+
+/// L1 distance between two equal-length vectors.
+double l1_distance(std::span<const double> a, std::span<const double> b);
+
+/// L2 (Euclidean) distance.
+double l2_distance(std::span<const double> a, std::span<const double> b);
+
+/// Max-norm distance.
+double linf_distance(std::span<const double> a, std::span<const double> b);
+
+/// Mean of |a_i - b_i| / max(|a_i|, floor): the paper's "average relative
+/// error" used for the aggregation-cycle stopping rule.
+double mean_relative_error(std::span<const double> reference,
+                           std::span<const double> estimate,
+                           double floor = 1e-12);
+
+/// Normalizes v in place so its components sum to 1 (no-op on zero vectors).
+void normalize_l1(std::vector<double>& v);
+
+/// Sum of elements.
+double sum(std::span<const double> v);
+
+/// Returns the indices of the k largest elements of v, descending by value
+/// (stable: ties break toward smaller index).
+std::vector<std::size_t> top_k_indices(std::span<const double> v, std::size_t k);
+
+/// Kendall tau-a rank correlation between two score vectors (O(n^2); used in
+/// tests/ablations on modest n to compare ranking fidelity).
+double kendall_tau(std::span<const double> a, std::span<const double> b);
+
+/// Percentile (0..100) of a copy of the data using linear interpolation.
+double percentile(std::vector<double> data, double pct);
+
+/// Formats a double in fixed/scientific hybrid suitable for table cells.
+std::string format_sci(double v, int precision = 3);
+
+/// Always-scientific formatting (threshold labels like 1e-04).
+std::string format_exp(double v, int precision = 0);
+
+}  // namespace gt

@@ -1,0 +1,66 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/stats.hpp"
+
+namespace gt {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+void Table::add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c >= widths.size()) widths.resize(c + 1, 0);
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::size_t total = widths.empty() ? 0 : widths.size() * 3 + 1;
+  for (auto w : widths) total += w;
+
+  if (!title_.empty()) {
+    os << title_ << '\n';
+    os << std::string(std::max<std::size_t>(total, title_.size()), '=') << '\n';
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string{};
+      os << "| " << s << std::string(widths[c] - std::min(widths[c], s.size()), ' ') << ' ';
+    }
+    os << "|\n";
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    for (std::size_t c = 0; c < widths.size(); ++c)
+      os << "|" << std::string(widths[c] + 2, '-');
+    os << "|\n";
+  }
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::write_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string cell(double v, int precision) { return format_sci(v, precision); }
+
+std::string cell(std::size_t v) { return std::to_string(v); }
+
+std::string cell(long long v) { return std::to_string(v); }
+
+}  // namespace gt

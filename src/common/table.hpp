@@ -1,0 +1,44 @@
+// Minimal console table / CSV emitter used by the benchmark harnesses so
+// every reproduced figure and table prints the same row layout the paper
+// reports.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gt {
+
+/// Column-aligned text table with an optional title. Cells are strings;
+/// numeric convenience overloads format via format_sci().
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows.
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders the table with aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (header + rows), suitable for plotting scripts.
+  void write_csv(std::ostream& os) const;
+
+  const std::string& title() const noexcept { return title_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Builds a cell from a double using format_sci.
+std::string cell(double v, int precision = 3);
+std::string cell(std::size_t v);
+std::string cell(long long v);
+
+}  // namespace gt

@@ -1,0 +1,153 @@
+#include "core/engine.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "common/stats.hpp"
+
+namespace gt::core {
+
+std::size_t AggregationResult::total_gossip_steps() const noexcept {
+  std::size_t s = 0;
+  for (const auto& c : cycles) s += c.gossip_steps;
+  return s;
+}
+
+std::uint64_t AggregationResult::total_messages() const noexcept {
+  std::uint64_t s = 0;
+  for (const auto& c : cycles) s += c.messages_sent;
+  return s;
+}
+
+std::uint64_t AggregationResult::total_triplets() const noexcept {
+  std::uint64_t s = 0;
+  for (const auto& c : cycles) s += c.triplets_sent;
+  return s;
+}
+
+double AggregationResult::mean_gossip_steps_per_cycle() const noexcept {
+  if (cycles.empty()) return 0.0;
+  return static_cast<double>(total_gossip_steps()) /
+         static_cast<double>(cycles.size());
+}
+
+GossipTrustEngine::GossipTrustEngine(std::size_t n, GossipTrustConfig config)
+    : n_(n), config_(config) {
+  if (n_ == 0) throw std::invalid_argument("GossipTrustEngine: n must be positive");
+  if (config_.delta <= 0.0 || config_.epsilon <= 0.0)
+    throw std::invalid_argument("GossipTrustEngine: thresholds must be positive");
+  if (config_.alpha < 0.0 || config_.alpha > 1.0)
+    throw std::invalid_argument("GossipTrustEngine: alpha must be in [0, 1]");
+}
+
+std::vector<double> GossipTrustEngine::initial_scores() const {
+  return std::vector<double>(n_, 1.0 / static_cast<double>(n_));
+}
+
+CycleStats GossipTrustEngine::run_cycle(const trust::SparseMatrix& s,
+                                        std::vector<double>& v,
+                                        std::vector<NodeId>& power, Rng& rng,
+                                        const graph::Graph* overlay,
+                                        std::vector<std::vector<double>>* views_out,
+                                        const std::vector<std::uint8_t>* alive) {
+  if (s.size() != n_ || v.size() != n_)
+    throw std::invalid_argument("GossipTrustEngine::run_cycle: size mismatch");
+
+  gossip::PushSumConfig ps;
+  ps.epsilon = config_.epsilon;
+  ps.stable_rounds = config_.stable_rounds;
+  ps.max_steps = config_.max_gossip_steps;
+  ps.loss_probability = config_.loss_probability;
+  ps.neighbors_only = config_.neighbors_only;
+
+  gossip::VectorGossip gossip(n_, ps);
+  if (alive != nullptr) gossip.set_participants(*alive);
+  gossip.initialize(s, v);
+  const auto gres = gossip.run(rng, overlay);
+
+  // Consensus read-out: the system-wide agreed value for component j is the
+  // (near-identical) per-node ratio; we average defined per-node estimates,
+  // which keeps residual gossip error in the result the way a real
+  // deployment would experience it. Departed peers hold no estimates and
+  // receive score 0.
+  auto is_alive = [alive](NodeId v_id) {
+    return alive == nullptr || (*alive)[v_id] != 0;
+  };
+  std::vector<double> next(n_, 0.0);
+  for (NodeId j = 0; j < n_; ++j) {
+    if (!is_alive(j)) continue;
+    double acc = 0.0;
+    std::size_t cnt = 0;
+    for (NodeId i = 0; i < n_; ++i) {
+      if (!is_alive(i)) continue;
+      const double e = gossip.estimate(i, j);
+      if (!std::isnan(e)) {
+        acc += e;
+        ++cnt;
+      }
+    }
+    next[j] = cnt ? acc / static_cast<double>(cnt) : 0.0;
+  }
+  normalize_l1(next);
+
+  // Greedy-factor damping toward the power nodes selected after the
+  // previous cycle — skipping anchors that have since departed, so no
+  // reputation mass teleports onto dead peers.
+  if (alive == nullptr) {
+    apply_power_node_mix(next, power, config_.alpha);
+  } else {
+    std::vector<NodeId> live_power;
+    live_power.reserve(power.size());
+    for (const NodeId p : power)
+      if (is_alive(p)) live_power.push_back(p);
+    apply_power_node_mix(next, live_power, config_.alpha);
+  }
+
+  CycleStats stats;
+  stats.gossip_steps = gres.steps;
+  stats.gossip_converged = gres.converged;
+  stats.messages_sent = gres.messages_sent;
+  stats.messages_lost = gres.messages_lost;
+  stats.triplets_sent = gres.triplets_sent;
+  stats.change_from_previous = mean_relative_error(next, v);
+
+  if (views_out != nullptr) {
+    views_out->clear();
+    views_out->reserve(n_);
+    for (NodeId i = 0; i < n_; ++i) views_out->push_back(gossip.node_view(i));
+  }
+
+  v = std::move(next);
+  power = select_power_nodes(v, config_.power_node_fraction);
+  return stats;
+}
+
+AggregationResult GossipTrustEngine::run(const trust::SparseMatrix& s, Rng& rng,
+                                         const graph::Graph* overlay,
+                                         std::optional<std::vector<double>> warm_start) {
+  AggregationResult result;
+  std::vector<double> v = warm_start ? std::move(*warm_start) : initial_scores();
+  if (v.size() != n_)
+    throw std::invalid_argument("GossipTrustEngine::run: warm start size mismatch");
+  std::vector<NodeId> power;  // none before the first aggregation completes
+
+  for (std::size_t t = 0; t < config_.max_cycles; ++t) {
+    const bool last_views = config_.keep_final_views;
+    std::vector<std::vector<double>> views;
+    CycleStats stats =
+        run_cycle(s, v, power, rng, overlay, last_views ? &views : nullptr);
+    result.cycles.push_back(stats);
+    if (last_views) result.final_views = std::move(views);
+    if (stats.change_from_previous < config_.delta) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.scores = std::move(v);
+  result.power_nodes = std::move(power);
+  return result;
+}
+
+}  // namespace gt::core

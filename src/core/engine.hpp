@@ -1,0 +1,106 @@
+// The GossipTrust engine: the paper's primary contribution (Algorithm 2).
+//
+// Drives aggregation cycles t = 0, 1, ... until the global reputation
+// vector converges:
+//   * each cycle computes V(t+1) = S^T V(t) by vector push-sum gossip
+//     (gossip steps run until every node is epsilon-stable);
+//   * the greedy-factor/power-node mix is applied at the cycle boundary;
+//   * cycles stop when the mean relative change of V drops below delta.
+//
+// The engine exposes both the full run() loop and a single-cycle API so
+// callers (the churn ablation, the file-sharing workload) can mutate the
+// trust matrix or the overlay between cycles exactly like a live network.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/power_nodes.hpp"
+#include "gossip/vector_gossip.hpp"
+#include "graph/topology.hpp"
+#include "trust/matrix.hpp"
+
+namespace gt::core {
+
+/// All tunables; defaults are the paper's Table 2.
+struct GossipTrustConfig {
+  double delta = 1e-3;             ///< global aggregation threshold
+  double epsilon = 1e-4;           ///< gossip error threshold
+  double alpha = 0.15;             ///< greedy factor
+  double power_node_fraction = 0.01;  ///< q as a fraction of n ("up to 1%")
+  std::size_t max_cycles = 100;    ///< safety cap on aggregation cycles
+  std::size_t stable_rounds = 2;   ///< consecutive stable gossip steps
+  std::size_t max_gossip_steps = 10000;
+  double loss_probability = 0.0;   ///< message loss injected into gossip
+  bool neighbors_only = false;     ///< restrict gossip targets to overlay neighbors
+  bool keep_final_views = false;   ///< retain per-node views of the last cycle
+};
+
+/// Per-cycle telemetry.
+struct CycleStats {
+  std::size_t gossip_steps = 0;
+  bool gossip_converged = false;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_lost = 0;
+  std::uint64_t triplets_sent = 0;
+  double change_from_previous = 0.0;  ///< mean relative error vs previous V
+};
+
+/// Final outcome of a full aggregation run.
+struct AggregationResult {
+  std::vector<double> scores;      ///< converged global reputation vector
+  std::vector<NodeId> power_nodes; ///< selected after the last cycle
+  std::vector<CycleStats> cycles;
+  bool converged = false;
+
+  std::size_t num_cycles() const noexcept { return cycles.size(); }
+  std::size_t total_gossip_steps() const noexcept;
+  std::uint64_t total_messages() const noexcept;
+  std::uint64_t total_triplets() const noexcept;
+  double mean_gossip_steps_per_cycle() const noexcept;
+
+  /// Per-node final views (row i = node i's reputation vector); only
+  /// populated when config.keep_final_views was set.
+  std::vector<std::vector<double>> final_views;
+};
+
+/// GossipTrust reputation aggregation engine.
+class GossipTrustEngine {
+ public:
+  GossipTrustEngine(std::size_t n, GossipTrustConfig config);
+
+  std::size_t num_nodes() const noexcept { return n_; }
+  const GossipTrustConfig& config() const noexcept { return config_; }
+
+  /// Uniform initial vector v_i(0) = 1/n.
+  std::vector<double> initial_scores() const;
+
+  /// Runs one aggregation cycle: gossips S^T v, normalizes, applies the
+  /// power-node mix (using power nodes selected from the *previous* cycle's
+  /// scores, per "power nodes are dynamically chosen after each reputation
+  /// aggregation"), and reselects power nodes from the new scores.
+  /// `overlay` is only consulted when config.neighbors_only is set.
+  /// `alive` (optional, size n, nonzero = live) restricts the cycle to the
+  /// current membership: departed peers neither report, gossip, nor hold
+  /// scores (their entry in v becomes 0) — the peer-dynamics support the
+  /// churn ablation drives between cycles.
+  CycleStats run_cycle(const trust::SparseMatrix& s, std::vector<double>& v,
+                       std::vector<NodeId>& power, Rng& rng,
+                       const graph::Graph* overlay = nullptr,
+                       std::vector<std::vector<double>>* views_out = nullptr,
+                       const std::vector<std::uint8_t>* alive = nullptr);
+
+  /// Full loop: cycles until mean relative change < delta (or max_cycles).
+  AggregationResult run(const trust::SparseMatrix& s, Rng& rng,
+                        const graph::Graph* overlay = nullptr,
+                        std::optional<std::vector<double>> warm_start = std::nullopt);
+
+ private:
+  std::size_t n_;
+  GossipTrustConfig config_;
+};
+
+}  // namespace gt::core

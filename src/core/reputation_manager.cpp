@@ -1,0 +1,81 @@
+#include "core/reputation_manager.hpp"
+
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace gt::core {
+
+ReputationManager::ReputationManager(std::size_t n, ReputationManagerConfig config,
+                                     std::uint64_t seed)
+    : n_(n),
+      config_(config),
+      engine_(n, config.engine),
+      ledger_(n),
+      rng_(seed),
+      scores_(n, n ? 1.0 / static_cast<double>(n) : 0.0) {
+  if (n_ == 0) throw std::invalid_argument("ReputationManager: n must be positive");
+  if (config_.reaggregate_every == 0)
+    throw std::invalid_argument("ReputationManager: refresh period must be positive");
+  if (config_.ledger_decay <= 0.0 || config_.ledger_decay > 1.0)
+    throw std::invalid_argument("ReputationManager: decay must be in (0, 1]");
+}
+
+void ReputationManager::record_transaction(trust::NodeId rater, trust::NodeId ratee,
+                                           double rating) {
+  ledger_.record(rater, ratee, rating);
+  ++transactions_;
+  if (transactions_ % config_.reaggregate_every == 0) refresh();
+}
+
+const AggregationResult& ReputationManager::refresh() {
+  // Age the accumulated history first so this epoch's fresh feedback
+  // carries full weight relative to older epochs'.
+  if (config_.ledger_decay < 1.0) ledger_.decay(config_.ledger_decay);
+  const auto s = ledger_.normalized_matrix();
+
+  if (config_.qof_weighting) {
+    // Robust mode: exact QoF-damped aggregation (section 7 extension),
+    // then report it through the same result shape.
+    const auto robust = qof_weighted_aggregation(
+        ledger_, config_.engine.alpha, config_.engine.power_node_fraction);
+    qof_ = robust.qof;
+    AggregationResult result;
+    result.scores = robust.qos;
+    result.converged = robust.converged;
+    result.power_nodes =
+        select_power_nodes(result.scores, config_.engine.power_node_fraction);
+    last_ = std::move(result);
+  } else {
+    std::optional<std::vector<double>> warm;
+    if (config_.warm_start && refreshes_ > 0) warm = scores_;
+    last_ = engine_.run(s, rng_, nullptr, std::move(warm));
+  }
+
+  scores_ = last_->scores;
+  power_nodes_ = last_->power_nodes;
+  ++refreshes_;
+
+  if (config_.publish_bloom) {
+    store_ = std::make_unique<bloom::BloomScoreStore>(
+        std::span<const double>(scores_.data(), scores_.size()), config_.bloom);
+  }
+  return *last_;
+}
+
+double ReputationManager::score(trust::NodeId peer) const {
+  if (peer >= n_) throw std::out_of_range("ReputationManager::score");
+  return scores_[peer];
+}
+
+std::vector<NodeId> ReputationManager::top(std::size_t k) const {
+  return top_k_indices(std::span<const double>(scores_.data(), scores_.size()), k);
+}
+
+double ReputationManager::compressed_score(trust::NodeId peer) const {
+  if (peer >= n_) throw std::out_of_range("ReputationManager::compressed_score");
+  if (store_ != nullptr) return store_->lookup(static_cast<std::uint64_t>(peer));
+  return scores_[peer];
+}
+
+}  // namespace gt::core

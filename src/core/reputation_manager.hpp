@@ -1,0 +1,94 @@
+// ReputationManager: the long-running service facade (paper Fig. 1a).
+//
+// Figure 1(a) of the paper shows GossipTrust on a node as three modules:
+// gossip-based reputation aggregation (initial computation + reputation
+// *updating*), power-node selection, and reputation storage. This class is
+// that architecture as an embeddable component: it accumulates transaction
+// feedback, re-aggregates on a configurable cadence (warm-starting each
+// round from the previous converged vector — the paper's "Reputation
+// Updating" path), reselects power nodes after every aggregation, and
+// optionally publishes the Bloom-compressed score store for bandwidth-
+// constrained queries.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bloom/score_store.hpp"
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+#include "core/qos_qof.hpp"
+#include "trust/feedback.hpp"
+
+namespace gt::core {
+
+struct ReputationManagerConfig {
+  GossipTrustConfig engine;              ///< aggregation parameters (Table 2)
+  std::size_t reaggregate_every = 1000;  ///< feedbacks between auto refreshes
+  bool warm_start = true;                ///< reuse last vector as V(0)
+  bool publish_bloom = false;            ///< maintain the compressed store
+  bloom::ScoreStoreConfig bloom;         ///< geometry of the published store
+  bool qof_weighting = false;            ///< damp raters by feedback quality
+  double ledger_decay = 1.0;             ///< per-refresh aging factor (1 = off)
+};
+
+/// Node-local reputation service: feedback in, global scores out.
+class ReputationManager {
+ public:
+  ReputationManager(std::size_t n, ReputationManagerConfig config,
+                    std::uint64_t seed);
+
+  std::size_t num_peers() const noexcept { return n_; }
+
+  /// Records one rating; triggers an automatic refresh every
+  /// `reaggregate_every` recorded transactions.
+  void record_transaction(trust::NodeId rater, trust::NodeId ratee, double rating);
+
+  /// Forces a re-aggregation from the current ledger.
+  const AggregationResult& refresh();
+
+  /// Current global score of a peer (uniform prior before first refresh).
+  double score(trust::NodeId peer) const;
+  const std::vector<double>& scores() const noexcept { return scores_; }
+
+  /// The k most reputable peers.
+  std::vector<NodeId> top(std::size_t k) const;
+
+  /// Power nodes selected by the last aggregation (empty before it).
+  const std::vector<NodeId>& power_nodes() const noexcept { return power_nodes_; }
+
+  /// Rater feedback-quality scores (only populated with qof_weighting).
+  const std::vector<double>& qof_scores() const noexcept { return qof_; }
+
+  /// Compressed score lookup through the published Bloom store; falls back
+  /// to the exact score when publishing is disabled.
+  double compressed_score(trust::NodeId peer) const;
+  const bloom::BloomScoreStore* published_store() const { return store_.get(); }
+
+  std::size_t refresh_count() const noexcept { return refreshes_; }
+  std::size_t transactions_recorded() const noexcept { return transactions_; }
+  const trust::FeedbackLedger& ledger() const noexcept { return ledger_; }
+
+  /// Result of the most recent aggregation (nullopt before the first).
+  const std::optional<AggregationResult>& last_aggregation() const noexcept {
+    return last_;
+  }
+
+ private:
+  std::size_t n_;
+  ReputationManagerConfig config_;
+  GossipTrustEngine engine_;
+  trust::FeedbackLedger ledger_;
+  Rng rng_;
+  std::vector<double> scores_;
+  std::vector<double> qof_;
+  std::vector<NodeId> power_nodes_;
+  std::unique_ptr<bloom::BloomScoreStore> store_;
+  std::optional<AggregationResult> last_;
+  std::size_t transactions_ = 0;
+  std::size_t refreshes_ = 0;
+};
+
+}  // namespace gt::core

@@ -1,0 +1,76 @@
+#include "crypto/identity_auth.hpp"
+
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace gt::crypto {
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const auto b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+PrivateKey IdentityAuthority::extract(Identity id) const {
+  // Keyed derivation: mix(master || identity) twice for both halves.
+  const std::uint64_t k = mix64(master_secret_ ^ mix64(id));
+  return PrivateKey{id, k};
+}
+
+Signature IdentityAuthority::sign(const PrivateKey& key,
+                                  std::span<const std::uint8_t> payload) const {
+  const std::uint64_t inner = fnv1a(payload, key.secret);
+  Signature sig;
+  sig.hi = mix64(inner ^ key.secret);
+  sig.lo = mix64(inner ^ mix64(key.secret) ^ key.identity);
+  return sig;
+}
+
+Signature IdentityAuthority::sign(const PrivateKey& key,
+                                  std::string_view payload) const {
+  return sign(key, std::span<const std::uint8_t>(
+                       reinterpret_cast<const std::uint8_t*>(payload.data()),
+                       payload.size()));
+}
+
+bool IdentityAuthority::verify(Identity sender, std::span<const std::uint8_t> payload,
+                               const Signature& sig) const {
+  const PrivateKey key = extract(sender);
+  return sign(key, payload) == sig;
+}
+
+bool IdentityAuthority::verify(Identity sender, std::string_view payload,
+                               const Signature& sig) const {
+  const PrivateKey key = extract(sender);
+  return sign(key, payload) == sig;
+}
+
+SignedMessage seal(const IdentityAuthority& authority, const PrivateKey& key,
+                   std::span<const std::uint8_t> payload) {
+  SignedMessage msg;
+  msg.sender = key.identity;
+  msg.payload.assign(payload.begin(), payload.end());
+  msg.signature = authority.sign(key, payload);
+  return msg;
+}
+
+bool open(const IdentityAuthority& authority, const SignedMessage& msg) {
+  return authority.verify(msg.sender,
+                          std::span<const std::uint8_t>(msg.payload.data(),
+                                                        msg.payload.size()),
+                          msg.signature);
+}
+
+std::vector<std::uint8_t> encode_triplet(double x, std::uint64_t id, double w) {
+  std::vector<std::uint8_t> out(24);
+  std::memcpy(out.data(), &x, 8);
+  std::memcpy(out.data() + 8, &id, 8);
+  std::memcpy(out.data() + 16, &w, 8);
+  return out;
+}
+
+}  // namespace gt::crypto

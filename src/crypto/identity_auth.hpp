@@ -1,0 +1,88 @@
+// Identity-based message authentication (simulated IBC).
+//
+// The paper names "secure communication with identity-based cryptography"
+// as one of GossipTrust's three innovations: gossip payloads are signed so
+// a malicious relay cannot forge or tamper with another peer's triplets.
+// Real IBC (e.g. Boneh–Franklin) needs pairing arithmetic; what the
+// *protocol* needs from it is: (1) a trusted key-generation authority
+// derives a peer's signing key from its identity alone, (2) any peer can
+// verify a signature knowing only the sender's identity and public system
+// parameters. We simulate exactly that contract with keyed hashing: the
+// PKG holds a master secret, extraction is a keyed hash of the identity,
+// and signatures are MACs. The simulation preserves every code path —
+// key issuance, signing on send, verification and rejection on receive —
+// while substituting the number theory (see DESIGN.md, substitutions).
+// NOT cryptographically secure; simulation-grade only.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace gt::crypto {
+
+using Identity = std::uint64_t;
+
+/// 128-bit MAC tag.
+struct Signature {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  friend bool operator==(const Signature&, const Signature&) = default;
+};
+
+/// Per-identity signing key issued by the authority.
+struct PrivateKey {
+  Identity identity = 0;
+  std::uint64_t secret = 0;
+};
+
+/// FNV-1a 64-bit hash over bytes (building block for the MAC).
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes,
+                    std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// The Private Key Generator (PKG) of the identity-based scheme.
+class IdentityAuthority {
+ public:
+  explicit IdentityAuthority(std::uint64_t master_secret)
+      : master_secret_(master_secret) {}
+
+  /// Key extraction: deterministic derivation from identity + master secret.
+  PrivateKey extract(Identity id) const;
+
+  /// Signs a payload with a private key.
+  Signature sign(const PrivateKey& key, std::span<const std::uint8_t> payload) const;
+  Signature sign(const PrivateKey& key, std::string_view payload) const;
+
+  /// Verifies that `sig` was produced by the holder of `sender`'s key.
+  /// In real IBC verification uses public parameters only; the simulation
+  /// re-derives the key inside the authority-backed verifier, preserving
+  /// the caller-visible contract (verify needs only the claimed identity).
+  bool verify(Identity sender, std::span<const std::uint8_t> payload,
+              const Signature& sig) const;
+  bool verify(Identity sender, std::string_view payload, const Signature& sig) const;
+
+ private:
+  std::uint64_t master_secret_;
+};
+
+/// A signed gossip envelope: payload bytes + sender + tag. Helper used by
+/// the secure-gossip tests and the tamper-rejection property tests.
+struct SignedMessage {
+  Identity sender = 0;
+  std::vector<std::uint8_t> payload;
+  Signature signature;
+};
+
+/// Builds a signed envelope.
+SignedMessage seal(const IdentityAuthority& authority, const PrivateKey& key,
+                   std::span<const std::uint8_t> payload);
+
+/// Checks an envelope end-to-end.
+bool open(const IdentityAuthority& authority, const SignedMessage& msg);
+
+/// Serializes a (x, id, w) gossip triplet into bytes for signing.
+std::vector<std::uint8_t> encode_triplet(double x, std::uint64_t id, double w);
+
+}  // namespace gt::crypto

@@ -1,0 +1,57 @@
+#include "filesharing/catalog.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/powerlaw.hpp"
+
+namespace gt::filesharing {
+
+FileCatalog::FileCatalog(const CatalogConfig& config, Rng& rng) {
+  if (config.num_peers == 0 || config.num_files == 0)
+    throw std::invalid_argument("FileCatalog: peers and files must be positive");
+
+  owners_.resize(config.num_files);
+  peer_files_.resize(config.num_peers);
+
+  // Saroiu-style sharing capacities -> replica placement weights.
+  SaroiuFileCountSampler capacity_sampler;
+  std::vector<double> cumulative(config.num_peers);
+  double acc = 0.0;
+  for (PeerId p = 0; p < config.num_peers; ++p) {
+    acc += static_cast<double>(capacity_sampler.sample(rng));
+    cumulative[p] = acc;
+  }
+
+  auto weighted_peer = [&](Rng& r) {
+    const double u = r.next_double(0.0, acc);
+    const auto it = std::upper_bound(cumulative.begin(), cumulative.end(), u);
+    return static_cast<PeerId>(std::min<std::size_t>(
+        static_cast<std::size_t>(it - cumulative.begin()), config.num_peers - 1));
+  };
+
+  // Replica counts: more popular files (smaller rank) get more copies, so
+  // we sort sampled counts descending and assign by rank.
+  BoundedParetoSampler copies_sampler(config.copies_phi,
+                                      std::min(config.max_copies, config.num_peers));
+  std::vector<std::size_t> copies(config.num_files);
+  for (auto& c : copies) c = copies_sampler.sample(rng);
+  std::sort(copies.begin(), copies.end(), std::greater<>());
+
+  for (FileId f = 0; f < config.num_files; ++f) {
+    auto& file_owners = owners_[f];
+    std::size_t placed = 0;
+    std::size_t guard = 0;
+    while (placed < copies[f] && guard < copies[f] * 20 + 50) {
+      const PeerId p = weighted_peer(rng);
+      ++guard;
+      if (peer_files_[p].insert(f).second) {
+        file_owners.push_back(p);
+        ++placed;
+        ++total_replicas_;
+      }
+    }
+  }
+}
+
+}  // namespace gt::filesharing

@@ -1,0 +1,58 @@
+// File catalog for the P2P file-sharing workload (paper section 6.4).
+//
+// "There are over 100,000 files simulated in these experiments. The number
+// of copies of each file is determined by a Power-law distribution with a
+// popularity rate phi = 1.2. Each peer is assigned with a number of files
+// based on the Saroiu distribution."
+//
+// Files are identified by their popularity rank (file 0 = most popular).
+// Replica counts follow a bounded Pareto(phi); replicas are placed on
+// peers drawn with probability proportional to each peer's Saroiu-sampled
+// sharing capacity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gt::filesharing {
+
+using FileId = std::uint32_t;
+using PeerId = std::size_t;
+
+struct CatalogConfig {
+  std::size_t num_peers = 1000;
+  std::size_t num_files = 100000;
+  double copies_phi = 1.2;         ///< popularity rate of the replica power law
+  std::size_t max_copies = 100;    ///< bound on replicas of one file
+};
+
+class FileCatalog {
+ public:
+  FileCatalog(const CatalogConfig& config, Rng& rng);
+
+  std::size_t num_files() const noexcept { return owners_.size(); }
+  std::size_t num_peers() const noexcept { return peer_files_.size(); }
+
+  /// All peers holding a replica of `file` (unordered).
+  const std::vector<PeerId>& owners(FileId file) const { return owners_[file]; }
+
+  bool has_file(PeerId peer, FileId file) const {
+    return peer_files_[peer].count(file) != 0;
+  }
+
+  std::size_t files_on_peer(PeerId peer) const { return peer_files_[peer].size(); }
+
+  /// Total replicas across all files.
+  std::size_t total_replicas() const noexcept { return total_replicas_; }
+
+ private:
+  std::vector<std::vector<PeerId>> owners_;             // by FileId
+  std::vector<std::unordered_set<FileId>> peer_files_;  // by PeerId
+  std::size_t total_replicas_ = 0;
+};
+
+}  // namespace gt::filesharing

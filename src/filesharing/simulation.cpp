@@ -1,0 +1,115 @@
+#include "filesharing/simulation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "overlay/flood.hpp"
+
+namespace gt::filesharing {
+
+SharingSimulation::SharingSimulation(const SimulationConfig& config,
+                                     const FileCatalog& catalog,
+                                     const QueryWorkload& workload,
+                                     overlay::OverlayManager& overlay,
+                                     const std::vector<threat::PeerProfile>& peers,
+                                     ScoreProvider score_provider)
+    : config_(config),
+      catalog_(&catalog),
+      workload_(&workload),
+      overlay_(&overlay),
+      peers_(&peers),
+      score_provider_(std::move(score_provider)),
+      ledger_(peers.size()),
+      rating_(threat::threat_rating(peers)),
+      scores_(peers.size(), 1.0 / static_cast<double>(peers.size())) {
+  if (catalog.num_peers() != peers.size() || overlay.num_nodes() != peers.size())
+    throw std::invalid_argument("SharingSimulation: component size mismatch");
+  if (config_.queries_per_refresh == 0)
+    throw std::invalid_argument("SharingSimulation: refresh period must be positive");
+}
+
+void SharingSimulation::refresh_scores(Rng& rng) {
+  if (!score_provider_) return;
+  const auto s = ledger_.normalized_matrix();
+  scores_ = score_provider_(s, rng);
+  if (scores_.size() != peers_->size())
+    throw std::runtime_error("SharingSimulation: score provider size mismatch");
+}
+
+SimulationStats SharingSimulation::run(Rng& rng) {
+  SimulationStats stats;
+  std::size_t window_queries = 0;
+  std::size_t window_authentic = 0;
+
+  for (std::size_t q = 0; q < config_.total_queries; ++q) {
+    // 1. A random alive peer issues the next query.
+    const auto alive = overlay_->alive_nodes();
+    if (alive.empty()) break;
+    const PeerId requester = alive[rng.next_below(alive.size())];
+    const FileId file = workload_->sample(rng);
+    ++stats.queries;
+    ++window_queries;
+
+    // 2. Flood the query; responders are reached peers holding the file.
+    overlay::FloodResult flood_stats;
+    auto responders = overlay::flood_query(
+        *overlay_, requester, config_.flood_ttl,
+        [&](overlay::NodeId v) {
+          return v != requester && catalog_->has_file(v, static_cast<FileId>(file));
+        },
+        &flood_stats);
+    stats.flood_messages += flood_stats.messages;
+
+    if (responders.empty()) {
+      ++stats.misses;
+    } else {
+      ++stats.hits;
+      // 3. Provider selection: reputation-ranked or random.
+      PeerId provider = responders.front();
+      if (config_.policy == SelectionPolicy::kHighestReputation) {
+        double best = -1.0;
+        for (const PeerId r : responders) {
+          if (scores_[r] > best) {
+            best = scores_[r];
+            provider = r;
+          }
+        }
+      } else {
+        provider = responders[rng.next_below(responders.size())];
+      }
+
+      // 4. Download outcome: authentic with the provider's intrinsic
+      // service quality (inversely related to maliciousness).
+      const bool authentic = rng.next_bool((*peers_)[provider].service_quality);
+      if (authentic) {
+        ++stats.authentic;
+        ++window_authentic;
+      } else {
+        ++stats.inauthentic;
+      }
+
+      // 5. The requester rates the provider through its own rating policy.
+      const double outcome = authentic ? 1.0 : 0.0;
+      ledger_.record(requester, provider, rating_(requester, provider, outcome));
+    }
+
+    // 6. Periodic global reputation refresh.
+    if ((q + 1) % config_.queries_per_refresh == 0) {
+      refresh_scores(rng);
+      ++stats.refreshes;
+      stats.success_per_window.push_back(
+          window_queries ? static_cast<double>(window_authentic) /
+                               static_cast<double>(window_queries)
+                         : 0.0);
+      window_queries = 0;
+      window_authentic = 0;
+    }
+  }
+  if (window_queries > 0) {
+    stats.success_per_window.push_back(static_cast<double>(window_authentic) /
+                                       static_cast<double>(window_queries));
+  }
+  return stats;
+}
+
+}  // namespace gt::filesharing

@@ -1,0 +1,94 @@
+// The P2P file-sharing benchmark application (paper section 6.4, Fig. 5).
+//
+// Per query step: a random alive peer issues a query for a file drawn from
+// the Gnutella-shaped popularity workload; the query floods the overlay; a
+// provider is selected from the responders — highest global reputation
+// under GossipTrust, uniformly random under NoTrust; the provider serves
+// an authentic file with probability equal to its intrinsic service
+// quality (malicious peers mostly serve corrupted files — "this rate is
+// modeled inversely proportional to node's global reputation"); the
+// requester rates the provider according to its own (possibly malicious)
+// rating policy. "The system updates global reputation scores at all
+// sites after 1,000 queries" — the refresh hook re-aggregates from the
+// accumulated ledger through any score provider (gossip engine, exact
+// baseline, or NoTrust's uniform scores).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "filesharing/catalog.hpp"
+#include "filesharing/workload.hpp"
+#include "overlay/overlay.hpp"
+#include "threat/models.hpp"
+#include "trust/feedback.hpp"
+
+namespace gt::filesharing {
+
+/// Provider-selection policies under test.
+enum class SelectionPolicy {
+  kHighestReputation,  ///< GossipTrust: pick the top-scored responder
+  kRandom,             ///< NoTrust: pick any responder uniformly
+};
+
+/// Computes fresh global scores from the current feedback matrix.
+using ScoreProvider =
+    std::function<std::vector<double>(const trust::SparseMatrix&, Rng&)>;
+
+struct SimulationConfig {
+  std::size_t queries_per_refresh = 1000;  ///< paper: update after 1,000 queries
+  std::size_t total_queries = 10000;
+  std::size_t flood_ttl = 7;               ///< Gnutella default TTL
+  SelectionPolicy policy = SelectionPolicy::kHighestReputation;
+};
+
+struct SimulationStats {
+  std::size_t queries = 0;
+  std::size_t hits = 0;          ///< queries with at least one responder
+  std::size_t authentic = 0;     ///< successful (authentic) downloads
+  std::size_t inauthentic = 0;   ///< corrupted downloads
+  std::size_t misses = 0;        ///< no responder found
+  std::size_t refreshes = 0;     ///< reputation refresh rounds executed
+  std::uint64_t flood_messages = 0;
+  std::vector<double> success_per_window;  ///< success rate per refresh window
+
+  /// Paper's query success rate: authentic downloads / queries issued.
+  double success_rate() const {
+    return queries ? static_cast<double>(authentic) / static_cast<double>(queries)
+                   : 0.0;
+  }
+};
+
+/// Drives the file-sharing workload against a reputation system.
+class SharingSimulation {
+ public:
+  SharingSimulation(const SimulationConfig& config, const FileCatalog& catalog,
+                    const QueryWorkload& workload, overlay::OverlayManager& overlay,
+                    const std::vector<threat::PeerProfile>& peers,
+                    ScoreProvider score_provider);
+
+  /// Runs config.total_queries query steps; returns accumulated stats.
+  SimulationStats run(Rng& rng);
+
+  /// Current global scores (uniform until the first refresh).
+  const std::vector<double>& scores() const noexcept { return scores_; }
+
+  const trust::FeedbackLedger& ledger() const noexcept { return ledger_; }
+
+ private:
+  void refresh_scores(Rng& rng);
+
+  SimulationConfig config_;
+  const FileCatalog* catalog_;
+  const QueryWorkload* workload_;
+  overlay::OverlayManager* overlay_;
+  const std::vector<threat::PeerProfile>* peers_;
+  ScoreProvider score_provider_;
+  trust::FeedbackLedger ledger_;
+  trust::RatingFunction rating_;
+  std::vector<double> scores_;
+};
+
+}  // namespace gt::filesharing

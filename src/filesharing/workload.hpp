@@ -1,0 +1,41 @@
+// Query workload (paper section 6.4).
+//
+// "We rank the queries according to their popularity. We use a power law
+// distribution with phi = 0.63 for queries ranked 1 to 250 and phi = 1.24
+// for lower-ranking queries" — the measured Gnutella query popularity
+// shape (flat head, steep tail). Query rank r maps to file id r, since
+// files are indexed by popularity rank.
+#pragma once
+
+#include <cstddef>
+
+#include "common/powerlaw.hpp"
+#include "common/rng.hpp"
+#include "filesharing/catalog.hpp"
+
+namespace gt::filesharing {
+
+struct WorkloadConfig {
+  std::size_t num_files = 100000;
+  std::size_t head_ranks = 250;   ///< ranks covered by the flat head segment
+  double head_phi = 0.63;
+  double tail_phi = 1.24;
+};
+
+class QueryWorkload {
+ public:
+  explicit QueryWorkload(const WorkloadConfig& config)
+      : sampler_(config.num_files, config.head_ranks, config.head_phi,
+                 config.tail_phi) {}
+
+  /// Draws the file targeted by the next query.
+  FileId sample(Rng& rng) const { return static_cast<FileId>(sampler_.sample(rng)); }
+
+  /// Probability a query targets the file of the given rank.
+  double pmf(std::size_t rank) const { return sampler_.pmf(rank); }
+
+ private:
+  TwoSegmentZipfSampler sampler_;
+};
+
+}  // namespace gt::filesharing

@@ -1,0 +1,185 @@
+#include "gossip/async_gossip.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+namespace gt::gossip {
+
+AsyncGossip::AsyncGossip(sim::Scheduler& scheduler, net::Network& network,
+                         PushSumConfig config, Timing timing)
+    : scheduler_(scheduler),
+      network_(network),
+      config_(config),
+      timing_(timing),
+      n_(network.num_nodes()),
+      x_(n_ * n_, 0.0),
+      w_(n_ * n_, 0.0),
+      prev_ratio_(n_ * n_, std::numeric_limits<double>::quiet_NaN()),
+      stable_count_(n_, 0) {
+  if (n_ == 0) throw std::invalid_argument("AsyncGossip: empty network");
+  if (timing_.period <= 0.0) throw std::invalid_argument("AsyncGossip: bad period");
+}
+
+void AsyncGossip::initialize(const trust::SparseMatrix& s, std::span<const double> v) {
+  if (s.size() != n_ || v.size() != n_)
+    throw std::invalid_argument("AsyncGossip::initialize: size mismatch");
+  std::fill(x_.begin(), x_.end(), 0.0);
+  std::fill(w_.begin(), w_.end(), 0.0);
+  std::fill(prev_ratio_.begin(), prev_ratio_.end(),
+            std::numeric_limits<double>::quiet_NaN());
+  std::fill(stable_count_.begin(), stable_count_.end(), 0);
+  stats_ = AsyncGossipResult{};
+
+  const double uniform = 1.0 / static_cast<double>(n_);
+  for (net::NodeId i = 0; i < n_; ++i) {
+    double* xi = row_x(i);
+    const auto entries = s.row(i);
+    if (entries.empty()) {
+      const double share = v[i] * uniform;
+      for (net::NodeId j = 0; j < n_; ++j) xi[j] = share;
+    } else {
+      for (const auto& e : entries) xi[e.col] = e.value * v[i];
+    }
+    row_w(i)[i] = 1.0;
+  }
+}
+
+void AsyncGossip::update_stability(net::NodeId i) {
+  const double* xi = row_x(i);
+  const double* wi = row_w(i);
+  double* prev = prev_ratio_.data() + i * n_;
+  bool stable = true;
+  for (net::NodeId j = 0; j < n_; ++j) {
+    if (!network_.is_node_up(j)) continue;  // unowned component under failure
+    if (wi[j] <= kWeightFloor) {
+      prev[j] = std::numeric_limits<double>::quiet_NaN();
+      stable = false;
+      continue;
+    }
+    const double ratio = xi[j] / wi[j];
+    if (std::isnan(prev[j]) || std::abs(ratio - prev[j]) > config_.epsilon)
+      stable = false;
+    prev[j] = ratio;
+  }
+  stable_count_[i] = stable ? stable_count_[i] + 1 : 0;
+}
+
+void AsyncGossip::node_push(net::NodeId i, Rng& rng, const graph::Graph* overlay) {
+  if (!network_.is_node_up(i)) return;
+  ++stats_.send_events;
+  update_stability(i);
+
+  net::NodeId target = i;
+  if (config_.neighbors_only && overlay != nullptr) {
+    const auto nbrs = overlay->neighbors(i);
+    if (nbrs.empty()) return;  // isolated: keeps everything
+    target = nbrs[rng.next_below(nbrs.size())];
+  } else {
+    if (n_ <= 1) return;
+    target = rng.next_below(n_ - 1);
+    if (target >= i) ++target;
+  }
+
+  // Halve the vector; the kept half stays in place, the pushed half rides
+  // inside the message closure until delivery (or is destroyed on loss —
+  // x and w together, which is why loss does not bias the ratios).
+  auto payload_x = std::make_shared<std::vector<double>>(n_);
+  auto payload_w = std::make_shared<std::vector<double>>(n_);
+  double* xi = row_x(i);
+  double* wi = row_w(i);
+  std::size_t nonzero = 0;
+  for (net::NodeId j = 0; j < n_; ++j) {
+    (*payload_x)[j] = 0.5 * xi[j];
+    (*payload_w)[j] = 0.5 * wi[j];
+    xi[j] *= 0.5;
+    wi[j] *= 0.5;
+    nonzero += ((*payload_x)[j] != 0.0 || (*payload_w)[j] != 0.0);
+  }
+
+  ++stats_.messages_sent;
+  const std::size_t bytes = 24 * nonzero;  // <x, id, w> triplets on the wire
+  const bool sent = network_.send(i, target, bytes, [this, target, payload_x,
+                                                     payload_w] {
+    double* xt = row_x(target);
+    double* wt = row_w(target);
+    for (net::NodeId j = 0; j < n_; ++j) {
+      xt[j] += (*payload_x)[j];
+      wt[j] += (*payload_w)[j];
+    }
+  });
+  if (!sent) ++stats_.messages_dropped;
+}
+
+bool AsyncGossip::all_stable() const {
+  for (net::NodeId i = 0; i < n_; ++i) {
+    if (!network_.is_node_up(i)) continue;
+    if (stable_count_[i] < config_.stable_rounds) return false;
+  }
+  return true;
+}
+
+AsyncGossipResult AsyncGossip::run(Rng& rng, const graph::Graph* overlay) {
+  // De-phased push timers, one per node: a one-shot event at a random
+  // offset arms a periodic timer, so nodes never fire in lock-step.
+  auto timers = std::make_shared<std::vector<sim::EventId>>(n_, 0);
+  for (net::NodeId i = 0; i < n_; ++i) {
+    const double offset = rng.next_double(0.0, timing_.period);
+    (*timers)[i] = scheduler_.schedule_at(
+        scheduler_.now() + offset, [this, i, &rng, overlay, timers] {
+          node_push(i, rng, overlay);
+          (*timers)[i] = scheduler_.schedule_periodic(
+              timing_.period,
+              [this, i, &rng, overlay] { node_push(i, rng, overlay); });
+        });
+  }
+
+  const double deadline = scheduler_.now() + timing_.timeout;
+  bool converged = false;
+  while (scheduler_.now() < deadline) {
+    if (!scheduler_.step()) break;
+    if (all_stable()) {
+      converged = true;
+      break;
+    }
+  }
+  // Disarm the timers (their lambdas reference the caller's rng). Delivery
+  // closures still in flight only touch this object's state; do not step
+  // the scheduler past this AsyncGossip's lifetime.
+  for (const auto id : *timers) scheduler_.cancel(id);
+
+  stats_.converged = converged;
+  stats_.sim_time = scheduler_.now();
+  return stats_;
+}
+
+double AsyncGossip::estimate(net::NodeId i, net::NodeId j) const {
+  const double w = row_w(i)[j];
+  if (w <= kWeightFloor) return std::numeric_limits<double>::quiet_NaN();
+  return row_x(i)[j] / w;
+}
+
+std::vector<double> AsyncGossip::node_view(net::NodeId i) const {
+  std::vector<double> view(n_, 0.0);
+  for (net::NodeId j = 0; j < n_; ++j) {
+    const double e = estimate(i, j);
+    if (!std::isnan(e)) view[j] = e;
+  }
+  return view;
+}
+
+double AsyncGossip::resident_x_mass(net::NodeId j) const {
+  double s = 0.0;
+  for (net::NodeId i = 0; i < n_; ++i) s += row_x(i)[j];
+  return s;
+}
+
+double AsyncGossip::resident_w_mass(net::NodeId j) const {
+  double s = 0.0;
+  for (net::NodeId i = 0; i < n_; ++i) s += row_w(i)[j];
+  return s;
+}
+
+}  // namespace gt::gossip

@@ -1,0 +1,129 @@
+#include "gossip/pushsum.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace gt::gossip {
+
+ScalarPushSum::ScalarPushSum(std::vector<double> x0, std::vector<double> w0,
+                             PushSumConfig config)
+    : config_(config),
+      x_(std::move(x0)),
+      w_(std::move(w0)),
+      prev_ratio_(x_.size(), std::numeric_limits<double>::quiet_NaN()),
+      stable_count_(x_.size(), 0),
+      inbox_x_(x_.size(), 0.0),
+      inbox_w_(x_.size(), 0.0) {
+  if (x_.empty() || x_.size() != w_.size())
+    throw std::invalid_argument("ScalarPushSum: x0/w0 must be equal-sized, non-empty");
+}
+
+void ScalarPushSum::step(Rng& rng, const graph::Graph* overlay, PushSumResult& result) {
+  const std::size_t n = x_.size();
+  // Send phase: every node halves its pair; one half stays (the "send to
+  // itself" of Algorithm 1 line 12), the other is pushed to a random target.
+  for (NodeId i = 0; i < n; ++i) {
+    const double hx = 0.5 * x_[i];
+    const double hw = 0.5 * w_[i];
+    inbox_x_[i] += hx;
+    inbox_w_[i] += hw;
+
+    NodeId target = i;
+    if (config_.neighbors_only && overlay != nullptr) {
+      const auto nbrs = overlay->neighbors(i);
+      if (nbrs.empty()) {
+        // Isolated node: its pushed half has nowhere to go but itself.
+        inbox_x_[i] += hx;
+        inbox_w_[i] += hw;
+        continue;
+      }
+      target = nbrs[rng.next_below(nbrs.size())];
+    } else {
+      target = rng.next_below(n - 1);
+      if (target >= i) ++target;  // uniform over others
+    }
+
+    ++result.messages_sent;
+    if (config_.loss_probability > 0.0 && rng.next_bool(config_.loss_probability)) {
+      ++result.messages_lost;  // mass evaporates with the lost message
+      continue;
+    }
+    inbox_x_[target] += hx;
+    inbox_w_[target] += hw;
+  }
+
+  // Receive phase (Eqs. 3-4): the inbox *is* the new state, because the
+  // kept half was already deposited there.
+  x_.swap(inbox_x_);
+  w_.swap(inbox_w_);
+  std::fill(inbox_x_.begin(), inbox_x_.end(), 0.0);
+  std::fill(inbox_w_.begin(), inbox_w_.end(), 0.0);
+
+  // Local convergence bookkeeping.
+  for (NodeId i = 0; i < n; ++i) {
+    if (w_[i] <= kWeightFloor) {
+      stable_count_[i] = 0;
+      prev_ratio_[i] = std::numeric_limits<double>::quiet_NaN();
+      continue;
+    }
+    const double ratio = x_[i] / w_[i];
+    if (std::isnan(prev_ratio_[i]) || std::abs(ratio - prev_ratio_[i]) > config_.epsilon) {
+      stable_count_[i] = 0;
+    } else {
+      ++stable_count_[i];
+    }
+    prev_ratio_[i] = ratio;
+  }
+}
+
+PushSumResult ScalarPushSum::run(Rng& rng, const graph::Graph* overlay) {
+  PushSumResult result;
+  while (result.steps < config_.max_steps) {
+    step(rng, overlay, result);
+    ++result.steps;
+    bool all_stable = true;
+    for (NodeId i = 0; i < x_.size(); ++i) {
+      if (stable_count_[i] < config_.stable_rounds) {
+        all_stable = false;
+        break;
+      }
+    }
+    if (all_stable) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+double ScalarPushSum::estimate(NodeId i) const {
+  if (w_[i] <= kWeightFloor) return std::numeric_limits<double>::quiet_NaN();
+  return x_[i] / w_[i];
+}
+
+double ScalarPushSum::total_x() const {
+  double s = 0.0;
+  for (const double v : x_) s += v;
+  return s;
+}
+
+double ScalarPushSum::total_w() const {
+  double s = 0.0;
+  for (const double v : w_) s += v;
+  return s;
+}
+
+double ScalarPushSum::max_disagreement() const {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (NodeId i = 0; i < x_.size(); ++i) {
+    const double e = estimate(i);
+    if (std::isnan(e)) continue;
+    lo = std::min(lo, e);
+    hi = std::max(hi, e);
+  }
+  return (hi >= lo) ? hi - lo : 0.0;
+}
+
+}  // namespace gt::gossip

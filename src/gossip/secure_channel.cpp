@@ -1,0 +1,80 @@
+#include "gossip/secure_channel.hpp"
+
+#include <cstring>
+
+namespace gt::gossip {
+
+namespace {
+constexpr std::size_t kTripletBytes = 24;
+}
+
+std::vector<std::uint8_t> pack_triplets(std::span<const Triplet> triplets) {
+  std::vector<std::uint8_t> out(triplets.size() * kTripletBytes);
+  std::uint8_t* p = out.data();
+  for (const auto& t : triplets) {
+    std::memcpy(p, &t.x, 8);
+    std::memcpy(p + 8, &t.id, 8);
+    std::memcpy(p + 16, &t.w, 8);
+    p += kTripletBytes;
+  }
+  return out;
+}
+
+std::optional<std::vector<Triplet>> unpack_triplets(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() % kTripletBytes != 0) return std::nullopt;
+  std::vector<Triplet> out(bytes.size() / kTripletBytes);
+  const std::uint8_t* p = bytes.data();
+  for (auto& t : out) {
+    std::memcpy(&t.x, p, 8);
+    std::memcpy(&t.id, p + 8, 8);
+    std::memcpy(&t.w, p + 16, 8);
+    p += kTripletBytes;
+  }
+  return out;
+}
+
+SecureVectorMessage SecureGossipChannel::seal(const crypto::PrivateKey& key,
+                                              std::span<const Triplet> triplets) const {
+  SecureVectorMessage msg;
+  msg.sender = key.identity;
+  msg.payload = pack_triplets(triplets);
+  msg.signature = authority_->sign(
+      key, std::span<const std::uint8_t>(msg.payload.data(), msg.payload.size()));
+  return msg;
+}
+
+std::optional<std::vector<Triplet>> SecureGossipChannel::open(
+    const SecureVectorMessage& msg) {
+  const bool authentic = authority_->verify(
+      msg.sender,
+      std::span<const std::uint8_t>(msg.payload.data(), msg.payload.size()),
+      msg.signature);
+  if (!authentic) {
+    ++rejected_;
+    return std::nullopt;
+  }
+  auto triplets = unpack_triplets(msg.payload);
+  if (!triplets) {
+    ++rejected_;
+    return std::nullopt;
+  }
+  ++accepted_;
+  return triplets;
+}
+
+bool tamper_in_transit(SecureVectorMessage& msg, std::uint64_t beneficiary,
+                       double boost, double tamper_probability, Rng& rng) {
+  if (msg.payload.size() < kTripletBytes) return false;
+  if (!rng.next_bool(tamper_probability)) return false;
+  // Rewrite one triplet in place: claim a boosted share for the
+  // beneficiary. The tag is left untouched — the relay cannot re-sign.
+  const std::size_t count = msg.payload.size() / kTripletBytes;
+  const std::size_t slot = rng.next_below(count);
+  std::uint8_t* p = msg.payload.data() + slot * kTripletBytes;
+  std::memcpy(p, &boost, 8);
+  std::memcpy(p + 8, &beneficiary, 8);
+  return true;
+}
+
+}  // namespace gt::gossip

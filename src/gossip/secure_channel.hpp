@@ -1,0 +1,83 @@
+// Secure gossip channel: identity-based message authentication applied to
+// the gossip payloads (the paper's third named innovation, section 7).
+//
+// A gossip message carries a peer's halved triplet vector. Without
+// authentication a malicious relay can tamper with the shares in transit —
+// inflate an accomplice's x, zero a victim's — and the recipient cannot
+// tell. The channel packs triplets into a canonical byte layout, signs
+// them with the sender's identity-derived key, and rejects any message
+// whose tag fails verification; rejected messages are treated exactly like
+// lost ones (x and w vanish together), which push-sum already tolerates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "crypto/identity_auth.hpp"
+
+namespace gt::gossip {
+
+/// One <x, id, w> reputation share on the wire.
+struct Triplet {
+  double x = 0.0;
+  std::uint64_t id = 0;
+  double w = 0.0;
+  friend bool operator==(const Triplet&, const Triplet&) = default;
+};
+
+/// A signed gossip message.
+struct SecureVectorMessage {
+  crypto::Identity sender = 0;
+  std::vector<std::uint8_t> payload;  ///< packed triplets, 24 bytes each
+  crypto::Signature signature;
+
+  /// Bytes on the wire: payload + sender id + 128-bit tag.
+  std::size_t wire_bytes() const noexcept { return payload.size() + 8 + 16; }
+};
+
+/// Packs triplets into the canonical byte layout (little-endian doubles /
+/// ids as memcpy'd 8-byte words, matching crypto::encode_triplet).
+std::vector<std::uint8_t> pack_triplets(std::span<const Triplet> triplets);
+
+/// Unpacks; returns std::nullopt when the byte count is not a multiple of
+/// the triplet size.
+std::optional<std::vector<Triplet>> unpack_triplets(
+    std::span<const std::uint8_t> bytes);
+
+/// Stateless sealing/opening facade over the identity authority, with
+/// accept/reject accounting.
+class SecureGossipChannel {
+ public:
+  explicit SecureGossipChannel(const crypto::IdentityAuthority& authority)
+      : authority_(&authority) {}
+
+  /// Signs and packages a triplet batch from `key`'s owner.
+  SecureVectorMessage seal(const crypto::PrivateKey& key,
+                           std::span<const Triplet> triplets) const;
+
+  /// Verifies sender identity + payload integrity; returns the triplets on
+  /// success, std::nullopt on any tamper/forgery (and counts it).
+  std::optional<std::vector<Triplet>> open(const SecureVectorMessage& msg);
+
+  std::uint64_t accepted() const noexcept { return accepted_; }
+  std::uint64_t rejected() const noexcept { return rejected_; }
+
+ private:
+  const crypto::IdentityAuthority* authority_;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+/// In-transit attacker model for tests/ablations: with probability
+/// `tamper_probability` rewrites one triplet of the message (boosting the
+/// x share of `beneficiary`), returning whether it tampered. The signature
+/// is NOT recomputed — the attacker does not hold the sender's key — so an
+/// authenticated receiver will reject exactly the tampered messages.
+bool tamper_in_transit(SecureVectorMessage& msg, std::uint64_t beneficiary,
+                       double boost, double tamper_probability, Rng& rng);
+
+}  // namespace gt::gossip

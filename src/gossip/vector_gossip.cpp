@@ -1,0 +1,240 @@
+#include "gossip/vector_gossip.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace gt::gossip {
+
+VectorGossip::VectorGossip(std::size_t n, PushSumConfig config)
+    : n_(n),
+      config_(config),
+      x_(n * n, 0.0),
+      w_(n * n, 0.0),
+      inbox_x_(n * n, 0.0),
+      inbox_w_(n * n, 0.0),
+      prev_ratio_(n * n, std::numeric_limits<double>::quiet_NaN()),
+      stable_count_(n, 0) {
+  if (n == 0) throw std::invalid_argument("VectorGossip: n must be positive");
+}
+
+void VectorGossip::set_participants(std::vector<std::uint8_t> alive) {
+  if (!alive.empty() && alive.size() != n_)
+    throw std::invalid_argument("VectorGossip::set_participants: size mismatch");
+  alive_ = std::move(alive);
+  alive_list_.clear();
+  if (!alive_.empty()) {
+    for (NodeId v = 0; v < n_; ++v)
+      if (alive_[v]) alive_list_.push_back(v);
+    if (alive_list_.empty())
+      throw std::invalid_argument("VectorGossip::set_participants: nobody alive");
+  }
+}
+
+void VectorGossip::initialize(const trust::SparseMatrix& s, std::span<const double> v) {
+  if (s.size() != n_ || v.size() != n_)
+    throw std::invalid_argument("VectorGossip::initialize: size mismatch");
+  std::fill(x_.begin(), x_.end(), 0.0);
+  std::fill(w_.begin(), w_.end(), 0.0);
+  std::fill(inbox_x_.begin(), inbox_x_.end(), 0.0);
+  std::fill(inbox_w_.begin(), inbox_w_.end(), 0.0);
+  std::fill(prev_ratio_.begin(), prev_ratio_.end(),
+            std::numeric_limits<double>::quiet_NaN());
+  std::fill(stable_count_.begin(), stable_count_.end(), 0);
+
+  const double uniform = 1.0 / static_cast<double>(n_);
+  for (NodeId i = 0; i < n_; ++i) {
+    if (!is_alive(i)) continue;  // departed peers inject no reports
+    double* xi = row_x(i);
+    const auto entries = s.row(i);
+    if (entries.empty()) {
+      // Dangling rater: its reputation mass spreads uniformly, the same
+      // rule SparseMatrix::transpose_multiply applies.
+      const double share = v[i] * uniform;
+      for (NodeId j = 0; j < n_; ++j) xi[j] = share;
+    } else {
+      for (const auto& e : entries) xi[e.col] = e.value * v[i];
+    }
+    row_w(i)[i] = 1.0;  // only node j holds the consensus factor for j
+  }
+}
+
+void VectorGossip::step(Rng& rng, const graph::Graph* overlay,
+                        VectorGossipResult& result) {
+  const bool masked = !alive_.empty();
+  const std::size_t senders = masked ? alive_list_.size() : n_;
+
+  // Send phase: each live node halves its entire triplet vector; the kept
+  // half goes straight to its own inbox, the pushed half to one random
+  // live target.
+  for (std::size_t si = 0; si < senders; ++si) {
+    const NodeId i = masked ? alive_list_[si] : si;
+    NodeId target = i;
+    bool have_target = true;
+    if (config_.neighbors_only && overlay != nullptr) {
+      const auto nbrs = overlay->neighbors(i);
+      if (masked) {
+        // Defensive: only push to live neighbors.
+        NodeId pick = i;
+        std::size_t seen = 0;
+        for (const NodeId u : nbrs) {
+          if (!alive_[u]) continue;
+          ++seen;
+          if (rng.next_below(seen) == 0) pick = u;  // reservoir-sample one
+        }
+        if (seen == 0) {
+          have_target = false;
+        } else {
+          target = pick;
+        }
+      } else if (nbrs.empty()) {
+        have_target = false;
+      } else {
+        target = nbrs[rng.next_below(nbrs.size())];
+      }
+    } else if (masked) {
+      if (alive_list_.size() <= 1) {
+        have_target = false;
+      } else {
+        do {
+          target = alive_list_[rng.next_below(alive_list_.size())];
+        } while (target == i);
+      }
+    } else {
+      target = rng.next_below(n_ - 1);
+      if (target >= i) ++target;
+    }
+
+    bool lost = false;
+    if (have_target) {
+      ++result.messages_sent;
+      if (config_.loss_probability > 0.0 && rng.next_bool(config_.loss_probability)) {
+        ++result.messages_lost;
+        lost = true;
+      }
+    }
+
+    double* xi = row_x(i);
+    double* wi = row_w(i);
+    double* self_x = inbox_x_.data() + i * n_;
+    double* self_w = inbox_w_.data() + i * n_;
+    std::uint64_t payload = 0;
+    if (have_target && !lost) {
+      double* tgt_x = inbox_x_.data() + target * n_;
+      double* tgt_w = inbox_w_.data() + target * n_;
+      for (NodeId j = 0; j < n_; ++j) {
+        const double hx = 0.5 * xi[j];
+        const double hw = 0.5 * wi[j];
+        self_x[j] += hx;
+        self_w[j] += hw;
+        tgt_x[j] += hx;
+        tgt_w[j] += hw;
+        payload += (hx != 0.0 || hw != 0.0);
+      }
+    } else {
+      // Push half is dropped (message lost) or has no recipient (isolated
+      // node keeps everything).
+      const double keep = (have_target && lost) ? 0.5 : 1.0;
+      for (NodeId j = 0; j < n_; ++j) {
+        self_x[j] += keep * xi[j];
+        self_w[j] += keep * wi[j];
+        if (have_target) payload += (xi[j] != 0.0 || wi[j] != 0.0);
+      }
+    }
+    if (have_target) result.triplets_sent += payload;
+  }
+
+  x_.swap(inbox_x_);
+  w_.swap(inbox_w_);
+  std::fill(inbox_x_.begin(), inbox_x_.end(), 0.0);
+  std::fill(inbox_w_.begin(), inbox_w_.end(), 0.0);
+
+  // Local convergence bookkeeping (Algorithm 1 line 14, per component).
+  // Only live nodes participate, and only components owned by live peers
+  // can ever hold a defined ratio (the owner seeds the consensus factor).
+  const std::uint8_t* alive = masked ? alive_.data() : nullptr;
+  for (std::size_t si = 0; si < senders; ++si) {
+    const NodeId i = masked ? alive_list_[si] : si;
+    const double* xi = row_x(i);
+    const double* wi = row_w(i);
+    double* prev = prev_ratio_.data() + i * n_;
+    bool stable = true;
+    for (NodeId j = 0; j < n_; ++j) {
+      if (alive != nullptr && !alive[j]) continue;  // unowned component
+      if (wi[j] <= kWeightFloor) {
+        prev[j] = std::numeric_limits<double>::quiet_NaN();
+        stable = false;
+        continue;
+      }
+      const double ratio = xi[j] / wi[j];
+      if (std::isnan(prev[j]) || std::abs(ratio - prev[j]) > config_.epsilon)
+        stable = false;
+      prev[j] = ratio;
+    }
+    stable_count_[i] = stable ? stable_count_[i] + 1 : 0;
+  }
+}
+
+VectorGossipResult VectorGossip::run(Rng& rng, const graph::Graph* overlay) {
+  VectorGossipResult result;
+  const bool masked = !alive_.empty();
+  while (result.steps < config_.max_steps) {
+    step(rng, overlay, result);
+    ++result.steps;
+    bool all_stable = true;
+    const std::size_t count = masked ? alive_list_.size() : n_;
+    for (std::size_t si = 0; si < count; ++si) {
+      const NodeId i = masked ? alive_list_[si] : si;
+      if (stable_count_[i] < config_.stable_rounds) {
+        all_stable = false;
+        break;
+      }
+    }
+    if (all_stable) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+double VectorGossip::estimate(NodeId i, NodeId j) const {
+  const double w = row_w(i)[j];
+  if (w <= kWeightFloor) return std::numeric_limits<double>::quiet_NaN();
+  return row_x(i)[j] / w;
+}
+
+std::vector<double> VectorGossip::node_view(NodeId i) const {
+  std::vector<double> view(n_, 0.0);
+  for (NodeId j = 0; j < n_; ++j) {
+    const double e = estimate(i, j);
+    if (!std::isnan(e)) view[j] = e;
+  }
+  return view;
+}
+
+double VectorGossip::column_x_mass(NodeId j) const {
+  double s = 0.0;
+  for (NodeId i = 0; i < n_; ++i) s += row_x(i)[j];
+  return s;
+}
+
+double VectorGossip::column_w_mass(NodeId j) const {
+  double s = 0.0;
+  for (NodeId i = 0; i < n_; ++i) s += row_w(i)[j];
+  return s;
+}
+
+double VectorGossip::max_view_disagreement(NodeId a, NodeId b) const {
+  double worst = 0.0;
+  for (NodeId j = 0; j < n_; ++j) {
+    const double ea = estimate(a, j);
+    const double eb = estimate(b, j);
+    if (std::isnan(ea) || std::isnan(eb)) continue;
+    worst = std::max(worst, std::abs(ea - eb));
+  }
+  return worst;
+}
+
+}  // namespace gt::gossip

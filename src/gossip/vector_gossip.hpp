@@ -1,0 +1,104 @@
+// Vector push-sum gossip: Algorithm 2's inner loop.
+//
+// Every node i carries one (x, w) pair *per component j* — the triplet
+// <x_j, j, w_j> of the paper — and all n weighted sums
+//   v_j(t+1) = sum_i v_i(t) * s_ij
+// are gossiped concurrently. Per gossip step each node halves its whole
+// reputation vector, keeps one half, and pushes the other to one random
+// node, so a step costs one message of O(active components) triplets.
+//
+// Storage is two dense row-major n x n matrices (X[i][j], W[i][j]); with
+// power-law feedback the early rows are sparse but densify after O(log n)
+// steps, and dense rows keep the per-step scatter cache-friendly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gossip/pushsum.hpp"
+#include "graph/topology.hpp"
+#include "trust/matrix.hpp"
+
+namespace gt::gossip {
+
+/// Outcome of one vector-gossip convergence (one aggregation cycle's worth
+/// of gossip steps).
+struct VectorGossipResult {
+  std::size_t steps = 0;
+  bool converged = false;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_lost = 0;
+  std::uint64_t triplets_sent = 0;  ///< payload volume: nonzero entries pushed
+};
+
+/// Synchronous-round vector push-sum over n nodes and n components.
+class VectorGossip {
+ public:
+  VectorGossip(std::size_t n, PushSumConfig config);
+
+  /// Restricts the protocol to a subset of live peers (peer dynamics /
+  /// churn support). Dead peers do not inject mass at initialize, do not
+  /// send or receive, and neither they nor the components they own are
+  /// consulted for convergence (a departed peer's reputation has no
+  /// consensus-factor holder, so its gossiped score is undefined — the
+  /// engine reads it out as 0). Call before initialize(); an empty vector
+  /// restores full participation.
+  void set_participants(std::vector<std::uint8_t> alive);
+
+  /// Initializes component j on node i per Algorithm 2 lines 5-10:
+  ///   x_i^{(j)} = s_ij * v_i,   w_i^{(j)} = [i == j].
+  /// Rows of S with no feedback ("dangling" raters) act as uniform rows
+  /// 1/n, matching SparseMatrix::transpose_multiply's dangling rule.
+  void initialize(const trust::SparseMatrix& s, std::span<const double> v);
+
+  /// Runs gossip steps until every node's full vector is epsilon-stable for
+  /// `stable_rounds` consecutive steps (or max_steps). An overlay restricts
+  /// targets to neighbors when config.neighbors_only is set.
+  VectorGossipResult run(Rng& rng, const graph::Graph* overlay = nullptr);
+
+  /// One synchronous gossip step.
+  void step(Rng& rng, const graph::Graph* overlay, VectorGossipResult& result);
+
+  std::size_t num_nodes() const noexcept { return n_; }
+
+  /// Node i's current estimate of component j (NaN while w == 0).
+  double estimate(NodeId i, NodeId j) const;
+
+  /// Consensus read-out: node i's full vector of beta_j = x_j / w_j, with
+  /// undefined components reported as 0 (a node that never heard about j
+  /// has no evidence about j).
+  std::vector<double> node_view(NodeId i) const;
+
+  /// Mass-conservation invariants (property tests): column sums of X and W.
+  double column_x_mass(NodeId j) const;
+  double column_w_mass(NodeId j) const;
+
+  /// Max over components of the disagreement between two nodes' views.
+  double max_view_disagreement(NodeId a, NodeId b) const;
+
+  const PushSumConfig& config() const noexcept { return config_; }
+
+ private:
+  bool is_alive(NodeId v) const { return alive_.empty() || alive_[v] != 0; }
+
+  std::size_t n_ = 0;
+  PushSumConfig config_;
+  std::vector<std::uint8_t> alive_;     // empty = everyone participates
+  std::vector<NodeId> alive_list_;      // cached ids of live peers
+  std::vector<double> x_;        // n*n row-major
+  std::vector<double> w_;        // n*n row-major
+  std::vector<double> inbox_x_;  // accumulation buffers for the next state
+  std::vector<double> inbox_w_;
+  std::vector<double> prev_ratio_;       // last defined beta per (i, j)
+  std::vector<std::size_t> stable_count_;  // per node
+
+  double* row_x(NodeId i) { return x_.data() + i * n_; }
+  double* row_w(NodeId i) { return w_.data() + i * n_; }
+  const double* row_x(NodeId i) const { return x_.data() + i * n_; }
+  const double* row_w(NodeId i) const { return w_.data() + i * n_; }
+};
+
+}  // namespace gt::gossip

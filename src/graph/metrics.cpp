@@ -1,0 +1,116 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <queue>
+
+namespace gt::graph {
+
+std::vector<std::size_t> degree_histogram(const Graph& g) {
+  std::size_t max_deg = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) max_deg = std::max(max_deg, g.degree(v));
+  std::vector<std::size_t> hist(max_deg + 1, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) ++hist[g.degree(v)];
+  return hist;
+}
+
+double mean_degree(const Graph& g) {
+  if (g.num_nodes() == 0) return 0.0;
+  return 2.0 * static_cast<double>(g.num_edges()) / static_cast<double>(g.num_nodes());
+}
+
+std::size_t count_components(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<bool> seen(n, false);
+  std::size_t components = 0;
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < n; ++start) {
+    if (seen[start]) continue;
+    ++components;
+    stack.push_back(start);
+    seen[start] = true;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const NodeId u : g.neighbors(v)) {
+        if (!seen[u]) {
+          seen[u] = true;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+bool is_connected(const Graph& g) {
+  return g.num_nodes() <= 1 || count_components(g) == 1;
+}
+
+std::vector<std::size_t> bfs_distances(const Graph& g, NodeId source) {
+  constexpr auto kUnreachable = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> dist(g.num_nodes(), kUnreachable);
+  std::queue<NodeId> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (const NodeId u : g.neighbors(v)) {
+      if (dist[u] == kUnreachable) {
+        dist[u] = dist[v] + 1;
+        frontier.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+std::size_t estimate_diameter(const Graph& g, std::size_t samples, Rng& rng) {
+  const std::size_t n = g.num_nodes();
+  if (n == 0) return 0;
+  std::size_t best = 0;
+  const bool exhaustive = samples >= n;
+  const std::size_t count = exhaustive ? n : samples;
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId src = exhaustive ? i : rng.next_below(n);
+    const auto dist = bfs_distances(g, src);
+    for (const auto d : dist)
+      if (d != std::numeric_limits<std::size_t>::max()) best = std::max(best, d);
+  }
+  return best;
+}
+
+double degree_powerlaw_exponent(const Graph& g, std::size_t x_min) {
+  // Discrete MLE approximation: gamma ~= 1 + n_tail / sum(ln(d_i/(x_min-0.5))).
+  double log_sum = 0.0;
+  std::size_t n_tail = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const std::size_t d = g.degree(v);
+    if (d >= x_min) {
+      log_sum += std::log(static_cast<double>(d) / (static_cast<double>(x_min) - 0.5));
+      ++n_tail;
+    }
+  }
+  if (n_tail == 0 || log_sum <= 0.0) return 0.0;
+  return 1.0 + static_cast<double>(n_tail) / log_sum;
+}
+
+double clustering_coefficient(const Graph& g) {
+  std::uint64_t triangles3 = 0;  // 3 * number of triangles
+  std::uint64_t triads = 0;      // open + closed triads
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const std::size_t d = nbrs.size();
+    if (d >= 2) triads += static_cast<std::uint64_t>(d) * (d - 1) / 2;
+    for (std::size_t i = 0; i < d; ++i)
+      for (std::size_t j = i + 1; j < d; ++j)
+        if (g.has_edge(nbrs[i], nbrs[j])) ++triangles3;
+  }
+  if (triads == 0) return 0.0;
+  return static_cast<double>(triangles3) / static_cast<double>(triads);
+}
+
+}  // namespace gt::graph

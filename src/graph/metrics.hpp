@@ -1,0 +1,40 @@
+// Graph measurements used to validate generated overlays (degree
+// distribution shape, connectivity, diameter) and by the ablation benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/topology.hpp"
+
+namespace gt::graph {
+
+/// Histogram of node degrees: result[d] = number of nodes with degree d.
+std::vector<std::size_t> degree_histogram(const Graph& g);
+
+/// Mean degree (2m/n).
+double mean_degree(const Graph& g);
+
+/// Number of connected components (isolated nodes count as components).
+std::size_t count_components(const Graph& g);
+
+/// True when the graph is a single connected component.
+bool is_connected(const Graph& g);
+
+/// BFS distances from a source; unreachable nodes get SIZE_MAX.
+std::vector<std::size_t> bfs_distances(const Graph& g, NodeId source);
+
+/// Diameter estimate: max eccentricity over `samples` random BFS sources.
+/// Exact when samples >= n.
+std::size_t estimate_diameter(const Graph& g, std::size_t samples, Rng& rng);
+
+/// Fits the tail exponent of the degree distribution via the discrete MLE
+/// (Clauset-style with x_min), returning the estimated power-law exponent.
+/// Useful to check the Barabási–Albert generator yields gamma near 3.
+double degree_powerlaw_exponent(const Graph& g, std::size_t x_min = 4);
+
+/// Global clustering coefficient (transitivity): 3*triangles / open triads.
+double clustering_coefficient(const Graph& g);
+
+}  // namespace gt::graph

@@ -1,0 +1,221 @@
+#include "graph/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace gt::graph {
+
+namespace {
+
+/// Inserts v into sorted vector if absent; returns true on insert.
+bool sorted_insert(std::vector<NodeId>& vec, NodeId v) {
+  const auto it = std::lower_bound(vec.begin(), vec.end(), v);
+  if (it != vec.end() && *it == v) return false;
+  vec.insert(it, v);
+  return true;
+}
+
+bool sorted_erase(std::vector<NodeId>& vec, NodeId v) {
+  const auto it = std::lower_bound(vec.begin(), vec.end(), v);
+  if (it == vec.end() || *it != v) return false;
+  vec.erase(it);
+  return true;
+}
+
+/// Union-find over node ids.
+class DisjointSet {
+ public:
+  explicit DisjointSet(std::size_t n) : parent_(n), rank_(n, 0) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (rank_[a] < rank_[b]) std::swap(a, b);
+    parent_[b] = a;
+    if (rank_[a] == rank_[b]) ++rank_[a];
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<unsigned> rank_;
+};
+
+}  // namespace
+
+bool Graph::add_edge(NodeId a, NodeId b) {
+  if (a == b) return false;
+  assert(a < adj_.size() && b < adj_.size());
+  if (!sorted_insert(adj_[a], b)) return false;
+  sorted_insert(adj_[b], a);
+  ++num_edges_;
+  return true;
+}
+
+bool Graph::remove_edge(NodeId a, NodeId b) {
+  if (a == b) return false;
+  assert(a < adj_.size() && b < adj_.size());
+  if (!sorted_erase(adj_[a], b)) return false;
+  sorted_erase(adj_[b], a);
+  --num_edges_;
+  return true;
+}
+
+bool Graph::has_edge(NodeId a, NodeId b) const {
+  if (a >= adj_.size() || b >= adj_.size()) return false;
+  const auto& v = adj_[a];
+  return std::binary_search(v.begin(), v.end(), b);
+}
+
+NodeId Graph::add_node() {
+  adj_.emplace_back();
+  return adj_.size() - 1;
+}
+
+void Graph::isolate(NodeId v) {
+  assert(v < adj_.size());
+  for (const NodeId u : adj_[v]) {
+    sorted_erase(adj_[u], v);
+    --num_edges_;
+  }
+  adj_[v].clear();
+}
+
+Graph make_erdos_renyi(std::size_t n, std::size_t m, Rng& rng) {
+  if (n < 2) throw std::invalid_argument("make_erdos_renyi: need n >= 2");
+  Graph g(n);
+  const std::size_t max_edges = n * (n - 1) / 2;
+  m = std::min(m, max_edges);
+  std::size_t attempts = 0;
+  const std::size_t attempt_cap = m * 50 + 1000;
+  while (g.num_edges() < m && attempts < attempt_cap) {
+    const NodeId a = rng.next_below(n);
+    const NodeId b = rng.next_below(n);
+    g.add_edge(a, b);
+    ++attempts;
+  }
+  make_connected(g, rng);
+  return g;
+}
+
+Graph make_barabasi_albert(std::size_t n, std::size_t attach, Rng& rng) {
+  if (attach == 0) throw std::invalid_argument("make_barabasi_albert: attach must be > 0");
+  const std::size_t seed_size = std::max<std::size_t>(attach + 1, 3);
+  if (n < seed_size) throw std::invalid_argument("make_barabasi_albert: n too small");
+  Graph g(n);
+  // Endpoint list: each edge contributes both endpoints, so sampling a
+  // uniform element is exactly degree-proportional sampling.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * n * attach);
+  for (NodeId a = 0; a < seed_size; ++a) {
+    for (NodeId b = a + 1; b < seed_size; ++b) {
+      g.add_edge(a, b);
+      endpoints.push_back(a);
+      endpoints.push_back(b);
+    }
+  }
+  for (NodeId v = seed_size; v < n; ++v) {
+    std::size_t added = 0;
+    std::size_t guard = 0;
+    while (added < attach && guard < 50 * attach + 100) {
+      const NodeId target = endpoints[rng.next_below(endpoints.size())];
+      if (g.add_edge(v, target)) {
+        endpoints.push_back(v);
+        endpoints.push_back(target);
+        ++added;
+      }
+      ++guard;
+    }
+  }
+  return g;
+}
+
+Graph make_gnutella_like(std::size_t n, Rng& rng) {
+  Graph g = make_barabasi_albert(n, 3, rng);
+  // Random matching: one extra chord per ~4 nodes shortens the diameter the
+  // way Gnutella's dynamic connection churn does in practice.
+  const std::size_t chords = n / 4;
+  for (std::size_t i = 0; i < chords; ++i) {
+    const NodeId a = rng.next_below(n);
+    const NodeId b = rng.next_below(n);
+    g.add_edge(a, b);
+  }
+  return g;
+}
+
+Graph make_super_peer(std::size_t n, std::size_t n_super, std::size_t leaf_degree,
+                      Rng& rng) {
+  if (n_super == 0 || n_super > n)
+    throw std::invalid_argument("make_super_peer: invalid hub count");
+  Graph g(n);
+  // Hubs 0..n_super-1 form a random graph with mean degree ~ min(8, n_super-1).
+  const std::size_t hub_edges = n_super * std::min<std::size_t>(8, n_super - 1) / 2;
+  std::size_t guard = 0;
+  std::size_t placed = 0;
+  while (placed < hub_edges && guard < hub_edges * 50 + 100) {
+    const NodeId a = rng.next_below(n_super);
+    const NodeId b = rng.next_below(n_super);
+    if (g.add_edge(a, b)) ++placed;
+    ++guard;
+  }
+  for (NodeId leaf = n_super; leaf < n; ++leaf) {
+    const std::size_t want = std::min(leaf_degree, n_super);
+    const auto hubs = rng.sample_without_replacement(n_super, want);
+    for (const auto h : hubs) g.add_edge(leaf, h);
+  }
+  make_connected(g, rng);
+  return g;
+}
+
+Graph make_ring_with_shortcuts(std::size_t n, std::size_t shortcuts, Rng& rng) {
+  if (n < 3) throw std::invalid_argument("make_ring_with_shortcuts: need n >= 3");
+  Graph g(n);
+  for (NodeId v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n);
+  for (std::size_t i = 0; i < shortcuts; ++i) {
+    const NodeId a = rng.next_below(n);
+    const NodeId b = rng.next_below(n);
+    g.add_edge(a, b);
+  }
+  return g;
+}
+
+std::size_t make_connected(Graph& g, Rng& rng) {
+  const std::size_t n = g.num_nodes();
+  if (n == 0) return 0;
+  DisjointSet ds(n);
+  for (NodeId v = 0; v < n; ++v)
+    for (const NodeId u : g.neighbors(v))
+      if (u > v) ds.unite(v, u);
+
+  // Group by root; attach every non-largest component to the largest.
+  std::vector<std::vector<NodeId>> components(n);
+  for (NodeId v = 0; v < n; ++v) components[ds.find(v)].push_back(v);
+  std::size_t largest = 0;
+  for (std::size_t r = 0; r < n; ++r)
+    if (components[r].size() > components[largest].size()) largest = r;
+
+  std::size_t added = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (r == largest || components[r].empty()) continue;
+    const auto& comp = components[r];
+    const auto& big = components[largest];
+    const NodeId from = comp[rng.next_below(comp.size())];
+    const NodeId to = big[rng.next_below(big.size())];
+    if (g.add_edge(from, to)) ++added;
+  }
+  return added;
+}
+
+}  // namespace gt::graph

@@ -1,0 +1,83 @@
+// Overlay topology generation.
+//
+// The paper evaluates on "a Gnutella-like flat unstructured network". Real
+// Gnutella snapshots have a heavy-tailed degree distribution, so the default
+// generator is Barabási–Albert preferential attachment; Erdős–Rényi and
+// Watts–Strogatz-style ring+shortcut generators are provided for ablations,
+// plus a two-tier super-peer variant. All generators return connected simple
+// undirected graphs.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gt::graph {
+
+using NodeId = std::size_t;
+
+/// Simple undirected graph stored as adjacency lists. Nodes are dense ids
+/// 0..n-1. Edges are kept sorted per node for O(log d) membership tests.
+class Graph {
+ public:
+  explicit Graph(std::size_t n = 0) : adj_(n) {}
+
+  std::size_t num_nodes() const noexcept { return adj_.size(); }
+  std::size_t num_edges() const noexcept { return num_edges_; }
+
+  /// Adds an undirected edge; ignores self-loops and duplicates.
+  /// Returns true when the edge was inserted.
+  bool add_edge(NodeId a, NodeId b);
+
+  /// Removes an undirected edge if present.
+  bool remove_edge(NodeId a, NodeId b);
+
+  bool has_edge(NodeId a, NodeId b) const;
+
+  std::span<const NodeId> neighbors(NodeId v) const {
+    return {adj_[v].data(), adj_[v].size()};
+  }
+
+  std::size_t degree(NodeId v) const { return adj_[v].size(); }
+
+  /// Appends a new isolated node, returning its id.
+  NodeId add_node();
+
+  /// Detaches a node from all its neighbors (id remains valid but isolated).
+  void isolate(NodeId v);
+
+ private:
+  std::vector<std::vector<NodeId>> adj_;
+  std::size_t num_edges_ = 0;
+};
+
+/// Erdős–Rényi G(n, m): exactly m distinct random edges, then patched to be
+/// connected by linking any stranded component to the giant one.
+Graph make_erdos_renyi(std::size_t n, std::size_t m, Rng& rng);
+
+/// Barabási–Albert preferential attachment: starts from a small clique and
+/// attaches each new node to `attach` existing nodes with probability
+/// proportional to degree. Produces the power-law degree distribution of
+/// measured Gnutella overlays.
+Graph make_barabasi_albert(std::size_t n, std::size_t attach, Rng& rng);
+
+/// Gnutella-like flat overlay used as the paper's default topology: a
+/// Barabási–Albert graph with attach=3 (mean degree ~6, matching measured
+/// Gnutella) plus a random matching to reduce the diameter.
+Graph make_gnutella_like(std::size_t n, Rng& rng);
+
+/// Two-tier super-peer overlay: `n_super` hubs form a dense random graph,
+/// every leaf attaches to `leaf_degree` random hubs.
+Graph make_super_peer(std::size_t n, std::size_t n_super, std::size_t leaf_degree,
+                      Rng& rng);
+
+/// Ring of n nodes plus `shortcuts` random chords (small-world ablation).
+Graph make_ring_with_shortcuts(std::size_t n, std::size_t shortcuts, Rng& rng);
+
+/// Connects stranded components of g by adding one edge from each smaller
+/// component to the largest. Returns edges added.
+std::size_t make_connected(Graph& g, Rng& rng);
+
+}  // namespace gt::graph

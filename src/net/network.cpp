@@ -1,0 +1,64 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace gt::net {
+
+Network::Network(sim::Scheduler& scheduler, std::size_t num_nodes,
+                 NetworkConfig config, Rng rng)
+    : scheduler_(scheduler),
+      config_(config),
+      rng_(rng),
+      node_up_(num_nodes, true) {}
+
+std::uint64_t Network::link_key(NodeId a, NodeId b) noexcept {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint64_t>(b);
+}
+
+bool Network::send(NodeId from, NodeId to, std::size_t size_bytes,
+                   Handler on_deliver) {
+  assert(from < node_up_.size() && to < node_up_.size());
+  ++stats_.messages_sent;
+  stats_.bytes_sent += size_bytes;
+
+  const bool dropped = !node_up_[from] || !node_up_[to] ||
+                       link_failed(from, to) ||
+                       rng_.next_bool(config_.loss_probability);
+  if (dropped) {
+    ++stats_.messages_dropped;
+    return false;
+  }
+
+  double delay = config_.base_latency;
+  if (config_.jitter > 0.0) delay += rng_.next_double(0.0, config_.jitter);
+
+  scheduler_.schedule_after(
+      delay, [this, to, size_bytes, handler = std::move(on_deliver)]() mutable {
+        // The receiver may have gone down while the message was in flight.
+        if (!node_up_[to]) {
+          ++stats_.messages_dropped;
+          return;
+        }
+        ++stats_.messages_delivered;
+        stats_.bytes_delivered += size_bytes;
+        handler();
+      });
+  return true;
+}
+
+void Network::set_node_up(NodeId node, bool up) {
+  assert(node < node_up_.size());
+  node_up_[node] = up;
+}
+
+void Network::fail_link(NodeId a, NodeId b) { failed_links_.insert(link_key(a, b)); }
+
+void Network::heal_link(NodeId a, NodeId b) { failed_links_.erase(link_key(a, b)); }
+
+bool Network::link_failed(NodeId a, NodeId b) const {
+  return failed_links_.count(link_key(a, b)) != 0;
+}
+
+}  // namespace gt::net

@@ -1,0 +1,91 @@
+// Simulated message-passing network.
+//
+// Gossip messages in GossipTrust travel over an unreliable network: the
+// paper claims the protocol "does not require error recovery mechanisms"
+// and "tolerates link failures", so the network model supports per-message
+// loss, per-link outages, node up/down state, and latency. Delivery is
+// type-erased: senders pass a closure that the network invokes at delivery
+// time, which keeps this layer independent of payload schemas while still
+// accounting message and byte counts for the overhead experiments.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/scheduler.hpp"
+
+namespace gt::net {
+
+using NodeId = std::size_t;
+
+/// Aggregate traffic counters, one per Network instance.
+struct TrafficStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;   ///< lost to link failure / dead node
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_delivered = 0;
+
+  double delivery_ratio() const noexcept {
+    return messages_sent ? static_cast<double>(messages_delivered) /
+                               static_cast<double>(messages_sent)
+                         : 1.0;
+  }
+
+  void reset() { *this = TrafficStats{}; }
+};
+
+/// Network configuration knobs.
+struct NetworkConfig {
+  double loss_probability = 0.0;   ///< i.i.d. per-message drop probability
+  double base_latency = 1.0;       ///< fixed propagation delay (sim time units)
+  double jitter = 0.0;             ///< uniform extra delay in [0, jitter)
+};
+
+/// Simulated network: connects node closures through the event scheduler.
+class Network {
+ public:
+  using Handler = std::function<void()>;
+
+  Network(sim::Scheduler& scheduler, std::size_t num_nodes, NetworkConfig config,
+          Rng rng);
+
+  std::size_t num_nodes() const noexcept { return node_up_.size(); }
+
+  /// Sends a message of `size_bytes` from `from` to `to`; `on_deliver` runs
+  /// at delivery time unless the message is dropped. Returns true when the
+  /// message was enqueued for delivery (false = dropped at send time).
+  bool send(NodeId from, NodeId to, std::size_t size_bytes, Handler on_deliver);
+
+  /// Marks a node down: messages to/from it are dropped.
+  void set_node_up(NodeId node, bool up);
+  bool is_node_up(NodeId node) const { return node_up_[node]; }
+
+  /// Fails or heals a specific (unordered) link.
+  void fail_link(NodeId a, NodeId b);
+  void heal_link(NodeId a, NodeId b);
+  bool link_failed(NodeId a, NodeId b) const;
+  std::size_t failed_link_count() const noexcept { return failed_links_.size(); }
+
+  const TrafficStats& stats() const noexcept { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+  const NetworkConfig& config() const noexcept { return config_; }
+  void set_loss_probability(double p) { config_.loss_probability = p; }
+
+ private:
+  static std::uint64_t link_key(NodeId a, NodeId b) noexcept;
+
+  sim::Scheduler& scheduler_;
+  NetworkConfig config_;
+  Rng rng_;
+  std::vector<bool> node_up_;
+  std::unordered_set<std::uint64_t> failed_links_;
+  TrafficStats stats_;
+};
+
+}  // namespace gt::net

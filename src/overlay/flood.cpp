@@ -1,0 +1,49 @@
+#include "overlay/flood.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+namespace gt::overlay {
+
+FloodResult flood(const OverlayManager& overlay, NodeId source, std::size_t ttl) {
+  FloodResult result;
+  if (!overlay.is_alive(source)) return result;
+
+  const auto& g = overlay.topology();
+  std::vector<bool> seen(g.num_nodes(), false);
+  std::queue<std::pair<NodeId, std::size_t>> frontier;  // (node, depth)
+  seen[source] = true;
+  frontier.emplace(source, 0);
+  result.reached.push_back(source);
+
+  while (!frontier.empty()) {
+    const auto [v, depth] = frontier.front();
+    frontier.pop();
+    if (depth >= ttl) continue;
+    for (const NodeId u : g.neighbors(v)) {
+      if (!overlay.is_alive(u)) continue;
+      ++result.messages;  // every transmission counts, duplicates included
+      if (seen[u]) continue;
+      seen[u] = true;
+      result.reached.push_back(u);
+      result.max_depth = std::max(result.max_depth, depth + 1);
+      frontier.emplace(u, depth + 1);
+    }
+  }
+  return result;
+}
+
+std::vector<NodeId> flood_query(const OverlayManager& overlay, NodeId source,
+                                std::size_t ttl,
+                                const std::function<bool(NodeId)>& pred,
+                                FloodResult* stats) {
+  FloodResult result = flood(overlay, source, ttl);
+  std::vector<NodeId> responders;
+  for (const NodeId v : result.reached)
+    if (pred(v)) responders.push_back(v);
+  if (stats != nullptr) *stats = std::move(result);
+  return responders;
+}
+
+}  // namespace gt::overlay

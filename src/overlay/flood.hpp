@@ -1,0 +1,38 @@
+// TTL-scoped flooding, the Gnutella query primitive.
+//
+// Section 6.4: "After a query for a file is issued and flooded over the
+// entire P2P network, a list of nodes having this file is generated".
+// flood() performs breadth-first propagation from the source over alive
+// nodes up to a TTL, counting every edge transmission — the quantity the
+// overhead comparisons care about.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "overlay/overlay.hpp"
+
+namespace gt::overlay {
+
+struct FloodResult {
+  std::vector<NodeId> reached;   ///< alive nodes visited (including source)
+  std::size_t messages = 0;      ///< query transmissions (edge traversals)
+  std::size_t max_depth = 0;     ///< deepest hop level reached
+};
+
+/// Floods from `source` with the given TTL (number of hops; Gnutella's
+/// default is 7). Dead nodes neither receive nor forward. A node forwards
+/// to all neighbors except the one it heard the query from; duplicate
+/// deliveries are counted as messages but not re-forwarded, matching
+/// Gnutella semantics.
+FloodResult flood(const OverlayManager& overlay, NodeId source, std::size_t ttl);
+
+/// Flood + responder filter: returns the reached nodes satisfying `pred`
+/// (e.g. "has a replica of file f").
+std::vector<NodeId> flood_query(const OverlayManager& overlay, NodeId source,
+                                std::size_t ttl,
+                                const std::function<bool(NodeId)>& pred,
+                                FloodResult* stats = nullptr);
+
+}  // namespace gt::overlay

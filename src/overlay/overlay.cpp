@@ -1,0 +1,114 @@
+#include "overlay/overlay.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace gt::overlay {
+
+OverlayManager::OverlayManager(graph::Graph g)
+    : graph_(std::move(g)),
+      alive_(graph_.num_nodes(), true),
+      alive_count_(graph_.num_nodes()) {}
+
+std::vector<NodeId> OverlayManager::alive_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(alive_count_);
+  for (NodeId v = 0; v < alive_.size(); ++v)
+    if (alive_[v]) out.push_back(v);
+  return out;
+}
+
+void OverlayManager::leave(NodeId v) {
+  if (!alive_[v]) return;
+  graph_.isolate(v);
+  alive_[v] = false;
+  --alive_count_;
+}
+
+void OverlayManager::join(NodeId v, std::size_t degree, Rng& rng) {
+  if (alive_[v]) return;
+  alive_[v] = true;
+  ++alive_count_;
+  const auto candidates = alive_nodes();
+  // Bootstrap: attach to `degree` distinct random alive peers (excluding v).
+  std::vector<NodeId> pool;
+  pool.reserve(candidates.size());
+  for (const NodeId c : candidates)
+    if (c != v) pool.push_back(c);
+  const std::size_t want = std::min(degree, pool.size());
+  const auto picks = rng.sample_without_replacement(pool.size(), want);
+  for (const auto idx : picks) graph_.add_edge(v, pool[idx]);
+}
+
+void OverlayManager::join_via_walk(NodeId v, std::size_t degree, NodeId introducer,
+                                   std::size_t walk_length, Rng& rng) {
+  if (alive_[v]) return;
+  if (!alive_[introducer])
+    throw std::invalid_argument("join_via_walk: introducer is not alive");
+  alive_[v] = true;
+  ++alive_count_;
+  graph_.add_edge(v, introducer);
+
+  // Ping/pong crawl: random walks from the introducer discover candidate
+  // neighbors; each walk endpoint becomes a connection attempt.
+  std::size_t attempts = 0;
+  const std::size_t attempt_cap = 10 * degree + 20;
+  while (graph_.degree(v) < degree && attempts < attempt_cap) {
+    ++attempts;
+    NodeId current = introducer;
+    for (std::size_t hop = 0; hop < walk_length; ++hop) {
+      const auto nbrs = graph_.neighbors(current);
+      std::vector<NodeId> live;
+      live.reserve(nbrs.size());
+      for (const NodeId u : nbrs)
+        if (alive_[u] && u != v) live.push_back(u);
+      if (live.empty()) break;
+      current = live[rng.next_below(live.size())];
+    }
+    if (current != v) graph_.add_edge(v, current);
+  }
+}
+
+OverlayManager::ChurnStats OverlayManager::churn_step(double p_leave, double p_join,
+                                                      std::size_t join_degree,
+                                                      Rng& rng) {
+  ChurnStats stats;
+  // Snapshot so a node that leaves this epoch cannot also rejoin in it.
+  const std::vector<bool> snapshot = alive_;
+  for (NodeId v = 0; v < snapshot.size(); ++v) {
+    if (snapshot[v]) {
+      if (rng.next_bool(p_leave)) {
+        leave(v);
+        ++stats.left;
+      }
+    } else {
+      if (rng.next_bool(p_join)) {
+        join(v, join_degree, rng);
+        ++stats.joined;
+      }
+    }
+  }
+  ensure_min_degree(join_degree, rng);
+  return stats;
+}
+
+std::size_t OverlayManager::ensure_min_degree(std::size_t min_degree, Rng& rng) {
+  if (alive_count_ <= 1) return 0;
+  const auto alive = alive_nodes();
+  std::size_t added = 0;
+  for (const NodeId v : alive) {
+    std::size_t guard = 0;
+    while (graph_.degree(v) < std::min(min_degree, alive.size() - 1) &&
+           guard < 20 * min_degree + 50) {
+      const NodeId peer = alive[rng.next_below(alive.size())];
+      ++guard;
+      if (peer == v) continue;
+      if (graph_.add_edge(v, peer)) ++added;
+    }
+  }
+  return added;
+}
+
+}  // namespace gt::overlay

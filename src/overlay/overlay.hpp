@@ -1,0 +1,76 @@
+// Unstructured overlay membership with peer dynamics.
+//
+// "Adaptive to peer dynamics: peer joins and leaves an open P2P network
+// dynamically" is one of the paper's six design goals. The OverlayManager
+// wraps a topology with alive/dead state: leaving isolates a node, joining
+// re-attaches it to random alive peers (the Gnutella bootstrap behaviour),
+// and churn_step applies per-node leave/rejoin probabilities between
+// aggregation cycles — exactly how the ABL-CHURN bench exercises the
+// engine.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/topology.hpp"
+
+namespace gt::overlay {
+
+using NodeId = graph::NodeId;
+
+class OverlayManager {
+ public:
+  /// Takes ownership of an initial topology; all nodes start alive.
+  explicit OverlayManager(graph::Graph g);
+
+  const graph::Graph& topology() const noexcept { return graph_; }
+  std::size_t num_nodes() const noexcept { return graph_.num_nodes(); }
+
+  bool is_alive(NodeId v) const { return alive_[v]; }
+  std::size_t alive_count() const noexcept { return alive_count_; }
+  std::vector<NodeId> alive_nodes() const;
+
+  /// Node departs: loses all overlay links. No-op if already gone.
+  void leave(NodeId v);
+
+  /// Node (re)joins, bootstrapping `degree` links to random alive peers
+  /// (models a perfect bootstrap/host-cache service). No-op if already
+  /// alive.
+  void join(NodeId v, std::size_t degree, Rng& rng);
+
+  /// Realistic Gnutella-style join: the newcomer knows one live
+  /// `introducer` and discovers further neighbors by random walks from it
+  /// (the ping/pong crawl), attaching to up to `degree` distinct
+  /// discovered peers. Falls back to the introducer alone when walks find
+  /// nobody else. No-op if already alive; throws if the introducer is not
+  /// alive.
+  void join_via_walk(NodeId v, std::size_t degree, NodeId introducer,
+                     std::size_t walk_length, Rng& rng);
+
+  struct ChurnStats {
+    std::size_t left = 0;
+    std::size_t joined = 0;
+  };
+
+  /// One churn epoch: each alive node leaves with probability p_leave,
+  /// each departed node rejoins with probability p_join (with
+  /// `join_degree` bootstrap links). Applied atomically from a snapshot of
+  /// the current alive set. Afterwards every surviving node re-dials up to
+  /// `join_degree` connections if departures dropped it below that — the
+  /// connection maintenance every Gnutella client performs, which keeps
+  /// the live overlay gossip-able.
+  ChurnStats churn_step(double p_leave, double p_join, std::size_t join_degree,
+                        Rng& rng);
+
+  /// Re-dials random alive peers for every alive node whose degree fell
+  /// below `min_degree`. Returns the number of edges added.
+  std::size_t ensure_min_degree(std::size_t min_degree, Rng& rng);
+
+ private:
+  graph::Graph graph_;
+  std::vector<bool> alive_;
+  std::size_t alive_count_ = 0;
+};
+
+}  // namespace gt::overlay

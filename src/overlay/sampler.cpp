@@ -1,0 +1,38 @@
+#include "overlay/sampler.hpp"
+
+#include <vector>
+
+namespace gt::overlay {
+
+NodeId UniformSampler::sample(NodeId from, Rng& rng) const {
+  const auto alive = overlay_->alive_nodes();
+  if (alive.size() <= 1) return from;
+  NodeId pick;
+  do {
+    pick = alive[rng.next_below(alive.size())];
+  } while (pick == from);
+  return pick;
+}
+
+NodeId RandomWalkSampler::sample(NodeId from, Rng& rng) const {
+  const auto& g = overlay_->topology();
+  NodeId current = from;
+  for (std::size_t step = 0; step < walk_length_; ++step) {
+    const auto nbrs = g.neighbors(current);
+    // Collect alive neighbors (overlay links always point at alive peers,
+    // but a defensive filter keeps the walk valid mid-churn).
+    std::vector<NodeId> candidates;
+    candidates.reserve(nbrs.size());
+    for (const NodeId u : nbrs)
+      if (overlay_->is_alive(u)) candidates.push_back(u);
+    if (candidates.empty()) break;
+    const NodeId proposal = candidates[rng.next_below(candidates.size())];
+    // Metropolis–Hastings degree correction toward a uniform target.
+    const double accept =
+        static_cast<double>(g.degree(current)) / static_cast<double>(g.degree(proposal));
+    if (accept >= 1.0 || rng.next_bool(accept)) current = proposal;
+  }
+  return current;
+}
+
+}  // namespace gt::overlay

@@ -1,0 +1,48 @@
+// Peer sampling for gossip targets.
+//
+// Algorithm 1 line 11 says "choose a random node q" — uniform sampling
+// over the whole network, which unstructured deployments approximate with
+// random walks (a walk of ~O(log n) steps over a well-connected overlay
+// mixes to near-uniform; hubs are corrected by a Metropolis–Hastings
+// acceptance step). Both samplers are provided so the ablations can show
+// gossip convergence is insensitive to the sampling substrate.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "overlay/overlay.hpp"
+
+namespace gt::overlay {
+
+/// Uniform sampling over alive peers (models a perfect membership service).
+class UniformSampler {
+ public:
+  explicit UniformSampler(const OverlayManager& overlay) : overlay_(&overlay) {}
+
+  /// A uniformly random alive peer different from `from`; returns `from`
+  /// itself when it is the only alive node.
+  NodeId sample(NodeId from, Rng& rng) const;
+
+ private:
+  const OverlayManager* overlay_;
+};
+
+/// Metropolis–Hastings random walk sampler: from the current node, propose
+/// a uniform neighbor and accept with min(1, deg(cur)/deg(next)); the walk's
+/// stationary distribution is uniform over the connected alive component.
+class RandomWalkSampler {
+ public:
+  RandomWalkSampler(const OverlayManager& overlay, std::size_t walk_length)
+      : overlay_(&overlay), walk_length_(walk_length) {}
+
+  NodeId sample(NodeId from, Rng& rng) const;
+
+  std::size_t walk_length() const noexcept { return walk_length_; }
+
+ private:
+  const OverlayManager* overlay_;
+  std::size_t walk_length_;
+};
+
+}  // namespace gt::overlay

@@ -1,0 +1,100 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace gt::sim {
+
+EventId Scheduler::alloc_event(Callback cb) {
+  EventId id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+    events_[id] = Pending{std::move(cb), false, false, 0.0};
+  } else {
+    id = events_.size();
+    events_.push_back(Pending{std::move(cb), false, false, 0.0});
+  }
+  return id;
+}
+
+EventId Scheduler::schedule_at(SimTime when, Callback cb) {
+  if (when < now_) throw std::invalid_argument("Scheduler: cannot schedule in the past");
+  const EventId id = alloc_event(std::move(cb));
+  queue_.push(Entry{when, seq_++, id});
+  return id;
+}
+
+EventId Scheduler::schedule_periodic(SimTime period, Callback cb) {
+  if (period <= 0.0) throw std::invalid_argument("Scheduler: period must be positive");
+  const EventId id = alloc_event(std::move(cb));
+  events_[id].periodic = true;
+  events_[id].period = period;
+  queue_.push(Entry{now_ + period, seq_++, id});
+  return id;
+}
+
+bool Scheduler::cancel(EventId id) {
+  if (id >= events_.size()) return false;
+  Pending& p = events_[id];
+  if (p.cancelled || !p.cb) return false;
+  p.cancelled = true;
+  ++cancelled_pending_;
+  return true;
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    const Entry top = queue_.top();
+    queue_.pop();
+    Pending& p = events_[top.id];
+    if (p.cancelled) {
+      --cancelled_pending_;
+      p = Pending{};
+      free_ids_.push_back(top.id);
+      continue;
+    }
+    assert(top.when >= now_);
+    now_ = top.when;
+    ++executed_;
+    if (p.periodic) {
+      // Re-arm before invoking so the callback may cancel itself.
+      queue_.push(Entry{now_ + p.period, seq_++, top.id});
+      p.cb();
+    } else {
+      Callback cb = std::move(p.cb);
+      p = Pending{};
+      free_ids_.push_back(top.id);
+      cb();
+    }
+    return true;
+  }
+  return false;
+}
+
+std::size_t Scheduler::run_until(SimTime horizon) {
+  std::size_t count = 0;
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (top.when > horizon) break;
+    if (step()) ++count;
+  }
+  // Advance the clock to the horizon when it is finite so repeated calls
+  // with increasing horizons behave like wall-clock progression.
+  if (horizon != std::numeric_limits<SimTime>::infinity() && now_ < horizon) {
+    now_ = horizon;
+  }
+  return count;
+}
+
+void Scheduler::reset() {
+  queue_ = {};
+  events_.clear();
+  free_ids_.clear();
+  now_ = 0.0;
+  seq_ = 0;
+  cancelled_pending_ = 0;
+}
+
+}  // namespace gt::sim

@@ -1,0 +1,60 @@
+#include "trust/generator.hpp"
+
+#include <stdexcept>
+
+#include "common/powerlaw.hpp"
+
+namespace gt::trust {
+
+PartnerSelector uniform_partner_selector(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("uniform_partner_selector: need n >= 2");
+  return [n](NodeId rater, Rng& rng) {
+    NodeId other = rng.next_below(n - 1);
+    if (other >= rater) ++other;  // skip self without rejection sampling
+    return other;
+  };
+}
+
+RatingFunction honest_rating() {
+  return [](NodeId, NodeId, double outcome) { return outcome; };
+}
+
+void generate_feedback(FeedbackLedger& ledger, const std::vector<std::size_t>& counts,
+                       const std::vector<double>& service_quality,
+                       const PartnerSelector& partner, const RatingFunction& rating_fn,
+                       Rng& rng) {
+  const std::size_t n = ledger.num_peers();
+  if (counts.size() != n || service_quality.size() != n)
+    throw std::invalid_argument("generate_feedback: size mismatch");
+  for (NodeId i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < counts[i]; ++c) {
+      const NodeId provider = partner(i, rng);
+      // Transaction outcome: the provider delivers good service with
+      // probability equal to its intrinsic quality.
+      const double outcome = rng.next_bool(service_quality[provider]) ? 1.0 : 0.0;
+      ledger.record(i, provider, rating_fn(i, provider, outcome));
+    }
+  }
+}
+
+void generate_honest_feedback(FeedbackLedger& ledger,
+                              const std::vector<double>& service_quality,
+                              const FeedbackGenConfig& cfg, Rng& rng) {
+  const auto counts = power_law_feedback_counts(cfg.n, cfg.d_max, cfg.d_avg, rng);
+  generate_feedback(ledger, counts, service_quality, uniform_partner_selector(cfg.n),
+                    honest_rating(), rng);
+}
+
+std::vector<double> draw_service_qualities(std::size_t n, std::size_t n_malicious,
+                                           Rng& rng) {
+  if (n_malicious > n)
+    throw std::invalid_argument("draw_service_qualities: too many malicious peers");
+  std::vector<double> quality(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    quality[i] = i < n_malicious ? rng.next_double(0.0, 0.2)
+                                 : rng.next_double(0.8, 1.0);
+  }
+  return quality;
+}
+
+}  // namespace gt::trust

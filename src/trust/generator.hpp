@@ -1,0 +1,61 @@
+// Feedback workload generation.
+//
+// Section 6.1: "The number of feedbacks every node issued is power law
+// distributed. Initially the maximum feedback amount d_max is 200 and the
+// average feedback amount d_avg is 20." This module turns that statement
+// into a populated FeedbackLedger. Rating behaviour (honest vs the threat
+// models of section 6.3) is injected through callables so the threat module
+// can reuse the same transaction machinery.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "trust/feedback.hpp"
+
+namespace gt::trust {
+
+/// Workload shape parameters (paper Table 2 defaults).
+struct FeedbackGenConfig {
+  std::size_t n = 1000;
+  std::size_t d_max = 200;
+  double d_avg = 20.0;
+};
+
+/// Chooses a transaction partner for `rater`; must return a valid peer id
+/// different from `rater`.
+using PartnerSelector = std::function<NodeId(NodeId rater, Rng& rng)>;
+
+/// Produces the rating `rater` issues about `ratee` for a transaction whose
+/// true service quality was `outcome` in [0, 1].
+using RatingFunction = std::function<double(NodeId rater, NodeId ratee, double outcome)>;
+
+/// Uniform-random partner selection over all other peers.
+PartnerSelector uniform_partner_selector(std::size_t n);
+
+/// Truthful rating: reports the observed outcome unchanged.
+RatingFunction honest_rating();
+
+/// Core driver: for each peer i, runs counts[i] transactions; the provider
+/// serves with quality drawn as Bernoulli(service_quality[provider]) and the
+/// rater records rating_fn(i, provider, outcome) in the ledger.
+void generate_feedback(FeedbackLedger& ledger, const std::vector<std::size_t>& counts,
+                       const std::vector<double>& service_quality,
+                       const PartnerSelector& partner, const RatingFunction& rating_fn,
+                       Rng& rng);
+
+/// Convenience: power-law feedback counts + uniform partners + honest
+/// ratings against the given per-peer service quality.
+void generate_honest_feedback(FeedbackLedger& ledger,
+                              const std::vector<double>& service_quality,
+                              const FeedbackGenConfig& cfg, Rng& rng);
+
+/// Draws per-peer service qualities: honest peers ~ U[0.8, 1.0], the
+/// first `n_malicious` peers ~ U[0.0, 0.2] (malicious peers provide
+/// corrupted service, paper section 6.3).
+std::vector<double> draw_service_qualities(std::size_t n, std::size_t n_malicious,
+                                           Rng& rng);
+
+}  // namespace gt::trust

@@ -1,0 +1,100 @@
+#include "trust/serialization.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace gt::trust {
+
+namespace {
+constexpr const char* kLedgerMagic = "gossiptrust-ledger";
+constexpr const char* kScoresMagic = "gossiptrust-scores";
+constexpr const char* kVersion = "v1";
+}  // namespace
+
+void save_ledger(const FeedbackLedger& ledger, std::ostream& os) {
+  const std::size_t n = ledger.num_peers();
+  os << kLedgerMagic << ' ' << kVersion << '\n';
+  os << "n " << n << " entries " << ledger.num_feedbacks() << '\n';
+  os << std::setprecision(17);
+  for (NodeId i = 0; i < n; ++i) {
+    for (const auto& fb : ledger.ratings_of(i))
+      os << fb.rater << ' ' << fb.ratee << ' ' << fb.value << '\n';
+  }
+}
+
+std::optional<FeedbackLedger> load_ledger(std::istream& is) {
+  std::string magic, version, key_n, key_entries;
+  std::size_t n = 0, entries = 0;
+  if (!(is >> magic >> version) || magic != kLedgerMagic || version != kVersion)
+    return std::nullopt;
+  if (!(is >> key_n >> n >> key_entries >> entries) || key_n != "n" ||
+      key_entries != "entries")
+    return std::nullopt;
+
+  FeedbackLedger ledger(n);
+  for (std::size_t k = 0; k < entries; ++k) {
+    std::size_t rater = 0, ratee = 0;
+    double value = 0.0;
+    if (!(is >> rater >> ratee >> value)) return std::nullopt;
+    if (rater >= n || ratee >= n || rater == ratee || value < 0.0 ||
+        !std::isfinite(value))
+      return std::nullopt;
+    ledger.set_raw(rater, ratee, value);
+  }
+  if (ledger.num_feedbacks() != entries) return std::nullopt;  // duplicates
+  return ledger;
+}
+
+void save_scores(const std::vector<double>& scores, std::ostream& os) {
+  os << kScoresMagic << ' ' << kVersion << '\n';
+  os << "n " << scores.size() << '\n';
+  os << std::setprecision(17);
+  for (const double s : scores) os << s << '\n';
+}
+
+std::optional<std::vector<double>> load_scores(std::istream& is) {
+  std::string magic, version, key_n;
+  std::size_t n = 0;
+  if (!(is >> magic >> version) || magic != kScoresMagic || version != kVersion)
+    return std::nullopt;
+  if (!(is >> key_n >> n) || key_n != "n") return std::nullopt;
+  std::vector<double> scores(n);
+  for (auto& s : scores) {
+    if (!(is >> s) || !std::isfinite(s)) return std::nullopt;
+  }
+  return scores;
+}
+
+bool save_ledger_file(const FeedbackLedger& ledger, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  save_ledger(ledger, os);
+  return static_cast<bool>(os);
+}
+
+std::optional<FeedbackLedger> load_ledger_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return std::nullopt;
+  return load_ledger(is);
+}
+
+bool save_scores_file(const std::vector<double>& scores, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  save_scores(scores, os);
+  return static_cast<bool>(os);
+}
+
+std::optional<std::vector<double>> load_scores_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return std::nullopt;
+  return load_scores(is);
+}
+
+}  // namespace gt::trust

@@ -1,0 +1,47 @@
+// Persistence for reputation state.
+//
+// A long-running GossipTrust node checkpoints its feedback ledger and its
+// last converged reputation vector so a restart (or a peer re-joining
+// after churn) does not start from the uniform prior. The format is a
+// line-oriented text format with a versioned magic header and explicit
+// counts, so partial/corrupted files are rejected rather than
+// half-loaded:
+//
+//   gossiptrust-ledger v1
+//   n <peers> entries <count>
+//   <rater> <ratee> <score>        (one per line, %.17g round-trippable)
+//
+//   gossiptrust-scores v1
+//   n <peers>
+//   <score>                        (one per line)
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "trust/feedback.hpp"
+
+namespace gt::trust {
+
+/// Writes the ledger (all accumulated r_ij) to a stream.
+void save_ledger(const FeedbackLedger& ledger, std::ostream& os);
+
+/// Parses a ledger; returns std::nullopt on any format violation
+/// (bad magic, wrong counts, out-of-range ids, malformed numbers).
+std::optional<FeedbackLedger> load_ledger(std::istream& is);
+
+/// Writes a score vector to a stream.
+void save_scores(const std::vector<double>& scores, std::ostream& os);
+
+/// Parses a score vector; std::nullopt on any format violation.
+std::optional<std::vector<double>> load_scores(std::istream& is);
+
+/// Convenience file wrappers; return false / nullopt when the file cannot
+/// be opened or parsed.
+bool save_ledger_file(const FeedbackLedger& ledger, const std::string& path);
+std::optional<FeedbackLedger> load_ledger_file(const std::string& path);
+bool save_scores_file(const std::vector<double>& scores, const std::string& path);
+std::optional<std::vector<double>> load_scores_file(const std::string& path);
+
+}  // namespace gt::trust

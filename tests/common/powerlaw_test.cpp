@@ -1,0 +1,170 @@
+#include "common/powerlaw.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gt {
+namespace {
+
+TEST(BoundedPareto, SamplesWithinBounds) {
+  Rng rng(1);
+  BoundedParetoSampler s(1.5, 200);
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = s.sample(rng);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 200u);
+  }
+}
+
+TEST(BoundedPareto, MeanFormulaMatchesEmpirical) {
+  Rng rng(2);
+  BoundedParetoSampler s(1.8, 500);
+  double acc = 0.0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) acc += static_cast<double>(s.sample(rng));
+  // Discrete flooring biases slightly low vs the continuous mean.
+  EXPECT_NEAR(acc / trials, s.mean(), s.mean() * 0.15);
+}
+
+TEST(BoundedPareto, HigherExponentSmallerMean) {
+  EXPECT_GT(BoundedParetoSampler(1.2, 200).mean(),
+            BoundedParetoSampler(2.5, 200).mean());
+}
+
+TEST(BoundedPareto, DegenerateMaxOne) {
+  Rng rng(3);
+  BoundedParetoSampler s(1.5, 1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s.sample(rng), 1u);
+}
+
+TEST(BoundedPareto, RejectsBadArguments) {
+  EXPECT_THROW(BoundedParetoSampler(0.0, 10), std::invalid_argument);
+  EXPECT_THROW(BoundedParetoSampler(1.0, 0), std::invalid_argument);
+}
+
+TEST(SolveParetoExponent, HitsTargetMean) {
+  for (double target : {5.0, 20.0, 50.0}) {
+    const double exp = solve_pareto_exponent_for_mean(target, 200);
+    const double mean = BoundedParetoSampler(exp, 200).mean();
+    EXPECT_NEAR(mean, target, target * 0.01) << "target " << target;
+  }
+}
+
+TEST(SolveParetoExponent, RejectsOutOfRangeMean) {
+  EXPECT_THROW(solve_pareto_exponent_for_mean(0.5, 200), std::invalid_argument);
+  EXPECT_THROW(solve_pareto_exponent_for_mean(250.0, 200), std::invalid_argument);
+}
+
+TEST(FeedbackCounts, PaperSettingDmax200Davg20) {
+  Rng rng(4);
+  const auto counts = power_law_feedback_counts(1000, 200, 20.0, rng);
+  ASSERT_EQ(counts.size(), 1000u);
+  const auto max_c = *std::max_element(counts.begin(), counts.end());
+  EXPECT_EQ(max_c, 200u);  // the most active peer issues d_max feedbacks
+  const double avg =
+      static_cast<double>(std::accumulate(counts.begin(), counts.end(),
+                                          std::size_t{0})) /
+      1000.0;
+  EXPECT_NEAR(avg, 20.0, 6.0);  // heavy-tailed: generous tolerance per draw
+  for (const auto c : counts) {
+    ASSERT_GE(c, 1u);
+    ASSERT_LE(c, 200u);
+  }
+}
+
+TEST(Zipf, PmfSumsToOneAndDecreases) {
+  ZipfSampler z(100, 1.0);
+  double total = 0.0;
+  for (std::size_t r = 0; r < 100; ++r) {
+    total += z.pmf(r);
+    if (r > 0) {
+      EXPECT_LE(z.pmf(r), z.pmf(r - 1));
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Zipf, SampleFrequenciesFollowPmf) {
+  Rng rng(5);
+  ZipfSampler z(50, 1.2);
+  std::vector<int> hist(50, 0);
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) ++hist[z.sample(rng)];
+  for (std::size_t r : {0u, 1u, 5u, 20u}) {
+    const double freq = static_cast<double>(hist[r]) / trials;
+    EXPECT_NEAR(freq, z.pmf(r), 0.01) << "rank " << r;
+  }
+}
+
+TEST(Zipf, RejectsEmpty) { EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument); }
+
+TEST(TwoSegmentZipf, ContinuousAtSplit) {
+  TwoSegmentZipfSampler z(1000, 250, 0.63, 1.24);
+  // The paper's query-popularity law: ratio across the split stays smooth.
+  const double before = z.pmf(248);
+  const double at = z.pmf(249);
+  const double after = z.pmf(250);
+  EXPECT_GT(before, at * 0.9);
+  EXPECT_GT(at, after * 0.9);
+  EXPECT_LT(after, at);
+}
+
+TEST(TwoSegmentZipf, PmfNormalizedAndMonotone) {
+  TwoSegmentZipfSampler z(500, 100, 0.63, 1.24);
+  double total = 0.0;
+  for (std::size_t r = 0; r < 500; ++r) {
+    total += z.pmf(r);
+    if (r > 0) {
+      EXPECT_LE(z.pmf(r), z.pmf(r - 1) + 1e-15);
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(TwoSegmentZipf, TailSteeperThanHead) {
+  TwoSegmentZipfSampler z(10000, 250, 0.63, 1.24);
+  // Log-log slope magnitude should be larger in the tail segment.
+  const double head_slope = std::log(z.pmf(200) / z.pmf(100)) /
+                            std::log(201.0 / 101.0);
+  const double tail_slope = std::log(z.pmf(2000) / z.pmf(1000)) /
+                            std::log(2001.0 / 1001.0);
+  EXPECT_NEAR(head_slope, -0.63, 0.05);
+  EXPECT_NEAR(tail_slope, -1.24, 0.05);
+}
+
+TEST(TwoSegmentZipf, SplitBeyondNDegradesToSingleSegment) {
+  TwoSegmentZipfSampler z(100, 1000, 0.63, 1.24);
+  ZipfSampler plain(100, 0.63);
+  for (std::size_t r : {0u, 10u, 99u}) EXPECT_NEAR(z.pmf(r), plain.pmf(r), 1e-12);
+}
+
+TEST(Saroiu, SamplesClampedToRange) {
+  Rng rng(6);
+  SaroiuFileCountSampler s(4.6, 1.5, 1, 5000);
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = s.sample(rng);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 5000u);
+  }
+}
+
+TEST(Saroiu, HeavyUpperTail) {
+  Rng rng(7);
+  SaroiuFileCountSampler s;
+  std::vector<double> vals;
+  for (int i = 0; i < 20000; ++i) vals.push_back(static_cast<double>(s.sample(rng)));
+  std::sort(vals.begin(), vals.end());
+  const double median = vals[vals.size() / 2];
+  const double mean = std::accumulate(vals.begin(), vals.end(), 0.0) / vals.size();
+  EXPECT_GT(mean, median);  // right-skew is the defining Saroiu feature
+}
+
+TEST(Saroiu, RejectsInvertedBounds) {
+  EXPECT_THROW(SaroiuFileCountSampler(4.6, 1.5, 10, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gt

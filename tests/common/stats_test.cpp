@@ -1,0 +1,160 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace gt {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(2.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(RmsRelativeError, MatchesPaperEq8) {
+  // E = sqrt( sum(((v-u)/v)^2) / n )
+  const std::vector<double> v{1.0, 2.0, 4.0};
+  const std::vector<double> u{1.1, 1.8, 4.0};
+  const double expected =
+      std::sqrt((0.1 * 0.1 + 0.1 * 0.1 + 0.0) / 3.0);
+  EXPECT_NEAR(rms_relative_error(v, u), expected, 1e-12);
+}
+
+TEST(RmsRelativeError, SkipsZeroReference) {
+  const std::vector<double> v{0.0, 2.0};
+  const std::vector<double> u{5.0, 2.0};
+  EXPECT_DOUBLE_EQ(rms_relative_error(v, u), 0.0);
+}
+
+TEST(RmsRelativeError, IdenticalVectorsZero) {
+  const std::vector<double> v{0.3, 0.5, 0.2};
+  EXPECT_DOUBLE_EQ(rms_relative_error(v, v), 0.0);
+}
+
+TEST(RmsRelativeError, SizeMismatchThrows) {
+  const std::vector<double> a{1.0}, b{1.0, 2.0};
+  EXPECT_THROW(rms_relative_error(a, b), std::invalid_argument);
+}
+
+TEST(Distances, L1L2Linf) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{2.0, 0.0, 3.0};
+  EXPECT_DOUBLE_EQ(l1_distance(a, b), 3.0);
+  EXPECT_DOUBLE_EQ(l2_distance(a, b), std::sqrt(5.0));
+  EXPECT_DOUBLE_EQ(linf_distance(a, b), 2.0);
+}
+
+TEST(MeanRelativeError, BasicAndFloor) {
+  const std::vector<double> v{1.0, 1.0};
+  const std::vector<double> u{1.1, 0.9};
+  EXPECT_NEAR(mean_relative_error(v, u), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(mean_relative_error({}, {}), 0.0);
+}
+
+TEST(NormalizeL1, SumsToOne) {
+  std::vector<double> v{1.0, 3.0, 4.0};
+  normalize_l1(v);
+  EXPECT_NEAR(sum(v), 1.0, 1e-15);
+  EXPECT_DOUBLE_EQ(v[0], 0.125);
+}
+
+TEST(NormalizeL1, ZeroVectorUntouched) {
+  std::vector<double> v{0.0, 0.0};
+  normalize_l1(v);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+}
+
+TEST(TopK, ReturnsLargestDescending) {
+  const std::vector<double> v{0.1, 0.9, 0.5, 0.7};
+  const auto top = top_k_indices(v, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 3u);
+}
+
+TEST(TopK, TiesBreakTowardSmallerIndex) {
+  const std::vector<double> v{0.5, 0.5, 0.5};
+  const auto top = top_k_indices(v, 2);
+  EXPECT_EQ(top[0], 0u);
+  EXPECT_EQ(top[1], 1u);
+}
+
+TEST(TopK, KLargerThanSizeClamped) {
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_EQ(top_k_indices(v, 10).size(), 2u);
+}
+
+TEST(KendallTau, PerfectAgreementAndInversion) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> rev{4.0, 3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(kendall_tau(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(kendall_tau(a, rev), -1.0);
+}
+
+TEST(KendallTau, UncorrelatedNearZero) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b{2.0, 1.0, 4.0, 3.0};
+  EXPECT_NEAR(kendall_tau(a, b), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> data{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(data, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 50), 25.0);
+}
+
+TEST(Percentile, EmptyThrows) {
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+}
+
+TEST(FormatSci, SwitchesNotation) {
+  EXPECT_EQ(format_sci(0.5, 2), "0.50");
+  EXPECT_EQ(format_sci(0.0, 2), "0.00");
+  const auto tiny = format_sci(1.6e-4, 1);
+  EXPECT_NE(tiny.find('e'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gt

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/eigentrust.hpp"
+#include "baseline/local_only.hpp"
+#include "baseline/power_iteration.hpp"
+#include "common/stats.hpp"
+#include "graph/topology.hpp"
+#include "trust/feedback.hpp"
+#include "trust/generator.hpp"
+
+namespace gt::baseline {
+namespace {
+
+trust::SparseMatrix workload_matrix(std::size_t n, std::uint64_t seed) {
+  trust::FeedbackLedger ledger(n);
+  trust::FeedbackGenConfig cfg;
+  cfg.n = n;
+  cfg.d_max = std::min<std::size_t>(40, n - 1);
+  cfg.d_avg = std::min(10.0, static_cast<double>(n) / 3.0);
+  Rng rng(seed);
+  const std::vector<double> quality(n, 0.9);
+  trust::generate_honest_feedback(ledger, quality, cfg, rng);
+  return ledger.normalized_matrix();
+}
+
+TEST(PowerIteration, FindsFixedPoint) {
+  const auto s = workload_matrix(60, 1);
+  const auto res = power_iteration(s, 0.15, 0.05);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(sum(res.scores), 1.0, 1e-10);
+  // Fixed point: one more exact cycle changes (almost) nothing.
+  const auto next = exact_cycle(s, res.scores, res.power_nodes, 0.15);
+  EXPECT_LT(mean_relative_error(res.scores, next), 1e-8);
+}
+
+TEST(PowerIteration, PlainVersionIsEigenvector) {
+  const auto s = workload_matrix(40, 2);
+  const auto res = plain_power_iteration(s);
+  EXPECT_TRUE(res.converged);
+  const auto applied = s.transpose_multiply(res.scores);
+  auto normalized = applied;
+  normalize_l1(normalized);
+  EXPECT_LT(l1_distance(res.scores, normalized), 1e-8);
+  EXPECT_TRUE(res.power_nodes.empty());
+}
+
+TEST(PowerIteration, TwoNodeAnalyticCase) {
+  // s = [[0,1],[1,0]] -> eigenvector (1/2, 1/2).
+  trust::SparseMatrix::Builder b(2);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 1.0);
+  const auto res = plain_power_iteration(std::move(b).build());
+  EXPECT_NEAR(res.scores[0], 0.5, 1e-10);
+  EXPECT_NEAR(res.scores[1], 0.5, 1e-10);
+}
+
+TEST(PowerIteration, EmptyMatrixThrows) {
+  trust::SparseMatrix::Builder b(0);
+  EXPECT_THROW(power_iteration(std::move(b).build(), 0.15, 0.01),
+               std::invalid_argument);
+}
+
+TEST(EigenTrust, ConvergesWithPretrustedSet) {
+  const auto s = workload_matrix(50, 3);
+  const auto res = eigentrust(s, {0, 1, 2}, 0.15);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(sum(res.scores), 1.0, 1e-10);
+  // Pre-trusted peers receive teleported mass.
+  EXPECT_GT(res.scores[0], 0.15 / 3.0 * 0.9);
+}
+
+TEST(EigenTrust, ZeroDampingMatchesPlainIteration) {
+  const auto s = workload_matrix(40, 4);
+  const auto et = eigentrust(s, {}, 0.0);
+  const auto pi = plain_power_iteration(s);
+  EXPECT_LT(l1_distance(et.scores, pi.scores), 1e-8);
+}
+
+TEST(EigenTrust, RejectsBadArguments) {
+  const auto s = workload_matrix(10, 5);
+  EXPECT_THROW(eigentrust(s, {}, 0.15), std::invalid_argument);
+  EXPECT_THROW(eigentrust(s, {0}, 1.5), std::invalid_argument);
+  EXPECT_THROW(eigentrust(s, {99}, 0.15), std::out_of_range);
+}
+
+TEST(EigenTrustDht, MessageCountScalesWithRoundsAndEntries) {
+  const auto s = workload_matrix(64, 6);
+  const dht::ChordRing ring(64, 7);
+  const auto one = eigentrust_dht_messages(s, ring, 1);
+  const auto five = eigentrust_dht_messages(s, ring, 5);
+  EXPECT_EQ(five, one * 5);
+  EXPECT_GT(one, s.nonzeros());  // multi-hop lookups cost > 1 message each
+  // O(log n) hops per lookup keeps the total well under n per entry.
+  EXPECT_LT(one, s.nonzeros() * 64);
+}
+
+TEST(EigenTrustDht, RingSizeMismatchThrows) {
+  const auto s = workload_matrix(16, 8);
+  const dht::ChordRing ring(8, 9);
+  EXPECT_THROW(eigentrust_dht_messages(s, ring, 1), std::invalid_argument);
+}
+
+TEST(NoTrust, UniformScores) {
+  const auto v = notrust_scores(4);
+  for (const auto x : v) EXPECT_DOUBLE_EQ(x, 0.25);
+  EXPECT_TRUE(notrust_scores(0).empty());
+}
+
+TEST(LocalScores, OnlyOwnExperience) {
+  trust::FeedbackLedger ledger(3);
+  ledger.record(0, 1, 1.0);
+  for (int k = 0; k < 3; ++k) ledger.record(0, 2, 1.0);
+  ledger.record(1, 2, 1.0);  // invisible to observer 0
+  const auto v = local_scores(ledger, 0);
+  EXPECT_DOUBLE_EQ(v[1], 0.25);
+  EXPECT_DOUBLE_EQ(v[2], 0.75);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_THROW(local_scores(ledger, 9), std::out_of_range);
+}
+
+TEST(NeighborhoodScores, BlendsNeighborOpinions) {
+  trust::FeedbackLedger ledger(4);
+  ledger.record(0, 2, 1.0);  // observer trusts 2 fully
+  ledger.record(1, 3, 1.0);  // neighbor trusts 3 fully
+  graph::Graph g(4);
+  g.add_edge(0, 1);
+  const auto v = neighborhood_scores(ledger, g, 0);
+  EXPECT_DOUBLE_EQ(v[2], 0.5);
+  EXPECT_DOUBLE_EQ(v[3], 0.5);
+}
+
+TEST(NeighborhoodScores, SizeMismatchThrows) {
+  trust::FeedbackLedger ledger(4);
+  graph::Graph g(3);
+  EXPECT_THROW(neighborhood_scores(ledger, g, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gt::baseline

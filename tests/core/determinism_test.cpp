@@ -1,0 +1,101 @@
+// Reproducibility guarantees: the whole simulator is seed-deterministic,
+// which is what makes every figure in EXPERIMENTS.md exactly re-runnable.
+#include <gtest/gtest.h>
+
+#include "baseline/power_iteration.hpp"
+#include "common/stats.hpp"
+#include "core/engine.hpp"
+#include "graph/topology.hpp"
+#include "threat/models.hpp"
+#include "trust/feedback.hpp"
+
+namespace gt {
+namespace {
+
+trust::SparseMatrix build_matrix(std::uint64_t seed) {
+  Rng rng(seed);
+  threat::ThreatConfig tcfg;
+  tcfg.n = 80;
+  tcfg.malicious_fraction = 0.2;
+  const auto peers = threat::make_population(tcfg, rng);
+  trust::FeedbackGenConfig gen;
+  gen.n = 80;
+  gen.d_max = 30;
+  gen.d_avg = 10.0;
+  trust::FeedbackLedger ledger(80);
+  threat::generate_threat_feedback(ledger, peers, tcfg, gen, Rng(seed + 1));
+  return ledger.normalized_matrix();
+}
+
+TEST(Determinism, WorkloadGenerationBitIdentical) {
+  const auto a = build_matrix(7);
+  const auto b = build_matrix(7);
+  ASSERT_EQ(a.nonzeros(), b.nonzeros());
+  for (trust::NodeId r = 0; r < a.size(); ++r) {
+    const auto ra = a.row(r);
+    const auto rb = b.row(r);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t k = 0; k < ra.size(); ++k) {
+      EXPECT_EQ(ra[k].col, rb[k].col);
+      EXPECT_DOUBLE_EQ(ra[k].value, rb[k].value);
+    }
+  }
+}
+
+TEST(Determinism, EngineRunBitIdenticalForSameSeed) {
+  const auto s = build_matrix(9);
+  core::GossipTrustConfig cfg;
+  core::GossipTrustEngine engine(80, cfg);
+  Rng rng_a(11), rng_b(11);
+  const auto run_a = engine.run(s, rng_a);
+  const auto run_b = engine.run(s, rng_b);
+  ASSERT_EQ(run_a.num_cycles(), run_b.num_cycles());
+  ASSERT_EQ(run_a.total_gossip_steps(), run_b.total_gossip_steps());
+  ASSERT_EQ(run_a.scores.size(), run_b.scores.size());
+  for (std::size_t i = 0; i < run_a.scores.size(); ++i)
+    EXPECT_DOUBLE_EQ(run_a.scores[i], run_b.scores[i]);
+  EXPECT_EQ(run_a.power_nodes, run_b.power_nodes);
+}
+
+TEST(Determinism, DifferentSeedsDifferentTrajectorySameFixedPoint) {
+  const auto s = build_matrix(13);
+  core::GossipTrustConfig cfg;
+  cfg.epsilon = 1e-7;
+  cfg.delta = 1e-5;
+  core::GossipTrustEngine engine(80, cfg);
+  Rng rng_a(1), rng_b(2);
+  const auto run_a = engine.run(s, rng_a);
+  const auto run_b = engine.run(s, rng_b);
+  // Gossip randomness differs...
+  bool identical = true;
+  for (std::size_t i = 0; i < run_a.scores.size(); ++i)
+    if (run_a.scores[i] != run_b.scores[i]) identical = false;
+  EXPECT_FALSE(identical);
+  // ...but both converge to the same fixed point up to gossip error.
+  EXPECT_LT(rms_relative_error(run_a.scores, run_b.scores), 0.05);
+  EXPECT_GT(kendall_tau(run_a.scores, run_b.scores), 0.95);
+}
+
+TEST(Determinism, TopologyGenerationReproducible) {
+  Rng a(21), b(21);
+  const auto ga = graph::make_gnutella_like(200, a);
+  const auto gb = graph::make_gnutella_like(200, b);
+  ASSERT_EQ(ga.num_edges(), gb.num_edges());
+  for (graph::NodeId v = 0; v < 200; ++v) {
+    const auto na = ga.neighbors(v);
+    const auto nb = gb.neighbors(v);
+    ASSERT_EQ(na.size(), nb.size()) << v;
+    for (std::size_t k = 0; k < na.size(); ++k) EXPECT_EQ(na[k], nb[k]);
+  }
+}
+
+TEST(Determinism, PowerIterationIsRngFree) {
+  const auto s = build_matrix(31);
+  const auto a = baseline::power_iteration(s, 0.15, 0.05);
+  const auto b = baseline::power_iteration(s, 0.15, 0.05);
+  for (std::size_t i = 0; i < a.scores.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.scores[i], b.scores[i]);
+}
+
+}  // namespace
+}  // namespace gt

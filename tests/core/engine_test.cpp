@@ -1,0 +1,189 @@
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/power_iteration.hpp"
+#include "common/stats.hpp"
+#include "trust/feedback.hpp"
+#include "trust/generator.hpp"
+
+namespace gt::core {
+namespace {
+
+trust::SparseMatrix workload_matrix(std::size_t n, std::uint64_t seed,
+                                    std::size_t n_bad = 0) {
+  trust::FeedbackLedger ledger(n);
+  trust::FeedbackGenConfig cfg;
+  cfg.n = n;
+  cfg.d_max = std::min<std::size_t>(40, n - 1);
+  cfg.d_avg = 10.0;
+  Rng rng(seed);
+  const auto quality = trust::draw_service_qualities(n, n_bad, rng);
+  trust::generate_honest_feedback(ledger, quality, cfg, rng);
+  return ledger.normalized_matrix();
+}
+
+GossipTrustConfig test_config() {
+  GossipTrustConfig cfg;
+  cfg.delta = 1e-3;
+  cfg.epsilon = 1e-5;
+  cfg.alpha = 0.15;
+  cfg.power_node_fraction = 0.05;
+  return cfg;
+}
+
+TEST(GossipTrustEngine, ConvergesAndNormalized) {
+  const std::size_t n = 64;
+  const auto s = workload_matrix(n, 1);
+  GossipTrustEngine engine(n, test_config());
+  Rng rng(2);
+  const auto res = engine.run(s, rng);
+  EXPECT_TRUE(res.converged);
+  EXPECT_GT(res.num_cycles(), 1u);
+  EXPECT_NEAR(sum(res.scores), 1.0, 1e-9);
+  for (const auto v : res.scores) EXPECT_GE(v, 0.0);
+}
+
+TEST(GossipTrustEngine, MatchesExactPowerIteration) {
+  const std::size_t n = 48;
+  const auto s = workload_matrix(n, 3);
+  auto cfg = test_config();
+  cfg.delta = 1e-6;    // run cycles deep so residual cycle error is small
+  cfg.epsilon = 1e-8;  // and gossip error is negligible
+  GossipTrustEngine engine(n, cfg);
+  Rng rng(4);
+  const auto gossiped = engine.run(s, rng);
+  const auto exact =
+      baseline::power_iteration(s, cfg.alpha, cfg.power_node_fraction, 1e-12);
+  EXPECT_TRUE(gossiped.converged);
+  EXPECT_LT(rms_relative_error(exact.scores, gossiped.scores), 0.05);
+  // Ranking agreement is what selection policies consume.
+  EXPECT_GT(kendall_tau(exact.scores, gossiped.scores), 0.9);
+}
+
+TEST(GossipTrustEngine, GoodPeersOutscoreBadPeers) {
+  // Rich feedback (few dangling raters) so reputation separates cleanly.
+  const std::size_t n = 150;
+  const std::size_t n_bad = 15;
+  trust::FeedbackLedger ledger(n);
+  trust::FeedbackGenConfig fcfg;
+  fcfg.n = n;
+  fcfg.d_max = 60;
+  fcfg.d_avg = 25.0;
+  Rng wrng(5);
+  const auto quality = trust::draw_service_qualities(n, n_bad, wrng);
+  trust::generate_honest_feedback(ledger, quality, fcfg, wrng);
+  const auto s = ledger.normalized_matrix();
+
+  GossipTrustEngine engine(n, test_config());
+  Rng rng(6);
+  const auto res = engine.run(s, rng);
+  double bad_mean = 0.0, good_mean = 0.0;
+  for (std::size_t i = 0; i < n_bad; ++i) bad_mean += res.scores[i];
+  for (std::size_t i = n_bad; i < n; ++i) good_mean += res.scores[i];
+  bad_mean /= static_cast<double>(n_bad);
+  good_mean /= static_cast<double>(n - n_bad);
+  EXPECT_LT(bad_mean, good_mean * 0.6);
+}
+
+TEST(GossipTrustEngine, PowerNodesAreTopScorers) {
+  const std::size_t n = 50;
+  const auto s = workload_matrix(n, 7);
+  GossipTrustEngine engine(n, test_config());
+  Rng rng(8);
+  const auto res = engine.run(s, rng);
+  ASSERT_FALSE(res.power_nodes.empty());
+  const auto expected = top_k_indices(res.scores, res.power_nodes.size());
+  EXPECT_EQ(res.power_nodes, expected);
+}
+
+TEST(GossipTrustEngine, TighterDeltaMoreCycles) {
+  const std::size_t n = 40;
+  const auto s = workload_matrix(n, 9);
+  std::size_t cycles_loose = 0, cycles_tight = 0;
+  for (const double delta : {1e-2, 1e-5}) {
+    auto cfg = test_config();
+    cfg.delta = delta;
+    GossipTrustEngine engine(n, cfg);
+    Rng rng(10);
+    const auto res = engine.run(s, rng);
+    (delta == 1e-2 ? cycles_loose : cycles_tight) = res.num_cycles();
+  }
+  EXPECT_GT(cycles_tight, cycles_loose);
+}
+
+TEST(GossipTrustEngine, CycleStatsAccumulate) {
+  const std::size_t n = 32;
+  const auto s = workload_matrix(n, 11);
+  GossipTrustEngine engine(n, test_config());
+  Rng rng(12);
+  const auto res = engine.run(s, rng);
+  EXPECT_EQ(res.total_gossip_steps(),
+            static_cast<std::size_t>(res.mean_gossip_steps_per_cycle() *
+                                         static_cast<double>(res.num_cycles()) +
+                                     0.5));
+  EXPECT_GT(res.total_messages(), 0u);
+  EXPECT_GT(res.total_triplets(), 0u);
+  for (const auto& c : res.cycles) {
+    EXPECT_TRUE(c.gossip_converged);
+    EXPECT_EQ(c.messages_sent, c.gossip_steps * n);
+  }
+}
+
+TEST(GossipTrustEngine, WarmStartConvergesFaster) {
+  const std::size_t n = 40;
+  const auto s = workload_matrix(n, 13);
+  auto cfg = test_config();
+  cfg.delta = 1e-4;
+  GossipTrustEngine engine(n, cfg);
+  Rng rng1(14);
+  const auto cold = engine.run(s, rng1);
+  Rng rng2(15);
+  const auto warm = engine.run(s, rng2, nullptr, cold.scores);
+  EXPECT_LE(warm.num_cycles(), cold.num_cycles());
+}
+
+TEST(GossipTrustEngine, KeepFinalViewsPopulates) {
+  const std::size_t n = 24;
+  const auto s = workload_matrix(n, 16);
+  auto cfg = test_config();
+  cfg.keep_final_views = true;
+  GossipTrustEngine engine(n, cfg);
+  Rng rng(17);
+  const auto res = engine.run(s, rng);
+  ASSERT_EQ(res.final_views.size(), n);
+  for (const auto& view : res.final_views) EXPECT_EQ(view.size(), n);
+}
+
+TEST(GossipTrustEngine, RunCycleDrivableExternally) {
+  const std::size_t n = 30;
+  const auto s = workload_matrix(n, 18);
+  GossipTrustEngine engine(n, test_config());
+  auto v = engine.initial_scores();
+  std::vector<NodeId> power;
+  Rng rng(19);
+  const auto stats1 = engine.run_cycle(s, v, power, rng);
+  EXPECT_GT(stats1.gossip_steps, 0u);
+  EXPECT_FALSE(power.empty());
+  const auto stats2 = engine.run_cycle(s, v, power, rng);
+  EXPECT_LT(stats2.change_from_previous, stats1.change_from_previous);
+}
+
+TEST(GossipTrustEngine, RejectsBadConfig) {
+  GossipTrustConfig cfg;
+  cfg.alpha = 2.0;
+  EXPECT_THROW(GossipTrustEngine(10, cfg), std::invalid_argument);
+  cfg = GossipTrustConfig{};
+  cfg.delta = 0.0;
+  EXPECT_THROW(GossipTrustEngine(10, cfg), std::invalid_argument);
+  EXPECT_THROW(GossipTrustEngine(0, GossipTrustConfig{}), std::invalid_argument);
+}
+
+TEST(GossipTrustEngine, InitialScoresUniform) {
+  GossipTrustEngine engine(8, test_config());
+  const auto v = engine.initial_scores();
+  for (const auto x : v) EXPECT_DOUBLE_EQ(x, 0.125);
+}
+
+}  // namespace
+}  // namespace gt::core

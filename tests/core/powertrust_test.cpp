@@ -1,0 +1,94 @@
+#include "baseline/powertrust.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/spectral.hpp"
+#include "common/stats.hpp"
+#include "trust/feedback.hpp"
+#include "trust/generator.hpp"
+
+namespace gt::baseline {
+namespace {
+
+trust::SparseMatrix workload_matrix(std::size_t n, std::uint64_t seed) {
+  trust::FeedbackLedger ledger(n);
+  trust::FeedbackGenConfig cfg;
+  cfg.n = n;
+  cfg.d_max = std::min<std::size_t>(40, n / 2);
+  cfg.d_avg = 10.0;
+  Rng rng(seed);
+  const auto quality = trust::draw_service_qualities(n, n / 5, rng);
+  trust::generate_honest_feedback(ledger, quality, cfg, rng);
+  return ledger.normalized_matrix();
+}
+
+TEST(LookAheadMatrix, RowStochasticNoSelfTrust) {
+  const auto s = workload_matrix(60, 1);
+  const auto w = look_ahead_matrix(s);
+  EXPECT_EQ(w.size(), 60u);
+  EXPECT_TRUE(w.is_row_stochastic());
+  for (trust::NodeId i = 0; i < 60; ++i) EXPECT_DOUBLE_EQ(w.at(i, i), 0.0);
+}
+
+TEST(LookAheadMatrix, DenserThanOriginal) {
+  const auto s = workload_matrix(60, 2);
+  const auto w = look_ahead_matrix(s);
+  EXPECT_GT(w.nonzeros(), s.nonzeros());
+}
+
+TEST(LookAheadMatrix, TwoHopOpinionsAppear) {
+  // 0 trusts 1, 1 trusts 2: the LRW row of 0 must reach 2.
+  trust::SparseMatrix::Builder b(3);
+  b.add(0, 1, 1.0);
+  b.add(1, 2, 1.0);
+  b.add(2, 0, 1.0);
+  const auto s = std::move(b).build();
+  const auto w = look_ahead_matrix(s);
+  EXPECT_GT(w.at(0, 2), 0.0);
+  EXPECT_GT(w.at(0, 1), 0.0);
+}
+
+TEST(LookAheadMatrix, ShrinksSpectralRatio) {
+  // PowerTrust's convergence claim: looking ahead thickens mixing.
+  const auto s = workload_matrix(100, 3);
+  const auto w = look_ahead_matrix(s);
+  EXPECT_LT(estimate_spectral_gap(w).ratio(), estimate_spectral_gap(s).ratio());
+}
+
+TEST(PowerTrust, ConvergesFasterThanPlainIteration) {
+  const auto s = workload_matrix(100, 4);
+  const auto plain = power_iteration(s, 0.15, 0.01, 1e-8);
+  const auto pt = powertrust(s, 0.15, 0.01, 1e-8);
+  EXPECT_TRUE(pt.converged);
+  EXPECT_LE(pt.iterations, plain.iterations);
+}
+
+TEST(PowerTrust, RankingAgreesWithDirectAggregation) {
+  const auto s = workload_matrix(120, 5);
+  const auto direct = power_iteration(s, 0.15, 0.01);
+  const auto pt = powertrust(s, 0.15, 0.01);
+  // LRW genuinely changes the operator (two-hop opinions enter), so the
+  // rankings correlate strongly but are not identical.
+  EXPECT_GT(kendall_tau(direct.scores, pt.scores), 0.7);
+  EXPECT_NEAR(sum(pt.scores), 1.0, 1e-10);
+}
+
+TEST(PowerTrust, GoodPeersStillOutrankBadOnes) {
+  const std::size_t n = 100, n_bad = 20;
+  trust::FeedbackLedger ledger(n);
+  trust::FeedbackGenConfig cfg;
+  cfg.n = n;
+  cfg.d_max = 40;
+  cfg.d_avg = 15.0;
+  Rng rng(6);
+  const auto quality = trust::draw_service_qualities(n, n_bad, rng);
+  trust::generate_honest_feedback(ledger, quality, cfg, rng);
+  const auto pt = powertrust(ledger.normalized_matrix());
+  double bad = 0.0, good = 0.0;
+  for (std::size_t i = 0; i < n_bad; ++i) bad += pt.scores[i];
+  for (std::size_t i = n_bad; i < n; ++i) good += pt.scores[i];
+  EXPECT_LT(bad / n_bad, good / (n - n_bad));
+}
+
+}  // namespace
+}  // namespace gt::baseline

@@ -1,0 +1,200 @@
+#include "core/reputation_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "threat/models.hpp"
+
+namespace gt::core {
+namespace {
+
+ReputationManagerConfig small_config() {
+  ReputationManagerConfig cfg;
+  cfg.engine.epsilon = 1e-5;
+  cfg.engine.delta = 1e-3;
+  cfg.engine.power_node_fraction = 0.05;
+  cfg.reaggregate_every = 50;
+  return cfg;
+}
+
+/// Feeds `count` transactions between random peers; providers in the top
+/// fifth of ids always serve well, the bottom fifth always badly.
+void feed(ReputationManager& manager, std::size_t n, std::size_t count, Rng& rng) {
+  for (std::size_t t = 0; t < count; ++t) {
+    const auto rater = static_cast<trust::NodeId>(rng.next_below(n));
+    auto ratee = static_cast<trust::NodeId>(rng.next_below(n - 1));
+    if (ratee >= rater) ++ratee;
+    const bool good_provider = ratee >= n - n / 5;
+    const bool bad_provider = ratee < n / 5;
+    double outcome = rng.next_bool(0.85) ? 1.0 : 0.0;
+    if (good_provider) outcome = 1.0;
+    if (bad_provider) outcome = 0.0;
+    manager.record_transaction(rater, ratee, outcome);
+  }
+}
+
+TEST(ReputationManager, UniformPriorBeforeFirstRefresh) {
+  ReputationManager manager(20, small_config(), 1);
+  for (trust::NodeId i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(manager.score(i), 0.05);
+  EXPECT_EQ(manager.refresh_count(), 0u);
+  EXPECT_TRUE(manager.power_nodes().empty());
+}
+
+TEST(ReputationManager, AutoRefreshEveryPeriod) {
+  const std::size_t n = 40;
+  ReputationManager manager(n, small_config(), 2);
+  Rng rng(3);
+  feed(manager, n, 125, rng);
+  // 125 transactions with period 50 -> refreshes at 50 and 100.
+  EXPECT_EQ(manager.refresh_count(), 2u);
+  EXPECT_EQ(manager.transactions_recorded(), 125u);
+  EXPECT_TRUE(manager.last_aggregation().has_value());
+  EXPECT_NEAR(sum(manager.scores()), 1.0, 1e-9);
+}
+
+TEST(ReputationManager, GoodProvidersRiseBadOnesSink) {
+  const std::size_t n = 50;
+  ReputationManager manager(n, small_config(), 4);
+  Rng rng(5);
+  feed(manager, n, 600, rng);
+  double good = 0.0, bad = 0.0;
+  for (std::size_t i = 0; i < n / 5; ++i) bad += manager.score(i);
+  for (std::size_t i = n - n / 5; i < n; ++i) good += manager.score(i);
+  EXPECT_GT(good, bad * 2.0);
+  // top() surfaces good providers.
+  const auto leaders = manager.top(5);
+  for (const auto id : leaders) EXPECT_GE(id, n / 5);
+}
+
+TEST(ReputationManager, PowerNodesTrackTopScores) {
+  const std::size_t n = 60;
+  ReputationManager manager(n, small_config(), 6);
+  Rng rng(7);
+  feed(manager, n, 300, rng);
+  ASSERT_FALSE(manager.power_nodes().empty());
+  const auto expected = manager.top(manager.power_nodes().size());
+  EXPECT_EQ(manager.power_nodes(), expected);
+}
+
+TEST(ReputationManager, WarmStartReducesCycles) {
+  const std::size_t n = 60;
+  auto warm_cfg = small_config();
+  warm_cfg.reaggregate_every = 100;
+  auto cold_cfg = warm_cfg;
+  cold_cfg.warm_start = false;
+  ReputationManager warm(n, warm_cfg, 8);
+  ReputationManager cold(n, cold_cfg, 8);
+  Rng rng_a(9), rng_b(9);
+  feed(warm, n, 400, rng_a);
+  feed(cold, n, 400, rng_b);
+  ASSERT_TRUE(warm.last_aggregation().has_value());
+  ASSERT_TRUE(cold.last_aggregation().has_value());
+  EXPECT_LE(warm.last_aggregation()->num_cycles(),
+            cold.last_aggregation()->num_cycles());
+}
+
+TEST(ReputationManager, BloomPublicationServesCompressedScores) {
+  const std::size_t n = 80;
+  auto cfg = small_config();
+  cfg.publish_bloom = true;
+  cfg.bloom.bits_per_peer = 16.0;
+  cfg.bloom.num_buckets = 12;
+  ReputationManager manager(n, cfg, 10);
+  Rng rng(11);
+  feed(manager, n, 200, rng);
+  ASSERT_NE(manager.published_store(), nullptr);
+  // Compressed scores approximate the exact ones within bucket resolution.
+  std::size_t close = 0;
+  for (trust::NodeId i = 0; i < n; ++i) {
+    const double exact = manager.score(i);
+    const double approx = manager.compressed_score(i);
+    if (exact > 0 && approx / exact < 6.0 && exact / approx < 6.0) ++close;
+  }
+  EXPECT_GT(close, n * 3 / 4);
+}
+
+TEST(ReputationManager, CompressedScoreFallsBackWithoutStore) {
+  ReputationManager manager(10, small_config(), 12);
+  EXPECT_DOUBLE_EQ(manager.compressed_score(3), manager.score(3));
+}
+
+TEST(ReputationManager, QofWeightingExposesLiars) {
+  const std::size_t n = 60;
+  auto cfg = small_config();
+  cfg.qof_weighting = true;
+  cfg.reaggregate_every = 1000000;  // manual refresh only
+  ReputationManager manager(n, cfg, 13);
+  Rng rng(14);
+  // Honest raters: truthful about bad providers (ids < 12). Liars
+  // (ids 48..59) invert every rating.
+  for (std::size_t t = 0; t < 800; ++t) {
+    const auto rater = static_cast<trust::NodeId>(rng.next_below(n));
+    auto ratee = static_cast<trust::NodeId>(rng.next_below(n - 1));
+    if (ratee >= rater) ++ratee;
+    const double outcome = ratee < 12 ? 0.0 : 1.0;
+    const bool liar = rater >= 48;
+    manager.record_transaction(rater, ratee, liar ? 1.0 - outcome : outcome);
+  }
+  manager.refresh();
+  ASSERT_EQ(manager.qof_scores().size(), n);
+  double liar_qof = 0.0, honest_qof = 0.0;
+  for (std::size_t i = 0; i < 48; ++i) honest_qof += manager.qof_scores()[i];
+  for (std::size_t i = 48; i < n; ++i) liar_qof += manager.qof_scores()[i];
+  EXPECT_LT(liar_qof / 12.0, honest_qof / 48.0);
+}
+
+TEST(ReputationManager, RejectsBadConfig) {
+  EXPECT_THROW(ReputationManager(0, small_config(), 1), std::invalid_argument);
+  auto cfg = small_config();
+  cfg.reaggregate_every = 0;
+  EXPECT_THROW(ReputationManager(10, cfg, 1), std::invalid_argument);
+  cfg = small_config();
+  cfg.ledger_decay = 0.0;
+  EXPECT_THROW(ReputationManager(10, cfg, 1), std::invalid_argument);
+  cfg.ledger_decay = 1.5;
+  EXPECT_THROW(ReputationManager(10, cfg, 1), std::invalid_argument);
+}
+
+TEST(ReputationManager, DecayLetsReformedPeersRecover) {
+  // A provider serves badly for an epoch, then reforms. With aggressive
+  // decay its score recovers much further than without.
+  const std::size_t n = 30;
+  auto run_scenario = [&](double decay) {
+    auto cfg = small_config();
+    cfg.ledger_decay = decay;
+    cfg.reaggregate_every = 1000000;  // manual refreshes
+    ReputationManager manager(n, cfg, 42);
+    Rng rng(7);
+    // Epoch 1: peer 0 serves badly; everyone else well.
+    for (int t = 0; t < 400; ++t) {
+      const auto rater = static_cast<trust::NodeId>(rng.next_below(n));
+      auto ratee = static_cast<trust::NodeId>(rng.next_below(n - 1));
+      if (ratee >= rater) ++ratee;
+      manager.record_transaction(rater, ratee, ratee == 0 ? 0.0 : 1.0);
+    }
+    manager.refresh();
+    // Epochs 2-5: peer 0 reformed, serves perfectly.
+    for (int epoch = 0; epoch < 4; ++epoch) {
+      for (int t = 0; t < 400; ++t) {
+        const auto rater = static_cast<trust::NodeId>(rng.next_below(n));
+        auto ratee = static_cast<trust::NodeId>(rng.next_below(n - 1));
+        if (ratee >= rater) ++ratee;
+        manager.record_transaction(rater, ratee, 1.0);
+      }
+      manager.refresh();
+    }
+    return manager.score(0);
+  };
+  const double with_decay = run_scenario(0.3);
+  const double without_decay = run_scenario(1.0);
+  EXPECT_GT(with_decay, without_decay);
+}
+
+TEST(ReputationManager, ScoreBoundsChecked) {
+  ReputationManager manager(5, small_config(), 15);
+  EXPECT_THROW(manager.score(5), std::out_of_range);
+  EXPECT_THROW(manager.compressed_score(7), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace gt::core

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "filesharing/catalog.hpp"
+#include "filesharing/workload.hpp"
+
+namespace gt::filesharing {
+namespace {
+
+CatalogConfig small_catalog_config() {
+  CatalogConfig cfg;
+  cfg.num_peers = 100;
+  cfg.num_files = 2000;
+  cfg.max_copies = 30;
+  return cfg;
+}
+
+TEST(FileCatalog, IndexesConsistent) {
+  Rng rng(1);
+  const FileCatalog catalog(small_catalog_config(), rng);
+  EXPECT_EQ(catalog.num_files(), 2000u);
+  EXPECT_EQ(catalog.num_peers(), 100u);
+  std::size_t total_from_owners = 0;
+  for (FileId f = 0; f < 2000; ++f) {
+    for (const auto p : catalog.owners(f)) {
+      ASSERT_LT(p, 100u);
+      ASSERT_TRUE(catalog.has_file(p, f));
+    }
+    total_from_owners += catalog.owners(f).size();
+  }
+  std::size_t total_from_peers = 0;
+  for (PeerId p = 0; p < 100; ++p) total_from_peers += catalog.files_on_peer(p);
+  EXPECT_EQ(total_from_owners, total_from_peers);
+  EXPECT_EQ(total_from_owners, catalog.total_replicas());
+}
+
+TEST(FileCatalog, EveryFileHasAtLeastOneCopy) {
+  Rng rng(2);
+  const FileCatalog catalog(small_catalog_config(), rng);
+  for (FileId f = 0; f < 2000; ++f) EXPECT_GE(catalog.owners(f).size(), 1u) << f;
+}
+
+TEST(FileCatalog, PopularFilesHaveMoreCopies) {
+  Rng rng(3);
+  const FileCatalog catalog(small_catalog_config(), rng);
+  double head = 0.0, tail = 0.0;
+  for (FileId f = 0; f < 100; ++f) head += static_cast<double>(catalog.owners(f).size());
+  for (FileId f = 1900; f < 2000; ++f)
+    tail += static_cast<double>(catalog.owners(f).size());
+  EXPECT_GT(head, tail * 1.5);
+}
+
+TEST(FileCatalog, NoDuplicateOwnersPerFile) {
+  Rng rng(4);
+  const FileCatalog catalog(small_catalog_config(), rng);
+  for (FileId f = 0; f < 200; ++f) {
+    auto owners = catalog.owners(f);
+    std::sort(owners.begin(), owners.end());
+    EXPECT_TRUE(std::adjacent_find(owners.begin(), owners.end()) == owners.end());
+  }
+}
+
+TEST(FileCatalog, HeavySharersHoldMoreFiles) {
+  // Saroiu-weighted placement: the busiest peer should hold far more files
+  // than the median peer.
+  Rng rng(5);
+  CatalogConfig cfg = small_catalog_config();
+  cfg.num_files = 5000;
+  const FileCatalog catalog(cfg, rng);
+  std::vector<std::size_t> counts;
+  for (PeerId p = 0; p < 100; ++p) counts.push_back(catalog.files_on_peer(p));
+  std::sort(counts.begin(), counts.end());
+  EXPECT_GT(counts.back(), counts[50] * 3);
+}
+
+TEST(FileCatalog, RejectsEmptyConfig) {
+  Rng rng(6);
+  CatalogConfig cfg;
+  cfg.num_peers = 0;
+  EXPECT_THROW(FileCatalog(cfg, rng), std::invalid_argument);
+}
+
+TEST(QueryWorkload, SamplesWithinRange) {
+  WorkloadConfig cfg;
+  cfg.num_files = 1000;
+  const QueryWorkload wl(cfg);
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) ASSERT_LT(wl.sample(rng), 1000u);
+}
+
+TEST(QueryWorkload, HeadRanksDominateTraffic) {
+  WorkloadConfig cfg;
+  cfg.num_files = 10000;
+  const QueryWorkload wl(cfg);
+  Rng rng(8);
+  std::size_t head_hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) head_hits += (wl.sample(rng) < 250);
+  // Under the paper's two-segment law, the top 250 of 10k files draw a
+  // large share of all queries.
+  EXPECT_GT(static_cast<double>(head_hits) / trials, 0.3);
+}
+
+TEST(QueryWorkload, PmfMatchesPaperSlopes) {
+  WorkloadConfig cfg;
+  cfg.num_files = 100000;
+  const QueryWorkload wl(cfg);
+  EXPECT_GT(wl.pmf(0), wl.pmf(100));
+  EXPECT_GT(wl.pmf(100), wl.pmf(10000));
+}
+
+}  // namespace
+}  // namespace gt::filesharing

@@ -1,0 +1,156 @@
+#include "filesharing/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/local_only.hpp"
+#include "baseline/power_iteration.hpp"
+#include "graph/topology.hpp"
+
+namespace gt::filesharing {
+namespace {
+
+struct World {
+  std::vector<threat::PeerProfile> peers;
+  FileCatalog catalog;
+  QueryWorkload workload;
+  overlay::OverlayManager overlay;
+
+  static World make(std::size_t n, double malicious_frac, std::uint64_t seed) {
+    Rng rng(seed);
+    threat::ThreatConfig tcfg;
+    tcfg.n = n;
+    tcfg.malicious_fraction = malicious_frac;
+    auto peers = threat::make_population(tcfg, rng);
+    CatalogConfig ccfg;
+    ccfg.num_peers = n;
+    ccfg.num_files = 1500;
+    ccfg.max_copies = 25;
+    WorkloadConfig wcfg;
+    wcfg.num_files = 1500;
+    return World{std::move(peers), FileCatalog(ccfg, rng), QueryWorkload(wcfg),
+                 overlay::OverlayManager(graph::make_gnutella_like(n, rng))};
+  }
+};
+
+ScoreProvider exact_provider(double alpha, double power_frac) {
+  return [alpha, power_frac](const trust::SparseMatrix& s, Rng&) {
+    return baseline::power_iteration(s, alpha, power_frac, 1e-10).scores;
+  };
+}
+
+ScoreProvider uniform_provider() {
+  return [](const trust::SparseMatrix& s, Rng&) {
+    return baseline::notrust_scores(s.size());
+  };
+}
+
+SimulationConfig quick_sim(SelectionPolicy policy) {
+  SimulationConfig cfg;
+  cfg.queries_per_refresh = 500;
+  cfg.total_queries = 3000;
+  cfg.policy = policy;
+  return cfg;
+}
+
+TEST(SharingSimulation, CountsAreConsistent) {
+  auto world = World::make(120, 0.2, 1);
+  SharingSimulation sim(quick_sim(SelectionPolicy::kHighestReputation),
+                        world.catalog, world.workload, world.overlay, world.peers,
+                        exact_provider(0.15, 0.01));
+  Rng rng(2);
+  const auto stats = sim.run(rng);
+  EXPECT_EQ(stats.queries, 3000u);
+  EXPECT_EQ(stats.hits + stats.misses, stats.queries);
+  EXPECT_EQ(stats.authentic + stats.inauthentic, stats.hits);
+  EXPECT_EQ(stats.refreshes, 6u);
+  EXPECT_EQ(stats.success_per_window.size(), 6u);
+  EXPECT_GT(stats.flood_messages, stats.queries);
+}
+
+TEST(SharingSimulation, ReputationBeatsRandomUnderAttack) {
+  const double malicious = 0.25;
+  double rep_rate = 0.0, rnd_rate = 0.0;
+  {
+    auto world = World::make(150, malicious, 3);
+    SharingSimulation sim(quick_sim(SelectionPolicy::kHighestReputation),
+                          world.catalog, world.workload, world.overlay, world.peers,
+                          exact_provider(0.15, 0.01));
+    Rng rng(4);
+    rep_rate = sim.run(rng).success_rate();
+  }
+  {
+    auto world = World::make(150, malicious, 3);
+    SharingSimulation sim(quick_sim(SelectionPolicy::kRandom), world.catalog,
+                          world.workload, world.overlay, world.peers,
+                          uniform_provider());
+    Rng rng(4);
+    rnd_rate = sim.run(rng).success_rate();
+  }
+  EXPECT_GT(rep_rate, rnd_rate + 0.05);
+}
+
+TEST(SharingSimulation, NoMaliciousHighSuccessEitherWay) {
+  auto world = World::make(100, 0.0, 5);
+  SharingSimulation sim(quick_sim(SelectionPolicy::kRandom), world.catalog,
+                        world.workload, world.overlay, world.peers,
+                        uniform_provider());
+  Rng rng(6);
+  const auto stats = sim.run(rng);
+  // All peers have quality in [0.8, 1]: success only limited by that range.
+  EXPECT_GT(stats.success_rate(), 0.75);
+}
+
+TEST(SharingSimulation, ScoresRefreshedFromLedger) {
+  auto world = World::make(100, 0.2, 7);
+  SharingSimulation sim(quick_sim(SelectionPolicy::kHighestReputation),
+                        world.catalog, world.workload, world.overlay, world.peers,
+                        exact_provider(0.15, 0.01));
+  Rng rng(8);
+  // Before running, scores are uniform.
+  const double uniform = 1.0 / 100.0;
+  for (const auto s : sim.scores()) EXPECT_DOUBLE_EQ(s, uniform);
+  sim.run(rng);
+  // After refreshes, scores must differentiate and the ledger must be
+  // populated with one feedback per hit.
+  bool differentiated = false;
+  for (const auto s : sim.scores())
+    if (std::abs(s - uniform) > 1e-6) differentiated = true;
+  EXPECT_TRUE(differentiated);
+  EXPECT_GT(sim.ledger().num_feedbacks(), 0u);
+}
+
+TEST(SharingSimulation, MalousProvidersLoseSelectionOverTime) {
+  auto world = World::make(150, 0.3, 9);
+  SharingSimulation sim(quick_sim(SelectionPolicy::kHighestReputation),
+                        world.catalog, world.workload, world.overlay, world.peers,
+                        exact_provider(0.15, 0.01));
+  Rng rng(10);
+  const auto stats = sim.run(rng);
+  // Success rate in the last window should beat the first (reputation
+  // bootstraps from uniform scores).
+  ASSERT_GE(stats.success_per_window.size(), 2u);
+  EXPECT_GE(stats.success_per_window.back(),
+            stats.success_per_window.front() - 0.02);
+}
+
+TEST(SharingSimulation, RejectsMismatchedSizes) {
+  auto world = World::make(80, 0.1, 11);
+  Rng rng(12);
+  overlay::OverlayManager wrong_overlay(graph::make_gnutella_like(40, rng));
+  EXPECT_THROW(SharingSimulation(quick_sim(SelectionPolicy::kRandom), world.catalog,
+                                 world.workload, wrong_overlay, world.peers,
+                                 uniform_provider()),
+               std::invalid_argument);
+}
+
+TEST(SharingSimulation, ZeroRefreshPeriodThrows) {
+  auto world = World::make(80, 0.1, 13);
+  auto cfg = quick_sim(SelectionPolicy::kRandom);
+  cfg.queries_per_refresh = 0;
+  EXPECT_THROW(SharingSimulation(cfg, world.catalog, world.workload, world.overlay,
+                                 world.peers, uniform_provider()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gt::filesharing

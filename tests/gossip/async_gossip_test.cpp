@@ -1,0 +1,186 @@
+#include "gossip/async_gossip.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "trust/feedback.hpp"
+#include "trust/generator.hpp"
+
+namespace gt::gossip {
+namespace {
+
+trust::SparseMatrix make_matrix(std::size_t n, std::uint64_t seed) {
+  trust::FeedbackLedger ledger(n);
+  trust::FeedbackGenConfig cfg;
+  cfg.n = n;
+  cfg.d_max = std::min<std::size_t>(40, n - 1);
+  cfg.d_avg = std::min(10.0, static_cast<double>(n) / 3.0);
+  Rng rng(seed);
+  const std::vector<double> quality(n, 0.9);
+  trust::generate_honest_feedback(ledger, quality, cfg, rng);
+  return ledger.normalized_matrix();
+}
+
+struct Fixture {
+  sim::Scheduler scheduler;
+  net::NetworkConfig ncfg;
+  Fixture() {
+    ncfg.base_latency = 0.2;
+    ncfg.jitter = 0.1;
+  }
+};
+
+TEST(AsyncGossip, ConvergesToExactProduct) {
+  Fixture f;
+  const std::size_t n = 40;
+  net::Network network(f.scheduler, n, f.ncfg, Rng(1));
+  PushSumConfig cfg;
+  cfg.epsilon = 1e-8;
+  cfg.stable_rounds = 3;
+  AsyncGossip gossip(f.scheduler, network, cfg, AsyncGossip::Timing{});
+
+  const auto s = make_matrix(n, 2);
+  const std::vector<double> v(n, 1.0 / static_cast<double>(n));
+  gossip.initialize(s, v);
+  const auto exact = s.transpose_multiply(v);
+
+  Rng rng(3);
+  const auto res = gossip.run(rng);
+  EXPECT_TRUE(res.converged);
+  EXPECT_GT(res.send_events, n);
+  for (net::NodeId i : {net::NodeId{0}, net::NodeId{n / 2}}) {
+    const auto view = gossip.node_view(i);
+    EXPECT_LT(linf_distance(exact, view), 1e-4) << "node " << i;
+  }
+}
+
+TEST(AsyncGossip, MassSplitsBetweenNodesAndFlight) {
+  Fixture f;
+  const std::size_t n = 16;
+  net::Network network(f.scheduler, n, f.ncfg, Rng(4));
+  AsyncGossip gossip(f.scheduler, network, PushSumConfig{}, AsyncGossip::Timing{});
+  const auto s = make_matrix(n, 5);
+  const std::vector<double> v(n, 1.0 / static_cast<double>(n));
+  gossip.initialize(s, v);
+  const auto exact = s.transpose_multiply(v);
+
+  // Before any events, all mass is resident.
+  double resident = 0.0, exact_total = 0.0;
+  for (net::NodeId j = 0; j < n; ++j) {
+    resident += gossip.resident_x_mass(j);
+    exact_total += exact[j];
+  }
+  EXPECT_NEAR(resident, exact_total, 1e-12);
+
+  // Mid-flight, resident mass can only be <= the total (no duplication).
+  Rng rng(6);
+  gossip.run(rng);
+  double resident_after = 0.0, resident_w = 0.0;
+  for (net::NodeId j = 0; j < n; ++j) {
+    resident_after += gossip.resident_x_mass(j);
+    resident_w += gossip.resident_w_mass(j);
+  }
+  EXPECT_LE(resident_after, exact_total + 1e-12);
+  EXPECT_LE(resident_w, static_cast<double>(n) + 1e-12);
+  EXPECT_GT(resident_w, 0.5 * static_cast<double>(n));  // most w is resident
+}
+
+TEST(AsyncGossip, ToleratesMessageLoss) {
+  Fixture f;
+  f.ncfg.loss_probability = 0.1;
+  const std::size_t n = 32;
+  net::Network network(f.scheduler, n, f.ncfg, Rng(7));
+  PushSumConfig cfg;
+  cfg.epsilon = 1e-7;
+  cfg.stable_rounds = 3;
+  AsyncGossip gossip(f.scheduler, network, cfg, AsyncGossip::Timing{});
+  const auto s = make_matrix(n, 8);
+  const std::vector<double> v(n, 1.0 / static_cast<double>(n));
+  gossip.initialize(s, v);
+  const auto exact = s.transpose_multiply(v);
+
+  Rng rng(9);
+  const auto res = gossip.run(rng);
+  EXPECT_TRUE(res.converged);
+  EXPECT_GT(res.messages_dropped, 0u);
+  const auto view = gossip.node_view(0);
+  EXPECT_LT(rms_relative_error(exact, view), 0.3);
+}
+
+TEST(AsyncGossip, SurvivesNodeFailureMidRun) {
+  Fixture f;
+  const std::size_t n = 24;
+  net::Network network(f.scheduler, n, f.ncfg, Rng(10));
+  PushSumConfig cfg;
+  cfg.epsilon = 1e-6;
+  cfg.stable_rounds = 3;
+  AsyncGossip gossip(f.scheduler, network, cfg, AsyncGossip::Timing{});
+  const auto s = make_matrix(n, 11);
+  const std::vector<double> v(n, 1.0 / static_cast<double>(n));
+  gossip.initialize(s, v);
+
+  // Node 5 dies shortly after the protocol starts.
+  f.scheduler.schedule_at(2.0, [&] { network.set_node_up(5, false); });
+  Rng rng(12);
+  const auto res = gossip.run(rng);
+  // The survivors still reach epsilon-stability on live components.
+  EXPECT_TRUE(res.converged);
+}
+
+TEST(AsyncGossip, TimeoutTerminatesNonConvergence) {
+  Fixture f;
+  const std::size_t n = 16;
+  net::Network network(f.scheduler, n, f.ncfg, Rng(13));
+  PushSumConfig cfg;
+  cfg.epsilon = 0.0;  // unreachable with FP noise
+  cfg.stable_rounds = 1000000;
+  AsyncGossip::Timing timing;
+  timing.timeout = 50.0;
+  AsyncGossip gossip(f.scheduler, network, cfg, timing);
+  const auto s = make_matrix(n, 14);
+  const std::vector<double> v(n, 1.0 / static_cast<double>(n));
+  gossip.initialize(s, v);
+  Rng rng(15);
+  const auto res = gossip.run(rng);
+  EXPECT_FALSE(res.converged);
+  EXPECT_LE(res.sim_time, 60.0);
+}
+
+TEST(AsyncGossip, NeighborsOnlyOverlayMode) {
+  Fixture f;
+  const std::size_t n = 30;
+  net::Network network(f.scheduler, n, f.ncfg, Rng(16));
+  PushSumConfig cfg;
+  cfg.epsilon = 1e-7;
+  cfg.stable_rounds = 3;
+  cfg.neighbors_only = true;
+  AsyncGossip gossip(f.scheduler, network, cfg, AsyncGossip::Timing{});
+  Rng trng(17);
+  const auto overlay = graph::make_gnutella_like(n, trng);
+  const auto s = make_matrix(n, 18);
+  const std::vector<double> v(n, 1.0 / static_cast<double>(n));
+  gossip.initialize(s, v);
+  const auto exact = s.transpose_multiply(v);
+  Rng rng(19);
+  const auto res = gossip.run(rng, &overlay);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(linf_distance(exact, gossip.node_view(3)), 1e-3);
+}
+
+TEST(AsyncGossip, RejectsBadConstruction) {
+  Fixture f;
+  net::Network network(f.scheduler, 4, f.ncfg, Rng(20));
+  AsyncGossip::Timing bad;
+  bad.period = 0.0;
+  EXPECT_THROW(AsyncGossip(f.scheduler, network, PushSumConfig{}, bad),
+               std::invalid_argument);
+  AsyncGossip gossip(f.scheduler, network, PushSumConfig{}, AsyncGossip::Timing{});
+  const auto s = make_matrix(8, 21);
+  std::vector<double> v(8, 0.125);
+  EXPECT_THROW(gossip.initialize(s, v), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gt::gossip

@@ -1,0 +1,166 @@
+#include "gossip/pushsum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/topology.hpp"
+
+namespace gt::gossip {
+namespace {
+
+PushSumConfig tight_config() {
+  PushSumConfig cfg;
+  cfg.epsilon = 1e-9;
+  cfg.stable_rounds = 3;
+  cfg.max_steps = 10000;
+  return cfg;
+}
+
+TEST(ScalarPushSum, PaperThreeNodeExample) {
+  // Fig. 2 / Table 1: v = (1/2, 1/3, 1/6), s_12 = 0.2, s_22 = 0, s_32 = 0.6.
+  // Weighted scores x(0) = (0.1, 0, 0.1); node 2 holds the consensus factor.
+  // Every node's ratio must converge to v_2(t+1) = 0.2.
+  ScalarPushSum ps({0.1, 0.0, 0.1}, {0.0, 1.0, 0.0}, tight_config());
+  Rng rng(42);
+  const auto res = ps.run(rng);
+  EXPECT_TRUE(res.converged);
+  for (NodeId i = 0; i < 3; ++i) EXPECT_NEAR(ps.estimate(i), 0.2, 1e-6) << i;
+}
+
+TEST(ScalarPushSum, ComputesWeightedSumLargerNetwork) {
+  const std::size_t n = 64;
+  std::vector<double> x(n), w(n, 0.0);
+  double target = 0.0;
+  Rng init(7);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = init.next_double();
+    target += x[i];
+  }
+  w[0] = 1.0;  // single consensus-factor holder: ratios converge to sum
+  ScalarPushSum ps(x, w, tight_config());
+  Rng rng(1);
+  const auto res = ps.run(rng);
+  EXPECT_TRUE(res.converged);
+  for (NodeId i = 0; i < n; ++i) EXPECT_NEAR(ps.estimate(i), target, 1e-5);
+}
+
+TEST(ScalarPushSum, AverageModeAllWeightsOne) {
+  // With w_i(0) = 1 everywhere, push-sum computes the average of x.
+  const std::size_t n = 32;
+  std::vector<double> x(n), w(n, 1.0);
+  double mean = 0.0;
+  Rng init(8);
+  for (auto& v : x) {
+    v = init.next_double(0.0, 10.0);
+    mean += v;
+  }
+  mean /= static_cast<double>(n);
+  ScalarPushSum ps(x, w, tight_config());
+  Rng rng(2);
+  EXPECT_TRUE(ps.run(rng).converged);
+  for (NodeId i = 0; i < n; ++i) EXPECT_NEAR(ps.estimate(i), mean, 1e-6);
+}
+
+TEST(ScalarPushSum, MassConservedExactly) {
+  ScalarPushSum ps({0.3, 0.4, 0.2, 0.1}, {0.0, 0.0, 1.0, 0.0}, tight_config());
+  Rng rng(3);
+  PushSumResult res;
+  for (int s = 0; s < 20; ++s) {
+    ps.step(rng, nullptr, res);
+    EXPECT_NEAR(ps.total_x(), 1.0, 1e-12);
+    EXPECT_NEAR(ps.total_w(), 1.0, 1e-12);
+  }
+  EXPECT_EQ(res.messages_sent, 4u * 20u);
+  EXPECT_EQ(res.messages_lost, 0u);
+}
+
+TEST(ScalarPushSum, ConvergesInLogarithmicSteps) {
+  // Kempe et al.: diffusion speed is O(log n). Allow a generous constant.
+  for (const std::size_t n : {16u, 64u, 256u}) {
+    std::vector<double> x(n, 1.0 / static_cast<double>(n)), w(n, 0.0);
+    w[0] = 1.0;
+    PushSumConfig cfg;
+    cfg.epsilon = 1e-4;
+    cfg.stable_rounds = 2;
+    ScalarPushSum ps(x, w, cfg);
+    Rng rng(4);
+    const auto res = ps.run(rng);
+    EXPECT_TRUE(res.converged);
+    EXPECT_LE(res.steps, 12 * static_cast<std::size_t>(std::log2(n)) + 20) << n;
+  }
+}
+
+TEST(ScalarPushSum, MessageLossStillConvergesNearTarget) {
+  const std::size_t n = 64;
+  std::vector<double> x(n, 1.0), w(n, 1.0);  // average = 1 exactly
+  PushSumConfig cfg = tight_config();
+  cfg.epsilon = 1e-7;
+  cfg.loss_probability = 0.1;
+  ScalarPushSum ps(x, w, cfg);
+  Rng rng(5);
+  const auto res = ps.run(rng);
+  EXPECT_TRUE(res.converged);
+  EXPECT_GT(res.messages_lost, 0u);
+  // Loss removes x and w mass together, so ratios stay near the target:
+  // this is the "no error recovery needed" robustness the paper claims.
+  for (NodeId i = 0; i < n; ++i) EXPECT_NEAR(ps.estimate(i), 1.0, 0.05);
+}
+
+TEST(ScalarPushSum, NeighborsOnlyGossipOnRing) {
+  Rng trng(6);
+  const auto ring = graph::make_ring_with_shortcuts(32, 16, trng);
+  const std::size_t n = 32;
+  std::vector<double> x(n, 0.0), w(n, 1.0);
+  x[0] = 32.0;  // average = 1
+  PushSumConfig cfg = tight_config();
+  cfg.neighbors_only = true;
+  cfg.epsilon = 1e-8;
+  ScalarPushSum ps(x, w, cfg);
+  Rng rng(6);
+  const auto res = ps.run(rng, &ring);
+  EXPECT_TRUE(res.converged);
+  for (NodeId i = 0; i < n; ++i) EXPECT_NEAR(ps.estimate(i), 1.0, 1e-4);
+}
+
+TEST(ScalarPushSum, UndefinedRatioBeforeWeightArrives) {
+  ScalarPushSum ps({0.5, 0.5}, {1.0, 0.0}, tight_config());
+  EXPECT_TRUE(std::isnan(ps.estimate(1)));
+  EXPECT_FALSE(std::isnan(ps.estimate(0)));
+}
+
+TEST(ScalarPushSum, MaxDisagreementShrinks) {
+  const std::size_t n = 128;
+  std::vector<double> x(n, 0.0), w(n, 1.0);
+  x[0] = static_cast<double>(n);
+  ScalarPushSum ps(x, w, tight_config());
+  Rng rng(9);
+  PushSumResult res;
+  for (int s = 0; s < 10; ++s) ps.step(rng, nullptr, res);
+  const double early = ps.max_disagreement();
+  for (int s = 0; s < 30; ++s) ps.step(rng, nullptr, res);
+  const double late = ps.max_disagreement();
+  EXPECT_LT(late, early * 0.1);
+}
+
+TEST(ScalarPushSum, RejectsEmptyOrMismatched) {
+  EXPECT_THROW(ScalarPushSum({}, {}, PushSumConfig{}), std::invalid_argument);
+  EXPECT_THROW(ScalarPushSum({1.0}, {1.0, 0.0}, PushSumConfig{}),
+               std::invalid_argument);
+}
+
+TEST(ScalarPushSum, MaxStepsCapRespected) {
+  PushSumConfig cfg;
+  cfg.epsilon = 0.0;  // unreachable threshold given FP noise
+  cfg.stable_rounds = 1000000;
+  cfg.max_steps = 25;
+  std::vector<double> x(8, 1.0), w(8, 1.0);
+  ScalarPushSum ps(x, w, cfg);
+  Rng rng(10);
+  const auto res = ps.run(rng);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.steps, 25u);
+}
+
+}  // namespace
+}  // namespace gt::gossip

@@ -1,0 +1,111 @@
+#include "gossip/secure_channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gt::gossip {
+namespace {
+
+std::vector<Triplet> sample_triplets() {
+  return {{0.05, 1, 0.5}, {0.01, 2, 0.0}, {0.125, 7, 0.25}};
+}
+
+TEST(PackTriplets, RoundTrip) {
+  const auto triplets = sample_triplets();
+  const auto bytes = pack_triplets(triplets);
+  EXPECT_EQ(bytes.size(), 3u * 24u);
+  const auto back = unpack_triplets(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, triplets);
+}
+
+TEST(PackTriplets, EmptyBatch) {
+  const auto bytes = pack_triplets({});
+  EXPECT_TRUE(bytes.empty());
+  const auto back = unpack_triplets(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(PackTriplets, RejectsTruncatedBytes) {
+  auto bytes = pack_triplets(sample_triplets());
+  bytes.pop_back();
+  EXPECT_FALSE(unpack_triplets(bytes).has_value());
+}
+
+TEST(SecureChannel, SealOpenRoundTrip) {
+  crypto::IdentityAuthority pkg(0xabc);
+  SecureGossipChannel channel(pkg);
+  const auto key = pkg.extract(42);
+  const auto msg = channel.seal(key, sample_triplets());
+  EXPECT_EQ(msg.sender, 42u);
+  EXPECT_EQ(msg.wire_bytes(), 3u * 24u + 24u);
+  const auto opened = channel.open(msg);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, sample_triplets());
+  EXPECT_EQ(channel.accepted(), 1u);
+  EXPECT_EQ(channel.rejected(), 0u);
+}
+
+TEST(SecureChannel, TamperedShareRejected) {
+  crypto::IdentityAuthority pkg(0xabc);
+  SecureGossipChannel channel(pkg);
+  const auto key = pkg.extract(42);
+  auto msg = channel.seal(key, sample_triplets());
+  Rng rng(1);
+  ASSERT_TRUE(tamper_in_transit(msg, /*beneficiary=*/99, /*boost=*/100.0,
+                                /*tamper_probability=*/1.0, rng));
+  EXPECT_FALSE(channel.open(msg).has_value());
+  EXPECT_EQ(channel.rejected(), 1u);
+}
+
+TEST(SecureChannel, ReattributedSenderRejected) {
+  crypto::IdentityAuthority pkg(0xabc);
+  SecureGossipChannel channel(pkg);
+  auto msg = channel.seal(pkg.extract(42), sample_triplets());
+  msg.sender = 43;
+  EXPECT_FALSE(channel.open(msg).has_value());
+}
+
+TEST(SecureChannel, TamperProbabilityZeroNeverTampers) {
+  crypto::IdentityAuthority pkg(0xabc);
+  SecureGossipChannel channel(pkg);
+  auto msg = channel.seal(pkg.extract(1), sample_triplets());
+  Rng rng(2);
+  EXPECT_FALSE(tamper_in_transit(msg, 9, 1.0, 0.0, rng));
+  EXPECT_TRUE(channel.open(msg).has_value());
+}
+
+TEST(SecureChannel, TamperedMessagesActLikeLoss) {
+  // End-to-end: a relay tampers half the messages; the receiver integrates
+  // only authentic ones. The final integrated mass equals exactly the sum
+  // of accepted shares — no forged mass enters.
+  crypto::IdentityAuthority pkg(0x5eed);
+  SecureGossipChannel channel(pkg);
+  Rng rng(3);
+  double integrated_x = 0.0;
+  double authentic_x = 0.0;
+  for (int round = 0; round < 200; ++round) {
+    const auto key = pkg.extract(static_cast<crypto::Identity>(round % 10));
+    std::vector<Triplet> batch{{0.01, 5, 0.02}};
+    auto msg = channel.seal(key, batch);
+    const bool tampered = tamper_in_transit(msg, 5, 10.0, 0.5, rng);
+    if (!tampered) authentic_x += 0.01;
+    const auto opened = channel.open(msg);
+    EXPECT_EQ(opened.has_value(), !tampered);
+    if (opened) {
+      for (const auto& t : *opened) integrated_x += t.x;
+    }
+  }
+  EXPECT_DOUBLE_EQ(integrated_x, authentic_x);
+  EXPECT_GT(channel.rejected(), 50u);
+  EXPECT_GT(channel.accepted(), 50u);
+}
+
+TEST(SecureChannel, TinyMessageCannotBeTampered) {
+  SecureVectorMessage empty;
+  Rng rng(4);
+  EXPECT_FALSE(tamper_in_transit(empty, 1, 1.0, 1.0, rng));
+}
+
+}  // namespace
+}  // namespace gt::gossip

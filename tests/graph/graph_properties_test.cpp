@@ -1,0 +1,92 @@
+// Parameterized property sweeps over every topology generator: whatever
+// the generator and size, the resulting overlay must be a simple,
+// connected, undirected graph obeying the handshake lemma.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "graph/metrics.hpp"
+#include "graph/topology.hpp"
+
+namespace gt::graph {
+namespace {
+
+enum class Generator { kErdosRenyi, kBarabasiAlbert, kGnutella, kSuperPeer, kRing };
+
+const char* generator_name(Generator g) {
+  switch (g) {
+    case Generator::kErdosRenyi: return "ErdosRenyi";
+    case Generator::kBarabasiAlbert: return "BarabasiAlbert";
+    case Generator::kGnutella: return "Gnutella";
+    case Generator::kSuperPeer: return "SuperPeer";
+    case Generator::kRing: return "Ring";
+  }
+  return "?";
+}
+
+Graph build(Generator g, std::size_t n, Rng& rng) {
+  switch (g) {
+    case Generator::kErdosRenyi: return make_erdos_renyi(n, 3 * n, rng);
+    case Generator::kBarabasiAlbert: return make_barabasi_albert(n, 3, rng);
+    case Generator::kGnutella: return make_gnutella_like(n, rng);
+    case Generator::kSuperPeer: return make_super_peer(n, std::max<std::size_t>(4, n / 20), 2, rng);
+    case Generator::kRing: return make_ring_with_shortcuts(n, n / 5, rng);
+  }
+  return Graph(0);
+}
+
+using Param = std::tuple<Generator, std::size_t, std::uint64_t>;
+
+class TopologyProperty : public ::testing::TestWithParam<Param> {};
+
+TEST_P(TopologyProperty, SimpleConnectedUndirected) {
+  const auto [gen, n, seed] = GetParam();
+  SCOPED_TRACE(generator_name(gen));
+  Rng rng(seed);
+  const auto g = build(gen, n, rng);
+  ASSERT_EQ(g.num_nodes(), n);
+  EXPECT_TRUE(is_connected(g));
+
+  // Handshake lemma + symmetry + no self-loops + sorted unique neighbors.
+  std::size_t degree_sum = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto nbrs = g.neighbors(v);
+    degree_sum += nbrs.size();
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      ASSERT_NE(nbrs[k], v) << "self loop at " << v;
+      ASSERT_TRUE(g.has_edge(nbrs[k], v)) << "asymmetric edge";
+      if (k > 0) {
+        ASSERT_LT(nbrs[k - 1], nbrs[k]) << "unsorted/duplicate neighbor";
+      }
+    }
+  }
+  EXPECT_EQ(degree_sum, 2 * g.num_edges());
+}
+
+TEST_P(TopologyProperty, DiameterSmall) {
+  const auto [gen, n, seed] = GetParam();
+  if (gen == Generator::kRing) GTEST_SKIP() << "ring diameter is Theta(n/shortcuts)";
+  Rng rng(seed);
+  const auto g = build(gen, n, rng);
+  Rng drng(seed + 1);
+  // Unstructured overlays used by the paper have logarithmic diameter.
+  EXPECT_LE(estimate_diameter(g, 8, drng), 16u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerators, TopologyProperty,
+    ::testing::Combine(::testing::Values(Generator::kErdosRenyi,
+                                         Generator::kBarabasiAlbert,
+                                         Generator::kGnutella,
+                                         Generator::kSuperPeer, Generator::kRing),
+                       ::testing::Values(std::size_t{64}, std::size_t{500}),
+                       ::testing::Values(1ull, 99ull)),
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      return std::string(generator_name(std::get<0>(param_info.param))) + "_n" +
+             std::to_string(std::get<1>(param_info.param)) + "_s" +
+             std::to_string(std::get<2>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace gt::graph

@@ -1,0 +1,102 @@
+#include "graph/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <numeric>
+
+#include "graph/topology.hpp"
+
+namespace gt::graph {
+namespace {
+
+Graph path_graph(std::size_t n) {
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+TEST(DegreeHistogram, CountsCorrectly) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  const auto hist = degree_histogram(g);
+  ASSERT_EQ(hist.size(), 4u);  // max degree 3
+  EXPECT_EQ(hist[1], 3u);
+  EXPECT_EQ(hist[3], 1u);
+  EXPECT_EQ(std::accumulate(hist.begin(), hist.end(), std::size_t{0}), 4u);
+}
+
+TEST(MeanDegree, TwoEdgesFourNodes) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_DOUBLE_EQ(mean_degree(g), 1.0);
+  EXPECT_DOUBLE_EQ(mean_degree(Graph(0)), 0.0);
+}
+
+TEST(Components, CountsAndConnectivity) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(count_components(g), 3u);  // {0,1,2}, {3}, {4}
+  EXPECT_FALSE(is_connected(g));
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(is_connected(Graph(1)));
+  EXPECT_TRUE(is_connected(Graph(0)));
+}
+
+TEST(BfsDistances, PathGraphDistances) {
+  const auto g = path_graph(5);
+  const auto dist = bfs_distances(g, 0);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(dist[i], i);
+}
+
+TEST(BfsDistances, UnreachableMarked) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[2], std::numeric_limits<std::size_t>::max());
+}
+
+TEST(Diameter, ExactOnPath) {
+  const auto g = path_graph(10);
+  Rng rng(1);
+  EXPECT_EQ(estimate_diameter(g, 10, rng), 9u);
+}
+
+TEST(Diameter, SampledLowerBound) {
+  const auto g = path_graph(20);
+  Rng rng(2);
+  const auto est = estimate_diameter(g, 3, rng);
+  EXPECT_LE(est, 19u);
+  EXPECT_GE(est, 10u);  // any sampled BFS on a path sees >= half the length
+}
+
+TEST(Clustering, TriangleIsOne) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(g), 1.0);
+}
+
+TEST(Clustering, StarIsZero) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(g), 0.0);
+}
+
+TEST(PowerLawExponent, ZeroWhenNoTail) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_DOUBLE_EQ(degree_powerlaw_exponent(g, 10), 0.0);
+}
+
+}  // namespace
+}  // namespace gt::graph

@@ -1,0 +1,158 @@
+#include "graph/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/metrics.hpp"
+
+namespace gt::graph {
+namespace {
+
+TEST(Graph, AddRemoveEdgeBasics) {
+  Graph g(4);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(0, 1));  // duplicate
+  EXPECT_FALSE(g.add_edge(1, 0));  // same edge, reversed
+  EXPECT_FALSE(g.add_edge(2, 2));  // self loop
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.remove_edge(1, 0));
+  EXPECT_FALSE(g.remove_edge(1, 0));
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, NeighborsSortedAndSymmetric) {
+  Graph g(5);
+  g.add_edge(2, 4);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  const auto nbrs = g.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 0u);
+  EXPECT_EQ(nbrs[1], 3u);
+  EXPECT_EQ(nbrs[2], 4u);
+  EXPECT_EQ(g.degree(4), 1u);
+}
+
+TEST(Graph, AddNodeGrows) {
+  Graph g(2);
+  const auto id = g.add_node();
+  EXPECT_EQ(id, 2u);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_TRUE(g.add_edge(0, id));
+}
+
+TEST(Graph, IsolateRemovesAllIncidentEdges) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.isolate(0);
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(ErdosRenyi, ConnectedWithRequestedEdges) {
+  Rng rng(1);
+  const auto g = make_erdos_renyi(200, 400, rng);
+  EXPECT_EQ(g.num_nodes(), 200u);
+  EXPECT_GE(g.num_edges(), 400u);  // connectivity patch may add a few
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(ErdosRenyi, EdgeCountClampedToComplete) {
+  Rng rng(2);
+  const auto g = make_erdos_renyi(5, 1000, rng);
+  EXPECT_EQ(g.num_edges(), 10u);
+}
+
+TEST(BarabasiAlbert, DegreesAndConnectivity) {
+  Rng rng(3);
+  const auto g = make_barabasi_albert(500, 3, rng);
+  EXPECT_EQ(g.num_nodes(), 500u);
+  EXPECT_TRUE(is_connected(g));
+  // Each non-seed node attaches with 3 links: mean degree ~ 6.
+  EXPECT_NEAR(mean_degree(g), 6.0, 1.0);
+}
+
+TEST(BarabasiAlbert, ProducesHubs) {
+  Rng rng(4);
+  const auto g = make_barabasi_albert(1000, 3, rng);
+  std::size_t max_deg = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) max_deg = std::max(max_deg, g.degree(v));
+  // Preferential attachment must grow hubs far above the mean degree.
+  EXPECT_GT(max_deg, 30u);
+}
+
+TEST(BarabasiAlbert, PowerLawExponentNearThree) {
+  Rng rng(5);
+  const auto g = make_barabasi_albert(3000, 3, rng);
+  const double gamma = degree_powerlaw_exponent(g, 6);
+  EXPECT_GT(gamma, 2.0);
+  EXPECT_LT(gamma, 4.5);
+}
+
+TEST(BarabasiAlbert, RejectsBadArguments) {
+  Rng rng(6);
+  EXPECT_THROW(make_barabasi_albert(2, 3, rng), std::invalid_argument);
+  EXPECT_THROW(make_barabasi_albert(100, 0, rng), std::invalid_argument);
+}
+
+TEST(GnutellaLike, ConnectedHeavyTailed) {
+  Rng rng(7);
+  const auto g = make_gnutella_like(1000, rng);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_GT(mean_degree(g), 5.0);
+  Rng rng2(8);
+  EXPECT_LT(estimate_diameter(g, 20, rng2), 12u);
+}
+
+TEST(SuperPeer, LeavesAttachToHubs) {
+  Rng rng(9);
+  const auto g = make_super_peer(300, 20, 2, rng);
+  EXPECT_TRUE(is_connected(g));
+  // Leaves have exactly their bootstrap degree (2) unless patched.
+  std::size_t leaf_total = 0;
+  for (NodeId v = 20; v < 300; ++v) {
+    leaf_total += g.degree(v);
+    for (const auto u : g.neighbors(v)) EXPECT_LT(u, 20u) << "leaf linked to leaf";
+  }
+  EXPECT_NEAR(static_cast<double>(leaf_total) / 280.0, 2.0, 0.2);
+}
+
+TEST(SuperPeer, RejectsBadHubCount) {
+  Rng rng(10);
+  EXPECT_THROW(make_super_peer(10, 0, 2, rng), std::invalid_argument);
+  EXPECT_THROW(make_super_peer(10, 11, 2, rng), std::invalid_argument);
+}
+
+TEST(RingWithShortcuts, RingBackboneIntact) {
+  Rng rng(11);
+  const auto g = make_ring_with_shortcuts(50, 10, rng);
+  EXPECT_TRUE(is_connected(g));
+  for (NodeId v = 0; v < 50; ++v) EXPECT_TRUE(g.has_edge(v, (v + 1) % 50));
+  EXPECT_GE(g.num_edges(), 50u);
+}
+
+TEST(MakeConnected, PatchesDisconnectedGraph) {
+  Rng rng(12);
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.add_edge(4, 5);
+  EXPECT_EQ(count_components(g), 3u);
+  const auto added = make_connected(g, rng);
+  EXPECT_EQ(added, 2u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(MakeConnected, NoOpOnConnected) {
+  Rng rng(13);
+  auto g = make_ring_with_shortcuts(10, 0, rng);
+  EXPECT_EQ(make_connected(g, rng), 0u);
+}
+
+}  // namespace
+}  // namespace gt::graph

@@ -1,0 +1,289 @@
+// End-to-end integration tests across subsystems: the paper's worked
+// example, the full attack -> aggregation -> error pipeline, gossip over a
+// live overlay with churn, and GossipTrust vs the DHT baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/eigentrust.hpp"
+#include "baseline/power_iteration.hpp"
+#include "common/stats.hpp"
+#include "core/engine.hpp"
+#include "core/qos_qof.hpp"
+#include "crypto/identity_auth.hpp"
+#include "gossip/vector_gossip.hpp"
+#include "graph/topology.hpp"
+#include "overlay/overlay.hpp"
+#include "threat/models.hpp"
+#include "trust/feedback.hpp"
+#include "trust/generator.hpp"
+
+namespace gt {
+namespace {
+
+/// The paper's Fig. 2 trust state: 3 nodes, known v(t) and local scores.
+trust::SparseMatrix paper_matrix() {
+  // Row sums must be 1; only column 2 (node N2 in 1-based naming) is
+  // exercised by the example: s_12 = 0.2, s_22 = 0, s_32 = 0.6.
+  trust::SparseMatrix::Builder b(3);
+  b.add(0, 1, 0.2);
+  b.add(0, 0, 0.8);
+  b.add(1, 0, 1.0);
+  b.add(2, 1, 0.6);
+  b.add(2, 0, 0.4);
+  return std::move(b).build();
+}
+
+TEST(PaperExample, VectorGossipReproducesFig2) {
+  const auto s = paper_matrix();
+  ASSERT_TRUE(s.is_row_stochastic());
+  const std::vector<double> v{0.5, 1.0 / 3.0, 1.0 / 6.0};
+
+  // Exact Eq. (7): v_2(t+1) = 1/2*0.2 + 1/3*0 + 1/6*0.6 = 0.2.
+  const auto exact = s.transpose_multiply(v);
+  EXPECT_NEAR(exact[1], 0.2, 1e-12);
+
+  gossip::PushSumConfig cfg;
+  cfg.epsilon = 1e-10;
+  cfg.stable_rounds = 4;
+  gossip::VectorGossip vg(3, cfg);
+  vg.initialize(s, v);
+  Rng rng(7);
+  ASSERT_TRUE(vg.run(rng).converged);
+  for (std::size_t node = 0; node < 3; ++node) {
+    EXPECT_NEAR(vg.node_view(node)[1], 0.2, 1e-6)
+        << "node " << node << " must agree on v_2 = 0.2 (paper Table 1)";
+  }
+}
+
+struct AttackPipeline {
+  std::vector<threat::PeerProfile> peers;
+  std::vector<double> reference;  // honest-counterfactual exact scores
+  std::vector<double> attacked;   // GossipTrust scores under attack
+  double rms = 0.0;               // honest-restricted Eq. (8) RMS
+  double gain = 0.0;              // malicious reputation gain
+};
+
+AttackPipeline run_attack_pipeline(std::size_t n, double malicious_frac, double alpha,
+                                   bool collusive, std::size_t group_size,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  threat::ThreatConfig tcfg;
+  tcfg.n = n;
+  tcfg.malicious_fraction = malicious_frac;
+  tcfg.collusive = collusive;
+  tcfg.collusion_group_size = group_size;
+  auto peers = threat::make_population(tcfg, rng);
+  trust::FeedbackGenConfig gen;
+  gen.n = n;
+  gen.d_max = 60;
+  gen.d_avg = 20.0;
+
+  trust::FeedbackLedger attacked_ledger(n), honest_ledger(n);
+  threat::generate_threat_feedback(attacked_ledger, peers, tcfg, gen, Rng(seed + 1));
+  threat::generate_honest_counterfactual(honest_ledger, peers, tcfg, gen,
+                                         Rng(seed + 1));
+
+  core::GossipTrustConfig cfg;
+  cfg.alpha = alpha;
+  cfg.power_node_fraction = 0.02;  // >= a handful of anchors at this n
+  cfg.delta = 1e-4;
+  cfg.epsilon = 1e-6;
+  cfg.max_cycles = 30;  // attacked chains may not contract at alpha = 0
+  core::GossipTrustEngine engine(n, cfg);
+  Rng grng(seed + 2);
+  const auto run = engine.run(attacked_ledger.normalized_matrix(), grng);
+
+  AttackPipeline out;
+  out.attacked = run.scores;
+  // Reference uses the SAME power anchors the attacked system settled on,
+  // so the metric isolates attack damage from power-set mismatch.
+  out.reference = baseline::fixed_power_iteration(honest_ledger.normalized_matrix(),
+                                                  alpha, run.power_nodes, 1e-12)
+                      .scores;
+  out.rms = threat::honest_rms_error(peers, out.reference, out.attacked);
+  out.gain = threat::malicious_reputation_gain(peers, out.reference, out.attacked);
+  out.peers = std::move(peers);
+  return out;
+}
+
+TEST(AttackPipeline, DishonestFeedbackInflatesError) {
+  const auto clean = run_attack_pipeline(300, 0.0, 0.15, false, 5, 10);
+  const auto attacked = run_attack_pipeline(300, 0.3, 0.15, false, 5, 10);
+  EXPECT_LT(clean.rms, attacked.rms);
+  EXPECT_GT(attacked.gain, 1.0);  // liars inflate their own standing
+}
+
+TEST(AttackPipeline, PowerNodesContainCollusion) {
+  // The paper's Fig. 4(b) claim: with power nodes (alpha = 0.15) the
+  // system is far more robust against collusion than without (alpha = 0):
+  // the collusive spider trap drains honest reputation unless the greedy
+  // teleport leaks mass back out. Averaged over seeds.
+  double with_power = 0.0, without_power = 0.0;
+  for (std::uint64_t seed : {20ull, 21ull}) {
+    with_power += run_attack_pipeline(300, 0.1, 0.15, true, 5, seed).rms;
+    without_power += run_attack_pipeline(300, 0.1, 0.0, true, 5, seed).rms;
+  }
+  EXPECT_LT(with_power, without_power * 0.7);
+}
+
+TEST(AttackPipeline, CollusionGainBoundedByPowerNodes) {
+  const auto res = run_attack_pipeline(300, 0.1, 0.15, true, 5, 25);
+  const auto unguarded = run_attack_pipeline(300, 0.1, 0.0, true, 5, 25);
+  EXPECT_LT(res.gain, unguarded.gain);
+}
+
+TEST(AttackPipeline, CollusionHandledWithPowerNodes) {
+  // Power nodes keep more honest peers in the top of the ranking than an
+  // unguarded aggregation does (colluders inflate but are contained).
+  auto honest_in_top10 = [](const AttackPipeline& res) {
+    const auto top = top_k_indices(res.attacked, 10);
+    std::size_t honest = 0;
+    for (const auto t : top)
+      honest += (res.peers[t].type == threat::PeerType::kHonest);
+    return honest;
+  };
+  std::size_t guarded = 0, unguarded = 0;
+  for (std::uint64_t seed : {30ull, 31ull, 32ull}) {
+    guarded += honest_in_top10(run_attack_pipeline(300, 0.1, 0.15, true, 5, seed));
+    unguarded += honest_in_top10(run_attack_pipeline(300, 0.1, 0.0, true, 5, seed));
+  }
+  EXPECT_GE(guarded, unguarded);
+  EXPECT_GE(guarded, 9u);  // on average at least 3 of 10 honest with anchors
+}
+
+TEST(OverlayGossip, NeighborsOnlyConvergesOnLiveOverlay) {
+  const std::size_t n = 80;
+  Rng rng(40);
+  overlay::OverlayManager om(graph::make_gnutella_like(n, rng));
+
+  trust::FeedbackLedger ledger(n);
+  trust::FeedbackGenConfig gen;
+  gen.n = n;
+  gen.d_max = 30;
+  gen.d_avg = 10.0;
+  const auto quality = trust::draw_service_qualities(n, 10, rng);
+  trust::generate_honest_feedback(ledger, quality, gen, rng);
+  const auto s = ledger.normalized_matrix();
+
+  core::GossipTrustConfig cfg;
+  cfg.neighbors_only = true;
+  cfg.delta = 1e-3;
+  cfg.epsilon = 1e-6;
+  core::GossipTrustEngine engine(n, cfg);
+  Rng grng(41);
+  const auto res = engine.run(s, grng, &om.topology());
+  EXPECT_TRUE(res.converged);
+
+  const auto exact = baseline::power_iteration(s, cfg.alpha, cfg.power_node_fraction,
+                                               1e-12)
+                         .scores;
+  EXPECT_GT(kendall_tau(exact, res.scores), 0.85);
+}
+
+TEST(OverlayGossip, SurvivesChurnBetweenCycles) {
+  const std::size_t n = 80;
+  Rng rng(50);
+  overlay::OverlayManager om(graph::make_gnutella_like(n, rng));
+  trust::FeedbackLedger ledger(n);
+  trust::FeedbackGenConfig gen;
+  gen.n = n;
+  gen.d_max = 30;
+  gen.d_avg = 12.0;
+  const auto quality = trust::draw_service_qualities(n, 8, rng);
+  trust::generate_honest_feedback(ledger, quality, gen, rng);
+  const auto s = ledger.normalized_matrix();
+
+  core::GossipTrustConfig cfg;
+  cfg.neighbors_only = true;
+  cfg.delta = 1e-3;
+  core::GossipTrustEngine engine(n, cfg);
+  auto v = engine.initial_scores();
+  std::vector<core::NodeId> power;
+  Rng grng(51);
+  // Drive cycles manually, churning the overlay between them; each cycle
+  // runs over the current membership only.
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    std::vector<std::uint8_t> alive(n, 0);
+    for (const auto a : om.alive_nodes()) alive[a] = 1;
+    const auto stats =
+        engine.run_cycle(s, v, power, grng, &om.topology(), nullptr, &alive);
+    EXPECT_TRUE(stats.gossip_converged) << "cycle " << cycle;
+    om.churn_step(0.05, 0.8, 3, grng);
+  }
+  EXPECT_NEAR(sum(v), 1.0, 1e-9);
+  const auto exact = baseline::power_iteration(s, cfg.alpha, cfg.power_node_fraction,
+                                               1e-12)
+                         .scores;
+  EXPECT_GT(kendall_tau(exact, v), 0.7);
+}
+
+TEST(StructuredVariant, GossipAndDhtEigenTrustAgreeOnRanking) {
+  const std::size_t n = 100;
+  Rng rng(60);
+  trust::FeedbackLedger ledger(n);
+  trust::FeedbackGenConfig gen;
+  gen.n = n;
+  gen.d_max = 40;
+  gen.d_avg = 15.0;
+  const auto quality = trust::draw_service_qualities(n, 15, rng);
+  trust::generate_honest_feedback(ledger, quality, gen, rng);
+  const auto s = ledger.normalized_matrix();
+
+  core::GossipTrustConfig cfg;
+  cfg.alpha = 0.0;
+  cfg.power_node_fraction = 0.0;
+  cfg.delta = 1e-5;
+  cfg.epsilon = 1e-7;
+  core::GossipTrustEngine engine(n, cfg);
+  Rng grng(61);
+  const auto gossip_scores = engine.run(s, grng).scores;
+  const auto et = baseline::eigentrust(s, {}, 0.0, 1e-12);
+  EXPECT_GT(kendall_tau(gossip_scores, et.scores), 0.95);
+}
+
+TEST(SecureGossip, SignedTripletsSurviveHonestRelayRejectTampering) {
+  crypto::IdentityAuthority pkg(0x5eed);
+  const auto key = pkg.extract(3);
+  // A node signs its halved pair before pushing (Algorithm 1 line 12).
+  const auto payload = crypto::encode_triplet(0.05, 3, 0.5);
+  auto msg = crypto::seal(pkg, key, payload);
+  ASSERT_TRUE(crypto::open(pkg, msg));
+  // A malicious relay boosting the score share is detected on receive.
+  const auto forged_payload = crypto::encode_triplet(0.50, 3, 0.5);
+  msg.payload.assign(forged_payload.begin(), forged_payload.end());
+  EXPECT_FALSE(crypto::open(pkg, msg));
+}
+
+TEST(QosQofPipeline, DualScoresImproveAttackResistance) {
+  const std::size_t n = 150;
+  Rng rng(70);
+  threat::ThreatConfig tcfg;
+  tcfg.n = n;
+  tcfg.malicious_fraction = 0.3;
+  const auto peers = threat::make_population(tcfg, rng);
+  trust::FeedbackGenConfig gen;
+  gen.n = n;
+  gen.d_max = 60;
+  gen.d_avg = 20.0;
+  trust::FeedbackLedger attacked(n), honest(n);
+  threat::generate_threat_feedback(attacked, peers, tcfg, gen, Rng(71));
+  threat::generate_honest_counterfactual(honest, peers, tcfg, gen, Rng(71));
+  const auto s_attacked = attacked.normalized_matrix();
+
+  const auto reference =
+      baseline::power_iteration(honest.normalized_matrix(), 0.15, 0.01, 1e-12).scores;
+  const auto plain =
+      baseline::power_iteration(s_attacked, 0.15, 0.01, 1e-12).scores;
+  const auto robust = core::qof_weighted_aggregation(attacked, 0.15, 0.01);
+
+  // The QoF damping should not be worse than plain aggregation, and liars
+  // must end with systematically lower QoF than honest raters (tested in
+  // unit tests); here we check the integrated ranking improves.
+  const double tau_plain = kendall_tau(reference, plain);
+  const double tau_robust = kendall_tau(reference, robust.qos);
+  EXPECT_GE(tau_robust, tau_plain - 0.05);
+}
+
+}  // namespace
+}  // namespace gt

@@ -1,0 +1,131 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gt::net {
+namespace {
+
+struct Fixture {
+  sim::Scheduler sched;
+  NetworkConfig cfg;
+  Fixture() { cfg.base_latency = 1.0; }
+  Network make(std::size_t n) { return Network(sched, n, cfg, Rng(1)); }
+};
+
+TEST(Network, DeliversAfterLatency) {
+  Fixture f;
+  auto net = f.make(2);
+  bool delivered = false;
+  double at = -1.0;
+  net.send(0, 1, 100, [&] {
+    delivered = true;
+    at = f.sched.now();
+  });
+  EXPECT_FALSE(delivered);  // in flight
+  f.sched.run_until();
+  EXPECT_TRUE(delivered);
+  EXPECT_DOUBLE_EQ(at, 1.0);
+}
+
+TEST(Network, StatsCountBytesAndMessages) {
+  Fixture f;
+  auto net = f.make(3);
+  net.send(0, 1, 100, [] {});
+  net.send(1, 2, 50, [] {});
+  f.sched.run_until();
+  EXPECT_EQ(net.stats().messages_sent, 2u);
+  EXPECT_EQ(net.stats().messages_delivered, 2u);
+  EXPECT_EQ(net.stats().bytes_sent, 150u);
+  EXPECT_EQ(net.stats().bytes_delivered, 150u);
+  EXPECT_DOUBLE_EQ(net.stats().delivery_ratio(), 1.0);
+  net.reset_stats();
+  EXPECT_EQ(net.stats().messages_sent, 0u);
+}
+
+TEST(Network, FullLossDropsEverything) {
+  Fixture f;
+  f.cfg.loss_probability = 1.0;
+  auto net = f.make(2);
+  bool delivered = false;
+  EXPECT_FALSE(net.send(0, 1, 10, [&] { delivered = true; }));
+  f.sched.run_until();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net.stats().messages_dropped, 1u);
+  EXPECT_DOUBLE_EQ(net.stats().delivery_ratio(), 0.0);
+}
+
+TEST(Network, PartialLossApproximatesProbability) {
+  Fixture f;
+  f.cfg.loss_probability = 0.3;
+  auto net = f.make(2);
+  int delivered = 0;
+  const int total = 10000;
+  for (int i = 0; i < total; ++i) net.send(0, 1, 1, [&] { ++delivered; });
+  f.sched.run_until();
+  EXPECT_NEAR(static_cast<double>(delivered) / total, 0.7, 0.02);
+}
+
+TEST(Network, DeadDestinationDrops) {
+  Fixture f;
+  auto net = f.make(2);
+  net.set_node_up(1, false);
+  bool delivered = false;
+  EXPECT_FALSE(net.send(0, 1, 10, [&] { delivered = true; }));
+  f.sched.run_until();
+  EXPECT_FALSE(delivered);
+  net.set_node_up(1, true);
+  EXPECT_TRUE(net.is_node_up(1));
+  EXPECT_TRUE(net.send(0, 1, 10, [&] { delivered = true; }));
+  f.sched.run_until();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(Network, DeadSenderDrops) {
+  Fixture f;
+  auto net = f.make(2);
+  net.set_node_up(0, false);
+  EXPECT_FALSE(net.send(0, 1, 10, [] {}));
+}
+
+TEST(Network, NodeDiesWhileMessageInFlight) {
+  Fixture f;
+  auto net = f.make(2);
+  bool delivered = false;
+  net.send(0, 1, 10, [&] { delivered = true; });
+  net.set_node_up(1, false);  // dies before the latency elapses
+  f.sched.run_until();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net.stats().messages_dropped, 1u);
+}
+
+TEST(Network, LinkFailureBlocksBothDirections) {
+  Fixture f;
+  auto net = f.make(3);
+  net.fail_link(0, 1);
+  EXPECT_TRUE(net.link_failed(0, 1));
+  EXPECT_TRUE(net.link_failed(1, 0));
+  EXPECT_FALSE(net.send(0, 1, 1, [] {}));
+  EXPECT_FALSE(net.send(1, 0, 1, [] {}));
+  EXPECT_TRUE(net.send(0, 2, 1, [] {}));  // other links unaffected
+  net.heal_link(1, 0);
+  EXPECT_FALSE(net.link_failed(0, 1));
+  EXPECT_TRUE(net.send(0, 1, 1, [] {}));
+  EXPECT_EQ(net.failed_link_count(), 0u);
+}
+
+TEST(Network, JitterBoundsDeliveryTime) {
+  Fixture f;
+  f.cfg.jitter = 2.0;
+  auto net = f.make(2);
+  for (int i = 0; i < 100; ++i) {
+    double at = -1.0;
+    net.send(0, 1, 1, [&] { at = f.sched.now(); });
+    const double sent_at = f.sched.now();
+    f.sched.run_until();
+    ASSERT_GE(at, sent_at + 1.0);
+    ASSERT_LT(at, sent_at + 3.0);
+  }
+}
+
+}  // namespace
+}  // namespace gt::net

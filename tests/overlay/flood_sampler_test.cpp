@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "overlay/flood.hpp"
+#include "overlay/overlay.hpp"
+#include "overlay/sampler.hpp"
+
+namespace gt::overlay {
+namespace {
+
+OverlayManager ring_overlay(std::size_t n) {
+  Rng rng(1);
+  return OverlayManager(graph::make_ring_with_shortcuts(n, 0, rng));
+}
+
+TEST(Flood, TtlLimitsReachOnRing) {
+  auto om = ring_overlay(20);
+  const auto res = flood(om, 0, 3);
+  // Ring: TTL 3 reaches 3 hops in both directions + source = 7 nodes.
+  EXPECT_EQ(res.reached.size(), 7u);
+  EXPECT_EQ(res.max_depth, 3u);
+}
+
+TEST(Flood, FullTtlReachesEntireConnectedOverlay) {
+  Rng rng(2);
+  OverlayManager om(graph::make_gnutella_like(200, rng));
+  const auto res = flood(om, 5, 10);
+  EXPECT_EQ(res.reached.size(), 200u);
+  EXPECT_GT(res.messages, 199u);  // duplicates make flooding expensive
+}
+
+TEST(Flood, DeadNodesBlockPropagation) {
+  auto om = ring_overlay(10);  // pure ring: cutting both sides isolates
+  om.leave(1);
+  om.leave(9);
+  const auto res = flood(om, 0, 10);
+  EXPECT_EQ(res.reached.size(), 1u);  // only the source remains reachable
+}
+
+TEST(Flood, DeadSourceYieldsNothing) {
+  auto om = ring_overlay(10);
+  om.leave(0);
+  const auto res = flood(om, 0, 5);
+  EXPECT_TRUE(res.reached.empty());
+  EXPECT_EQ(res.messages, 0u);
+}
+
+TEST(FloodQuery, FiltersResponders) {
+  auto om = ring_overlay(20);
+  FloodResult stats;
+  const auto responders = flood_query(
+      om, 0, 20, [](NodeId v) { return v % 5 == 0; }, &stats);
+  EXPECT_EQ(responders.size(), 4u);  // 0, 5, 10, 15
+  EXPECT_EQ(stats.reached.size(), 20u);
+}
+
+TEST(UniformSampler, NeverSelf) {
+  Rng rng(3);
+  OverlayManager om(graph::make_gnutella_like(50, rng));
+  UniformSampler sampler(om);
+  for (int i = 0; i < 500; ++i) {
+    const auto s = sampler.sample(7, rng);
+    ASSERT_NE(s, 7u);
+    ASSERT_TRUE(om.is_alive(s));
+  }
+}
+
+TEST(UniformSampler, SkipsDeadPeers) {
+  auto om = ring_overlay(5);
+  om.leave(1);
+  om.leave(2);
+  Rng rng(4);
+  UniformSampler sampler(om);
+  for (int i = 0; i < 100; ++i) {
+    const auto s = sampler.sample(0, rng);
+    ASSERT_TRUE(s == 3 || s == 4);
+  }
+}
+
+TEST(UniformSampler, DegenerateSingleNode) {
+  auto om = ring_overlay(3);
+  om.leave(1);
+  om.leave(2);
+  Rng rng(5);
+  UniformSampler sampler(om);
+  EXPECT_EQ(sampler.sample(0, rng), 0u);
+}
+
+TEST(RandomWalkSampler, StaysInAliveComponent) {
+  Rng rng(6);
+  OverlayManager om(graph::make_gnutella_like(100, rng));
+  RandomWalkSampler sampler(om, 20);
+  for (int i = 0; i < 200; ++i) {
+    const auto s = sampler.sample(0, rng);
+    ASSERT_TRUE(om.is_alive(s));
+  }
+}
+
+TEST(RandomWalkSampler, LongWalkApproachesUniform) {
+  // On a well-connected overlay the MH walk's end point should not
+  // concentrate on hubs: frequency spread stays within a small factor.
+  Rng rng(7);
+  OverlayManager om(graph::make_gnutella_like(30, rng));
+  RandomWalkSampler sampler(om, 50);
+  std::map<NodeId, int> freq;
+  const int trials = 30000;
+  for (int i = 0; i < trials; ++i) ++freq[sampler.sample(i % 30, rng)];
+  int max_f = 0;
+  for (const auto& [v, f] : freq) max_f = std::max(max_f, f);
+  EXPECT_LT(max_f, trials / 30 * 3);  // within 3x of the uniform share
+  EXPECT_EQ(freq.size(), 30u);        // every node reachable
+}
+
+TEST(RandomWalkSampler, IsolatedNodeReturnsSelf) {
+  auto om = ring_overlay(5);
+  om.leave(1);
+  om.leave(4);  // node 0's both ring neighbors gone
+  Rng rng(8);
+  RandomWalkSampler sampler(om, 10);
+  EXPECT_EQ(sampler.sample(0, rng), 0u);
+}
+
+}  // namespace
+}  // namespace gt::overlay

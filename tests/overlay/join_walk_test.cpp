@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "graph/metrics.hpp"
+#include "overlay/overlay.hpp"
+
+namespace gt::overlay {
+namespace {
+
+OverlayManager make_overlay(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return OverlayManager(graph::make_gnutella_like(n, rng));
+}
+
+TEST(JoinViaWalk, AttachesThroughIntroducer) {
+  auto om = make_overlay(100, 1);
+  om.leave(7);
+  Rng rng(2);
+  om.join_via_walk(7, 4, /*introducer=*/3, /*walk_length=*/5, rng);
+  EXPECT_TRUE(om.is_alive(7));
+  EXPECT_GE(om.topology().degree(7), 1u);  // at least the introducer
+  EXPECT_LE(om.topology().degree(7), 4u);
+  EXPECT_TRUE(om.topology().has_edge(7, 3));
+  for (const auto u : om.topology().neighbors(7)) EXPECT_TRUE(om.is_alive(u));
+}
+
+TEST(JoinViaWalk, ReachesRequestedDegreeOnHealthyOverlay) {
+  auto om = make_overlay(200, 3);
+  om.leave(50);
+  Rng rng(4);
+  om.join_via_walk(50, 5, 0, 6, rng);
+  EXPECT_EQ(om.topology().degree(50), 5u);
+}
+
+TEST(JoinViaWalk, DiscoversBeyondIntroducerNeighborhood) {
+  auto om = make_overlay(300, 5);
+  om.leave(99);
+  Rng rng(6);
+  om.join_via_walk(99, 6, 0, 8, rng);
+  // With 8-hop walks on a ~log-diameter overlay, at least one neighbor
+  // should not be a direct neighbor of the introducer.
+  bool beyond = false;
+  for (const auto u : om.topology().neighbors(99)) {
+    if (u != 0 && !om.topology().has_edge(0, u)) beyond = true;
+  }
+  EXPECT_TRUE(beyond);
+}
+
+TEST(JoinViaWalk, DeadIntroducerThrows) {
+  auto om = make_overlay(50, 7);
+  om.leave(10);
+  om.leave(11);
+  Rng rng(8);
+  EXPECT_THROW(om.join_via_walk(10, 3, 11, 5, rng), std::invalid_argument);
+}
+
+TEST(JoinViaWalk, NoOpWhenAlreadyAlive) {
+  auto om = make_overlay(50, 9);
+  const auto deg = om.topology().degree(5);
+  Rng rng(10);
+  om.join_via_walk(5, 8, 0, 5, rng);
+  EXPECT_EQ(om.topology().degree(5), deg);
+}
+
+TEST(JoinViaWalk, IsolatedIntroducerStillConnects) {
+  Rng trng(11);
+  OverlayManager om(graph::make_ring_with_shortcuts(6, 0, trng));
+  // Leave everyone except node 0; then 1 rejoins via 0 (whose neighbors
+  // are all gone, so walks go nowhere).
+  for (NodeId v = 1; v < 6; ++v) om.leave(v);
+  Rng rng(12);
+  om.join_via_walk(1, 3, 0, 4, rng);
+  EXPECT_TRUE(om.topology().has_edge(1, 0));
+  EXPECT_EQ(om.topology().degree(1), 1u);
+}
+
+}  // namespace
+}  // namespace gt::overlay

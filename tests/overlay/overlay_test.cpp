@@ -1,0 +1,86 @@
+#include "overlay/overlay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/metrics.hpp"
+#include "graph/topology.hpp"
+
+namespace gt::overlay {
+namespace {
+
+OverlayManager make_overlay(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return OverlayManager(graph::make_gnutella_like(n, rng));
+}
+
+TEST(OverlayManager, AllAliveInitially) {
+  auto om = make_overlay(50, 1);
+  EXPECT_EQ(om.alive_count(), 50u);
+  EXPECT_EQ(om.alive_nodes().size(), 50u);
+  for (NodeId v = 0; v < 50; ++v) EXPECT_TRUE(om.is_alive(v));
+}
+
+TEST(OverlayManager, LeaveIsolatesNode) {
+  auto om = make_overlay(30, 2);
+  const auto deg_before = om.topology().degree(5);
+  EXPECT_GT(deg_before, 0u);
+  om.leave(5);
+  EXPECT_FALSE(om.is_alive(5));
+  EXPECT_EQ(om.alive_count(), 29u);
+  EXPECT_EQ(om.topology().degree(5), 0u);
+  om.leave(5);  // idempotent
+  EXPECT_EQ(om.alive_count(), 29u);
+}
+
+TEST(OverlayManager, JoinBootstrapsLinks) {
+  auto om = make_overlay(30, 3);
+  om.leave(7);
+  Rng rng(4);
+  om.join(7, 4, rng);
+  EXPECT_TRUE(om.is_alive(7));
+  EXPECT_EQ(om.alive_count(), 30u);
+  EXPECT_EQ(om.topology().degree(7), 4u);
+  for (const auto u : om.topology().neighbors(7)) EXPECT_TRUE(om.is_alive(u));
+  om.join(7, 4, rng);  // idempotent on alive node
+  EXPECT_EQ(om.alive_count(), 30u);
+}
+
+TEST(OverlayManager, JoinDegreeClampedToAvailablePeers) {
+  Rng trng(5);
+  OverlayManager om(graph::make_ring_with_shortcuts(4, 0, trng));
+  om.leave(0);
+  om.leave(1);
+  om.leave(2);
+  Rng rng(6);
+  om.join(0, 10, rng);  // only node 3 is alive to connect to
+  EXPECT_EQ(om.topology().degree(0), 1u);
+}
+
+TEST(OverlayManager, ChurnStepRespectsProbabilities) {
+  auto om = make_overlay(500, 7);
+  Rng rng(8);
+  const auto stats = om.churn_step(0.1, 0.0, 3, rng);
+  EXPECT_NEAR(static_cast<double>(stats.left), 50.0, 25.0);
+  EXPECT_EQ(stats.joined, 0u);
+  EXPECT_EQ(om.alive_count(), 500u - stats.left);
+
+  // Everyone returns with p_join = 1.
+  const auto stats2 = om.churn_step(0.0, 1.0, 3, rng);
+  EXPECT_EQ(stats2.joined, stats.left);
+  EXPECT_EQ(om.alive_count(), 500u);
+}
+
+TEST(OverlayManager, ChurnKeepsAliveComponentUsable) {
+  auto om = make_overlay(300, 9);
+  Rng rng(10);
+  for (int epoch = 0; epoch < 10; ++epoch) om.churn_step(0.05, 0.5, 3, rng);
+  // The alive subgraph should retain most nodes and stay well connected.
+  EXPECT_GT(om.alive_count(), 200u);
+  std::size_t isolated_alive = 0;
+  for (const auto v : om.alive_nodes())
+    if (om.topology().degree(v) == 0) ++isolated_alive;
+  EXPECT_LT(isolated_alive, 5u);
+}
+
+}  // namespace
+}  // namespace gt::overlay

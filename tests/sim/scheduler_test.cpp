@@ -1,0 +1,141 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gt::sim {
+namespace {
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(3.0, [&] { order.push_back(3); });
+  sched.schedule_at(1.0, [&] { order.push_back(1); });
+  sched.schedule_at(2.0, [&] { order.push_back(2); });
+  sched.run_until();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sched.now(), 3.0);
+}
+
+TEST(Scheduler, TiesExecuteInSchedulingOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) sched.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  sched.run_until();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, ScheduleAfterUsesRelativeDelay) {
+  Scheduler sched;
+  double fired_at = -1.0;
+  sched.schedule_at(5.0, [&] {
+    sched.schedule_after(2.5, [&] { fired_at = sched.now(); });
+  });
+  sched.run_until();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Scheduler, PastSchedulingThrows) {
+  Scheduler sched;
+  sched.schedule_at(1.0, [] {});
+  sched.run_until();
+  EXPECT_THROW(sched.schedule_at(0.5, [] {}), std::invalid_argument);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler sched;
+  bool fired = false;
+  const auto id = sched.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sched.cancel(id));
+  EXPECT_FALSE(sched.cancel(id));  // double-cancel reports failure
+  sched.run_until();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, CancelUnknownIdSafe) {
+  Scheduler sched;
+  EXPECT_FALSE(sched.cancel(9999));
+}
+
+TEST(Scheduler, RunUntilHorizonStopsAndAdvancesClock) {
+  Scheduler sched;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) sched.schedule_at(i, [&] { ++count; });
+  const auto ran = sched.run_until(5.0);
+  EXPECT_EQ(ran, 5u);
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(sched.now(), 5.0);
+  sched.run_until();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Scheduler, PeriodicFiresRepeatedlyUntilCancelled) {
+  Scheduler sched;
+  int fires = 0;
+  EventId id = sched.schedule_periodic(1.0, [&] {
+    if (++fires == 4) sched.cancel(id);
+  });
+  sched.run_until(100.0);
+  EXPECT_EQ(fires, 4);
+}
+
+TEST(Scheduler, PeriodicRejectsNonPositivePeriod) {
+  Scheduler sched;
+  EXPECT_THROW(sched.schedule_periodic(0.0, [] {}), std::invalid_argument);
+}
+
+TEST(Scheduler, StepExecutesExactlyOne) {
+  Scheduler sched;
+  int count = 0;
+  sched.schedule_at(1.0, [&] { ++count; });
+  sched.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(sched.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sched.step());
+  EXPECT_FALSE(sched.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Scheduler, EventsScheduledDuringExecutionRun) {
+  Scheduler sched;
+  std::vector<double> times;
+  sched.schedule_at(1.0, [&] {
+    times.push_back(sched.now());
+    sched.schedule_after(1.0, [&] { times.push_back(sched.now()); });
+  });
+  sched.run_until();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Scheduler, ResetClearsEverything) {
+  Scheduler sched;
+  sched.schedule_at(1.0, [] {});
+  sched.run_until();
+  sched.reset();
+  EXPECT_DOUBLE_EQ(sched.now(), 0.0);
+  EXPECT_EQ(sched.pending(), 0u);
+  bool fired = false;
+  sched.schedule_at(0.5, [&] { fired = true; });
+  sched.run_until();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Scheduler, ExecutedCounter) {
+  Scheduler sched;
+  for (int i = 0; i < 7; ++i) sched.schedule_at(i + 1.0, [] {});
+  sched.run_until();
+  EXPECT_EQ(sched.executed(), 7u);
+}
+
+TEST(Scheduler, PendingExcludesCancelled) {
+  Scheduler sched;
+  const auto a = sched.schedule_at(1.0, [] {});
+  sched.schedule_at(2.0, [] {});
+  EXPECT_EQ(sched.pending(), 2u);
+  sched.cancel(a);
+  EXPECT_EQ(sched.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace gt::sim

@@ -1,0 +1,100 @@
+#include "crypto/identity_auth.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gt::crypto {
+namespace {
+
+TEST(Fnv1a, DeterministicAndSeedSensitive) {
+  const std::vector<std::uint8_t> data{1, 2, 3};
+  const auto h1 = fnv1a(data);
+  const auto h2 = fnv1a(data);
+  EXPECT_EQ(h1, h2);
+  EXPECT_NE(h1, fnv1a(data, 12345));
+  const std::vector<std::uint8_t> other{1, 2, 4};
+  EXPECT_NE(h1, fnv1a(other));
+}
+
+TEST(IdentityAuthority, ExtractionDeterministicPerIdentity) {
+  IdentityAuthority pkg(0xdeadbeef);
+  const auto k1 = pkg.extract(7);
+  const auto k2 = pkg.extract(7);
+  EXPECT_EQ(k1.secret, k2.secret);
+  EXPECT_EQ(k1.identity, 7u);
+  EXPECT_NE(pkg.extract(8).secret, k1.secret);
+}
+
+TEST(IdentityAuthority, DifferentMasterSecretsDifferentKeys) {
+  IdentityAuthority a(1), b(2);
+  EXPECT_NE(a.extract(7).secret, b.extract(7).secret);
+}
+
+TEST(IdentityAuthority, SignVerifyRoundTrip) {
+  IdentityAuthority pkg(42);
+  const auto key = pkg.extract(3);
+  const auto sig = pkg.sign(key, "gossip payload");
+  EXPECT_TRUE(pkg.verify(3, "gossip payload", sig));
+}
+
+TEST(IdentityAuthority, TamperedPayloadRejected) {
+  IdentityAuthority pkg(42);
+  const auto key = pkg.extract(3);
+  const auto sig = pkg.sign(key, "x=0.5 w=0.25");
+  EXPECT_FALSE(pkg.verify(3, "x=0.9 w=0.25", sig));
+}
+
+TEST(IdentityAuthority, WrongClaimedSenderRejected) {
+  IdentityAuthority pkg(42);
+  const auto key = pkg.extract(3);
+  const auto sig = pkg.sign(key, "payload");
+  EXPECT_FALSE(pkg.verify(4, "payload", sig));
+}
+
+TEST(IdentityAuthority, ForgedSignatureRejected) {
+  IdentityAuthority pkg(42);
+  Signature forged{123, 456};
+  EXPECT_FALSE(pkg.verify(3, "payload", forged));
+}
+
+TEST(IdentityAuthority, CrossAuthorityRejected) {
+  IdentityAuthority pkg1(1), pkg2(2);
+  const auto key = pkg1.extract(5);
+  const auto sig = pkg1.sign(key, "data");
+  EXPECT_FALSE(pkg2.verify(5, "data", sig));
+}
+
+TEST(SignedMessage, SealOpenRoundTrip) {
+  IdentityAuthority pkg(7);
+  const auto key = pkg.extract(11);
+  const auto payload = encode_triplet(0.5, 11, 0.25);
+  const auto msg = seal(pkg, key, payload);
+  EXPECT_EQ(msg.sender, 11u);
+  EXPECT_TRUE(open(pkg, msg));
+}
+
+TEST(SignedMessage, TamperedTripletDetected) {
+  IdentityAuthority pkg(7);
+  const auto key = pkg.extract(11);
+  auto msg = seal(pkg, key, encode_triplet(0.5, 11, 0.25));
+  msg.payload[0] ^= 0xff;  // flip a bit of x
+  EXPECT_FALSE(open(pkg, msg));
+}
+
+TEST(SignedMessage, ReplayedUnderDifferentSenderDetected) {
+  IdentityAuthority pkg(7);
+  const auto key = pkg.extract(11);
+  auto msg = seal(pkg, key, encode_triplet(0.5, 11, 0.25));
+  msg.sender = 12;  // malicious relay re-attributes the message
+  EXPECT_FALSE(open(pkg, msg));
+}
+
+TEST(EncodeTriplet, StableLayout) {
+  const auto a = encode_triplet(1.0, 2, 3.0);
+  const auto b = encode_triplet(1.0, 2, 3.0);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 24u);
+  EXPECT_NE(a, encode_triplet(1.0, 2, 3.5));
+}
+
+}  // namespace
+}  // namespace gt::crypto

@@ -1,0 +1,111 @@
+#include "bloom/score_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace gt::bloom {
+namespace {
+
+std::vector<double> power_law_scores(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> scores(n);
+  for (auto& s : scores) s = std::pow(rng.next_double(), 3.0) + 1e-6;
+  gt::normalize_l1(scores);
+  return scores;
+}
+
+TEST(BloomScoreStore, LookupRecoversQuantizedScore) {
+  const auto scores = power_law_scores(500, 1);
+  ScoreStoreConfig cfg;
+  cfg.num_buckets = 12;
+  cfg.bits_per_peer = 16.0;
+  const BloomScoreStore store(scores, cfg);
+  std::size_t close = 0;
+  for (std::size_t id = 0; id < 500; ++id) {
+    const double approx = store.lookup(id);
+    // Within one log-bucket of the true value (no false positive hit).
+    if (approx / scores[id] < 4.0 && scores[id] / approx < 4.0) ++close;
+  }
+  EXPECT_GT(close, 450u);
+}
+
+TEST(BloomScoreStore, RankingLargelyPreserved) {
+  const auto scores = power_law_scores(300, 2);
+  ScoreStoreConfig cfg;
+  cfg.num_buckets = 16;
+  cfg.bits_per_peer = 16.0;
+  const BloomScoreStore store(scores, cfg);
+  const auto approx = store.approximate_scores(300);
+  EXPECT_GT(kendall_tau(scores, approx), 0.6);
+}
+
+TEST(BloomScoreStore, MoreBucketsLowerQuantizationError) {
+  const auto scores = power_law_scores(400, 3);
+  double err_few = 0.0, err_many = 0.0;
+  for (const std::size_t buckets : {4u, 32u}) {
+    ScoreStoreConfig cfg;
+    cfg.num_buckets = buckets;
+    cfg.bits_per_peer = 24.0;
+    const BloomScoreStore store(scores, cfg);
+    const auto approx = store.approximate_scores(400);
+    double err = 0.0;
+    for (std::size_t i = 0; i < 400; ++i)
+      err += std::abs(std::log(approx[i] / scores[i]));
+    (buckets == 4 ? err_few : err_many) = err;
+  }
+  EXPECT_LT(err_many, err_few);
+}
+
+TEST(BloomScoreStore, StorageScalesWithBudget) {
+  const auto scores = power_law_scores(1000, 4);
+  ScoreStoreConfig small_cfg;
+  small_cfg.bits_per_peer = 4.0;
+  ScoreStoreConfig big_cfg;
+  big_cfg.bits_per_peer = 32.0;
+  const BloomScoreStore small_store(scores, small_cfg);
+  const BloomScoreStore big_store(scores, big_cfg);
+  EXPECT_LT(small_store.storage_bytes(), big_store.storage_bytes());
+  // And both far below the explicit representation (~16 bytes/peer).
+  EXPECT_LT(small_store.storage_bytes(), 1000u * 16u);
+}
+
+TEST(BloomScoreStore, BucketOfRespectsBoundaries) {
+  const std::vector<double> scores{0.001, 0.01, 0.1, 0.889};
+  ScoreStoreConfig cfg;
+  cfg.num_buckets = 4;
+  const BloomScoreStore store(scores, cfg);
+  EXPECT_EQ(store.num_buckets(), 4u);
+  EXPECT_LE(store.bucket_of(0.0011), store.bucket_of(0.011));
+  EXPECT_LE(store.bucket_of(0.011), store.bucket_of(0.5));
+  // Representatives are monotone across buckets.
+  for (std::size_t b = 1; b < 4; ++b)
+    EXPECT_GT(store.representative(b), store.representative(b - 1));
+}
+
+TEST(BloomScoreStore, AllZeroScoresHandled) {
+  const std::vector<double> scores(10, 0.0);
+  ScoreStoreConfig cfg;
+  const BloomScoreStore store(scores, cfg);
+  for (std::size_t id = 0; id < 10; ++id) EXPECT_GT(store.lookup(id), 0.0);
+}
+
+TEST(BloomScoreStore, SingleBucketDegenerates) {
+  const auto scores = power_law_scores(50, 5);
+  ScoreStoreConfig cfg;
+  cfg.num_buckets = 1;
+  const BloomScoreStore store(scores, cfg);
+  const double rep = store.representative(0);
+  for (std::size_t id = 0; id < 50; ++id) EXPECT_DOUBLE_EQ(store.lookup(id), rep);
+}
+
+TEST(BloomScoreStore, EmptyScoresThrow) {
+  EXPECT_THROW(BloomScoreStore(std::vector<double>{}, ScoreStoreConfig{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gt::bloom

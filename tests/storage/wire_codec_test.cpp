@@ -1,0 +1,138 @@
+#include "bloom/wire_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace gt::bloom {
+namespace {
+
+TEST(Quantize16, ZeroAndNonFinite) {
+  EXPECT_EQ(quantize16(0.0), 0u);
+  EXPECT_EQ(quantize16(-1.0), 0u);
+  EXPECT_DOUBLE_EQ(dequantize16(0), 0.0);
+  EXPECT_EQ(quantize16(std::nan("")), 0u);
+  EXPECT_EQ(quantize16(std::numeric_limits<double>::infinity()), 0u);
+}
+
+TEST(Quantize16, RelativeErrorBounded) {
+  Rng rng(1);
+  for (int k = 0; k < 20000; ++k) {
+    // Reputation-share-like magnitudes: 1e-12 .. 1.
+    const double v = std::pow(10.0, rng.next_double(-12.0, 0.0));
+    const double back = dequantize16(quantize16(v));
+    ASSERT_GT(back, 0.0);
+    EXPECT_NEAR(back / v, 1.0, 6e-4) << v;
+  }
+}
+
+TEST(Quantize16, MonotoneNonDecreasing) {
+  double prev = dequantize16(quantize16(1e-12));
+  for (double v = 1e-12; v < 1.0; v *= 1.37) {
+    const double cur = dequantize16(quantize16(v));
+    ASSERT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Quantize16, UnderflowAndSaturation) {
+  EXPECT_EQ(quantize16(1e-20), 0u);  // below the representable floor
+  const double top = dequantize16(quantize16(1e9));
+  EXPECT_GT(top, 1e4);  // saturates at the top cell, not garbage
+  EXPECT_DOUBLE_EQ(dequantize16(quantize16(1e9)),
+                   dequantize16(quantize16(1e12)));
+}
+
+TEST(Quantize16, RatioPreserved) {
+  // Push-sum consumes x/w: quantizing both with the same grid must keep
+  // the ratio accurate.
+  Rng rng(2);
+  for (int k = 0; k < 5000; ++k) {
+    const double w = std::pow(10.0, rng.next_double(-9.0, -1.0));
+    const double ratio = rng.next_double(0.0, 1.0) + 1e-6;
+    const double x = ratio * w;
+    const double qx = dequantize16(quantize16(x));
+    const double qw = dequantize16(quantize16(w));
+    ASSERT_GT(qw, 0.0);
+    EXPECT_NEAR(qx / qw / ratio, 1.0, 2e-3);
+  }
+}
+
+TEST(WireCodec, RoundTripStructure) {
+  std::vector<WireTriplet> triplets{
+      {0.05, 1, 0.5}, {1e-7, 999, 1e-3}, {0.0, 5, 0.25}};
+  const auto bytes = encode_wire(triplets);
+  EXPECT_EQ(bytes.size(), wire_size(triplets));
+  const auto back = decode_wire(bytes);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), 3u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ((*back)[k].id, triplets[k].id);
+    if (triplets[k].x > 0)
+      EXPECT_NEAR((*back)[k].x / triplets[k].x, 1.0, 1e-3);
+    else
+      EXPECT_DOUBLE_EQ((*back)[k].x, 0.0);
+    EXPECT_NEAR((*back)[k].w / triplets[k].w, 1.0, 1e-3);
+  }
+}
+
+TEST(WireCodec, EmptyMessage) {
+  const auto bytes = encode_wire({});
+  EXPECT_EQ(bytes.size(), 1u);
+  const auto back = decode_wire(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(WireCodec, CompressionVsRawTriplets) {
+  // 1000 shares with small ids: the packed form must be well under a
+  // third of the 24-byte raw triplet encoding.
+  std::vector<WireTriplet> triplets;
+  Rng rng(3);
+  for (std::uint64_t id = 0; id < 1000; ++id)
+    triplets.push_back({rng.next_double() * 1e-3, id, rng.next_double() * 1e-3});
+  const auto bytes = encode_wire(triplets);
+  EXPECT_LT(bytes.size(), 1000u * 24u / 3u);
+  EXPECT_GE(bytes.size(), 1000u * 5u);
+}
+
+TEST(WireCodec, RejectsCorruptedInput) {
+  std::vector<WireTriplet> triplets{{0.1, 3, 0.2}, {0.3, 4, 0.4}};
+  auto bytes = encode_wire(triplets);
+  // Truncation.
+  auto truncated = bytes;
+  truncated.pop_back();
+  EXPECT_FALSE(decode_wire(truncated).has_value());
+  // Trailing garbage.
+  auto extended = bytes;
+  extended.push_back(0x12);
+  EXPECT_FALSE(decode_wire(extended).has_value());
+  // Absurd count.
+  std::vector<std::uint8_t> bogus{0xff, 0xff, 0x7f};
+  EXPECT_FALSE(decode_wire(bogus).has_value());
+  // Empty buffer.
+  EXPECT_FALSE(decode_wire(std::span<const std::uint8_t>{}).has_value());
+}
+
+TEST(WireCodec, FuzzNeverCrashes) {
+  // Random byte soup must always either decode or cleanly return nullopt.
+  Rng rng(4);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> bytes(rng.next_below(64));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_below(256));
+    (void)decode_wire(bytes);  // must not crash or overrun
+  }
+  // Mutated valid messages likewise.
+  std::vector<WireTriplet> triplets{{0.1, 3, 0.2}, {0.3, 500, 0.4}};
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto bytes = encode_wire(triplets);
+    bytes[rng.next_below(bytes.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.next_below(8));
+    (void)decode_wire(bytes);
+  }
+}
+
+}  // namespace
+}  // namespace gt::bloom

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "trust/feedback.hpp"
+
+namespace gt::trust {
+namespace {
+
+TEST(FeedbackDecay, ScalesAllScores) {
+  FeedbackLedger ledger(3);
+  ledger.record(0, 1, 1.0);
+  ledger.record(0, 1, 1.0);
+  ledger.record(2, 1, 0.5);
+  ledger.decay(0.5);
+  EXPECT_DOUBLE_EQ(ledger.raw_score(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(ledger.raw_score(2, 1), 0.25);
+}
+
+TEST(FeedbackDecay, DropsEntriesBelowFloor) {
+  FeedbackLedger ledger(2);
+  ledger.record(0, 1, 1.0);
+  EXPECT_EQ(ledger.num_feedbacks(), 1u);
+  ledger.decay(0.5, /*floor=*/0.6);
+  EXPECT_EQ(ledger.num_feedbacks(), 0u);
+  EXPECT_DOUBLE_EQ(ledger.raw_score(0, 1), 0.0);
+}
+
+TEST(FeedbackDecay, FactorOneIsNoOp) {
+  FeedbackLedger ledger(2);
+  ledger.record(0, 1, 0.7);
+  ledger.decay(1.0);
+  EXPECT_DOUBLE_EQ(ledger.raw_score(0, 1), 0.7);
+  EXPECT_EQ(ledger.num_feedbacks(), 1u);
+}
+
+TEST(FeedbackDecay, RejectsBadFactor) {
+  FeedbackLedger ledger(2);
+  EXPECT_THROW(ledger.decay(0.0), std::invalid_argument);
+  EXPECT_THROW(ledger.decay(1.5), std::invalid_argument);
+}
+
+TEST(FeedbackDecay, NormalizationUnchangedByUniformDecay) {
+  // Decay scales every entry equally, so the *normalized* matrix — and
+  // therefore the reputation fixed point — is unchanged until new feedback
+  // arrives to outweigh the old.
+  FeedbackLedger ledger(3);
+  ledger.record(0, 1, 1.0);
+  for (int k = 0; k < 3; ++k) ledger.record(0, 2, 1.0);
+  const auto before = ledger.normalized_matrix();
+  ledger.decay(0.5);
+  const auto after = ledger.normalized_matrix();
+  EXPECT_DOUBLE_EQ(after.at(0, 1), before.at(0, 1));
+  EXPECT_DOUBLE_EQ(after.at(0, 2), before.at(0, 2));
+}
+
+TEST(FeedbackDecay, FreshFeedbackOutweighsDecayedHistory) {
+  // A provider with a long good history turns bad: with decay, the new
+  // bad ratings quickly dominate its trust share.
+  FeedbackLedger ledger(3);
+  for (int k = 0; k < 20; ++k) ledger.record(0, 1, 1.0);  // old: peer 1 good
+  ledger.record(0, 2, 1.0);                               // baseline on peer 2
+  // Epochs pass; peer 1 stops earning ratings, peer 2 keeps earning.
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    ledger.decay(0.5);
+    ledger.record(0, 2, 1.0);
+  }
+  const auto s = ledger.normalized_matrix();
+  EXPECT_GT(s.at(0, 2), s.at(0, 1));
+}
+
+}  // namespace
+}  // namespace gt::trust

@@ -1,0 +1,115 @@
+#include "trust/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace gt::trust {
+namespace {
+
+TEST(UniformPartnerSelector, NeverReturnsSelf) {
+  const auto sel = uniform_partner_selector(10);
+  Rng rng(1);
+  for (NodeId i = 0; i < 10; ++i) {
+    for (int k = 0; k < 200; ++k) {
+      const auto p = sel(i, rng);
+      ASSERT_NE(p, i);
+      ASSERT_LT(p, 10u);
+    }
+  }
+}
+
+TEST(UniformPartnerSelector, CoversAllOthers) {
+  const auto sel = uniform_partner_selector(5);
+  Rng rng(2);
+  std::vector<bool> hit(5, false);
+  for (int k = 0; k < 500; ++k) hit[sel(0, rng)] = true;
+  EXPECT_FALSE(hit[0]);
+  for (NodeId j = 1; j < 5; ++j) EXPECT_TRUE(hit[j]) << j;
+}
+
+TEST(UniformPartnerSelector, RejectsTinyNetwork) {
+  EXPECT_THROW(uniform_partner_selector(1), std::invalid_argument);
+}
+
+TEST(HonestRating, ReportsOutcomeVerbatim) {
+  const auto rate = honest_rating();
+  EXPECT_DOUBLE_EQ(rate(0, 1, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(rate(0, 1, 0.0), 0.0);
+}
+
+TEST(GenerateFeedback, RespectsCounts) {
+  FeedbackLedger ledger(4);
+  const std::vector<std::size_t> counts{3, 0, 2, 1};
+  const std::vector<double> quality{1.0, 1.0, 1.0, 1.0};
+  Rng rng(3);
+  generate_feedback(ledger, counts, quality, uniform_partner_selector(4),
+                    honest_rating(), rng);
+  // All providers are perfect, so every transaction records rating 1.0 and
+  // total raw mass equals total transactions.
+  double total = 0.0;
+  for (NodeId i = 0; i < 4; ++i)
+    for (NodeId j = 0; j < 4; ++j) total += ledger.raw_score(i, j);
+  EXPECT_DOUBLE_EQ(total, 6.0);
+  EXPECT_EQ(ledger.out_degree(1), 0u);
+}
+
+TEST(GenerateFeedback, BadProvidersGetLowRatings) {
+  FeedbackLedger ledger(2);
+  const std::vector<std::size_t> counts{100, 0};
+  const std::vector<double> quality{1.0, 0.0};  // node 1 always corrupt
+  Rng rng(4);
+  generate_feedback(ledger, counts, quality, uniform_partner_selector(2),
+                    honest_rating(), rng);
+  EXPECT_DOUBLE_EQ(ledger.raw_score(0, 1), 0.0);
+}
+
+TEST(GenerateFeedback, SizeMismatchThrows) {
+  FeedbackLedger ledger(3);
+  Rng rng(5);
+  EXPECT_THROW(generate_feedback(ledger, {1, 2}, {1.0, 1.0, 1.0},
+                                 uniform_partner_selector(3), honest_rating(), rng),
+               std::invalid_argument);
+}
+
+TEST(GenerateHonestFeedback, PaperShapedWorkload) {
+  FeedbackGenConfig cfg;
+  cfg.n = 200;
+  cfg.d_max = 50;
+  cfg.d_avg = 10.0;
+  FeedbackLedger ledger(200);
+  Rng rng(6);
+  const auto quality = draw_service_qualities(200, 20, rng);
+  generate_honest_feedback(ledger, quality, cfg, rng);
+  EXPECT_GT(ledger.num_feedbacks(), 200u);
+  // Honest raters give malicious (low-quality) providers low average scores.
+  double bad_mass = 0.0, good_mass = 0.0;
+  for (NodeId i = 0; i < 200; ++i) {
+    for (NodeId j = 0; j < 20; ++j) bad_mass += ledger.raw_score(i, j);
+    for (NodeId j = 20; j < 200; ++j) good_mass += ledger.raw_score(i, j);
+  }
+  // Per-peer averages: malicious get far less trust mass per peer.
+  EXPECT_LT(bad_mass / 20.0, good_mass / 180.0 * 0.5);
+}
+
+TEST(DrawServiceQualities, RangesMatchRoles) {
+  Rng rng(7);
+  const auto q = draw_service_qualities(100, 30, rng);
+  ASSERT_EQ(q.size(), 100u);
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_GE(q[i], 0.0);
+    EXPECT_LE(q[i], 0.2);
+  }
+  for (std::size_t i = 30; i < 100; ++i) {
+    EXPECT_GE(q[i], 0.8);
+    EXPECT_LE(q[i], 1.0);
+  }
+}
+
+TEST(DrawServiceQualities, TooManyMaliciousThrows) {
+  Rng rng(8);
+  EXPECT_THROW(draw_service_qualities(10, 11, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gt::trust

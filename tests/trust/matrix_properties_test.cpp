@@ -1,0 +1,93 @@
+// Parameterized property sweeps over randomly generated trust matrices:
+// normalization and the transpose product must satisfy their algebraic
+// contracts for any workload shape.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/powerlaw.hpp"
+#include "common/stats.hpp"
+#include "trust/feedback.hpp"
+#include "trust/generator.hpp"
+#include "trust/matrix.hpp"
+
+namespace gt::trust {
+namespace {
+
+using Param = std::tuple<std::size_t /*n*/, double /*d_avg*/, std::uint64_t /*seed*/>;
+
+class MatrixProperty : public ::testing::TestWithParam<Param> {
+ protected:
+  SparseMatrix make() const {
+    const auto [n, d_avg, seed] = GetParam();
+    FeedbackLedger ledger(n);
+    FeedbackGenConfig cfg;
+    cfg.n = n;
+    cfg.d_max = std::max<std::size_t>(4, n / 3);
+    cfg.d_avg = std::min(d_avg, static_cast<double>(cfg.d_max) / 2.0);
+    Rng rng(seed);
+    const auto quality = draw_service_qualities(n, n / 4, rng);
+    generate_honest_feedback(ledger, quality, cfg, rng);
+    return ledger.normalized_matrix();
+  }
+};
+
+TEST_P(MatrixProperty, NormalizationIsRowStochastic) {
+  const auto s = make();
+  EXPECT_TRUE(s.is_row_stochastic());
+  // Idempotent: normalizing a normalized matrix changes nothing.
+  const auto again = s.row_normalized();
+  EXPECT_EQ(again.nonzeros(), s.nonzeros());
+  for (NodeId r = 0; r < s.size(); ++r) {
+    const auto ra = s.row(r);
+    const auto rb = again.row(r);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t k = 0; k < ra.size(); ++k)
+      EXPECT_NEAR(ra[k].value, rb[k].value, 1e-15);
+  }
+}
+
+TEST_P(MatrixProperty, NoSelfTrustEntries) {
+  const auto s = make();
+  for (NodeId r = 0; r < s.size(); ++r) EXPECT_DOUBLE_EQ(s.at(r, r), 0.0);
+}
+
+TEST_P(MatrixProperty, TransposeProductConservesMass) {
+  const auto s = make();
+  const auto [n, d_avg, seed] = GetParam();
+  Rng rng(seed ^ 0xbeef);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.next_double();
+  normalize_l1(v);
+  const auto out = s.transpose_multiply(v);
+  // Row-stochastic + uniform dangling redistribution => mass preserved.
+  EXPECT_NEAR(sum(out), 1.0, 1e-12);
+  for (const auto x : out) EXPECT_GE(x, 0.0);
+}
+
+TEST_P(MatrixProperty, TransposeProductIsLinear) {
+  const auto s = make();
+  const auto [n, d_avg, seed] = GetParam();
+  Rng rng(seed ^ 0xcafe);
+  std::vector<double> a(n), b(n), combo(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng.next_double();
+    b[i] = rng.next_double();
+    combo[i] = 2.0 * a[i] + 3.0 * b[i];
+  }
+  const auto sa = s.transpose_multiply(a);
+  const auto sb = s.transpose_multiply(b);
+  const auto sc = s.transpose_multiply(combo);
+  for (std::size_t j = 0; j < n; ++j)
+    EXPECT_NEAR(sc[j], 2.0 * sa[j] + 3.0 * sb[j], 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, MatrixProperty,
+                         ::testing::Combine(::testing::Values(std::size_t{16},
+                                                              std::size_t{60},
+                                                              std::size_t{150}),
+                                            ::testing::Values(4.0, 12.0),
+                                            ::testing::Values(5ull, 77ull)));
+
+}  // namespace
+}  // namespace gt::trust

@@ -1,0 +1,121 @@
+#include "trust/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gt::trust {
+namespace {
+
+SparseMatrix small_matrix() {
+  SparseMatrix::Builder b(3);
+  b.add(0, 1, 2.0);
+  b.add(0, 2, 2.0);
+  b.add(1, 0, 1.0);
+  b.add(2, 0, 3.0);
+  b.add(2, 1, 1.0);
+  return std::move(b).build();
+}
+
+TEST(SparseMatrix, BuildAndAccess) {
+  const auto m = small_matrix();
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.nonzeros(), 5u);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.row_sum(2), 4.0);
+}
+
+TEST(SparseMatrix, BuilderAccumulatesDuplicates) {
+  SparseMatrix::Builder b(2);
+  b.add(0, 1, 1.0);
+  b.add(0, 1, 2.5);
+  const auto m = std::move(b).build();
+  EXPECT_EQ(m.nonzeros(), 1u);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 3.5);
+}
+
+TEST(SparseMatrix, BuilderRejectsOutOfRange) {
+  SparseMatrix::Builder b(2);
+  EXPECT_THROW(b.add(2, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(b.add(0, 5, 1.0), std::out_of_range);
+}
+
+TEST(SparseMatrix, RowsSortedByColumn) {
+  SparseMatrix::Builder b(3);
+  b.add(0, 2, 1.0);
+  b.add(0, 0, 1.0);
+  const auto m = std::move(b).build();
+  const auto row = m.row(0);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0].col, 0u);
+  EXPECT_EQ(row[1].col, 2u);
+}
+
+TEST(SparseMatrix, RowNormalizationEq1) {
+  const auto s = small_matrix().row_normalized();
+  EXPECT_TRUE(s.is_row_stochastic());
+  EXPECT_DOUBLE_EQ(s.at(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(s.at(2, 0), 0.75);
+  EXPECT_DOUBLE_EQ(s.at(2, 1), 0.25);
+}
+
+TEST(SparseMatrix, EmptyRowStaysEmptyAfterNormalize) {
+  SparseMatrix::Builder b(3);
+  b.add(0, 1, 1.0);
+  const auto s = std::move(b).build().row_normalized();
+  EXPECT_TRUE(s.row(1).empty());
+  EXPECT_TRUE(s.row(2).empty());
+  const auto empty = s.empty_rows();
+  EXPECT_EQ(empty, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(SparseMatrix, IsRowStochasticDetectsViolation) {
+  const auto raw = small_matrix();
+  EXPECT_FALSE(raw.is_row_stochastic());
+}
+
+TEST(SparseMatrix, TransposeMultiplyMatchesDense) {
+  const auto s = small_matrix().row_normalized();
+  const std::vector<double> v{0.5, 0.3, 0.2};
+  const auto out = s.transpose_multiply(v);
+  const auto dense = s.to_dense();
+  for (NodeId j = 0; j < 3; ++j) {
+    double expected = 0.0;
+    for (NodeId i = 0; i < 3; ++i) expected += v[i] * dense[i][j];
+    EXPECT_NEAR(out[j], expected, 1e-15) << "column " << j;
+  }
+}
+
+TEST(SparseMatrix, TransposeMultiplyPreservesMassWhenStochastic) {
+  const auto s = small_matrix().row_normalized();
+  const std::vector<double> v{0.2, 0.5, 0.3};
+  const auto out = s.transpose_multiply(v);
+  double total = 0.0;
+  for (const auto x : out) total += x;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(SparseMatrix, DanglingRowSpreadsUniformly) {
+  SparseMatrix::Builder b(4);
+  b.add(0, 1, 1.0);  // rows 1-3 dangle
+  const auto s = std::move(b).build().row_normalized();
+  const std::vector<double> v{0.0, 1.0, 0.0, 0.0};
+  const auto out = s.transpose_multiply(v);
+  for (NodeId j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(out[j], 0.25);
+}
+
+TEST(SparseMatrix, TransposeMultiplySizeMismatchThrows) {
+  const auto s = small_matrix();
+  EXPECT_THROW(s.transpose_multiply(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(SparseMatrix, ToDenseRoundTrip) {
+  const auto m = small_matrix();
+  const auto dense = m.to_dense();
+  for (NodeId i = 0; i < 3; ++i)
+    for (NodeId j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(dense[i][j], m.at(i, j));
+}
+
+}  // namespace
+}  // namespace gt::trust

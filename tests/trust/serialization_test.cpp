@@ -1,0 +1,141 @@
+#include "trust/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "trust/generator.hpp"
+
+namespace gt::trust {
+namespace {
+
+FeedbackLedger sample_ledger(std::size_t n, std::uint64_t seed) {
+  FeedbackLedger ledger(n);
+  FeedbackGenConfig cfg;
+  cfg.n = n;
+  cfg.d_max = std::max<std::size_t>(4, n / 4);
+  cfg.d_avg = std::max(2.0, static_cast<double>(n) / 10.0);
+  Rng rng(seed);
+  const std::vector<double> quality(n, 0.85);
+  generate_honest_feedback(ledger, quality, cfg, rng);
+  return ledger;
+}
+
+TEST(LedgerSerialization, RoundTripExact) {
+  const auto original = sample_ledger(50, 1);
+  std::stringstream ss;
+  save_ledger(original, ss);
+  const auto loaded = load_ledger(ss);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->num_peers(), 50u);
+  EXPECT_EQ(loaded->num_feedbacks(), original.num_feedbacks());
+  for (NodeId i = 0; i < 50; ++i)
+    for (NodeId j = 0; j < 50; ++j)
+      EXPECT_DOUBLE_EQ(loaded->raw_score(i, j), original.raw_score(i, j));
+}
+
+TEST(LedgerSerialization, PreservesAccumulatedValuesAboveOne) {
+  FeedbackLedger ledger(3);
+  for (int k = 0; k < 5; ++k) ledger.record(0, 1, 1.0);  // r_01 = 5.0
+  std::stringstream ss;
+  save_ledger(ledger, ss);
+  const auto loaded = load_ledger(ss);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_DOUBLE_EQ(loaded->raw_score(0, 1), 5.0);
+}
+
+TEST(LedgerSerialization, RejectsBadMagicAndVersion) {
+  std::stringstream a("wrong-magic v1\nn 2 entries 0\n");
+  EXPECT_FALSE(load_ledger(a).has_value());
+  std::stringstream b("gossiptrust-ledger v9\nn 2 entries 0\n");
+  EXPECT_FALSE(load_ledger(b).has_value());
+}
+
+TEST(LedgerSerialization, RejectsTruncatedFile) {
+  const auto ledger = sample_ledger(20, 2);
+  std::stringstream ss;
+  save_ledger(ledger, ss);
+  std::string text = ss.str();
+  text.resize(text.size() / 2);  // chop mid-entry
+  std::stringstream truncated(text);
+  EXPECT_FALSE(load_ledger(truncated).has_value());
+}
+
+TEST(LedgerSerialization, RejectsOutOfRangeIds) {
+  std::stringstream ss("gossiptrust-ledger v1\nn 3 entries 1\n0 7 0.5\n");
+  EXPECT_FALSE(load_ledger(ss).has_value());
+}
+
+TEST(LedgerSerialization, RejectsSelfPairAndNegative) {
+  std::stringstream self("gossiptrust-ledger v1\nn 3 entries 1\n1 1 0.5\n");
+  EXPECT_FALSE(load_ledger(self).has_value());
+  std::stringstream negative("gossiptrust-ledger v1\nn 3 entries 1\n0 1 -2\n");
+  EXPECT_FALSE(load_ledger(negative).has_value());
+}
+
+TEST(ScoresSerialization, RoundTripExact) {
+  std::vector<double> scores{0.5, 0.25, 0.125, 0.125};
+  std::stringstream ss;
+  save_scores(scores, ss);
+  const auto loaded = load_scores(ss);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ((*loaded)[i], scores[i]);
+}
+
+TEST(ScoresSerialization, RoundTripPreservesFullPrecision) {
+  std::vector<double> scores{1.0 / 3.0, 2.0 / 7.0, 1e-17};
+  std::stringstream ss;
+  save_scores(scores, ss);
+  const auto loaded = load_scores(ss);
+  ASSERT_TRUE(loaded.has_value());
+  for (std::size_t i = 0; i < scores.size(); ++i)
+    EXPECT_DOUBLE_EQ((*loaded)[i], scores[i]);
+}
+
+TEST(ScoresSerialization, RejectsGarbage) {
+  std::stringstream a("gossiptrust-scores v1\nn 2\n0.5 banana\n");
+  EXPECT_FALSE(load_scores(a).has_value());
+  std::stringstream b("gossiptrust-scores v1\nn 5\n0.5\n");  // too few values
+  EXPECT_FALSE(load_scores(b).has_value());
+  std::stringstream c("");
+  EXPECT_FALSE(load_scores(c).has_value());
+}
+
+TEST(FileSerialization, RoundTripThroughDisk) {
+  const auto ledger = sample_ledger(30, 3);
+  const std::string ledger_path = ::testing::TempDir() + "/gt_ledger_test.txt";
+  const std::string scores_path = ::testing::TempDir() + "/gt_scores_test.txt";
+  ASSERT_TRUE(save_ledger_file(ledger, ledger_path));
+  const auto loaded = load_ledger_file(ledger_path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_feedbacks(), ledger.num_feedbacks());
+
+  std::vector<double> scores(30, 1.0 / 30.0);
+  ASSERT_TRUE(save_scores_file(scores, scores_path));
+  const auto loaded_scores = load_scores_file(scores_path);
+  ASSERT_TRUE(loaded_scores.has_value());
+  EXPECT_EQ(loaded_scores->size(), 30u);
+}
+
+TEST(FileSerialization, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(load_ledger_file("/nonexistent/path/ledger.txt").has_value());
+  EXPECT_FALSE(load_scores_file("/nonexistent/path/scores.txt").has_value());
+}
+
+TEST(SetRaw, OverwritesAndValidates) {
+  FeedbackLedger ledger(3);
+  ledger.set_raw(0, 1, 7.0);
+  EXPECT_DOUBLE_EQ(ledger.raw_score(0, 1), 7.0);
+  ledger.set_raw(0, 1, 2.0);
+  EXPECT_DOUBLE_EQ(ledger.raw_score(0, 1), 2.0);
+  EXPECT_EQ(ledger.num_feedbacks(), 1u);
+  ledger.set_raw(1, 1, 5.0);  // self: ignored
+  EXPECT_EQ(ledger.num_feedbacks(), 1u);
+  EXPECT_THROW(ledger.set_raw(0, 9, 1.0), std::out_of_range);
+  EXPECT_THROW(ledger.set_raw(0, 2, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gt::trust
