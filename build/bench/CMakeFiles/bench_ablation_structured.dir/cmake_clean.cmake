@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_structured.dir/bench_ablation_structured.cpp.o"
+  "CMakeFiles/bench_ablation_structured.dir/bench_ablation_structured.cpp.o.d"
+  "bench_ablation_structured"
+  "bench_ablation_structured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_structured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

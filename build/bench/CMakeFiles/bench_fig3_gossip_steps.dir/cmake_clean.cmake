@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_gossip_steps.dir/bench_fig3_gossip_steps.cpp.o"
+  "CMakeFiles/bench_fig3_gossip_steps.dir/bench_fig3_gossip_steps.cpp.o.d"
+  "bench_fig3_gossip_steps"
+  "bench_fig3_gossip_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_gossip_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4a_independent.dir/bench_fig4a_independent.cpp.o"
+  "CMakeFiles/bench_fig4a_independent.dir/bench_fig4a_independent.cpp.o.d"
+  "bench_fig4a_independent"
+  "bench_fig4a_independent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4a_independent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

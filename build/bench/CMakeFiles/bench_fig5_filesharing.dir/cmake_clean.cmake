@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_filesharing.dir/bench_fig5_filesharing.cpp.o"
+  "CMakeFiles/bench_fig5_filesharing.dir/bench_fig5_filesharing.cpp.o.d"
+  "bench_fig5_filesharing"
+  "bench_fig5_filesharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_filesharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_gossip_demo.dir/async_gossip_demo.cpp.o"
+  "CMakeFiles/async_gossip_demo.dir/async_gossip_demo.cpp.o.d"
+  "async_gossip_demo"
+  "async_gossip_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_gossip_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

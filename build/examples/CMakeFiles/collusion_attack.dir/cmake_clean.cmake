@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collusion_attack.dir/collusion_attack.cpp.o"
+  "CMakeFiles/collusion_attack.dir/collusion_attack.cpp.o.d"
+  "collusion_attack"
+  "collusion_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collusion_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

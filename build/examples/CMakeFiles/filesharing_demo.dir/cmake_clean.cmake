@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filesharing_demo.dir/filesharing_demo.cpp.o"
+  "CMakeFiles/filesharing_demo.dir/filesharing_demo.cpp.o.d"
+  "filesharing_demo"
+  "filesharing_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filesharing_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

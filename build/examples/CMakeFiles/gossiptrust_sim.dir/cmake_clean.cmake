@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossiptrust_sim.dir/gossiptrust_sim.cpp.o"
+  "CMakeFiles/gossiptrust_sim.dir/gossiptrust_sim.cpp.o.d"
+  "gossiptrust_sim"
+  "gossiptrust_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossiptrust_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/eigentrust.cpp" "src/baseline/CMakeFiles/gt_baseline.dir/eigentrust.cpp.o" "gcc" "src/baseline/CMakeFiles/gt_baseline.dir/eigentrust.cpp.o.d"
+  "/root/repo/src/baseline/local_only.cpp" "src/baseline/CMakeFiles/gt_baseline.dir/local_only.cpp.o" "gcc" "src/baseline/CMakeFiles/gt_baseline.dir/local_only.cpp.o.d"
+  "/root/repo/src/baseline/power_iteration.cpp" "src/baseline/CMakeFiles/gt_baseline.dir/power_iteration.cpp.o" "gcc" "src/baseline/CMakeFiles/gt_baseline.dir/power_iteration.cpp.o.d"
+  "/root/repo/src/baseline/powertrust.cpp" "src/baseline/CMakeFiles/gt_baseline.dir/powertrust.cpp.o" "gcc" "src/baseline/CMakeFiles/gt_baseline.dir/powertrust.cpp.o.d"
+  "/root/repo/src/baseline/spectral.cpp" "src/baseline/CMakeFiles/gt_baseline.dir/spectral.cpp.o" "gcc" "src/baseline/CMakeFiles/gt_baseline.dir/spectral.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trust/CMakeFiles/gt_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/gt_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/gossip/CMakeFiles/gt_gossip.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/gt_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/gt_bloom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_baseline.dir/eigentrust.cpp.o"
+  "CMakeFiles/gt_baseline.dir/eigentrust.cpp.o.d"
+  "CMakeFiles/gt_baseline.dir/local_only.cpp.o"
+  "CMakeFiles/gt_baseline.dir/local_only.cpp.o.d"
+  "CMakeFiles/gt_baseline.dir/power_iteration.cpp.o"
+  "CMakeFiles/gt_baseline.dir/power_iteration.cpp.o.d"
+  "CMakeFiles/gt_baseline.dir/powertrust.cpp.o"
+  "CMakeFiles/gt_baseline.dir/powertrust.cpp.o.d"
+  "CMakeFiles/gt_baseline.dir/spectral.cpp.o"
+  "CMakeFiles/gt_baseline.dir/spectral.cpp.o.d"
+  "libgt_baseline.a"
+  "libgt_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bloom/bloom_filter.cpp" "src/bloom/CMakeFiles/gt_bloom.dir/bloom_filter.cpp.o" "gcc" "src/bloom/CMakeFiles/gt_bloom.dir/bloom_filter.cpp.o.d"
+  "/root/repo/src/bloom/score_store.cpp" "src/bloom/CMakeFiles/gt_bloom.dir/score_store.cpp.o" "gcc" "src/bloom/CMakeFiles/gt_bloom.dir/score_store.cpp.o.d"
+  "/root/repo/src/bloom/wire_codec.cpp" "src/bloom/CMakeFiles/gt_bloom.dir/wire_codec.cpp.o" "gcc" "src/bloom/CMakeFiles/gt_bloom.dir/wire_codec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

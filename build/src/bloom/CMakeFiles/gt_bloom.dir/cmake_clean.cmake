@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_bloom.dir/bloom_filter.cpp.o"
+  "CMakeFiles/gt_bloom.dir/bloom_filter.cpp.o.d"
+  "CMakeFiles/gt_bloom.dir/score_store.cpp.o"
+  "CMakeFiles/gt_bloom.dir/score_store.cpp.o.d"
+  "CMakeFiles/gt_bloom.dir/wire_codec.cpp.o"
+  "CMakeFiles/gt_bloom.dir/wire_codec.cpp.o.d"
+  "libgt_bloom.a"
+  "libgt_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_common.dir/config.cpp.o"
+  "CMakeFiles/gt_common.dir/config.cpp.o.d"
+  "CMakeFiles/gt_common.dir/logging.cpp.o"
+  "CMakeFiles/gt_common.dir/logging.cpp.o.d"
+  "CMakeFiles/gt_common.dir/powerlaw.cpp.o"
+  "CMakeFiles/gt_common.dir/powerlaw.cpp.o.d"
+  "CMakeFiles/gt_common.dir/rng.cpp.o"
+  "CMakeFiles/gt_common.dir/rng.cpp.o.d"
+  "CMakeFiles/gt_common.dir/stats.cpp.o"
+  "CMakeFiles/gt_common.dir/stats.cpp.o.d"
+  "CMakeFiles/gt_common.dir/table.cpp.o"
+  "CMakeFiles/gt_common.dir/table.cpp.o.d"
+  "libgt_common.a"
+  "libgt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/gt_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/gt_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/power_nodes.cpp" "src/core/CMakeFiles/gt_core.dir/power_nodes.cpp.o" "gcc" "src/core/CMakeFiles/gt_core.dir/power_nodes.cpp.o.d"
+  "/root/repo/src/core/qos_qof.cpp" "src/core/CMakeFiles/gt_core.dir/qos_qof.cpp.o" "gcc" "src/core/CMakeFiles/gt_core.dir/qos_qof.cpp.o.d"
+  "/root/repo/src/core/reputation_manager.cpp" "src/core/CMakeFiles/gt_core.dir/reputation_manager.cpp.o" "gcc" "src/core/CMakeFiles/gt_core.dir/reputation_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gossip/CMakeFiles/gt_gossip.dir/DependInfo.cmake"
+  "/root/repo/build/src/trust/CMakeFiles/gt_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/gt_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/gt_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_core.dir/engine.cpp.o"
+  "CMakeFiles/gt_core.dir/engine.cpp.o.d"
+  "CMakeFiles/gt_core.dir/power_nodes.cpp.o"
+  "CMakeFiles/gt_core.dir/power_nodes.cpp.o.d"
+  "CMakeFiles/gt_core.dir/qos_qof.cpp.o"
+  "CMakeFiles/gt_core.dir/qos_qof.cpp.o.d"
+  "CMakeFiles/gt_core.dir/reputation_manager.cpp.o"
+  "CMakeFiles/gt_core.dir/reputation_manager.cpp.o.d"
+  "libgt_core.a"
+  "libgt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

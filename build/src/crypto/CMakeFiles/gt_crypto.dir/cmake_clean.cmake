@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_crypto.dir/identity_auth.cpp.o"
+  "CMakeFiles/gt_crypto.dir/identity_auth.cpp.o.d"
+  "libgt_crypto.a"
+  "libgt_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_dht.dir/chord.cpp.o"
+  "CMakeFiles/gt_dht.dir/chord.cpp.o.d"
+  "libgt_dht.a"
+  "libgt_dht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_dht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_filesharing.dir/catalog.cpp.o"
+  "CMakeFiles/gt_filesharing.dir/catalog.cpp.o.d"
+  "CMakeFiles/gt_filesharing.dir/simulation.cpp.o"
+  "CMakeFiles/gt_filesharing.dir/simulation.cpp.o.d"
+  "libgt_filesharing.a"
+  "libgt_filesharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_filesharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gossip/async_gossip.cpp" "src/gossip/CMakeFiles/gt_gossip.dir/async_gossip.cpp.o" "gcc" "src/gossip/CMakeFiles/gt_gossip.dir/async_gossip.cpp.o.d"
+  "/root/repo/src/gossip/pushsum.cpp" "src/gossip/CMakeFiles/gt_gossip.dir/pushsum.cpp.o" "gcc" "src/gossip/CMakeFiles/gt_gossip.dir/pushsum.cpp.o.d"
+  "/root/repo/src/gossip/secure_channel.cpp" "src/gossip/CMakeFiles/gt_gossip.dir/secure_channel.cpp.o" "gcc" "src/gossip/CMakeFiles/gt_gossip.dir/secure_channel.cpp.o.d"
+  "/root/repo/src/gossip/vector_gossip.cpp" "src/gossip/CMakeFiles/gt_gossip.dir/vector_gossip.cpp.o" "gcc" "src/gossip/CMakeFiles/gt_gossip.dir/vector_gossip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/trust/CMakeFiles/gt_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/gt_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_gossip.dir/async_gossip.cpp.o"
+  "CMakeFiles/gt_gossip.dir/async_gossip.cpp.o.d"
+  "CMakeFiles/gt_gossip.dir/pushsum.cpp.o"
+  "CMakeFiles/gt_gossip.dir/pushsum.cpp.o.d"
+  "CMakeFiles/gt_gossip.dir/secure_channel.cpp.o"
+  "CMakeFiles/gt_gossip.dir/secure_channel.cpp.o.d"
+  "CMakeFiles/gt_gossip.dir/vector_gossip.cpp.o"
+  "CMakeFiles/gt_gossip.dir/vector_gossip.cpp.o.d"
+  "libgt_gossip.a"
+  "libgt_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_net.dir/network.cpp.o"
+  "CMakeFiles/gt_net.dir/network.cpp.o.d"
+  "libgt_net.a"
+  "libgt_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/flood.cpp" "src/overlay/CMakeFiles/gt_overlay.dir/flood.cpp.o" "gcc" "src/overlay/CMakeFiles/gt_overlay.dir/flood.cpp.o.d"
+  "/root/repo/src/overlay/overlay.cpp" "src/overlay/CMakeFiles/gt_overlay.dir/overlay.cpp.o" "gcc" "src/overlay/CMakeFiles/gt_overlay.dir/overlay.cpp.o.d"
+  "/root/repo/src/overlay/sampler.cpp" "src/overlay/CMakeFiles/gt_overlay.dir/sampler.cpp.o" "gcc" "src/overlay/CMakeFiles/gt_overlay.dir/sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gt_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_overlay.dir/flood.cpp.o"
+  "CMakeFiles/gt_overlay.dir/flood.cpp.o.d"
+  "CMakeFiles/gt_overlay.dir/overlay.cpp.o"
+  "CMakeFiles/gt_overlay.dir/overlay.cpp.o.d"
+  "CMakeFiles/gt_overlay.dir/sampler.cpp.o"
+  "CMakeFiles/gt_overlay.dir/sampler.cpp.o.d"
+  "libgt_overlay.a"
+  "libgt_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

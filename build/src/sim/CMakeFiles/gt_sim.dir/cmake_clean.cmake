@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/gt_sim.dir/scheduler.cpp.o.d"
+  "libgt_sim.a"
+  "libgt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

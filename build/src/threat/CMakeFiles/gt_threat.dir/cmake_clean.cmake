@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_threat.dir/models.cpp.o"
+  "CMakeFiles/gt_threat.dir/models.cpp.o.d"
+  "libgt_threat.a"
+  "libgt_threat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_threat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trust/feedback.cpp" "src/trust/CMakeFiles/gt_trust.dir/feedback.cpp.o" "gcc" "src/trust/CMakeFiles/gt_trust.dir/feedback.cpp.o.d"
+  "/root/repo/src/trust/generator.cpp" "src/trust/CMakeFiles/gt_trust.dir/generator.cpp.o" "gcc" "src/trust/CMakeFiles/gt_trust.dir/generator.cpp.o.d"
+  "/root/repo/src/trust/matrix.cpp" "src/trust/CMakeFiles/gt_trust.dir/matrix.cpp.o" "gcc" "src/trust/CMakeFiles/gt_trust.dir/matrix.cpp.o.d"
+  "/root/repo/src/trust/serialization.cpp" "src/trust/CMakeFiles/gt_trust.dir/serialization.cpp.o" "gcc" "src/trust/CMakeFiles/gt_trust.dir/serialization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_trust.dir/feedback.cpp.o"
+  "CMakeFiles/gt_trust.dir/feedback.cpp.o.d"
+  "CMakeFiles/gt_trust.dir/generator.cpp.o"
+  "CMakeFiles/gt_trust.dir/generator.cpp.o.d"
+  "CMakeFiles/gt_trust.dir/matrix.cpp.o"
+  "CMakeFiles/gt_trust.dir/matrix.cpp.o.d"
+  "CMakeFiles/gt_trust.dir/serialization.cpp.o"
+  "CMakeFiles/gt_trust.dir/serialization.cpp.o.d"
+  "libgt_trust.a"
+  "libgt_trust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_trust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

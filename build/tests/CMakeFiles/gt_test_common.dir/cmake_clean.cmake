@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_test_common.dir/common/powerlaw_test.cpp.o"
+  "CMakeFiles/gt_test_common.dir/common/powerlaw_test.cpp.o.d"
+  "CMakeFiles/gt_test_common.dir/common/rng_test.cpp.o"
+  "CMakeFiles/gt_test_common.dir/common/rng_test.cpp.o.d"
+  "CMakeFiles/gt_test_common.dir/common/stats_test.cpp.o"
+  "CMakeFiles/gt_test_common.dir/common/stats_test.cpp.o.d"
+  "CMakeFiles/gt_test_common.dir/common/table_config_test.cpp.o"
+  "CMakeFiles/gt_test_common.dir/common/table_config_test.cpp.o.d"
+  "gt_test_common"
+  "gt_test_common.pdb"
+  "gt_test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

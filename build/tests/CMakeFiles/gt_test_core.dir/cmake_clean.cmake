@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_test_core.dir/core/baseline_test.cpp.o"
+  "CMakeFiles/gt_test_core.dir/core/baseline_test.cpp.o.d"
+  "CMakeFiles/gt_test_core.dir/core/determinism_test.cpp.o"
+  "CMakeFiles/gt_test_core.dir/core/determinism_test.cpp.o.d"
+  "CMakeFiles/gt_test_core.dir/core/engine_test.cpp.o"
+  "CMakeFiles/gt_test_core.dir/core/engine_test.cpp.o.d"
+  "CMakeFiles/gt_test_core.dir/core/power_nodes_test.cpp.o"
+  "CMakeFiles/gt_test_core.dir/core/power_nodes_test.cpp.o.d"
+  "CMakeFiles/gt_test_core.dir/core/powertrust_test.cpp.o"
+  "CMakeFiles/gt_test_core.dir/core/powertrust_test.cpp.o.d"
+  "CMakeFiles/gt_test_core.dir/core/qos_qof_test.cpp.o"
+  "CMakeFiles/gt_test_core.dir/core/qos_qof_test.cpp.o.d"
+  "CMakeFiles/gt_test_core.dir/core/reputation_manager_test.cpp.o"
+  "CMakeFiles/gt_test_core.dir/core/reputation_manager_test.cpp.o.d"
+  "CMakeFiles/gt_test_core.dir/core/spectral_test.cpp.o"
+  "CMakeFiles/gt_test_core.dir/core/spectral_test.cpp.o.d"
+  "gt_test_core"
+  "gt_test_core.pdb"
+  "gt_test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/filesharing/catalog_workload_test.cpp" "tests/CMakeFiles/gt_test_filesharing.dir/filesharing/catalog_workload_test.cpp.o" "gcc" "tests/CMakeFiles/gt_test_filesharing.dir/filesharing/catalog_workload_test.cpp.o.d"
+  "/root/repo/tests/filesharing/simulation_test.cpp" "tests/CMakeFiles/gt_test_filesharing.dir/filesharing/simulation_test.cpp.o" "gcc" "tests/CMakeFiles/gt_test_filesharing.dir/filesharing/simulation_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/gt_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/gt_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gossip/CMakeFiles/gt_gossip.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/gt_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/gt_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/filesharing/CMakeFiles/gt_filesharing.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/gt_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/threat/CMakeFiles/gt_threat.dir/DependInfo.cmake"
+  "/root/repo/build/src/trust/CMakeFiles/gt_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

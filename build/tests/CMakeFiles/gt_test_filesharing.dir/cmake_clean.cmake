@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_test_filesharing.dir/filesharing/catalog_workload_test.cpp.o"
+  "CMakeFiles/gt_test_filesharing.dir/filesharing/catalog_workload_test.cpp.o.d"
+  "CMakeFiles/gt_test_filesharing.dir/filesharing/simulation_test.cpp.o"
+  "CMakeFiles/gt_test_filesharing.dir/filesharing/simulation_test.cpp.o.d"
+  "gt_test_filesharing"
+  "gt_test_filesharing.pdb"
+  "gt_test_filesharing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_test_filesharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

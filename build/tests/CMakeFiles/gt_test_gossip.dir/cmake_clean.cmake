@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_test_gossip.dir/gossip/async_gossip_test.cpp.o"
+  "CMakeFiles/gt_test_gossip.dir/gossip/async_gossip_test.cpp.o.d"
+  "CMakeFiles/gt_test_gossip.dir/gossip/properties_test.cpp.o"
+  "CMakeFiles/gt_test_gossip.dir/gossip/properties_test.cpp.o.d"
+  "CMakeFiles/gt_test_gossip.dir/gossip/pushsum_test.cpp.o"
+  "CMakeFiles/gt_test_gossip.dir/gossip/pushsum_test.cpp.o.d"
+  "CMakeFiles/gt_test_gossip.dir/gossip/secure_channel_test.cpp.o"
+  "CMakeFiles/gt_test_gossip.dir/gossip/secure_channel_test.cpp.o.d"
+  "CMakeFiles/gt_test_gossip.dir/gossip/vector_gossip_test.cpp.o"
+  "CMakeFiles/gt_test_gossip.dir/gossip/vector_gossip_test.cpp.o.d"
+  "gt_test_gossip"
+  "gt_test_gossip.pdb"
+  "gt_test_gossip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_test_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

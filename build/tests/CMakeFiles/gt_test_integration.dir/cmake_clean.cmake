@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_test_integration.dir/integration/edge_cases_test.cpp.o"
+  "CMakeFiles/gt_test_integration.dir/integration/edge_cases_test.cpp.o.d"
+  "CMakeFiles/gt_test_integration.dir/integration/integration_test.cpp.o"
+  "CMakeFiles/gt_test_integration.dir/integration/integration_test.cpp.o.d"
+  "gt_test_integration"
+  "gt_test_integration.pdb"
+  "gt_test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_test_net_overlay.dir/net/network_test.cpp.o"
+  "CMakeFiles/gt_test_net_overlay.dir/net/network_test.cpp.o.d"
+  "CMakeFiles/gt_test_net_overlay.dir/overlay/flood_sampler_test.cpp.o"
+  "CMakeFiles/gt_test_net_overlay.dir/overlay/flood_sampler_test.cpp.o.d"
+  "CMakeFiles/gt_test_net_overlay.dir/overlay/join_walk_test.cpp.o"
+  "CMakeFiles/gt_test_net_overlay.dir/overlay/join_walk_test.cpp.o.d"
+  "CMakeFiles/gt_test_net_overlay.dir/overlay/overlay_test.cpp.o"
+  "CMakeFiles/gt_test_net_overlay.dir/overlay/overlay_test.cpp.o.d"
+  "gt_test_net_overlay"
+  "gt_test_net_overlay.pdb"
+  "gt_test_net_overlay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_test_net_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

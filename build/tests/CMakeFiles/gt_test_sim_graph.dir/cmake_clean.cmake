@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_test_sim_graph.dir/graph/graph_properties_test.cpp.o"
+  "CMakeFiles/gt_test_sim_graph.dir/graph/graph_properties_test.cpp.o.d"
+  "CMakeFiles/gt_test_sim_graph.dir/graph/metrics_test.cpp.o"
+  "CMakeFiles/gt_test_sim_graph.dir/graph/metrics_test.cpp.o.d"
+  "CMakeFiles/gt_test_sim_graph.dir/graph/topology_test.cpp.o"
+  "CMakeFiles/gt_test_sim_graph.dir/graph/topology_test.cpp.o.d"
+  "CMakeFiles/gt_test_sim_graph.dir/sim/scheduler_test.cpp.o"
+  "CMakeFiles/gt_test_sim_graph.dir/sim/scheduler_test.cpp.o.d"
+  "gt_test_sim_graph"
+  "gt_test_sim_graph.pdb"
+  "gt_test_sim_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_test_sim_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_test_storage.dir/storage/bloom_test.cpp.o"
+  "CMakeFiles/gt_test_storage.dir/storage/bloom_test.cpp.o.d"
+  "CMakeFiles/gt_test_storage.dir/storage/chord_test.cpp.o"
+  "CMakeFiles/gt_test_storage.dir/storage/chord_test.cpp.o.d"
+  "CMakeFiles/gt_test_storage.dir/storage/crypto_test.cpp.o"
+  "CMakeFiles/gt_test_storage.dir/storage/crypto_test.cpp.o.d"
+  "CMakeFiles/gt_test_storage.dir/storage/score_store_test.cpp.o"
+  "CMakeFiles/gt_test_storage.dir/storage/score_store_test.cpp.o.d"
+  "CMakeFiles/gt_test_storage.dir/storage/wire_codec_test.cpp.o"
+  "CMakeFiles/gt_test_storage.dir/storage/wire_codec_test.cpp.o.d"
+  "gt_test_storage"
+  "gt_test_storage.pdb"
+  "gt_test_storage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_test_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

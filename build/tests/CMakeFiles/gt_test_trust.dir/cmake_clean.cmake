@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_test_trust.dir/trust/decay_test.cpp.o"
+  "CMakeFiles/gt_test_trust.dir/trust/decay_test.cpp.o.d"
+  "CMakeFiles/gt_test_trust.dir/trust/feedback_test.cpp.o"
+  "CMakeFiles/gt_test_trust.dir/trust/feedback_test.cpp.o.d"
+  "CMakeFiles/gt_test_trust.dir/trust/generator_test.cpp.o"
+  "CMakeFiles/gt_test_trust.dir/trust/generator_test.cpp.o.d"
+  "CMakeFiles/gt_test_trust.dir/trust/matrix_properties_test.cpp.o"
+  "CMakeFiles/gt_test_trust.dir/trust/matrix_properties_test.cpp.o.d"
+  "CMakeFiles/gt_test_trust.dir/trust/matrix_test.cpp.o"
+  "CMakeFiles/gt_test_trust.dir/trust/matrix_test.cpp.o.d"
+  "CMakeFiles/gt_test_trust.dir/trust/serialization_test.cpp.o"
+  "CMakeFiles/gt_test_trust.dir/trust/serialization_test.cpp.o.d"
+  "CMakeFiles/gt_test_trust.dir/trust/threat_test.cpp.o"
+  "CMakeFiles/gt_test_trust.dir/trust/threat_test.cpp.o.d"
+  "gt_test_trust"
+  "gt_test_trust.pdb"
+  "gt_test_trust[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_test_trust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

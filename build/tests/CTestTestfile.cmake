@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/gt_test_common[1]_include.cmake")
+include("/root/repo/build/tests/gt_test_sim_graph[1]_include.cmake")
+include("/root/repo/build/tests/gt_test_trust[1]_include.cmake")
+include("/root/repo/build/tests/gt_test_gossip[1]_include.cmake")
+include("/root/repo/build/tests/gt_test_core[1]_include.cmake")
+include("/root/repo/build/tests/gt_test_net_overlay[1]_include.cmake")
+include("/root/repo/build/tests/gt_test_storage[1]_include.cmake")
+include("/root/repo/build/tests/gt_test_filesharing[1]_include.cmake")
+include("/root/repo/build/tests/gt_test_integration[1]_include.cmake")
