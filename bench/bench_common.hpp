@@ -2,9 +2,10 @@
 //
 // Every bench runs standalone with no arguments, prints the paper-style
 // table/series, and honors:
-//   GT_QUICK=1  -> shrink sweeps (CI smoke run)
-//   GT_SEEDS=k  -> simulation runs averaged per data point (default 10/3)
-//   GT_SEED=s   -> base seed
+//   GT_QUICK=1   -> shrink sweeps (CI smoke run)
+//   GT_SEEDS=k   -> simulation runs averaged per data point (default 10/3)
+//   GT_SEED=s    -> base seed
+//   GT_THREADS=t -> gossip kernel lanes (default 1; 0 = hardware)
 #pragma once
 
 #include <cstdio>
@@ -63,6 +64,10 @@ struct ThreatWorkload {
     return make(n, 0.0, false, 5, seed);
   }
 };
+
+/// Gossip kernel lanes for engine-driven benches (GT_THREADS, default 1 so
+/// published numbers stay single-thread comparable; 0 = hardware).
+inline std::size_t gossip_threads() { return env_size("GT_THREADS", 1); }
 
 /// Seeds for one data point.
 inline std::vector<std::uint64_t> point_seeds() {

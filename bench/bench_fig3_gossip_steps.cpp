@@ -41,6 +41,7 @@ int main() {
         gossip::PushSumConfig cfg;
         cfg.epsilon = eps;
         cfg.stable_rounds = 2;
+        cfg.num_threads = bench::gossip_threads();
         gossip::VectorGossip vg(n, cfg);
         const std::vector<double> v(n, 1.0 / static_cast<double>(n));
         vg.initialize(workload.honest, v);

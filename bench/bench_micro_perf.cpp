@@ -7,6 +7,7 @@
 #include "bloom/score_store.hpp"
 #include "common/powerlaw.hpp"
 #include "common/rng.hpp"
+#include "core/engine.hpp"
 #include "dht/chord.hpp"
 #include "gossip/pushsum.hpp"
 #include "gossip/vector_gossip.hpp"
@@ -76,9 +77,12 @@ BENCHMARK(BM_ScalarPushSumStep)->Arg(1000)->Arg(10000);
 
 void BM_VectorGossipStep(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
   const auto s = bench_matrix(n);
   const std::vector<double> v(n, 1.0 / static_cast<double>(n));
-  gossip::VectorGossip vg(n, gossip::PushSumConfig{});
+  gossip::PushSumConfig cfg;
+  cfg.num_threads = threads;
+  gossip::VectorGossip vg(n, cfg);
   vg.initialize(s, v);
   Rng rng(5);
   gossip::VectorGossipResult res;
@@ -86,8 +90,40 @@ void BM_VectorGossipStep(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n) *
                           static_cast<std::int64_t>(n));
+  state.counters["active_triplets"] =
+      static_cast<double>(res.active_triplets);
 }
-BENCHMARK(BM_VectorGossipStep)->Arg(500)->Arg(1000);
+BENCHMARK(BM_VectorGossipStep)
+    ->Args({500, 1})
+    ->Args({500, 4})
+    ->Args({1000, 1})
+    ->Args({1000, 4});
+
+// One full aggregation cycle (gossip to epsilon-stability + consensus
+// read-out + power-node mix) — the unit of work every experiment repeats.
+void BM_GossipCycle(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const auto s = bench_matrix(n);
+  core::GossipTrustConfig cfg;
+  cfg.num_threads = threads;
+  core::GossipTrustEngine engine(n, cfg);
+  auto v = engine.initial_scores();
+  std::vector<core::NodeId> power;
+  Rng rng(9);
+  for (auto _ : state) {
+    auto vc = v;  // each iteration aggregates from the same starting vector
+    std::vector<core::NodeId> pc = power;
+    benchmark::DoNotOptimize(engine.run_cycle(s, vc, pc, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GossipCycle)
+    ->Args({512, 1})
+    ->Args({512, 4})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_BloomInsertContains(benchmark::State& state) {
   auto filter = bloom::BloomFilter::with_capacity(10000, 0.01);

@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 namespace gt {
 namespace {
@@ -15,6 +17,14 @@ inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
 std::uint64_t mix64(std::uint64_t x) noexcept {
   SplitMix64 sm(x);
   return sm.next();
+}
+
+std::uint64_t mix64(std::uint64_t seed, std::uint64_t stream) noexcept {
+  // Two SplitMix64 rounds with the stream id folded in between; consecutive
+  // stream ids land in unrelated parts of the sequence.
+  SplitMix64 outer(seed);
+  SplitMix64 inner(outer.next() ^ (stream + 0x9e3779b97f4a7c15ULL));
+  return inner.next();
 }
 
 void Rng::reseed(std::uint64_t seed) noexcept {
@@ -36,7 +46,14 @@ std::uint64_t Rng::next_u64() noexcept {
 }
 
 std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
-  assert(bound > 0 && "next_below requires a positive bound");
+  if (bound == 0) {
+    // A zero bound is always a caller bug (e.g. sampling a target from an
+    // empty candidate set); returning anything would silently index out of
+    // bounds downstream, so fail loudly in every build type, not just when
+    // asserts are compiled in.
+    std::fprintf(stderr, "fatal: Rng::next_below(0) — bound must be positive\n");
+    std::abort();
+  }
   // Lemire's nearly-divisionless bounded sampling.
   std::uint64_t x = next_u64();
   __uint128_t m = static_cast<__uint128_t>(x) * bound;

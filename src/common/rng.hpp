@@ -34,6 +34,10 @@ class SplitMix64 {
 /// Stateless 64-bit mix of a value; useful for deriving per-entity seeds.
 std::uint64_t mix64(std::uint64_t x) noexcept;
 
+/// Stateless 64-bit mix of (seed, stream): derives the seed of stream i
+/// from a base seed, e.g. one independent RNG stream per simulated node.
+std::uint64_t mix64(std::uint64_t seed, std::uint64_t stream) noexcept;
+
 /// xoshiro256**: the project-wide PRNG. Satisfies the C++ named requirement
 /// UniformRandomBitGenerator so it composes with <random> distributions,
 /// though we provide our own bounded/real helpers for speed and portability

@@ -1,5 +1,6 @@
 #include "core/engine.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
@@ -39,6 +40,8 @@ GossipTrustEngine::GossipTrustEngine(std::size_t n, GossipTrustConfig config)
     throw std::invalid_argument("GossipTrustEngine: thresholds must be positive");
   if (config_.alpha < 0.0 || config_.alpha > 1.0)
     throw std::invalid_argument("GossipTrustEngine: alpha must be in [0, 1]");
+  if (config_.num_threads != 1)
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
 }
 
 std::vector<double> GossipTrustEngine::initial_scores() const {
@@ -60,8 +63,9 @@ CycleStats GossipTrustEngine::run_cycle(const trust::SparseMatrix& s,
   ps.max_steps = config_.max_gossip_steps;
   ps.loss_probability = config_.loss_probability;
   ps.neighbors_only = config_.neighbors_only;
+  ps.num_threads = config_.num_threads;
 
-  gossip::VectorGossip gossip(n_, ps);
+  gossip::VectorGossip gossip(n_, ps, pool_.get());
   if (alive != nullptr) gossip.set_participants(*alive);
   gossip.initialize(s, v);
   const auto gres = gossip.run(rng, overlay);
@@ -69,27 +73,19 @@ CycleStats GossipTrustEngine::run_cycle(const trust::SparseMatrix& s,
   // Consensus read-out: the system-wide agreed value for component j is the
   // (near-identical) per-node ratio; we average defined per-node estimates,
   // which keeps residual gossip error in the result the way a real
-  // deployment would experience it. Departed peers hold no estimates and
-  // receive score 0.
+  // deployment would experience it. The kernel walks only active components,
+  // so departed peers (and anything nobody heard about) read out as 0.
+  const auto readout_begin = std::chrono::steady_clock::now();
+  std::vector<double> next = gossip.consensus_means();
+  const double readout_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    readout_begin)
+          .count();
+  normalize_l1(next);
+
   auto is_alive = [alive](NodeId v_id) {
     return alive == nullptr || (*alive)[v_id] != 0;
   };
-  std::vector<double> next(n_, 0.0);
-  for (NodeId j = 0; j < n_; ++j) {
-    if (!is_alive(j)) continue;
-    double acc = 0.0;
-    std::size_t cnt = 0;
-    for (NodeId i = 0; i < n_; ++i) {
-      if (!is_alive(i)) continue;
-      const double e = gossip.estimate(i, j);
-      if (!std::isnan(e)) {
-        acc += e;
-        ++cnt;
-      }
-    }
-    next[j] = cnt ? acc / static_cast<double>(cnt) : 0.0;
-  }
-  normalize_l1(next);
 
   // Greedy-factor damping toward the power nodes selected after the
   // previous cycle — skipping anchors that have since departed, so no
@@ -110,6 +106,11 @@ CycleStats GossipTrustEngine::run_cycle(const trust::SparseMatrix& s,
   stats.messages_sent = gres.messages_sent;
   stats.messages_lost = gres.messages_lost;
   stats.triplets_sent = gres.triplets_sent;
+  stats.active_triplets = gres.active_triplets;
+  stats.zero_components_skipped = gres.zero_components_skipped;
+  stats.send_phase_seconds = gres.send_phase_seconds;
+  stats.bookkeeping_phase_seconds = gres.bookkeeping_phase_seconds;
+  stats.readout_seconds = readout_seconds;
   stats.change_from_previous = mean_relative_error(next, v);
 
   if (views_out != nullptr) {

@@ -14,10 +14,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "core/power_nodes.hpp"
 #include "gossip/vector_gossip.hpp"
 #include "graph/topology.hpp"
@@ -37,6 +39,7 @@ struct GossipTrustConfig {
   double loss_probability = 0.0;   ///< message loss injected into gossip
   bool neighbors_only = false;     ///< restrict gossip targets to overlay neighbors
   bool keep_final_views = false;   ///< retain per-node views of the last cycle
+  std::size_t num_threads = 1;     ///< gossip kernel lanes (0 = hardware concurrency)
 };
 
 /// Per-cycle telemetry.
@@ -46,6 +49,11 @@ struct CycleStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_lost = 0;
   std::uint64_t triplets_sent = 0;
+  std::uint64_t active_triplets = 0;          ///< live (x,w) components at cycle end
+  std::uint64_t zero_components_skipped = 0;  ///< structural zeros never gossiped
+  double send_phase_seconds = 0.0;            ///< route/bucket/gather wall time
+  double bookkeeping_phase_seconds = 0.0;     ///< convergence-tracking wall time
+  double readout_seconds = 0.0;               ///< consensus read-out wall time
   double change_from_previous = 0.0;  ///< mean relative error vs previous V
 };
 
@@ -101,6 +109,7 @@ class GossipTrustEngine {
  private:
   std::size_t n_;
   GossipTrustConfig config_;
+  std::unique_ptr<ThreadPool> pool_;  // shared by every cycle's gossip kernel
 };
 
 }  // namespace gt::core

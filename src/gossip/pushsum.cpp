@@ -39,6 +39,13 @@ void ScalarPushSum::step(Rng& rng, const graph::Graph* overlay, PushSumResult& r
         continue;
       }
       target = nbrs[rng.next_below(nbrs.size())];
+    } else if (n == 1) {
+      // Single node: there is no "other" peer, so the pushed half stays
+      // local like the isolated-node case above. (Previously this fell
+      // through to next_below(0) and wrote inbox_[1], one past the end.)
+      inbox_x_[i] += hx;
+      inbox_w_[i] += hw;
+      continue;
     } else {
       target = rng.next_below(n - 1);
       if (target >= i) ++target;  // uniform over others

@@ -33,6 +33,7 @@ struct PushSumConfig {
   std::size_t max_steps = 100000;   ///< hard safety cap
   double loss_probability = 0.0;    ///< i.i.d. message loss (failure injection)
   bool neighbors_only = false;      ///< push to overlay neighbors instead of any node
+  std::size_t num_threads = 1;      ///< vector-gossip kernel lanes (0 = hardware)
 };
 
 /// Outcome of a push-sum run.

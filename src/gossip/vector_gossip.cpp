@@ -1,22 +1,61 @@
 #include "gossip/vector_gossip.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
 
 namespace gt::gossip {
+namespace {
 
-VectorGossip::VectorGossip(std::size_t n, PushSumConfig config)
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
+
+VectorGossip::VectorGossip(std::size_t n, PushSumConfig config, ThreadPool* pool)
     : n_(n),
       config_(config),
+      pool_(pool),
       x_(n * n, 0.0),
       w_(n * n, 0.0),
       inbox_x_(n * n, 0.0),
       inbox_w_(n * n, 0.0),
-      prev_ratio_(n * n, std::numeric_limits<double>::quiet_NaN()),
-      stable_count_(n, 0) {
+      prev_ratio_(n * n, kNaN),
+      stable_count_(n, 0),
+      active_(n),
+      next_active_(n),
+      dense_(n, 0),
+      next_dense_(n, 0),
+      target_(n, kNoTarget),
+      delivered_(n, 0),
+      keep_(n, 1.0),
+      in_off_(n + 1, 0),
+      in_senders_(n, 0) {
   if (n == 0) throw std::invalid_argument("VectorGossip: n must be positive");
+  if (pool_ == nullptr && config_.num_threads != 1) {
+    owned_pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+    pool_ = owned_pool_.get();
+  }
+  scratch_.resize(lanes());
+  for (auto& sc : scratch_) sc.mark.assign(n_, 0);
+}
+
+void VectorGossip::for_chunks(std::size_t count, std::size_t num_chunks,
+                              const ThreadPool::ChunkFn& fn) const {
+  if (count == 0 || num_chunks == 0) return;
+  if (num_chunks > count) num_chunks = count;
+  if (pool_ != nullptr && pool_->num_threads() > 1 && num_chunks > 1) {
+    pool_->parallel_for(0, count, num_chunks, fn);
+  } else {
+    ThreadPool::run_serial(0, count, num_chunks, fn);
+  }
 }
 
 void VectorGossip::set_participants(std::vector<std::uint8_t> alive) {
@@ -39,9 +78,15 @@ void VectorGossip::initialize(const trust::SparseMatrix& s, std::span<const doub
   std::fill(w_.begin(), w_.end(), 0.0);
   std::fill(inbox_x_.begin(), inbox_x_.end(), 0.0);
   std::fill(inbox_w_.begin(), inbox_w_.end(), 0.0);
-  std::fill(prev_ratio_.begin(), prev_ratio_.end(),
-            std::numeric_limits<double>::quiet_NaN());
+  std::fill(prev_ratio_.begin(), prev_ratio_.end(), kNaN);
   std::fill(stable_count_.begin(), stable_count_.end(), 0);
+  std::fill(dense_.begin(), dense_.end(), 0);
+  std::fill(next_dense_.begin(), next_dense_.end(), 0);
+  for (NodeId i = 0; i < n_; ++i) {
+    active_[i].clear();
+    next_active_[i].clear();
+  }
+  streams_seeded_ = false;  // next step derives fresh per-node streams
 
   const double uniform = 1.0 / static_cast<double>(n_);
   for (NodeId i = 0; i < n_; ++i) {
@@ -50,130 +95,304 @@ void VectorGossip::initialize(const trust::SparseMatrix& s, std::span<const doub
     const auto entries = s.row(i);
     if (entries.empty()) {
       // Dangling rater: its reputation mass spreads uniformly, the same
-      // rule SparseMatrix::transpose_multiply applies.
+      // rule SparseMatrix::transpose_multiply applies. The row starts (and
+      // stays) structurally dense.
       const double share = v[i] * uniform;
       for (NodeId j = 0; j < n_; ++j) xi[j] = share;
+      dense_[i] = 1;
     } else {
-      for (const auto& e : entries) xi[e.col] = e.value * v[i];
+      bool has_diagonal = false;
+      auto& act = active_[i];
+      act.reserve(entries.size() + 1);
+      for (const auto& e : entries) {
+        xi[e.col] = e.value * v[i];
+        act.push_back(e.col);
+        has_diagonal |= (e.col == i);
+      }
+      if (!has_diagonal) act.push_back(i);
+      if (act.size() == n_) {
+        dense_[i] = 1;
+        act.clear();
+      }
     }
     row_w(i)[i] = 1.0;  // only node j holds the consensus factor for j
   }
 }
 
-void VectorGossip::step(Rng& rng, const graph::Graph* overlay,
-                        VectorGossipResult& result) {
-  const bool masked = !alive_.empty();
-  const std::size_t senders = masked ? alive_list_.size() : n_;
+void VectorGossip::seed_streams(std::uint64_t base) {
+  if (node_rng_.size() != n_) node_rng_.resize(n_);
+  for (NodeId i = 0; i < n_; ++i) node_rng_[i].reseed(mix64(base, i));
+  streams_seeded_ = true;
+}
 
-  // Send phase: each live node halves its entire triplet vector; the kept
-  // half goes straight to its own inbox, the pushed half to one random
-  // live target.
-  for (std::size_t si = 0; si < senders; ++si) {
-    const NodeId i = masked ? alive_list_[si] : si;
-    NodeId target = i;
-    bool have_target = true;
-    if (config_.neighbors_only && overlay != nullptr) {
-      const auto nbrs = overlay->neighbors(i);
-      if (masked) {
-        // Defensive: only push to live neighbors.
-        NodeId pick = i;
-        std::size_t seen = 0;
-        for (const NodeId u : nbrs) {
-          if (!alive_[u]) continue;
-          ++seen;
-          if (rng.next_below(seen) == 0) pick = u;  // reservoir-sample one
-        }
-        if (seen == 0) {
+void VectorGossip::route_phase(VectorGossipResult& result,
+                               const graph::Graph* overlay) {
+  const bool masked = !alive_.empty();
+  const std::size_t chunks = std::min(lanes(), n_);
+  counters_.assign(std::max<std::size_t>(chunks, 1), StepCounters{});
+  for_chunks(n_, chunks, [&](std::size_t b, std::size_t e, std::size_t c) {
+    StepCounters& ctr = counters_[c];
+    for (NodeId i = b; i < e; ++i) {
+      target_[i] = kNoTarget;
+      delivered_[i] = 0;
+      keep_[i] = 1.0;
+      if (masked && !alive_[i]) continue;
+      Rng& nr = node_rng_[i];
+
+      NodeId target = i;
+      bool have_target = true;
+      if (config_.neighbors_only && overlay != nullptr) {
+        const auto nbrs = overlay->neighbors(i);
+        if (masked) {
+          // Defensive: only push to live neighbors.
+          NodeId pick = i;
+          std::size_t seen = 0;
+          for (const NodeId u : nbrs) {
+            if (!alive_[u]) continue;
+            ++seen;
+            if (nr.next_below(seen) == 0) pick = u;  // reservoir-sample one
+          }
+          if (seen == 0) {
+            have_target = false;
+          } else {
+            target = pick;
+          }
+        } else if (nbrs.empty()) {
           have_target = false;
         } else {
-          target = pick;
+          target = nbrs[nr.next_below(nbrs.size())];
         }
-      } else if (nbrs.empty()) {
+      } else if (masked) {
+        if (alive_list_.size() <= 1) {
+          have_target = false;
+        } else {
+          do {
+            target = alive_list_[nr.next_below(alive_list_.size())];
+          } while (target == i);
+        }
+      } else if (n_ == 1) {
+        // Single node: no other peer exists, keep both halves local (the
+        // unguarded path would call next_below(0) and shift one past n).
         have_target = false;
       } else {
-        target = nbrs[rng.next_below(nbrs.size())];
+        target = nr.next_below(n_ - 1);
+        if (target >= i) ++target;  // uniform over others
       }
-    } else if (masked) {
-      if (alive_list_.size() <= 1) {
-        have_target = false;
-      } else {
-        do {
-          target = alive_list_[rng.next_below(alive_list_.size())];
-        } while (target == i);
-      }
-    } else {
-      target = rng.next_below(n_ - 1);
-      if (target >= i) ++target;
-    }
 
-    bool lost = false;
-    if (have_target) {
-      ++result.messages_sent;
-      if (config_.loss_probability > 0.0 && rng.next_bool(config_.loss_probability)) {
-        ++result.messages_lost;
-        lost = true;
+      bool lost = false;
+      if (have_target) {
+        ++ctr.sent;
+        if (config_.loss_probability > 0.0 &&
+            nr.next_bool(config_.loss_probability)) {
+          ++ctr.lost;
+          lost = true;
+        }
       }
-    }
+      keep_[i] = have_target ? 0.5 : 1.0;
+      if (have_target && !lost) {
+        target_[i] = target;
+        delivered_[i] = 1;
+      }
 
-    double* xi = row_x(i);
-    double* wi = row_w(i);
-    double* self_x = inbox_x_.data() + i * n_;
-    double* self_w = inbox_w_.data() + i * n_;
-    std::uint64_t payload = 0;
-    if (have_target && !lost) {
-      double* tgt_x = inbox_x_.data() + target * n_;
-      double* tgt_w = inbox_w_.data() + target * n_;
-      for (NodeId j = 0; j < n_; ++j) {
-        const double hx = 0.5 * xi[j];
-        const double hw = 0.5 * wi[j];
-        self_x[j] += hx;
-        self_w[j] += hw;
-        tgt_x[j] += hx;
-        tgt_w[j] += hw;
-        payload += (hx != 0.0 || hw != 0.0);
-      }
-    } else {
-      // Push half is dropped (message lost) or has no recipient (isolated
-      // node keeps everything).
-      const double keep = (have_target && lost) ? 0.5 : 1.0;
-      for (NodeId j = 0; j < n_; ++j) {
-        self_x[j] += keep * xi[j];
-        self_w[j] += keep * wi[j];
-        if (have_target) payload += (xi[j] != 0.0 || wi[j] != 0.0);
+      if (have_target) {
+        // Payload accounting walks only the active support; a lost message
+        // still carried its (un-halved) payload onto the wire.
+        const double* xi = row_x(i);
+        const double* wi = row_w(i);
+        const double h = lost ? 1.0 : 0.5;
+        std::uint64_t payload = 0;
+        if (dense_[i]) {
+          for (NodeId j = 0; j < n_; ++j)
+            payload += (h * xi[j] != 0.0 || h * wi[j] != 0.0);
+        } else {
+          for (const NodeId j : active_[i])
+            payload += (h * xi[j] != 0.0 || h * wi[j] != 0.0);
+          ctr.skipped += n_ - active_[i].size();
+        }
+        ctr.triplets += payload;
       }
     }
-    if (have_target) result.triplets_sent += payload;
+  });
+  for (const StepCounters& ctr : counters_) {
+    result.messages_sent += ctr.sent;
+    result.messages_lost += ctr.lost;
+    result.triplets_sent += ctr.triplets;
+    result.zero_components_skipped += ctr.skipped;
   }
+}
 
-  x_.swap(inbox_x_);
-  w_.swap(inbox_w_);
-  std::fill(inbox_x_.begin(), inbox_x_.end(), 0.0);
-  std::fill(inbox_w_.begin(), inbox_w_.end(), 0.0);
+void VectorGossip::bucket_phase() {
+  // Counting sort of delivered senders by target; iterating senders in
+  // ascending order makes each receiver's bucket ascending too, which is
+  // what pins the floating-point fold order in the gather phase.
+  std::fill(in_off_.begin(), in_off_.end(), 0);
+  for (NodeId i = 0; i < n_; ++i)
+    if (delivered_[i]) ++in_off_[target_[i] + 1];
+  for (std::size_t k = 1; k <= n_; ++k) in_off_[k] += in_off_[k - 1];
+  for (NodeId i = 0; i < n_; ++i)
+    if (delivered_[i]) in_senders_[in_off_[target_[i]]++] = i;
+  // The insert pass advanced each start cursor to its end offset; shift
+  // right to recover [start, end) ranges.
+  for (std::size_t k = n_; k >= 1; --k) in_off_[k] = in_off_[k - 1];
+  in_off_[0] = 0;
+}
 
+void VectorGossip::gather_phase() {
+  const bool masked = !alive_.empty();
+  const std::size_t chunks = std::min(lanes(), n_);
+  for_chunks(n_, chunks, [&](std::size_t b, std::size_t e, std::size_t chunk) {
+    UnionScratch& sc = scratch_[chunk];
+    for (NodeId r = b; r < e; ++r) {
+      if (masked && !alive_[r]) {
+        next_dense_[r] = 0;
+        next_active_[r].clear();
+        continue;  // dead rows stay identically zero in both buffers
+      }
+      const double keep = keep_[r];
+      const double* xr = row_x(r);
+      const double* wr = row_w(r);
+      double* nx = inbox_x_.data() + r * n_;
+      double* nw = inbox_w_.data() + r * n_;
+      const std::size_t sb = in_off_[r];
+      const std::size_t se = in_off_[r + 1];
+
+      bool out_dense = dense_[r] != 0;
+      for (std::size_t k = sb; k < se && !out_dense; ++k)
+        out_dense = dense_[in_senders_[k]] != 0;
+
+      if (out_dense) {
+        // Contiguous fast path once any contributing row has densified.
+        // The initial assignment also overwrites whatever the stale inbox
+        // buffer held, so no separate clearing sweep is needed.
+        for (NodeId j = 0; j < n_; ++j) {
+          nx[j] = keep * xr[j];
+          nw[j] = keep * wr[j];
+        }
+        for (std::size_t k = sb; k < se; ++k) {
+          const NodeId s = in_senders_[k];
+          const double* xs = row_x(s);
+          const double* ws = row_w(s);
+          if (dense_[s]) {
+            for (NodeId j = 0; j < n_; ++j) {
+              nx[j] += 0.5 * xs[j];
+              nw[j] += 0.5 * ws[j];
+            }
+          } else {
+            for (const NodeId j : active_[s]) {
+              nx[j] += 0.5 * xs[j];
+              nw[j] += 0.5 * ws[j];
+            }
+          }
+        }
+        next_dense_[r] = 1;
+        next_active_[r].clear();
+      } else {
+        // Sparse union gather: first touch of a component assigns (which
+        // doubles as clearing the stale inbox slot), later touches add.
+        // Senders fold in ascending id, so the accumulation order per
+        // component is a pure function of the data — never of threads.
+        auto& out = next_active_[r];
+        out.clear();
+        const std::uint64_t stamp = ++sc.stamp;
+        for (const NodeId j : active_[r]) {
+          sc.mark[j] = stamp;
+          out.push_back(j);
+          nx[j] = keep * xr[j];
+          nw[j] = keep * wr[j];
+        }
+        for (std::size_t k = sb; k < se; ++k) {
+          const NodeId s = in_senders_[k];
+          const double* xs = row_x(s);
+          const double* ws = row_w(s);
+          for (const NodeId j : active_[s]) {
+            if (sc.mark[j] != stamp) {
+              sc.mark[j] = stamp;
+              out.push_back(j);
+              nx[j] = 0.5 * xs[j];
+              nw[j] = 0.5 * ws[j];
+            } else {
+              nx[j] += 0.5 * xs[j];
+              nw[j] += 0.5 * ws[j];
+            }
+          }
+        }
+        if (out.size() == n_) {
+          next_dense_[r] = 1;
+          out.clear();
+        } else {
+          next_dense_[r] = 0;
+        }
+      }
+    }
+  });
+}
+
+void VectorGossip::bookkeeping_phase(VectorGossipResult& result) {
   // Local convergence bookkeeping (Algorithm 1 line 14, per component).
   // Only live nodes participate, and only components owned by live peers
-  // can ever hold a defined ratio (the owner seeds the consensus factor).
+  // can ever hold a defined ratio (the owner seeds the consensus factor);
+  // a node is stable only once every owned component is defined and has
+  // moved by at most epsilon — so any owned component still missing from
+  // the active set keeps the node unstable without a dense sweep.
+  const bool masked = !alive_.empty();
   const std::uint8_t* alive = masked ? alive_.data() : nullptr;
-  for (std::size_t si = 0; si < senders; ++si) {
-    const NodeId i = masked ? alive_list_[si] : si;
-    const double* xi = row_x(i);
-    const double* wi = row_w(i);
-    double* prev = prev_ratio_.data() + i * n_;
-    bool stable = true;
-    for (NodeId j = 0; j < n_; ++j) {
-      if (alive != nullptr && !alive[j]) continue;  // unowned component
-      if (wi[j] <= kWeightFloor) {
-        prev[j] = std::numeric_limits<double>::quiet_NaN();
-        stable = false;
-        continue;
+  const std::size_t owned_total = masked ? alive_list_.size() : n_;
+  const std::size_t chunks = std::min(lanes(), n_);
+  counters_.assign(std::max<std::size_t>(chunks, 1), StepCounters{});
+  for_chunks(n_, chunks, [&](std::size_t b, std::size_t e, std::size_t c) {
+    StepCounters& ctr = counters_[c];
+    for (NodeId i = b; i < e; ++i) {
+      if (alive != nullptr && !alive[i]) continue;
+      const double* xi = row_x(i);
+      const double* wi = row_w(i);
+      double* prev = prev_ratio_.data() + i * n_;
+      bool stable = true;
+      std::size_t owned_seen = 0;
+      auto visit = [&](NodeId j) {
+        if (alive != nullptr && !alive[j]) return;  // unowned component
+        ++owned_seen;
+        if (wi[j] <= kWeightFloor) {
+          prev[j] = kNaN;
+          stable = false;
+          return;
+        }
+        const double ratio = xi[j] / wi[j];
+        if (std::isnan(prev[j]) || std::abs(ratio - prev[j]) > config_.epsilon)
+          stable = false;
+        prev[j] = ratio;
+      };
+      if (dense_[i]) {
+        ctr.active += n_;
+        for (NodeId j = 0; j < n_; ++j) visit(j);
+      } else {
+        ctr.active += active_[i].size();
+        for (const NodeId j : active_[i]) visit(j);
       }
-      const double ratio = xi[j] / wi[j];
-      if (std::isnan(prev[j]) || std::abs(ratio - prev[j]) > config_.epsilon)
-        stable = false;
-      prev[j] = ratio;
+      if (owned_seen < owned_total) stable = false;
+      stable_count_[i] = stable ? stable_count_[i] + 1 : 0;
     }
-    stable_count_[i] = stable ? stable_count_[i] + 1 : 0;
-  }
+  });
+  std::uint64_t active = 0;
+  for (const StepCounters& ctr : counters_) active += ctr.active;
+  result.active_triplets = active;  // snapshot of the current step's support
+}
+
+void VectorGossip::step(Rng& rng, const graph::Graph* overlay,
+                        VectorGossipResult& result) {
+  if (!streams_seeded_) seed_streams(rng.next_u64());
+  const auto t0 = Clock::now();
+  route_phase(result, overlay);
+  bucket_phase();
+  gather_phase();
+  x_.swap(inbox_x_);
+  w_.swap(inbox_w_);
+  active_.swap(next_active_);
+  dense_.swap(next_dense_);
+  const auto t1 = Clock::now();
+  bookkeeping_phase(result);
+  const auto t2 = Clock::now();
+  result.send_phase_seconds += seconds_between(t0, t1);
+  result.bookkeeping_phase_seconds += seconds_between(t1, t2);
 }
 
 VectorGossipResult VectorGossip::run(Rng& rng, const graph::Graph* overlay) {
@@ -212,6 +431,49 @@ std::vector<double> VectorGossip::node_view(NodeId i) const {
     if (!std::isnan(e)) view[j] = e;
   }
   return view;
+}
+
+std::vector<double> VectorGossip::consensus_means() const {
+  // Fixed chunk grid: the reduction's merge order depends on (n, kChunks)
+  // only, so the read-out is bit-identical for any thread count.
+  constexpr std::size_t kReduceChunks = 32;
+  const std::size_t chunks = std::min(n_, kReduceChunks);
+  std::vector<std::vector<double>> acc(chunks);
+  std::vector<std::vector<std::uint32_t>> cnt(chunks);
+  for_chunks(n_, chunks, [&](std::size_t b, std::size_t e, std::size_t c) {
+    auto& a = acc[c];
+    auto& k = cnt[c];
+    a.assign(n_, 0.0);
+    k.assign(n_, 0);
+    for (NodeId i = b; i < e; ++i) {
+      if (!is_alive(i)) continue;
+      const double* xi = row_x(i);
+      const double* wi = row_w(i);
+      auto visit = [&](NodeId j) {
+        if (wi[j] > kWeightFloor) {
+          a[j] += xi[j] / wi[j];
+          ++k[j];
+        }
+      };
+      if (dense_[i]) {
+        for (NodeId j = 0; j < n_; ++j) visit(j);
+      } else {
+        for (const NodeId j : active_[i]) visit(j);
+      }
+    }
+  });
+  std::vector<double> mean(n_, 0.0);
+  std::vector<std::uint32_t> total(n_, 0);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    if (acc[c].empty()) continue;  // chunk never ran (count < chunks)
+    for (NodeId j = 0; j < n_; ++j) {
+      mean[j] += acc[c][j];
+      total[j] += cnt[c][j];
+    }
+  }
+  for (NodeId j = 0; j < n_; ++j)
+    mean[j] = total[j] ? mean[j] / static_cast<double>(total[j]) : 0.0;
+  return mean;
 }
 
 double VectorGossip::column_x_mass(NodeId j) const {

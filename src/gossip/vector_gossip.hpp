@@ -7,17 +7,36 @@
 // reputation vector, keeps one half, and pushes the other to one random
 // node, so a step costs one message of O(active components) triplets.
 //
-// Storage is two dense row-major n x n matrices (X[i][j], W[i][j]); with
-// power-law feedback the early rows are sparse but densify after O(log n)
-// steps, and dense rows keep the per-step scatter cache-friendly.
+// Storage is two dense row-major n x n matrices (X[i][j], W[i][j]) for O(1)
+// component access, but the kernel never sweeps dense rows blindly: each
+// node keeps the list of its *active* components (seeded from its
+// SparseMatrix row plus the consensus-factor diagonal, grown by set union
+// on receive), and all per-step work — halving, payload accounting,
+// convergence bookkeeping, the consensus read-out — walks only those lists
+// until a row actually densifies (after which it flips to a contiguous
+// dense fast path with no index indirection).
+//
+// The step itself is organised as three node-partitioned parallel phases
+// over a gt::ThreadPool:
+//   A (route):   each node draws its push target and loss coin from its own
+//                RNG stream (seeded mix64(base, i)) and counts its payload;
+//   B (bucket):  a serial O(n) counting sort turns target choices into
+//                per-receiver sender lists, ascending by sender id;
+//   C (gather):  each receiver owns its output row exclusively and folds
+//                keep-half + received halves in ascending-sender order.
+// Because every floating-point accumulation order is fixed by node ids and
+// never by scheduling, results are bit-identical for any thread count,
+// including the serial num_threads == 1 path.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "gossip/pushsum.hpp"
 #include "graph/topology.hpp"
 #include "trust/matrix.hpp"
@@ -32,12 +51,19 @@ struct VectorGossipResult {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_lost = 0;
   std::uint64_t triplets_sent = 0;  ///< payload volume: nonzero entries pushed
+  std::uint64_t active_triplets = 0;          ///< live (x,w) components after the last step
+  std::uint64_t zero_components_skipped = 0;  ///< structurally-zero sends skipped, summed over steps
+  double send_phase_seconds = 0.0;         ///< route + bucket + gather wall time
+  double bookkeeping_phase_seconds = 0.0;  ///< convergence-tracking wall time
 };
 
 /// Synchronous-round vector push-sum over n nodes and n components.
 class VectorGossip {
  public:
-  VectorGossip(std::size_t n, PushSumConfig config);
+  /// `pool` (optional, non-owning) supplies the worker lanes; when null and
+  /// config.num_threads != 1 the kernel owns a private pool. num_threads == 1
+  /// (the default) runs fully inline on the calling thread.
+  VectorGossip(std::size_t n, PushSumConfig config, ThreadPool* pool = nullptr);
 
   /// Restricts the protocol to a subset of live peers (peer dynamics /
   /// churn support). Dead peers do not inject mass at initialize, do not
@@ -51,7 +77,8 @@ class VectorGossip {
   /// Initializes component j on node i per Algorithm 2 lines 5-10:
   ///   x_i^{(j)} = s_ij * v_i,   w_i^{(j)} = [i == j].
   /// Rows of S with no feedback ("dangling" raters) act as uniform rows
-  /// 1/n, matching SparseMatrix::transpose_multiply's dangling rule.
+  /// 1/n, matching SparseMatrix::transpose_multiply's dangling rule. Also
+  /// seeds the per-node active-component lists from the sparse rows.
   void initialize(const trust::SparseMatrix& s, std::span<const double> v);
 
   /// Runs gossip steps until every node's full vector is epsilon-stable for
@@ -59,7 +86,10 @@ class VectorGossip {
   /// targets to neighbors when config.neighbors_only is set.
   VectorGossipResult run(Rng& rng, const graph::Graph* overlay = nullptr);
 
-  /// One synchronous gossip step.
+  /// One synchronous gossip step. The first step after initialize() draws
+  /// one u64 from `rng` as the base of the per-node RNG streams
+  /// (mix64(base, i)); afterwards `rng` is never consulted, which is what
+  /// makes the step thread-count invariant.
   void step(Rng& rng, const graph::Graph* overlay, VectorGossipResult& result);
 
   std::size_t num_nodes() const noexcept { return n_; }
@@ -72,6 +102,13 @@ class VectorGossip {
   /// has no evidence about j).
   std::vector<double> node_view(NodeId i) const;
 
+  /// System-wide consensus read-out: component j's mean of the defined
+  /// per-node estimates (0 when nobody holds evidence about j — including
+  /// every component owned by a departed peer). Walks only active
+  /// components and runs across the pool on a fixed chunk grid, so the
+  /// result is bit-identical for any thread count.
+  std::vector<double> consensus_means() const;
+
   /// Mass-conservation invariants (property tests): column sums of X and W.
   double column_x_mass(NodeId j) const;
   double column_w_mass(NodeId j) const;
@@ -81,11 +118,28 @@ class VectorGossip {
 
   const PushSumConfig& config() const noexcept { return config_; }
 
+  /// Active (potentially nonzero) component count on node i: n for a
+  /// densified row, the active-list length otherwise.
+  std::size_t active_components(NodeId i) const {
+    return dense_[i] ? n_ : active_[i].size();
+  }
+
  private:
   bool is_alive(NodeId v) const { return alive_.empty() || alive_[v] != 0; }
+  std::size_t lanes() const noexcept { return pool_ ? pool_->num_threads() : 1; }
+  void for_chunks(std::size_t count, std::size_t num_chunks,
+                  const ThreadPool::ChunkFn& fn) const;
+  void seed_streams(std::uint64_t base);
+  void route_phase(VectorGossipResult& result, const graph::Graph* overlay);
+  void bucket_phase();
+  void gather_phase();
+  void bookkeeping_phase(VectorGossipResult& result);
 
   std::size_t n_ = 0;
   PushSumConfig config_;
+  ThreadPool* pool_ = nullptr;  // may be null: serial
+  std::unique_ptr<ThreadPool> owned_pool_;
+
   std::vector<std::uint8_t> alive_;     // empty = everyone participates
   std::vector<NodeId> alive_list_;      // cached ids of live peers
   std::vector<double> x_;        // n*n row-major
@@ -94,6 +148,38 @@ class VectorGossip {
   std::vector<double> inbox_w_;
   std::vector<double> prev_ratio_;       // last defined beta per (i, j)
   std::vector<std::size_t> stable_count_;  // per node
+
+  // Sparsity bookkeeping: per-node active component lists, double-buffered
+  // across a step (phase C reads senders' current lists while writing its
+  // own next list). dense_[i] set => the list is implicit [0, n).
+  std::vector<std::vector<NodeId>> active_, next_active_;
+  std::vector<std::uint8_t> dense_, next_dense_;
+
+  // Per-node deterministic RNG streams (seeded lazily from the caller Rng).
+  std::vector<Rng> node_rng_;
+  bool streams_seeded_ = false;
+
+  // Step scratch: phase A decisions and the phase B receiver buckets (CSR).
+  static constexpr NodeId kNoTarget = static_cast<NodeId>(-1);
+  std::vector<NodeId> target_;          // kNoTarget = keep everything local
+  std::vector<std::uint8_t> delivered_;
+  std::vector<double> keep_;            // self-kept fraction (0.5 or 1.0)
+  std::vector<std::size_t> in_off_;     // n + 1 offsets into in_senders_
+  std::vector<NodeId> in_senders_;      // delivered senders, ascending per receiver
+
+  // Per-chunk union markers for the sparse gather (stamp-versioned so they
+  // never need clearing between receivers).
+  struct UnionScratch {
+    std::vector<std::uint64_t> mark;
+    std::uint64_t stamp = 0;
+  };
+  mutable std::vector<UnionScratch> scratch_;
+
+  // Per-chunk integer counter partials (order-insensitive merges).
+  struct StepCounters {
+    std::uint64_t sent = 0, lost = 0, triplets = 0, skipped = 0, active = 0;
+  };
+  std::vector<StepCounters> counters_;
 
   double* row_x(NodeId i) { return x_.data() + i * n_; }
   double* row_w(NodeId i) { return w_.data() + i * n_; }

@@ -94,6 +94,7 @@ void Scheduler::reset() {
   free_ids_.clear();
   now_ = 0.0;
   seq_ = 0;
+  executed_ = 0;  // a reused scheduler must not report pre-reset executions
   cancelled_pending_ = 0;
 }
 

@@ -58,10 +58,12 @@ class Scheduler {
   /// Number of events waiting (including cancelled tombstones not yet popped).
   std::size_t pending() const noexcept { return queue_.size() - cancelled_pending_; }
 
-  /// Total events executed since construction.
+  /// Total events executed since construction or the last reset().
   std::size_t executed() const noexcept { return executed_; }
 
-  /// Drops all pending events and resets the clock to zero.
+  /// Drops all pending events, resets the clock to zero, and zeroes the
+  /// executed-event counter: a reset scheduler is indistinguishable from a
+  /// freshly constructed one.
   void reset();
 
  private:

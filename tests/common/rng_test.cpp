@@ -30,6 +30,18 @@ TEST(Rng, ReseedRestartsStream) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_u64(), first[i]);
 }
 
+TEST(RngDeathTest, NextBelowZeroAbortsInAllBuildTypes) {
+  // A zero bound means "pick one of nothing" — always a caller bug (it was
+  // the root of the single-node gossip out-of-bounds write). It must fail
+  // loudly even in Release, not truncate to an arbitrary value.
+  EXPECT_DEATH(
+      {
+        Rng rng(1);
+        rng.next_below(0);
+      },
+      "next_below");
+}
+
 TEST(Rng, NextBelowInRange) {
   Rng rng(42);
   for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {

@@ -149,6 +149,22 @@ TEST(ScalarPushSum, RejectsEmptyOrMismatched) {
                std::invalid_argument);
 }
 
+TEST(ScalarPushSum, SingleNodeKeepsMassLocalAndConverges) {
+  // Regression: n == 1 with unrestricted targets used to draw
+  // next_below(0) and deposit the pushed half at inbox_[1], one past the
+  // end of the buffers. A lone node has nobody to push to: both halves
+  // stay local, no message is sent, and the estimate is exact immediately.
+  ScalarPushSum ps({3.0}, {1.5}, tight_config());
+  Rng rng(11);
+  const auto res = ps.run(rng);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.messages_sent, 0u);
+  EXPECT_EQ(res.messages_lost, 0u);
+  EXPECT_DOUBLE_EQ(ps.estimate(0), 2.0);
+  EXPECT_DOUBLE_EQ(ps.total_x(), 3.0);
+  EXPECT_DOUBLE_EQ(ps.total_w(), 1.5);
+}
+
 TEST(ScalarPushSum, MaxStepsCapRespected) {
   PushSumConfig cfg;
   cfg.epsilon = 0.0;  // unreachable threshold given FP noise

@@ -113,6 +113,28 @@ TEST(Network, LinkFailureBlocksBothDirections) {
   EXPECT_EQ(net.failed_link_count(), 0u);
 }
 
+TEST(Network, ResetStatsClearsEveryCounter) {
+  // Companion to Scheduler::reset's executed-counter fix: a Network reused
+  // across measurement windows must start each window from zero.
+  Fixture f;
+  auto net = f.make(3);
+  net.fail_link(0, 2);
+  net.send(0, 1, 100, [] {});
+  net.send(0, 2, 25, [] {});  // dropped on the failed link
+  f.sched.run_until();
+  ASSERT_GT(net.stats().messages_sent, 0u);
+  ASSERT_GT(net.stats().messages_dropped, 0u);
+  net.reset_stats();
+  EXPECT_EQ(net.stats().messages_sent, 0u);
+  EXPECT_EQ(net.stats().messages_delivered, 0u);
+  EXPECT_EQ(net.stats().messages_dropped, 0u);
+  EXPECT_EQ(net.stats().bytes_sent, 0u);
+  EXPECT_EQ(net.stats().bytes_delivered, 0u);
+  net.send(1, 2, 10, [] {});
+  f.sched.run_until();
+  EXPECT_EQ(net.stats().messages_sent, 1u);  // fresh window
+}
+
 TEST(Network, JitterBoundsDeliveryTime) {
   Fixture f;
   f.cfg.jitter = 2.0;

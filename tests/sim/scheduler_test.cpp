@@ -128,6 +128,21 @@ TEST(Scheduler, ExecutedCounter) {
   EXPECT_EQ(sched.executed(), 7u);
 }
 
+TEST(Scheduler, ResetClearsExecutedCounter) {
+  // Regression: reset() used to zero the clock and the queue but leak the
+  // executed-event counter, so a reused scheduler reported phantom events
+  // from the previous run.
+  Scheduler sched;
+  for (int i = 0; i < 5; ++i) sched.schedule_at(i + 1.0, [] {});
+  sched.run_until();
+  ASSERT_EQ(sched.executed(), 5u);
+  sched.reset();
+  EXPECT_EQ(sched.executed(), 0u);
+  for (int i = 0; i < 3; ++i) sched.schedule_at(i + 1.0, [] {});
+  sched.run_until();
+  EXPECT_EQ(sched.executed(), 3u);  // fresh count, not 8
+}
+
 TEST(Scheduler, PendingExcludesCancelled) {
   Scheduler sched;
   const auto a = sched.schedule_at(1.0, [] {});
