@@ -125,7 +125,8 @@ AuthOutcome run_secured_gossip(const trust::SparseMatrix& s, bool authenticate,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::telemetry_init("ablation_auth", argc, argv);
   bench::print_preamble("ABL-AUTH identity-based message authentication",
                         "section 7 innovation: secure gossip communication");
   const std::size_t n = quick_mode() ? 64 : 128;

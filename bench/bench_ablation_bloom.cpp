@@ -19,7 +19,8 @@
 
 using namespace gt;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::telemetry_init("ablation_bloom", argc, argv);
   bench::print_preamble("ABL-BLOOM reputation storage tradeoff",
                         "section 7 innovation: Bloom-filter score storage");
   const std::size_t n = quick_mode() ? 1000 : 4000;

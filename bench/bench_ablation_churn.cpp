@@ -35,6 +35,7 @@ ChurnOutcome run_with_dynamics(std::size_t n, double churn, double loss,
   cfg.neighbors_only = true;
   cfg.loss_probability = loss;
   core::GossipTrustEngine engine(n, cfg);
+  bench::attach_engine(engine);
   auto v = engine.initial_scores();
   std::vector<core::NodeId> power;
   Rng grng(seed ^ 0xc4u);
@@ -66,7 +67,8 @@ ChurnOutcome run_with_dynamics(std::size_t n, double churn, double loss,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::telemetry_init("ablation_churn", argc, argv);
   bench::print_preamble("ABL-CHURN peer dynamics and link failures",
                         "design goals (section 3) / conclusions (section 7)");
   const std::size_t n = quick_mode() ? 200 : 500;

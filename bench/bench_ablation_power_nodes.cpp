@@ -12,7 +12,8 @@
 
 using namespace gt;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::telemetry_init("ablation_power_nodes", argc, argv);
   bench::print_preamble("ABL-PN greedy factor / power-node fraction sweep",
                         "design-choice ablation (paper sections 2, 6.3)");
   const std::size_t n = quick_mode() ? 300 : 1000;

@@ -22,7 +22,8 @@
 
 using namespace gt;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::telemetry_init("ablation_structured", argc, argv);
   bench::print_preamble("ABL-DHT structured variant comparison",
                         "section 7: GossipTrust over a DHT substrate");
   const std::vector<std::size_t> sizes = quick_mode()
@@ -63,6 +64,7 @@ int main() {
       // (c) End-to-end damped aggregation, both sides.
       core::GossipTrustConfig cfg;  // alpha = 0.15, q = 1% defaults
       core::GossipTrustEngine engine(n, cfg);
+      bench::attach_engine(engine);
       Rng rng(seed ^ 0xd472);
       const auto run = engine.run(w.honest, rng);
       gossip_cycles.add(static_cast<double>(run.num_cycles()));

@@ -15,7 +15,8 @@
 
 using namespace gt;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::telemetry_init("ablation_ttl", argc, argv);
   bench::print_preamble("ABL-TTL query flooding scope",
                         "section 6.4 flooding-cost tradeoff");
   const std::size_t n = quick_mode() ? 200 : 500;

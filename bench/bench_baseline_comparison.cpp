@@ -24,7 +24,8 @@
 
 using namespace gt;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::telemetry_init("baseline_comparison", argc, argv);
   bench::print_preamble("COMPARE related-work comparison",
                         "section 2 positioning, common workload");
   const std::size_t n = quick_mode() ? 300 : 1000;
@@ -54,6 +55,7 @@ int main() {
       core::GossipTrustConfig cfg;
       cfg.max_cycles = 25;
       core::GossipTrustEngine engine(n, cfg);
+      bench::attach_engine(engine);
       Rng rng(seed ^ 0xc09a);
       const auto run = engine.run(w.attacked, rng);
       add(kGossipTrust, run.scores, static_cast<double>(run.num_cycles()));

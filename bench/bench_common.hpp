@@ -2,15 +2,20 @@
 //
 // Every bench runs standalone with no arguments, prints the paper-style
 // table/series, and honors:
-//   GT_QUICK=1   -> shrink sweeps (CI smoke run)
-//   GT_SEEDS=k   -> simulation runs averaged per data point (default 10/3)
-//   GT_SEED=s    -> base seed
-//   GT_THREADS=t -> gossip kernel lanes (default 1; 0 = hardware)
+//   GT_QUICK=1        -> shrink sweeps (CI smoke run)
+//   GT_SEEDS=k        -> simulation runs averaged per data point (default 10/3)
+//   GT_SEED=s         -> base seed
+//   GT_THREADS=t      -> gossip kernel lanes (default 1; 0 = hardware)
+//   GT_TELEMETRY=path -> write a JSONL event log next to the table output
+//                        (equivalent: --telemetry <path> on the command line;
+//                        fold it into tables with scripts/report.py)
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,6 +23,8 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "core/engine.hpp"
+#include "telemetry/event_log.hpp"
 #include "threat/models.hpp"
 #include "trust/feedback.hpp"
 #include "trust/generator.hpp"
@@ -68,6 +75,49 @@ struct ThreatWorkload {
 /// Gossip kernel lanes for engine-driven benches (GT_THREADS, default 1 so
 /// published numbers stay single-thread comparable; 0 = hardware).
 inline std::size_t gossip_threads() { return env_size("GT_THREADS", 1); }
+
+namespace detail {
+inline std::unique_ptr<telemetry::EventLog>& event_log_storage() {
+  static std::unique_ptr<telemetry::EventLog> log;
+  return log;
+}
+}  // namespace detail
+
+/// The bench-wide JSONL event log; null until telemetry_init() enables it.
+inline telemetry::EventLog* event_log() { return detail::event_log_storage().get(); }
+
+/// Enables the JSONL event log when `--telemetry <path>` was passed or
+/// GT_TELEMETRY is set (the flag wins). Call once at the top of main with
+/// the bench's name; returns the log (null = disabled). The log flushes
+/// and closes at process exit.
+inline telemetry::EventLog* telemetry_init(const char* bench_name, int argc,
+                                           char** argv) {
+  std::string path = env_string("GT_TELEMETRY", "");
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--telemetry") == 0) path = argv[i + 1];
+  }
+  if (path.empty()) return nullptr;
+  telemetry::EventLogConfig cfg;
+  cfg.path = path;
+  auto& log = detail::event_log_storage();
+  log = std::make_unique<telemetry::EventLog>(cfg);
+  if (!log->enabled()) {
+    log.reset();
+    return nullptr;
+  }
+  log->set_context("bench", std::string(bench_name));
+  log->set_context("threads", static_cast<std::uint64_t>(gossip_threads()));
+  log->set_context("seed", base_seed());
+  std::printf("[telemetry -> %s]\n", path.c_str());
+  return log.get();
+}
+
+/// Wires the bench event log into an engine (no-op when disabled). Sampled
+/// gossip-step records default to every 16th step to bound log volume.
+inline void attach_engine(core::GossipTrustEngine& engine,
+                          std::size_t step_sample_every = 16) {
+  if (auto* log = event_log()) engine.set_event_log(log, step_sample_every);
+}
 
 /// Seeds for one data point.
 inline std::vector<std::uint64_t> point_seeds() {

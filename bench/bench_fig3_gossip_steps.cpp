@@ -16,9 +16,10 @@
 
 using namespace gt;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_preamble("FIG3 gossip step counts",
                         "Figure 3 (section 6.2, convergence overhead)");
+  auto* telemetry = bench::telemetry_init("fig3_gossip_steps", argc, argv);
 
   const std::vector<std::size_t> sizes =
       quick_mode() ? std::vector<std::size_t>{250, 500}
@@ -43,11 +44,30 @@ int main() {
         cfg.stable_rounds = 2;
         cfg.num_threads = bench::gossip_threads();
         gossip::VectorGossip vg(n, cfg);
+        if (telemetry != nullptr) vg.set_event_log(telemetry, 16);
         const std::vector<double> v(n, 1.0 / static_cast<double>(n));
         vg.initialize(workload.honest, v);
         Rng rng(seed ^ 0xf16f3);
         const auto res = vg.run(rng);
         steps.add(static_cast<double>(res.steps));
+        if (telemetry != nullptr) {
+          // One aggregation cycle's worth of gossip = one cycle record;
+          // scripts/report.py groups these by (n, epsilon) to reproduce
+          // the table below from the log alone.
+          telemetry->record("cycle")
+              .field("n", n)
+              .field("epsilon", eps)
+              .field("run_seed", seed)
+              .field("gossip_steps", res.steps)
+              .field("gossip_converged", res.converged)
+              .field("messages_sent", res.messages_sent)
+              .field("messages_dropped", res.messages_lost)
+              .field("triplets_sent", res.triplets_sent)
+              .field("active_triplets", res.active_triplets)
+              .field("zero_components_skipped", res.zero_components_skipped)
+              .field("send_phase_seconds", res.send_phase_seconds)
+              .field("bookkeeping_phase_seconds", res.bookkeeping_phase_seconds);
+        }
       }
       row.push_back(format_sci(steps.mean(), 1));
     }

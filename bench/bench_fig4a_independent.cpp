@@ -21,7 +21,8 @@
 
 using namespace gt;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::telemetry_init("fig4a_independent", argc, argv);
   bench::print_preamble("FIG4A independent malicious peers",
                         "Figure 4(a) (section 6.3, robustness)");
   const std::size_t n = quick_mode() ? 300 : 1000;
@@ -49,6 +50,7 @@ int main() {
         cfg.power_node_fraction = power_fraction;
         cfg.max_cycles = 25;  // attacked chains need not contract at a=0
         core::GossipTrustEngine engine(n, cfg);
+        bench::attach_engine(engine);
         Rng rng(seed ^ 0xf164a);
         const auto run = engine.run(w.attacked, rng);
         const auto ref = baseline::fixed_power_iteration(w.honest, alpha,

@@ -18,7 +18,8 @@
 
 using namespace gt;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::telemetry_init("fig4b_collusion", argc, argv);
   bench::print_preamble("FIG4B collusive peers",
                         "Figure 4(b) (section 6.3, collusion robustness)");
   const std::size_t n = quick_mode() ? 300 : 1000;
@@ -46,6 +47,7 @@ int main() {
           cfg.power_node_fraction = power_fraction;
           cfg.max_cycles = 25;
           core::GossipTrustEngine engine(n, cfg);
+          bench::attach_engine(engine);
           Rng rng(seed ^ 0xf164b);
           const auto run = engine.run(w.attacked, rng);
           const auto ref = baseline::fixed_power_iteration(w.honest, alpha,

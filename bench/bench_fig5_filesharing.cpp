@@ -52,6 +52,7 @@ filesharing::SimulationStats run_system(std::size_t n, std::size_t num_files,
       cfg.epsilon = 1e-3;
       cfg.delta = 1e-2;
       core::GossipTrustEngine engine(n, cfg);
+      bench::attach_engine(engine);
       return engine.run(s, prng).scores;
     };
   } else {
@@ -71,7 +72,8 @@ filesharing::SimulationStats run_system(std::size_t n, std::size_t num_files,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::telemetry_init("fig5_filesharing", argc, argv);
   bench::print_preamble("FIG5 P2P file-sharing query success rate",
                         "Figure 5 (section 6.4, file-sharing benchmark)");
   const std::size_t n = quick_mode() ? 300 : 1000;

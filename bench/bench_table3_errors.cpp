@@ -21,7 +21,8 @@
 
 using namespace gt;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::telemetry_init("table3_errors", argc, argv);
   bench::print_preamble("TAB3 gossip and aggregation errors",
                         "Table 3 (section 6.3, error analysis)");
   const std::size_t n = quick_mode() ? 300 : 1000;
@@ -66,6 +67,7 @@ int main() {
       cfg.epsilon = setting.eps;
       cfg.delta = setting.delta;
       core::GossipTrustEngine engine(n, cfg);
+      bench::attach_engine(engine);
       Rng rng(seed ^ 0x7ab1e4);
       const auto run = engine.run(workload.honest, rng);
       const auto exact_fp = baseline::fixed_power_iteration(

@@ -13,7 +13,8 @@
 
 using namespace gt;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::telemetry_init("theory_convergence", argc, argv);
   bench::print_preamble("THEORY convergence bound d <= ceil(log_b delta)",
                         "section 4.1 cycle-count bound, b = lambda2/lambda1");
   const double delta = 1e-4;
@@ -39,6 +40,7 @@ int main() {
       cfg.delta = delta;
       cfg.epsilon = 1e-6;
       core::GossipTrustEngine engine(n, cfg);
+      bench::attach_engine(engine);
       Rng rng(seed ^ 0x7e0);
       const auto run = engine.run(w.honest, rng);
 

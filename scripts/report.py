@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Fold a GossipTrust telemetry JSONL log into summary tables.
+
+The benches write one JSON object per line when run with
+`--telemetry <path>` (or GT_TELEMETRY=<path>).  This tool validates the
+log and summarizes it per event type:
+
+    python3 scripts/report.py run.jsonl
+    python3 scripts/report.py run.jsonl --check          # validate only
+    python3 scripts/report.py run.jsonl --group n,epsilon
+    python3 scripts/report.py run.jsonl --event cycle --group n,epsilon
+
+With --group, numeric fields of the selected event type are aggregated
+per group key; e.g. grouping `cycle` records by (n, epsilon) reproduces
+the Figure 3 table (mean gossip_steps per cell) from the log alone.
+
+Exit status: 0 on success, 1 on any invalid line or I/O error (so CI can
+use `report.py log --check` as a schema gate).  No third-party deps.
+"""
+
+import argparse
+import json
+import math
+import sys
+from collections import OrderedDict
+
+
+def load(path):
+    """Parses a JSONL file; returns (records, errors).
+
+    Each record must be a JSON object with an `event` string, a numeric
+    `ts`, and a non-negative integer `seq`.  Blank lines are invalid: the
+    writer never emits them, so one indicates truncation or corruption.
+    """
+    records, errors = [], []
+    try:
+        fh = open(path, "r", encoding="utf-8")
+    except OSError as e:
+        return [], [f"{path}: {e}"]
+    with fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.rstrip("\n")
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                errors.append(f"line {lineno}: invalid JSON ({e})")
+                continue
+            if not isinstance(obj, dict):
+                errors.append(f"line {lineno}: not a JSON object")
+                continue
+            if not isinstance(obj.get("event"), str):
+                errors.append(f"line {lineno}: missing/invalid 'event'")
+                continue
+            if not isinstance(obj.get("ts"), (int, float)):
+                errors.append(f"line {lineno}: missing/invalid 'ts'")
+                continue
+            seq = obj.get("seq")
+            if not isinstance(seq, int) or seq < 0:
+                errors.append(f"line {lineno}: missing/invalid 'seq'")
+                continue
+            records.append(obj)
+    return records, errors
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+class FieldStats:
+    __slots__ = ("count", "total", "lo", "hi")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.lo = math.inf
+        self.hi = -math.inf
+
+    def add(self, v):
+        self.count += 1
+        self.total += v
+        self.lo = min(self.lo, v)
+        self.hi = max(self.hi, v)
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else math.nan
+
+
+def numeric_fields(records):
+    """Ordered {field: FieldStats} over top-level numeric fields."""
+    stats = OrderedDict()
+    for r in records:
+        for k, v in r.items():
+            if k in ("ts", "seq", "event") or not is_number(v):
+                continue
+            stats.setdefault(k, FieldStats()).add(float(v))
+    return stats
+
+
+def fmt(v):
+    if v != v:  # NaN
+        return "-"
+    if abs(v) >= 1e7 or (v != 0 and abs(v) < 1e-3):
+        return f"{v:.3e}"
+    if float(v).is_integer() and abs(v) < 1e15:
+        return str(int(v))
+    return f"{v:.6g}"
+
+
+def print_table(header, rows, out=sys.stdout):
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        out.write("  ".join(c.rjust(w) for c, w in zip(cells, widths)) + "\n")
+    line(header)
+    line(["-" * w for w in widths])
+    for row in rows:
+        line(row)
+
+
+def summarize_events(records):
+    by_event = OrderedDict()
+    for r in records:
+        by_event.setdefault(r["event"], []).append(r)
+    for event, recs in by_event.items():
+        print(f"\n== event: {event} ({len(recs)} records) ==")
+        stats = numeric_fields(recs)
+        if not stats:
+            continue
+        rows = [
+            [k, str(s.count), fmt(s.mean), fmt(s.lo), fmt(s.hi), fmt(s.total)]
+            for k, s in stats.items()
+        ]
+        print_table(["field", "count", "mean", "min", "max", "sum"], rows)
+
+
+def summarize_grouped(records, event, group_keys):
+    recs = [r for r in records if r["event"] == event]
+    if not recs:
+        print(f"no '{event}' records in log", file=sys.stderr)
+        return False
+    groups = OrderedDict()
+    for r in recs:
+        key = tuple(r.get(k) for k in group_keys)
+        groups.setdefault(key, []).append(r)
+    # Columns: group keys, record count, then mean of every numeric field
+    # (group keys excluded) seen across all groups.
+    all_fields = OrderedDict()
+    for key_recs in groups.values():
+        for k in numeric_fields(key_recs):
+            if k not in group_keys:
+                all_fields[k] = None
+    header = list(group_keys) + ["records"] + [f"mean({k})" for k in all_fields]
+    rows = []
+    for key, key_recs in sorted(groups.items(), key=lambda kv: str(kv[0])):
+        stats = numeric_fields(key_recs)
+        row = [fmt(v) if is_number(v) else str(v) for v in key]
+        row.append(str(len(key_recs)))
+        for k in all_fields:
+            row.append(fmt(stats[k].mean) if k in stats else "-")
+        rows.append(row)
+    print(f"\n== event: {event}, grouped by ({', '.join(group_keys)}) ==")
+    print_table(header, rows)
+    return True
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("log", help="telemetry JSONL file")
+    ap.add_argument("--check", action="store_true",
+                    help="validate only; print a one-line verdict")
+    ap.add_argument("--event", default="cycle",
+                    help="event type for --group (default: cycle)")
+    ap.add_argument("--group", default=None, metavar="K1,K2",
+                    help="comma-separated fields to group the --event "
+                         "records by (e.g. n,epsilon)")
+    args = ap.parse_args()
+
+    records, errors = load(args.log)
+    for e in errors:
+        print(f"error: {e}", file=sys.stderr)
+    if args.check:
+        verdict = "OK" if not errors else "INVALID"
+        print(f"{args.log}: {verdict} ({len(records)} records, "
+              f"{len(errors)} errors)")
+        return 1 if errors else 0
+    if errors:
+        return 1
+    if not records:
+        print(f"{args.log}: empty log", file=sys.stderr)
+        return 1
+
+    print(f"{args.log}: {len(records)} records")
+    if args.group:
+        keys = [k.strip() for k in args.group.split(",") if k.strip()]
+        if not summarize_grouped(records, args.event, keys):
+            return 1
+    else:
+        summarize_events(records)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

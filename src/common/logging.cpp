@@ -8,13 +8,22 @@
 namespace gt {
 namespace {
 
-LogLevel parse_level_env() {
-  const char* v = std::getenv("GT_LOG");
-  if (!v || !*v) return LogLevel::kOff;
+LogLevel parse_level_name(const char* v) {
   if (std::strcmp(v, "debug") == 0) return LogLevel::kDebug;
   if (std::strcmp(v, "info") == 0) return LogLevel::kInfo;
   if (std::strcmp(v, "warn") == 0) return LogLevel::kWarn;
   if (std::strcmp(v, "error") == 0) return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+LogLevel parse_level_env() {
+  // GT_LOG_LEVEL is the level filter (takes precedence, so telemetry-enabled
+  // bench runs can raise the threshold above GT_LOG's debug spew); GT_LOG is
+  // the legacy switch. Default stays off.
+  if (const char* v = std::getenv("GT_LOG_LEVEL"); v && *v)
+    return parse_level_name(v);
+  if (const char* v = std::getenv("GT_LOG"); v && *v)
+    return parse_level_name(v);
   return LogLevel::kOff;
 }
 

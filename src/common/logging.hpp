@@ -1,5 +1,6 @@
 // Leveled logger for simulations. Off by default so benchmark output stays
-// clean; enable with GT_LOG=debug|info|warn|error or programmatically.
+// clean; enable with GT_LOG_LEVEL=debug|info|warn|error|off (takes
+// precedence), the legacy GT_LOG equivalent, or programmatically.
 #pragma once
 
 #include <sstream>

@@ -9,6 +9,18 @@
 
 namespace gt {
 
+void RunningStats::add_to_sum(double x) noexcept {
+  // Neumaier variant of Kahan summation: also correct when the addend is
+  // larger in magnitude than the running sum.
+  const double t = sum_ + x;
+  if (std::abs(sum_) >= std::abs(x)) {
+    comp_ += (sum_ - t) + x;
+  } else {
+    comp_ += (x - t) + sum_;
+  }
+  sum_ = t;
+}
+
 void RunningStats::add(double x) noexcept {
   if (n_ == 0) {
     min_ = max_ = x;
@@ -20,6 +32,7 @@ void RunningStats::add(double x) noexcept {
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(n_);
   m2_ += delta * (x - mean_);
+  add_to_sum(x);
 }
 
 void RunningStats::merge(const RunningStats& other) noexcept {
@@ -37,6 +50,8 @@ void RunningStats::merge(const RunningStats& other) noexcept {
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
   n_ += other.n_;
+  add_to_sum(other.sum_);
+  add_to_sum(other.comp_);
 }
 
 double RunningStats::variance() const noexcept {

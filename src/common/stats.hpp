@@ -10,7 +10,10 @@
 
 namespace gt {
 
-/// Welford-style running mean/variance accumulator.
+/// Welford-style running mean/variance accumulator. The total is tracked
+/// as an explicit Neumaier(Kahan)-compensated sum, so sum() is exact (not
+/// mean() * n reconstructed from the rounded mean) even for large-n
+/// accumulations like telemetry histogram merges.
 class RunningStats {
  public:
   void add(double x) noexcept;
@@ -22,14 +25,18 @@ class RunningStats {
   double stddev() const noexcept;
   double min() const noexcept { return min_; }
   double max() const noexcept { return max_; }
-  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+  double sum() const noexcept { return sum_ + comp_; }
 
  private:
+  void add_to_sum(double x) noexcept;
+
   std::size_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+  double sum_ = 0.0;   ///< running compensated sum
+  double comp_ = 0.0;  ///< Neumaier compensation term
 };
 
 /// RMS relative error as defined in the paper's Eq. (8):

@@ -48,6 +48,12 @@ std::vector<double> GossipTrustEngine::initial_scores() const {
   return std::vector<double>(n_, 1.0 / static_cast<double>(n_));
 }
 
+void GossipTrustEngine::set_event_log(telemetry::EventLog* events,
+                                      std::size_t step_sample_every) {
+  events_ = events;
+  step_sample_every_ = step_sample_every;
+}
+
 CycleStats GossipTrustEngine::run_cycle(const trust::SparseMatrix& s,
                                         std::vector<double>& v,
                                         std::vector<NodeId>& power, Rng& rng,
@@ -67,6 +73,10 @@ CycleStats GossipTrustEngine::run_cycle(const trust::SparseMatrix& s,
 
   gossip::VectorGossip gossip(n_, ps, pool_.get());
   if (alive != nullptr) gossip.set_participants(*alive);
+  // Step sampling is the kernel's job; the engine emits the richer `cycle`
+  // record below, so the kernel sink is only attached when sampling is on.
+  if (events_ != nullptr && step_sample_every_ > 0)
+    gossip.set_event_log(events_, step_sample_every_);
   gossip.initialize(s, v);
   const auto gres = gossip.run(rng, overlay);
 
@@ -100,18 +110,41 @@ CycleStats GossipTrustEngine::run_cycle(const trust::SparseMatrix& s,
     apply_power_node_mix(next, live_power, config_.alpha);
   }
 
+  // CycleStats is a snapshot view over the kernel's metrics registry: the
+  // counters/gauges/timer histograms the phases filled (per worker lane,
+  // merged here at the cycle boundary) are the single source of truth.
+  const telemetry::MetricsSnapshot snap = gossip.metrics().snapshot();
   CycleStats stats;
   stats.gossip_steps = gres.steps;
   stats.gossip_converged = gres.converged;
-  stats.messages_sent = gres.messages_sent;
-  stats.messages_lost = gres.messages_lost;
-  stats.triplets_sent = gres.triplets_sent;
-  stats.active_triplets = gres.active_triplets;
-  stats.zero_components_skipped = gres.zero_components_skipped;
-  stats.send_phase_seconds = gres.send_phase_seconds;
-  stats.bookkeeping_phase_seconds = gres.bookkeeping_phase_seconds;
+  stats.messages_sent = *snap.counter("gossip.messages_sent");
+  stats.messages_lost = *snap.counter("gossip.messages_lost");
+  stats.triplets_sent = *snap.counter("gossip.triplets_sent");
+  stats.active_triplets =
+      static_cast<std::uint64_t>(*snap.gauge("gossip.active_triplets"));
+  stats.zero_components_skipped = *snap.counter("gossip.zero_components_skipped");
+  stats.send_phase_seconds = snap.histogram("gossip.send_phase_seconds")->sum;
+  stats.bookkeeping_phase_seconds =
+      snap.histogram("gossip.bookkeeping_phase_seconds")->sum;
   stats.readout_seconds = readout_seconds;
   stats.change_from_previous = mean_relative_error(next, v);
+
+  if (events_ != nullptr) {
+    events_->record("cycle")
+        .field("cycle", cycles_emitted_++)
+        .field("n", n_)
+        .field("gossip_steps", stats.gossip_steps)
+        .field("gossip_converged", stats.gossip_converged)
+        .field("messages_sent", stats.messages_sent)
+        .field("messages_dropped", stats.messages_lost)
+        .field("triplets_sent", stats.triplets_sent)
+        .field("active_triplets", stats.active_triplets)
+        .field("zero_components_skipped", stats.zero_components_skipped)
+        .field("send_phase_seconds", stats.send_phase_seconds)
+        .field("bookkeeping_phase_seconds", stats.bookkeeping_phase_seconds)
+        .field("readout_seconds", stats.readout_seconds)
+        .field("change_from_previous", stats.change_from_previous);
+  }
 
   if (views_out != nullptr) {
     views_out->clear();

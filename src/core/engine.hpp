@@ -23,6 +23,7 @@
 #include "core/power_nodes.hpp"
 #include "gossip/vector_gossip.hpp"
 #include "graph/topology.hpp"
+#include "telemetry/event_log.hpp"
 #include "trust/matrix.hpp"
 
 namespace gt::core {
@@ -42,7 +43,9 @@ struct GossipTrustConfig {
   std::size_t num_threads = 1;     ///< gossip kernel lanes (0 = hardware concurrency)
 };
 
-/// Per-cycle telemetry.
+/// Per-cycle telemetry: a snapshot view over the gossip kernel's metrics
+/// registry (counters/gauges/histogram sums merged across worker lanes at
+/// the cycle boundary) plus engine-level cycle outcomes.
 struct CycleStats {
   std::size_t gossip_steps = 0;
   bool gossip_converged = false;
@@ -106,10 +109,19 @@ class GossipTrustEngine {
                         const graph::Graph* overlay = nullptr,
                         std::optional<std::vector<double>> warm_start = std::nullopt);
 
+  /// Attaches a JSONL sink: every run_cycle emits one `cycle` record (steps,
+  /// message/triplet counters, per-phase seconds, change_from_previous) and,
+  /// when step_sample_every > 0, the gossip kernel additionally emits one
+  /// `gossip_step` record every step_sample_every-th step. Null detaches.
+  void set_event_log(telemetry::EventLog* events, std::size_t step_sample_every = 0);
+
  private:
   std::size_t n_;
   GossipTrustConfig config_;
   std::unique_ptr<ThreadPool> pool_;  // shared by every cycle's gossip kernel
+  telemetry::EventLog* events_ = nullptr;
+  std::size_t step_sample_every_ = 0;
+  std::uint64_t cycles_emitted_ = 0;  // cycle index stamped onto records
 };
 
 }  // namespace gt::core

@@ -2,7 +2,10 @@
 
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <stdexcept>
+
+#include "telemetry/scoped_timer.hpp"
 
 namespace gt::gossip {
 
@@ -19,8 +22,23 @@ ScalarPushSum::ScalarPushSum(std::vector<double> x0, std::vector<double> w0,
     throw std::invalid_argument("ScalarPushSum: x0/w0 must be equal-sized, non-empty");
 }
 
+void ScalarPushSum::attach_telemetry(telemetry::MetricsRegistry* registry) {
+  metrics_ = registry;
+  if (metrics_ != nullptr) {
+    m_sent_ = metrics_->counter("pushsum.messages_sent");
+    m_lost_ = metrics_->counter("pushsum.messages_lost");
+    m_step_seconds_ =
+        metrics_->histogram("pushsum.step_seconds",
+                            telemetry::HistogramOptions{3e-8, 2.0, 30});
+  }
+}
+
 void ScalarPushSum::step(Rng& rng, const graph::Graph* overlay, PushSumResult& result) {
   const std::size_t n = x_.size();
+  const std::uint64_t sent_before = result.messages_sent;
+  const std::uint64_t lost_before = result.messages_lost;
+  std::optional<telemetry::ScopedTimer> timer;
+  if (metrics_ != nullptr) timer.emplace(*metrics_, m_step_seconds_);
   // Send phase: every node halves its pair; one half stays (the "send to
   // itself" of Algorithm 1 line 12), the other is pushed to a random target.
   for (NodeId i = 0; i < n; ++i) {
@@ -81,6 +99,11 @@ void ScalarPushSum::step(Rng& rng, const graph::Graph* overlay, PushSumResult& r
       ++stable_count_[i];
     }
     prev_ratio_[i] = ratio;
+  }
+
+  if (metrics_ != nullptr) {
+    metrics_->add(m_sent_, result.messages_sent - sent_before);
+    metrics_->add(m_lost_, result.messages_lost - lost_before);
   }
 }
 

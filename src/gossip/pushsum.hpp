@@ -16,6 +16,7 @@
 
 #include "common/rng.hpp"
 #include "graph/topology.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace gt::gossip {
 
@@ -71,8 +72,17 @@ class ScalarPushSum {
   /// Largest |estimate(i) - estimate(j)| over nodes with defined estimates.
   double max_disagreement() const;
 
+  /// Mirrors message counters (`pushsum.messages_sent` / `.messages_lost`)
+  /// and a per-step timer histogram (`pushsum.step_seconds`) into
+  /// `registry` (lane 0; the scalar kernel is serial). Null detaches.
+  /// Purely observational: gossip results are identical either way.
+  void attach_telemetry(telemetry::MetricsRegistry* registry);
+
  private:
   PushSumConfig config_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+  telemetry::Counter m_sent_, m_lost_;
+  telemetry::Histogram m_step_seconds_;
   std::vector<double> x_;
   std::vector<double> w_;
   std::vector<double> prev_ratio_;

@@ -1,19 +1,15 @@
 #include "gossip/vector_gossip.hpp"
 
 #include <algorithm>
-#include <chrono>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
 
+#include "telemetry/scoped_timer.hpp"
+
 namespace gt::gossip {
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_between(Clock::time_point a, Clock::time_point b) {
-  return std::chrono::duration<double>(b - a).count();
-}
 
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 
@@ -45,6 +41,31 @@ VectorGossip::VectorGossip(std::size_t n, PushSumConfig config, ThreadPool* pool
   }
   scratch_.resize(lanes());
   for (auto& sc : scratch_) sc.mark.assign(n_, 0);
+
+  // One registry lane per worker lane; phase timings land in log-bucket
+  // histograms spanning ~30ns .. ~30s.
+  metrics_ = std::make_unique<telemetry::MetricsRegistry>(lanes());
+  c_sent_ = metrics_->counter("gossip.messages_sent");
+  c_lost_ = metrics_->counter("gossip.messages_lost");
+  c_triplets_ = metrics_->counter("gossip.triplets_sent");
+  c_skipped_ = metrics_->counter("gossip.zero_components_skipped");
+  g_active_ = metrics_->gauge("gossip.active_triplets");
+  telemetry::HistogramOptions phase_buckets{3e-8, 2.0, 30};
+  h_send_ = metrics_->histogram("gossip.send_phase_seconds", phase_buckets);
+  h_book_ = metrics_->histogram("gossip.bookkeeping_phase_seconds", phase_buckets);
+}
+
+void VectorGossip::set_event_log(telemetry::EventLog* events,
+                                 std::size_t sample_every) {
+  events_ = events;
+  step_sample_every_ = sample_every;
+}
+
+VectorGossip::CounterTotals VectorGossip::counter_totals() const noexcept {
+  return CounterTotals{metrics_->counter_value(c_sent_),
+                       metrics_->counter_value(c_lost_),
+                       metrics_->counter_value(c_triplets_),
+                       metrics_->counter_value(c_skipped_)};
 }
 
 void VectorGossip::for_chunks(std::size_t count, std::size_t num_chunks,
@@ -125,13 +146,11 @@ void VectorGossip::seed_streams(std::uint64_t base) {
   streams_seeded_ = true;
 }
 
-void VectorGossip::route_phase(VectorGossipResult& result,
-                               const graph::Graph* overlay) {
+void VectorGossip::route_phase(const graph::Graph* overlay) {
   const bool masked = !alive_.empty();
   const std::size_t chunks = std::min(lanes(), n_);
-  counters_.assign(std::max<std::size_t>(chunks, 1), StepCounters{});
   for_chunks(n_, chunks, [&](std::size_t b, std::size_t e, std::size_t c) {
-    StepCounters& ctr = counters_[c];
+    CounterTotals ctr;  // chunk-local, folded into this lane's slots below
     for (NodeId i = b; i < e; ++i) {
       target_[i] = kNoTarget;
       delivered_[i] = 0;
@@ -212,13 +231,11 @@ void VectorGossip::route_phase(VectorGossipResult& result,
         ctr.triplets += payload;
       }
     }
+    metrics_->add(c_sent_, ctr.sent, c);
+    metrics_->add(c_lost_, ctr.lost, c);
+    metrics_->add(c_triplets_, ctr.triplets, c);
+    metrics_->add(c_skipped_, ctr.skipped, c);
   });
-  for (const StepCounters& ctr : counters_) {
-    result.messages_sent += ctr.sent;
-    result.messages_lost += ctr.lost;
-    result.triplets_sent += ctr.triplets;
-    result.zero_components_skipped += ctr.skipped;
-  }
 }
 
 void VectorGossip::bucket_phase() {
@@ -338,9 +355,12 @@ void VectorGossip::bookkeeping_phase(VectorGossipResult& result) {
   const std::uint8_t* alive = masked ? alive_.data() : nullptr;
   const std::size_t owned_total = masked ? alive_list_.size() : n_;
   const std::size_t chunks = std::min(lanes(), n_);
-  counters_.assign(std::max<std::size_t>(chunks, 1), StepCounters{});
-  for_chunks(n_, chunks, [&](std::size_t b, std::size_t e, std::size_t c) {
-    StepCounters& ctr = counters_[c];
+  // Support size is a snapshot (not monotonic), so it accumulates into a
+  // phase-local atomic: integer adds commute, so the total is independent
+  // of chunk completion order.
+  std::atomic<std::uint64_t> active_total{0};
+  for_chunks(n_, chunks, [&](std::size_t b, std::size_t e, std::size_t) {
+    std::uint64_t active = 0;
     for (NodeId i = b; i < e; ++i) {
       if (alive != nullptr && !alive[i]) continue;
       const double* xi = row_x(i);
@@ -362,37 +382,49 @@ void VectorGossip::bookkeeping_phase(VectorGossipResult& result) {
         prev[j] = ratio;
       };
       if (dense_[i]) {
-        ctr.active += n_;
+        active += n_;
         for (NodeId j = 0; j < n_; ++j) visit(j);
       } else {
-        ctr.active += active_[i].size();
+        active += active_[i].size();
         for (const NodeId j : active_[i]) visit(j);
       }
       if (owned_seen < owned_total) stable = false;
       stable_count_[i] = stable ? stable_count_[i] + 1 : 0;
     }
+    active_total.fetch_add(active, std::memory_order_relaxed);
   });
-  std::uint64_t active = 0;
-  for (const StepCounters& ctr : counters_) active += ctr.active;
-  result.active_triplets = active;  // snapshot of the current step's support
+  // Snapshot of the current step's support, mirrored into the gauge.
+  result.active_triplets = active_total.load(std::memory_order_relaxed);
+  metrics_->set(g_active_, static_cast<double>(result.active_triplets));
 }
 
 void VectorGossip::step(Rng& rng, const graph::Graph* overlay,
                         VectorGossipResult& result) {
   if (!streams_seeded_) seed_streams(rng.next_u64());
-  const auto t0 = Clock::now();
-  route_phase(result, overlay);
-  bucket_phase();
-  gather_phase();
-  x_.swap(inbox_x_);
-  w_.swap(inbox_w_);
-  active_.swap(next_active_);
-  dense_.swap(next_dense_);
-  const auto t1 = Clock::now();
-  bookkeeping_phase(result);
-  const auto t2 = Clock::now();
-  result.send_phase_seconds += seconds_between(t0, t1);
-  result.bookkeeping_phase_seconds += seconds_between(t1, t2);
+  // Counter partials land in the registry lanes during the phases; the
+  // caller's result struct receives this step's merged delta.
+  const CounterTotals before = counter_totals();
+  {
+    telemetry::ScopedTimer timer(*metrics_, h_send_, 0,
+                                 &result.send_phase_seconds);
+    route_phase(overlay);
+    bucket_phase();
+    gather_phase();
+    x_.swap(inbox_x_);
+    w_.swap(inbox_w_);
+    active_.swap(next_active_);
+    dense_.swap(next_dense_);
+  }
+  {
+    telemetry::ScopedTimer timer(*metrics_, h_book_, 0,
+                                 &result.bookkeeping_phase_seconds);
+    bookkeeping_phase(result);
+  }
+  const CounterTotals after = counter_totals();
+  result.messages_sent += after.sent - before.sent;
+  result.messages_lost += after.lost - before.lost;
+  result.triplets_sent += after.triplets - before.triplets;
+  result.zero_components_skipped += after.skipped - before.skipped;
 }
 
 VectorGossipResult VectorGossip::run(Rng& rng, const graph::Graph* overlay) {
@@ -401,6 +433,15 @@ VectorGossipResult VectorGossip::run(Rng& rng, const graph::Graph* overlay) {
   while (result.steps < config_.max_steps) {
     step(rng, overlay, result);
     ++result.steps;
+    if (events_ != nullptr && step_sample_every_ > 0 &&
+        result.steps % step_sample_every_ == 0) {
+      events_->record("gossip_step")
+          .field("step", result.steps)
+          .field("messages_sent", result.messages_sent)
+          .field("messages_dropped", result.messages_lost)
+          .field("triplets_sent", result.triplets_sent)
+          .field("active_triplets", result.active_triplets);
+    }
     bool all_stable = true;
     const std::size_t count = masked ? alive_list_.size() : n_;
     for (std::size_t si = 0; si < count; ++si) {
@@ -414,6 +455,19 @@ VectorGossipResult VectorGossip::run(Rng& rng, const graph::Graph* overlay) {
       result.converged = true;
       break;
     }
+  }
+  if (events_ != nullptr) {
+    events_->record("gossip_run")
+        .field("n", n_)
+        .field("gossip_steps", result.steps)
+        .field("converged", result.converged)
+        .field("messages_sent", result.messages_sent)
+        .field("messages_dropped", result.messages_lost)
+        .field("triplets_sent", result.triplets_sent)
+        .field("active_triplets", result.active_triplets)
+        .field("zero_components_skipped", result.zero_components_skipped)
+        .field("send_phase_seconds", result.send_phase_seconds)
+        .field("bookkeeping_phase_seconds", result.bookkeeping_phase_seconds);
   }
   return result;
 }

@@ -39,6 +39,8 @@
 #include "common/thread_pool.hpp"
 #include "gossip/pushsum.hpp"
 #include "graph/topology.hpp"
+#include "telemetry/event_log.hpp"
+#include "telemetry/metrics.hpp"
 #include "trust/matrix.hpp"
 
 namespace gt::gossip {
@@ -124,13 +126,29 @@ class VectorGossip {
     return dense_[i] ? n_ : active_[i].size();
   }
 
+  /// The kernel's metrics registry: the per-phase counters and timers
+  /// behind VectorGossipResult (counters `gossip.messages_sent`,
+  /// `gossip.messages_lost`, `gossip.triplets_sent`,
+  /// `gossip.zero_components_skipped`; gauge `gossip.active_triplets`;
+  /// histograms `gossip.send_phase_seconds`,
+  /// `gossip.bookkeeping_phase_seconds` observed once per step). Worker
+  /// lanes are merged on read, so a snapshot is always consistent between
+  /// steps. All telemetry is observational: results are bit-identical
+  /// whether or not anything reads it.
+  const telemetry::MetricsRegistry& metrics() const noexcept { return *metrics_; }
+
+  /// Attaches a JSONL sink: run() emits one `gossip_run` record per
+  /// convergence run and, when sample_every > 0, one `gossip_step` record
+  /// every sample_every-th step. Null detaches.
+  void set_event_log(telemetry::EventLog* events, std::size_t sample_every = 0);
+
  private:
   bool is_alive(NodeId v) const { return alive_.empty() || alive_[v] != 0; }
   std::size_t lanes() const noexcept { return pool_ ? pool_->num_threads() : 1; }
   void for_chunks(std::size_t count, std::size_t num_chunks,
                   const ThreadPool::ChunkFn& fn) const;
   void seed_streams(std::uint64_t base);
-  void route_phase(VectorGossipResult& result, const graph::Graph* overlay);
+  void route_phase(const graph::Graph* overlay);
   void bucket_phase();
   void gather_phase();
   void bookkeeping_phase(VectorGossipResult& result);
@@ -175,11 +193,21 @@ class VectorGossip {
   };
   mutable std::vector<UnionScratch> scratch_;
 
-  // Per-chunk integer counter partials (order-insensitive merges).
-  struct StepCounters {
-    std::uint64_t sent = 0, lost = 0, triplets = 0, skipped = 0, active = 0;
+  // Telemetry: per-lane counter partials live in the registry (each worker
+  // lane adds its chunk totals into its own lane; reads merge lanes in
+  // fixed order). CounterTotals snapshots the merged values so step() can
+  // report per-step deltas in the caller's result struct.
+  struct CounterTotals {
+    std::uint64_t sent = 0, lost = 0, triplets = 0, skipped = 0;
   };
-  std::vector<StepCounters> counters_;
+  CounterTotals counter_totals() const noexcept;
+
+  std::unique_ptr<telemetry::MetricsRegistry> metrics_;
+  telemetry::Counter c_sent_, c_lost_, c_triplets_, c_skipped_;
+  telemetry::Gauge g_active_;
+  telemetry::Histogram h_send_, h_book_;
+  telemetry::EventLog* events_ = nullptr;
+  std::size_t step_sample_every_ = 0;
 
   double* row_x(NodeId i) { return x_.data() + i * n_; }
   double* row_w(NodeId i) { return w_.data() + i * n_; }

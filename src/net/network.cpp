@@ -17,17 +17,60 @@ std::uint64_t Network::link_key(NodeId a, NodeId b) noexcept {
   return (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint64_t>(b);
 }
 
+void Network::attach_telemetry(telemetry::MetricsRegistry* registry,
+                               telemetry::EventLog* events) {
+  metrics_ = registry;
+  events_ = events;
+  if (metrics_ != nullptr) {
+    m_sent_ = metrics_->counter("net.messages_sent");
+    m_delivered_ = metrics_->counter("net.messages_delivered");
+    m_dropped_ = metrics_->counter("net.messages_dropped");
+    m_bytes_sent_ = metrics_->counter("net.bytes_sent");
+    m_bytes_delivered_ = metrics_->counter("net.bytes_delivered");
+    m_bytes_dropped_ = metrics_->counter("net.bytes_dropped");
+  }
+}
+
+void Network::count_drop(NodeId from, NodeId to, std::size_t size_bytes,
+                         const char* reason) {
+  ++stats_.messages_dropped;
+  stats_.bytes_dropped += size_bytes;
+  if (metrics_ != nullptr) {
+    metrics_->add(m_dropped_);
+    metrics_->add(m_bytes_dropped_, size_bytes);
+  }
+  if (events_ != nullptr) {
+    events_->record("net_drop")
+        .field("sim_time", scheduler_.now())
+        .field("from", from)
+        .field("to", to)
+        .field("bytes", size_bytes)
+        .field("reason", reason);
+  }
+}
+
 bool Network::send(NodeId from, NodeId to, std::size_t size_bytes,
                    Handler on_deliver) {
   assert(from < node_up_.size() && to < node_up_.size());
   ++stats_.messages_sent;
   stats_.bytes_sent += size_bytes;
+  if (metrics_ != nullptr) {
+    metrics_->add(m_sent_);
+    metrics_->add(m_bytes_sent_, size_bytes);
+  }
 
-  const bool dropped = !node_up_[from] || !node_up_[to] ||
-                       link_failed(from, to) ||
-                       rng_.next_bool(config_.loss_probability);
-  if (dropped) {
-    ++stats_.messages_dropped;
+  const char* reason = nullptr;
+  if (!node_up_[from]) {
+    reason = "sender_down";
+  } else if (!node_up_[to]) {
+    reason = "receiver_down";
+  } else if (link_failed(from, to)) {
+    reason = "link_failed";
+  } else if (rng_.next_bool(config_.loss_probability)) {
+    reason = "loss";
+  }
+  if (reason != nullptr) {
+    count_drop(from, to, size_bytes, reason);
     return false;
   }
 
@@ -35,14 +78,20 @@ bool Network::send(NodeId from, NodeId to, std::size_t size_bytes,
   if (config_.jitter > 0.0) delay += rng_.next_double(0.0, config_.jitter);
 
   scheduler_.schedule_after(
-      delay, [this, to, size_bytes, handler = std::move(on_deliver)]() mutable {
-        // The receiver may have gone down while the message was in flight.
+      delay, [this, from, to, size_bytes,
+              handler = std::move(on_deliver)]() mutable {
+        // The receiver may have gone down while the message was in flight:
+        // its payload bytes never land, so they are accounted as dropped.
         if (!node_up_[to]) {
-          ++stats_.messages_dropped;
+          count_drop(from, to, size_bytes, "receiver_down_in_flight");
           return;
         }
         ++stats_.messages_delivered;
         stats_.bytes_delivered += size_bytes;
+        if (metrics_ != nullptr) {
+          metrics_->add(m_delivered_);
+          metrics_->add(m_bytes_delivered_, size_bytes);
+        }
         handler();
       });
   return true;
@@ -50,12 +99,36 @@ bool Network::send(NodeId from, NodeId to, std::size_t size_bytes,
 
 void Network::set_node_up(NodeId node, bool up) {
   assert(node < node_up_.size());
+  if (events_ != nullptr && node_up_[node] != up) {
+    events_->record("net_outage")
+        .field("sim_time", scheduler_.now())
+        .field("kind", up ? "node_up" : "node_down")
+        .field("node", node);
+  }
   node_up_[node] = up;
 }
 
-void Network::fail_link(NodeId a, NodeId b) { failed_links_.insert(link_key(a, b)); }
+void Network::fail_link(NodeId a, NodeId b) {
+  if (events_ != nullptr && !link_failed(a, b)) {
+    events_->record("net_outage")
+        .field("sim_time", scheduler_.now())
+        .field("kind", "link_failed")
+        .field("a", a)
+        .field("b", b);
+  }
+  failed_links_.insert(link_key(a, b));
+}
 
-void Network::heal_link(NodeId a, NodeId b) { failed_links_.erase(link_key(a, b)); }
+void Network::heal_link(NodeId a, NodeId b) {
+  if (events_ != nullptr && link_failed(a, b)) {
+    events_->record("net_outage")
+        .field("sim_time", scheduler_.now())
+        .field("kind", "link_healed")
+        .field("a", a)
+        .field("b", b);
+  }
+  failed_links_.erase(link_key(a, b));
+}
 
 bool Network::link_failed(NodeId a, NodeId b) const {
   return failed_links_.count(link_key(a, b)) != 0;

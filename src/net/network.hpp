@@ -17,18 +17,25 @@
 
 #include "common/rng.hpp"
 #include "sim/scheduler.hpp"
+#include "telemetry/event_log.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace gt::net {
 
 using NodeId = std::size_t;
 
-/// Aggregate traffic counters, one per Network instance.
+/// Aggregate traffic counters, one per Network instance. Invariant (once
+/// all in-flight messages have been drained by the scheduler):
+///   messages_sent == messages_delivered + messages_dropped
+///   bytes_sent    == bytes_delivered + bytes_dropped + in-flight bytes
 struct TrafficStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;   ///< lost to link failure / dead node
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_delivered = 0;
+  std::uint64_t bytes_dropped = 0;      ///< payload of dropped messages
+                                        ///< (send-time and delivery-time)
 
   double delivery_ratio() const noexcept {
     return messages_sent ? static_cast<double>(messages_delivered) /
@@ -77,8 +84,17 @@ class Network {
   const NetworkConfig& config() const noexcept { return config_; }
   void set_loss_probability(double p) { config_.loss_probability = p; }
 
+  /// Mirrors traffic counters into `registry` (lane 0; the simulated
+  /// network is single-threaded) and emits one `net_drop` record per
+  /// dropped message plus `net_outage` records on node/link state changes
+  /// into `events`. Either pointer may be null; call before traffic flows.
+  void attach_telemetry(telemetry::MetricsRegistry* registry,
+                        telemetry::EventLog* events);
+
  private:
   static std::uint64_t link_key(NodeId a, NodeId b) noexcept;
+  void count_drop(NodeId from, NodeId to, std::size_t size_bytes,
+                  const char* reason);
 
   sim::Scheduler& scheduler_;
   NetworkConfig config_;
@@ -86,6 +102,11 @@ class Network {
   std::vector<bool> node_up_;
   std::unordered_set<std::uint64_t> failed_links_;
   TrafficStats stats_;
+
+  telemetry::EventLog* events_ = nullptr;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+  telemetry::Counter m_sent_, m_delivered_, m_dropped_;
+  telemetry::Counter m_bytes_sent_, m_bytes_delivered_, m_bytes_dropped_;
 };
 
 }  // namespace gt::net

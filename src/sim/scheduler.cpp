@@ -19,10 +19,20 @@ EventId Scheduler::alloc_event(Callback cb) {
   return id;
 }
 
+void Scheduler::attach_telemetry(telemetry::MetricsRegistry* registry) {
+  metrics_ = registry;
+  if (metrics_ != nullptr) {
+    m_scheduled_ = metrics_->counter("sim.events_scheduled");
+    m_executed_ = metrics_->counter("sim.events_executed");
+    m_cancelled_ = metrics_->counter("sim.events_cancelled");
+  }
+}
+
 EventId Scheduler::schedule_at(SimTime when, Callback cb) {
   if (when < now_) throw std::invalid_argument("Scheduler: cannot schedule in the past");
   const EventId id = alloc_event(std::move(cb));
   queue_.push(Entry{when, seq_++, id});
+  if (metrics_ != nullptr) metrics_->add(m_scheduled_);
   return id;
 }
 
@@ -32,6 +42,7 @@ EventId Scheduler::schedule_periodic(SimTime period, Callback cb) {
   events_[id].periodic = true;
   events_[id].period = period;
   queue_.push(Entry{now_ + period, seq_++, id});
+  if (metrics_ != nullptr) metrics_->add(m_scheduled_);
   return id;
 }
 
@@ -41,6 +52,7 @@ bool Scheduler::cancel(EventId id) {
   if (p.cancelled || !p.cb) return false;
   p.cancelled = true;
   ++cancelled_pending_;
+  if (metrics_ != nullptr) metrics_->add(m_cancelled_);
   return true;
 }
 
@@ -58,6 +70,7 @@ bool Scheduler::step() {
     assert(top.when >= now_);
     now_ = top.when;
     ++executed_;
+    if (metrics_ != nullptr) metrics_->add(m_executed_);
     if (p.periodic) {
       // Re-arm before invoking so the callback may cancel itself.
       queue_.push(Entry{now_ + p.period, seq_++, top.id});

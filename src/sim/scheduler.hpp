@@ -13,6 +13,8 @@
 #include <queue>
 #include <vector>
 
+#include "telemetry/metrics.hpp"
+
 namespace gt::sim {
 
 using SimTime = double;
@@ -66,6 +68,10 @@ class Scheduler {
   /// freshly constructed one.
   void reset();
 
+  /// Mirrors event counters (`sim.events_scheduled` / `sim.events_executed`
+  /// / `sim.events_cancelled`) into `registry` (lane 0); null detaches.
+  void attach_telemetry(telemetry::MetricsRegistry* registry);
+
  private:
   struct Entry {
     SimTime when;
@@ -91,6 +97,9 @@ class Scheduler {
   std::uint64_t seq_ = 0;
   std::size_t executed_ = 0;
   std::size_t cancelled_pending_ = 0;
+
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+  telemetry::Counter m_scheduled_, m_executed_, m_cancelled_;
 
   EventId alloc_event(Callback cb);
 };

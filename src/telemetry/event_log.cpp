@@ -1,0 +1,117 @@
+#include "telemetry/event_log.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/logging.hpp"
+
+namespace gt::telemetry {
+
+namespace {
+
+double wall_clock_seconds() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
+std::string render_json_number(double v) {
+  JsonWriter w;
+  w.field("v", v);
+  const std::string& s = w.finish();
+  // {"v":<number>} -> <number>
+  return s.substr(5, s.size() - 6);
+}
+
+}  // namespace
+
+EventLog::EventLog(EventLogConfig config) : config_(std::move(config)) {
+  if (config_.path.empty()) return;
+  ring_.reserve(config_.ring_capacity);
+  file_ = std::fopen(config_.path.c_str(), config_.append ? "ab" : "wb");
+  if (file_ == nullptr) {
+    GT_WARN() << "EventLog: cannot open " << config_.path << "; telemetry disabled";
+    return;
+  }
+  enabled_ = true;
+}
+
+EventLog::~EventLog() {
+  flush();
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+EventLog::Record EventLog::record(std::string_view event_type) {
+  if (!enabled_) return Record(nullptr);
+  Record r(this);
+  std::uint64_t seq;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    seq = seq_++;
+  }
+  r.writer_.field("ts", wall_clock_seconds());
+  r.writer_.field("seq", seq);
+  r.writer_.field("event", event_type);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& c : context_) r.writer_.field_raw(c.key, c.json_value);
+  }
+  return r;
+}
+
+EventLog::Record& EventLog::Record::metrics(const MetricsSnapshot& snap) {
+  if (log_ == nullptr) return *this;
+  for (const auto& [name, v] : snap.counters) writer_.field(name, v);
+  for (const auto& [name, v] : snap.gauges) writer_.field(name, v);
+  for (const auto& [name, h] : snap.histograms) {
+    writer_.begin_object(name);
+    writer_.field("count", h.count);
+    writer_.field("sum", h.sum);
+    writer_.field("mean", h.mean());
+    writer_.field("min", h.min);
+    writer_.field("max", h.max);
+    writer_.end();
+  }
+  return *this;
+}
+
+void EventLog::set_context(std::string key, std::string value) {
+  JsonWriter w;
+  w.field("v", value);
+  const std::string& s = w.finish();
+  std::lock_guard<std::mutex> lock(mutex_);
+  context_.push_back({std::move(key), s.substr(5, s.size() - 6)});
+}
+
+void EventLog::set_context(std::string key, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  context_.push_back({std::move(key), render_json_number(value)});
+}
+
+void EventLog::set_context(std::string key, std::uint64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  context_.push_back({std::move(key), std::to_string(value)});
+}
+
+void EventLog::push(const std::string& line) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.push_back(line);
+  if (ring_.size() >= config_.ring_capacity) flush_locked();
+}
+
+void EventLog::flush() {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  flush_locked();
+}
+
+void EventLog::flush_locked() {
+  for (const auto& line : ring_) {
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fputc('\n', file_);
+  }
+  ring_.clear();
+  std::fflush(file_);
+}
+
+}  // namespace gt::telemetry

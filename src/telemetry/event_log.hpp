@@ -1,0 +1,112 @@
+// EventLog: an eve-JSON-style JSONL sink (one JSON object per line),
+// modeled on Suricata's eve log. Records are built with a fluent RAII
+// builder, buffered in a fixed-capacity ring, and flushed to the
+// configured file when the ring fills, on flush(), and at destruction.
+//
+// Schema conventions (documented in DESIGN.md):
+//   * every record carries "ts" (wall-clock seconds since the epoch,
+//     fractional), "seq" (monotonic per-log sequence number) and
+//     "event" (record type, e.g. "cycle", "gossip_step", "net_drop");
+//   * context fields set via set_context() (bench name, n, thread count)
+//     are stamped onto every subsequent record;
+//   * durations are in seconds, sizes in bytes, counts unitless.
+//
+// A default-constructed (or empty-path) EventLog is disabled: record()
+// builders become no-ops, so call sites need no branching.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace gt::telemetry {
+
+struct EventLogConfig {
+  std::string path;                  ///< output file; empty disables the log
+  std::size_t ring_capacity = 4096;  ///< buffered lines before an auto-flush
+  bool append = false;               ///< append instead of truncating
+};
+
+class EventLog {
+ public:
+  EventLog() = default;  ///< disabled sink
+  explicit EventLog(EventLogConfig config);
+  ~EventLog();
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  bool enabled() const noexcept { return enabled_; }
+
+  /// RAII record builder: fields accumulate, the finished line is pushed
+  /// into the ring when the Record goes out of scope.
+  class Record {
+   public:
+    Record(Record&& o) noexcept
+        : log_(std::exchange(o.log_, nullptr)), writer_(std::move(o.writer_)) {}
+    Record(const Record&) = delete;
+    Record& operator=(const Record&) = delete;
+    ~Record() {
+      if (log_ != nullptr) log_->push(writer_.finish());
+    }
+
+    template <typename T>
+    Record& field(std::string_view key, T value) {
+      if (log_ != nullptr) writer_.field(key, value);
+      return *this;
+    }
+
+    /// Inlines a metrics snapshot: counters/gauges as numeric fields,
+    /// histograms as {count, sum, mean, min, max} objects.
+    Record& metrics(const MetricsSnapshot& snap);
+
+   private:
+    friend class EventLog;
+    explicit Record(EventLog* log) : log_(log) {}
+
+    EventLog* log_;  // null = disabled no-op record
+    JsonWriter writer_;
+  };
+
+  /// Starts a record of the given type; stamps ts/seq/event and the
+  /// context fields. Thread-safe (ring push is mutex-guarded).
+  Record record(std::string_view event_type);
+
+  /// Adds a field stamped onto every subsequent record.
+  void set_context(std::string key, std::string value);
+  void set_context(std::string key, double value);
+  void set_context(std::string key, std::uint64_t value);
+
+  /// Drains the ring to the file (no-op when disabled).
+  void flush();
+
+  std::uint64_t records_logged() const noexcept { return seq_; }
+  std::size_t buffered() const noexcept { return ring_.size(); }
+
+ private:
+  void push(const std::string& line);
+  void flush_locked();
+
+  struct ContextField {
+    std::string key;
+    std::string json_value;  // pre-rendered (string quoted, numbers raw)
+  };
+
+  bool enabled_ = false;
+  EventLogConfig config_;
+  std::FILE* file_ = nullptr;
+  std::vector<std::string> ring_;
+  std::vector<ContextField> context_;
+  std::uint64_t seq_ = 0;
+  std::mutex mutex_;
+};
+
+}  // namespace gt::telemetry

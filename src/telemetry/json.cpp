@@ -1,0 +1,153 @@
+#include "telemetry/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gt::telemetry {
+
+void JsonWriter::begin_object() {
+  out_.push_back('{');
+  stack_.push_back('{');
+  need_comma_ = false;
+}
+
+void JsonWriter::comma() {
+  if (need_comma_) out_.push_back(',');
+  need_comma_ = true;
+}
+
+void JsonWriter::key(std::string_view k) {
+  comma();
+  out_.push_back('"');
+  append_escaped(k);
+  out_ += "\":";
+}
+
+void JsonWriter::append_escaped(std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+}
+
+void JsonWriter::append_double(double v) {
+  if (!std::isfinite(v)) {
+    out_ += "null";  // RFC 8259 has no NaN/Inf literals
+    return;
+  }
+  char buf[40];
+  // Shortest representation that round-trips: try %.15g then widen.
+  for (const int prec : {15, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == v) break;
+  }
+  out_ += buf;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, std::string_view value) {
+  key(k);
+  out_.push_back('"');
+  append_escaped(value);
+  out_.push_back('"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, double value) {
+  key(k);
+  append_double(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, std::uint64_t value) {
+  key(k);
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(value));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, std::int64_t value) {
+  key(k);
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, bool value) {
+  key(k);
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::field_raw(std::string_view k, std::string_view raw_json) {
+  key(k);
+  out_ += raw_json;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object(std::string_view k) {
+  key(k);
+  out_.push_back('{');
+  stack_.push_back('{');
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(std::string_view k) {
+  key(k);
+  out_.push_back('[');
+  stack_.push_back('[');
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::element(double value) {
+  comma();
+  append_double(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::element(std::uint64_t value) {
+  comma();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(value));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end() {
+  if (stack_.size() > 1) {  // never close the root object here
+    out_.push_back(stack_.back() == '[' ? ']' : '}');
+    stack_.pop_back();
+    need_comma_ = true;
+  }
+  return *this;
+}
+
+const std::string& JsonWriter::finish() {
+  if (!finished_) {
+    while (stack_.size() > 1) end();
+    out_.push_back('}');
+    stack_.clear();
+    finished_ = true;
+  }
+  return out_;
+}
+
+}  // namespace gt::telemetry

@@ -1,0 +1,71 @@
+// Dependency-free single-line JSON writer for the telemetry sinks.
+//
+// Builds one flat or nested JSON value by appending fields; handles string
+// escaping, integer/double formatting (round-trip precision, non-finite
+// values emitted as null per RFC 8259), and comma placement. It is a
+// writer, not a DOM: output is streamed into one std::string.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace gt::telemetry {
+
+class JsonWriter {
+ public:
+  JsonWriter() { begin_object(); }
+
+  JsonWriter& field(std::string_view key, std::string_view value);
+  JsonWriter& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+  JsonWriter& field(std::string_view key, double value);
+  JsonWriter& field(std::string_view key, std::uint64_t value);
+  JsonWriter& field(std::string_view key, std::int64_t value);
+  JsonWriter& field(std::string_view key, bool value);
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool> &&
+             !std::is_same_v<T, std::uint64_t> && !std::is_same_v<T, std::int64_t>)
+  JsonWriter& field(std::string_view key, T value) {
+    if constexpr (std::is_signed_v<T>)
+      return field(key, static_cast<std::int64_t>(value));
+    else
+      return field(key, static_cast<std::uint64_t>(value));
+  }
+
+  /// Appends `raw_json` verbatim as the value of `key` (caller guarantees
+  /// it is valid JSON — used for pre-rendered context fields).
+  JsonWriter& field_raw(std::string_view key, std::string_view raw_json);
+
+  /// Nested containers: begin_* opens under `key`, end() closes the
+  /// innermost open container. Inside an array use element()/object
+  /// begin with empty key.
+  JsonWriter& begin_object(std::string_view key);
+  JsonWriter& begin_array(std::string_view key);
+  JsonWriter& element(double value);
+  JsonWriter& element(std::uint64_t value);
+  JsonWriter& end();
+
+  /// Closes the root object (idempotent) and returns the finished line.
+  const std::string& finish();
+
+  /// The buffer so far (without closing braces).
+  const std::string& raw() const noexcept { return out_; }
+
+ private:
+  void begin_object();
+  void comma();
+  void key(std::string_view k);
+  void append_escaped(std::string_view s);
+  void append_double(double v);
+
+  std::string out_;
+  std::vector<char> stack_;  // '{' or '['
+  bool need_comma_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace gt::telemetry

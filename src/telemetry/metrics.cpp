@@ -1,0 +1,203 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gt::telemetry {
+
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+std::size_t find_name(const std::vector<std::string>& names,
+                      const std::string& name) {
+  for (std::size_t i = 0; i < names.size(); ++i)
+    if (names[i] == name) return i;
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+double HistogramSnapshot::bucket_lower(std::size_t k) const noexcept {
+  return options.min * std::pow(options.growth, static_cast<double>(k));
+}
+
+double HistogramSnapshot::percentile(double pct) const noexcept {
+  if (count == 0) return 0.0;
+  pct = std::clamp(pct, 0.0, 100.0);
+  if (pct <= 0.0) return min;
+  if (pct >= 100.0) return max;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(count)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    seen += counts[b];
+    if (seen >= rank) {
+      if (b == 0) return options.min;  // underflow bucket: values < min
+      if (b == counts.size() - 1) return max;
+      return bucket_lower(b);  // upper edge of regular bucket b-1
+    }
+  }
+  return max;
+}
+
+const std::uint64_t* MetricsSnapshot::counter(const std::string& name) const noexcept {
+  for (const auto& [n, v] : counters)
+    if (n == name) return &v;
+  return nullptr;
+}
+
+const double* MetricsSnapshot::gauge(const std::string& name) const noexcept {
+  for (const auto& [n, v] : gauges)
+    if (n == name) return &v;
+  return nullptr;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    const std::string& name) const noexcept {
+  for (const auto& [n, v] : histograms)
+    if (n == name) return &v;
+  return nullptr;
+}
+
+MetricsRegistry::MetricsRegistry(std::size_t lanes)
+    : lanes_(std::max<std::size_t>(lanes, 1)) {}
+
+Counter MetricsRegistry::counter(std::string name) {
+  if (const auto i = find_name(counter_names_, name);
+      i != static_cast<std::size_t>(-1))
+    return Counter{i};
+  counter_names_.push_back(std::move(name));
+  for (auto& lane : lanes_) lane.counters.emplace_back();
+  return Counter{counter_names_.size() - 1};
+}
+
+Gauge MetricsRegistry::gauge(std::string name) {
+  if (const auto i = find_name(gauge_names_, name);
+      i != static_cast<std::size_t>(-1))
+    return Gauge{i};
+  gauge_names_.push_back(std::move(name));
+  gauges_.emplace_back();
+  return Gauge{gauge_names_.size() - 1};
+}
+
+Histogram MetricsRegistry::histogram(std::string name, HistogramOptions options) {
+  if (const auto i = find_name(hist_names_, name);
+      i != static_cast<std::size_t>(-1))
+    return Histogram{i};
+  if (options.growth <= 1.0) options.growth = 2.0;
+  if (options.min <= 0.0) options.min = 1e-9;
+  if (options.buckets == 0) options.buckets = 1;
+  hist_names_.push_back(std::move(name));
+  hist_options_.push_back(options);
+  for (auto& lane : lanes_) {
+    HistLane h;
+    h.counts.resize(options.buckets + 2);
+    lane.hists.push_back(std::move(h));
+  }
+  return Histogram{hist_names_.size() - 1};
+}
+
+void MetricsRegistry::add(Counter c, std::uint64_t delta, std::size_t lane) noexcept {
+  if (!c.valid() || lane >= lanes_.size()) return;
+  auto& cell = lanes_[lane].counters[c.id].v;
+  cell.store(cell.load(kRelaxed) + delta, kRelaxed);  // single-writer lane
+}
+
+void MetricsRegistry::set(Gauge g, double value) noexcept {
+  if (!g.valid()) return;
+  gauges_[g.id].v.store(value, kRelaxed);
+}
+
+std::size_t MetricsRegistry::bucket_index(const HistogramOptions& o,
+                                          double value) const noexcept {
+  if (!(value >= o.min)) return 0;  // underflow (also NaN)
+  const auto k = static_cast<std::size_t>(
+      std::floor(std::log(value / o.min) / std::log(o.growth)));
+  if (k >= o.buckets) return o.buckets + 1;  // overflow
+  return k + 1;
+}
+
+void MetricsRegistry::observe(Histogram h, double value, std::size_t lane) noexcept {
+  if (!h.valid() || lane >= lanes_.size()) return;
+  HistLane& hl = lanes_[lane].hists[h.id];
+  const std::size_t b = bucket_index(hist_options_[h.id], value);
+  auto& cnt = hl.counts[b].v;
+  cnt.store(cnt.load(kRelaxed) + 1, kRelaxed);
+  hl.sum.v.store(hl.sum.v.load(kRelaxed) + value, kRelaxed);
+  if (hl.any.v.load(kRelaxed) == 0) {
+    hl.min.v.store(value, kRelaxed);
+    hl.max.v.store(value, kRelaxed);
+    hl.any.v.store(1, kRelaxed);
+  } else {
+    if (value < hl.min.v.load(kRelaxed)) hl.min.v.store(value, kRelaxed);
+    if (value > hl.max.v.load(kRelaxed)) hl.max.v.store(value, kRelaxed);
+  }
+}
+
+std::uint64_t MetricsRegistry::counter_value(Counter c) const noexcept {
+  if (!c.valid()) return 0;
+  std::uint64_t total = 0;
+  for (const auto& lane : lanes_) total += lane.counters[c.id].v.load(kRelaxed);
+  return total;
+}
+
+double MetricsRegistry::gauge_value(Gauge g) const noexcept {
+  return g.valid() ? gauges_[g.id].v.load(kRelaxed) : 0.0;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters.reserve(counter_names_.size());
+  for (std::size_t i = 0; i < counter_names_.size(); ++i)
+    snap.counters.emplace_back(counter_names_[i], counter_value(Counter{i}));
+  snap.gauges.reserve(gauge_names_.size());
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i)
+    snap.gauges.emplace_back(gauge_names_[i], gauges_[i].v.load(kRelaxed));
+  snap.histograms.reserve(hist_names_.size());
+  for (std::size_t i = 0; i < hist_names_.size(); ++i) {
+    HistogramSnapshot hs;
+    hs.options = hist_options_[i];
+    hs.counts.assign(hs.options.buckets + 2, 0);
+    bool any = false;
+    for (const auto& lane : lanes_) {  // fixed lane order: deterministic merge
+      const HistLane& hl = lane.hists[i];
+      for (std::size_t b = 0; b < hs.counts.size(); ++b) {
+        const std::uint64_t c = hl.counts[b].v.load(kRelaxed);
+        hs.counts[b] += c;
+        hs.count += c;
+      }
+      hs.sum += hl.sum.v.load(kRelaxed);
+      if (hl.any.v.load(kRelaxed) != 0) {
+        const double lo = hl.min.v.load(kRelaxed);
+        const double hi = hl.max.v.load(kRelaxed);
+        if (!any) {
+          hs.min = lo;
+          hs.max = hi;
+          any = true;
+        } else {
+          hs.min = std::min(hs.min, lo);
+          hs.max = std::max(hs.max, hi);
+        }
+      }
+    }
+    snap.histograms.emplace_back(hist_names_[i], std::move(hs));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() noexcept {
+  for (auto& lane : lanes_) {
+    for (auto& c : lane.counters) c.v.store(0, kRelaxed);
+    for (auto& h : lane.hists) {
+      for (auto& c : h.counts) c.v.store(0, kRelaxed);
+      h.sum.v.store(0.0, kRelaxed);
+      h.min.v.store(0.0, kRelaxed);
+      h.max.v.store(0.0, kRelaxed);
+      h.any.v.store(0, kRelaxed);
+    }
+  }
+  for (auto& g : gauges_) g.v.store(0.0, kRelaxed);
+}
+
+}  // namespace gt::telemetry

@@ -1,0 +1,147 @@
+// Metrics registry: named counters, gauges, and fixed-log-bucket
+// histograms with lock-free per-thread lanes.
+//
+// The pattern follows production packet-processing engines (Suricata's
+// per-thread counter arrays synced into a global table): every metric is
+// registered once up front and receives a small integer handle; hot paths
+// update a per-lane slot with relaxed atomics (each lane is written by one
+// worker, so increments never contend); snapshot() merges the lanes in
+// fixed lane order. Because every update is an integer (or a lane-local
+// double that never feeds back into simulation state), attaching telemetry
+// cannot perturb deterministic kernels — the parallel gossip kernel stays
+// bit-identical with metrics on or off.
+//
+// Registration is setup-phase only: register all metrics before handing
+// lanes to worker threads (registering grows the lane arrays, which must
+// not race with updates). Updates and snapshots are then safe concurrently.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gt::telemetry {
+
+/// Typed metric handles (indices into the registry's per-kind tables).
+struct Counter {
+  std::size_t id = static_cast<std::size_t>(-1);
+  bool valid() const noexcept { return id != static_cast<std::size_t>(-1); }
+};
+struct Gauge {
+  std::size_t id = static_cast<std::size_t>(-1);
+  bool valid() const noexcept { return id != static_cast<std::size_t>(-1); }
+};
+struct Histogram {
+  std::size_t id = static_cast<std::size_t>(-1);
+  bool valid() const noexcept { return id != static_cast<std::size_t>(-1); }
+};
+
+/// Fixed-log-bucket histogram layout: bucket k covers
+///   [min * growth^k, min * growth^(k+1))
+/// plus one underflow bucket (< min) and one overflow bucket (>= top).
+struct HistogramOptions {
+  double min = 1e-9;        ///< lower bound of the first regular bucket
+  double growth = 2.0;      ///< geometric bucket width factor (> 1)
+  std::size_t buckets = 64; ///< regular bucket count (excludes under/overflow)
+};
+
+/// Merged view of one histogram at snapshot time.
+struct HistogramSnapshot {
+  HistogramOptions options;
+  std::vector<std::uint64_t> counts;  ///< buckets + 2: [underflow, b0..bk, overflow]
+  std::uint64_t count = 0;            ///< total observations
+  double sum = 0.0;                   ///< exact sum of observed values
+  double min = 0.0;                   ///< smallest observation (0 when empty)
+  double max = 0.0;                   ///< largest observation (0 when empty)
+
+  double mean() const noexcept {
+    return count ? sum / static_cast<double>(count) : 0.0;
+  }
+  /// Lower edge of regular bucket k (k in [0, options.buckets)).
+  double bucket_lower(std::size_t k) const noexcept;
+  /// Bucket-resolution quantile estimate (upper edge of the bucket holding
+  /// the pct-th observation); exact min/max at pct 0/100.
+  double percentile(double pct) const noexcept;
+};
+
+/// Everything the registry knew at one instant, in registration order.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// Name lookups (linear scan: snapshots are small and cold).
+  const std::uint64_t* counter(const std::string& name) const noexcept;
+  const double* gauge(const std::string& name) const noexcept;
+  const HistogramSnapshot* histogram(const std::string& name) const noexcept;
+};
+
+/// Registry of named metrics with `lanes` independent update lanes.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(std::size_t lanes = 1);
+
+  std::size_t num_lanes() const noexcept { return lanes_.size(); }
+
+  /// Registration (setup phase; not thread-safe against updates). Names
+  /// are expected unique; registering a duplicate returns the existing id.
+  Counter counter(std::string name);
+  Gauge gauge(std::string name);
+  Histogram histogram(std::string name, HistogramOptions options = {});
+
+  /// Hot-path updates. `lane` must be < num_lanes(); each lane should be
+  /// written by at most one thread at a time for contention-free counting.
+  void add(Counter c, std::uint64_t delta = 1, std::size_t lane = 0) noexcept;
+  void set(Gauge g, double value) noexcept;
+  void observe(Histogram h, double value, std::size_t lane = 0) noexcept;
+
+  /// Merged value of one counter across lanes.
+  std::uint64_t counter_value(Counter c) const noexcept;
+  double gauge_value(Gauge g) const noexcept;
+
+  /// Full merged view (lane order fixed, so output is deterministic).
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every lane and gauge; registrations are kept.
+  void reset() noexcept;
+
+ private:
+  // Copyable relaxed-atomic cell so lane tables can live in std::vector
+  // (growth happens only during registration).
+  template <typename T>
+  struct Cell {
+    std::atomic<T> v{};
+    Cell() = default;
+    Cell(const Cell& o) : v(o.v.load(std::memory_order_relaxed)) {}
+    Cell& operator=(const Cell& o) {
+      v.store(o.v.load(std::memory_order_relaxed), std::memory_order_relaxed);
+      return *this;
+    }
+  };
+
+  struct HistLane {
+    std::vector<Cell<std::uint64_t>> counts;  // buckets + 2
+    Cell<double> sum;
+    Cell<double> min;  // valid only when any_ nonzero
+    Cell<double> max;
+    Cell<std::uint64_t> any;
+  };
+
+  struct Lane {
+    std::vector<Cell<std::uint64_t>> counters;
+    std::vector<HistLane> hists;
+  };
+
+  std::size_t bucket_index(const HistogramOptions& o, double value) const noexcept;
+
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> hist_names_;
+  std::vector<HistogramOptions> hist_options_;
+  std::vector<Cell<double>> gauges_;
+  std::vector<Lane> lanes_;
+};
+
+}  // namespace gt::telemetry

@@ -1,0 +1,60 @@
+// ScopedTimer: phase timing on a monotonic clock.
+//
+// Measures the lifetime of a scope on std::chrono::steady_clock and, on
+// destruction (or an early stop()), records the elapsed seconds into any
+// combination of (a) a histogram in a MetricsRegistry and (b) a plain
+// double accumulator. Timings are observational only: they are recorded
+// into telemetry lanes and never feed back into simulation state, so timed
+// kernels remain bit-identical with telemetry on or off.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+#include "telemetry/metrics.hpp"
+
+namespace gt::telemetry {
+
+class ScopedTimer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  ScopedTimer(MetricsRegistry& registry, Histogram hist, std::size_t lane = 0,
+              double* accumulate_into = nullptr) noexcept
+      : registry_(&registry),
+        hist_(hist),
+        lane_(lane),
+        accum_(accumulate_into),
+        start_(Clock::now()) {}
+
+  explicit ScopedTimer(double* accumulate_into) noexcept
+      : accum_(accumulate_into), start_(Clock::now()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { stop(); }
+
+  double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Records now and disarms; subsequent stops are no-ops.
+  void stop() noexcept {
+    if (stopped_) return;
+    stopped_ = true;
+    const double dt = elapsed_seconds();
+    if (registry_ != nullptr) registry_->observe(hist_, dt, lane_);
+    if (accum_ != nullptr) *accum_ += dt;
+  }
+
+ private:
+  MetricsRegistry* registry_ = nullptr;
+  Histogram hist_{};
+  std::size_t lane_ = 0;
+  double* accum_ = nullptr;
+  Clock::time_point start_;
+  bool stopped_ = false;
+};
+
+}  // namespace gt::telemetry

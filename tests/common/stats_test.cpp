@@ -41,6 +41,45 @@ TEST(RunningStats, MergeEqualsSequential) {
   EXPECT_DOUBLE_EQ(a.max(), all.max());
 }
 
+TEST(RunningStats, SumIsCompensatedNotMeanTimesN) {
+  // {1e16, 1, -1e16} sums to exactly 1.0 under Neumaier compensation; the
+  // old mean() * n reconstruction (and a naive left-to-right sum, which
+  // loses the 1.0 entirely) both get this wrong.
+  RunningStats s;
+  s.add(1e16);
+  s.add(1.0);
+  s.add(-1e16);
+  EXPECT_DOUBLE_EQ(s.sum(), 1.0);
+}
+
+TEST(RunningStats, SumSurvivesManySmallAdds) {
+  RunningStats s;
+  const double tiny = 1e-12;
+  s.add(1e4);
+  for (int i = 0; i < 100000; ++i) s.add(tiny);
+  EXPECT_NEAR(s.sum(), 1e4 + 100000 * tiny, 1e-16 * 1e4);
+}
+
+TEST(RunningStats, MergeSumMatchesConcatenation) {
+  // Splitting a stream at any point and merging must reproduce the
+  // sequential sum bitwise-close (compensation terms are merged too).
+  std::vector<double> data;
+  for (int i = 0; i < 200; ++i) data.push_back(std::sin(i) * std::pow(10.0, i % 14));
+  RunningStats all;
+  for (const double x : data) all.add(x);
+  for (std::size_t split : {std::size_t{0}, std::size_t{1}, std::size_t{100},
+                            data.size() - 1, data.size()}) {
+    RunningStats a, b;
+    for (std::size_t i = 0; i < split; ++i) a.add(data[i]);
+    for (std::size_t i = split; i < data.size(); ++i) b.add(data[i]);
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.sum(), all.sum(), 1e-12 * std::abs(all.sum())) << "split " << split;
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+  }
+}
+
 TEST(RunningStats, MergeWithEmpty) {
   RunningStats a, empty;
   a.add(2.0);
@@ -147,6 +186,19 @@ TEST(Percentile, InterpolatesLinearly) {
 
 TEST(Percentile, EmptyThrows) {
   EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+}
+
+TEST(Percentile, SingleElementIsEverything) {
+  const std::vector<double> one{7.5};
+  EXPECT_DOUBLE_EQ(percentile(one, 0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile(one, 50), 7.5);
+  EXPECT_DOUBLE_EQ(percentile(one, 100), 7.5);
+}
+
+TEST(Percentile, ExtremesClampToMinMax) {
+  std::vector<double> data{3.0, 1.0, 2.0};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(percentile(data, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 100), 3.0);
 }
 
 TEST(FormatSci, SwitchesNotation) {

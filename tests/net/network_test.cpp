@@ -2,6 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "telemetry/event_log.hpp"
+#include "telemetry/metrics.hpp"
+
 namespace gt::net {
 namespace {
 
@@ -133,6 +140,100 @@ TEST(Network, ResetStatsClearsEveryCounter) {
   net.send(1, 2, 10, [] {});
   f.sched.run_until();
   EXPECT_EQ(net.stats().messages_sent, 1u);  // fresh window
+}
+
+TEST(Network, BytesDroppedAccountedOnSendTimeDrops) {
+  Fixture f;
+  auto net = f.make(3);
+  net.fail_link(0, 1);
+  net.set_node_up(2, false);
+  net.send(0, 1, 40, [] {});  // link_failed
+  net.send(0, 2, 60, [] {});  // receiver_down
+  net.send(2, 0, 25, [] {});  // sender_down
+  f.sched.run_until();
+  EXPECT_EQ(net.stats().messages_dropped, 3u);
+  EXPECT_EQ(net.stats().bytes_dropped, 125u);
+  EXPECT_EQ(net.stats().bytes_delivered, 0u);
+}
+
+TEST(Network, BytesDroppedAccountedOnInFlightDrops) {
+  Fixture f;
+  auto net = f.make(2);
+  net.send(0, 1, 80, [] {});
+  net.set_node_up(1, false);  // dies before the latency elapses
+  f.sched.run_until();
+  EXPECT_EQ(net.stats().messages_dropped, 1u);
+  EXPECT_EQ(net.stats().bytes_dropped, 80u);
+  EXPECT_EQ(net.stats().bytes_sent, 80u);
+  EXPECT_EQ(net.stats().bytes_delivered, 0u);
+}
+
+TEST(Network, SentEqualsDeliveredPlusDroppedOnceDrained) {
+  // The TrafficStats invariant, exercised across every drop path: random
+  // loss, a failed link, a dead receiver, and an in-flight death.
+  Fixture f;
+  f.cfg.loss_probability = 0.25;
+  auto net = f.make(4);
+  net.fail_link(2, 3);
+  net.set_node_up(3, false);
+  Rng traffic(7);
+  for (int i = 0; i < 2000; ++i) {
+    const NodeId from = traffic.next_below(4);
+    NodeId to = traffic.next_below(3);
+    if (to >= from) ++to;
+    net.send(from, to, 10, [] {});
+    if (i == 1000) net.set_node_up(1, false);  // kills some in-flight
+  }
+  f.sched.run_until();
+  const auto& s = net.stats();
+  EXPECT_EQ(s.messages_sent, 2000u);
+  EXPECT_EQ(s.messages_sent, s.messages_delivered + s.messages_dropped);
+  EXPECT_EQ(s.bytes_sent, s.bytes_delivered + s.bytes_dropped);
+  EXPECT_GT(s.messages_dropped, 0u);
+  EXPECT_GT(s.messages_delivered, 0u);
+}
+
+TEST(Network, TelemetryMirrorsStatsAndEmitsEvents) {
+  Fixture f;
+  auto net = f.make(3);
+  telemetry::MetricsRegistry reg;
+  const std::string path = testing::TempDir() + "gt_net_events.jsonl";
+  telemetry::EventLogConfig lcfg;
+  lcfg.path = path;
+  telemetry::EventLog log(lcfg);
+  ASSERT_TRUE(log.enabled());
+  net.attach_telemetry(&reg, &log);
+
+  net.fail_link(0, 2);           // net_outage: link_failed
+  net.set_node_up(1, false);     // net_outage: node_down
+  net.set_node_up(1, false);     // no state change: no event
+  net.set_node_up(1, true);      // net_outage: node_up
+  net.heal_link(0, 2);           // net_outage: link_healed
+  net.send(0, 1, 100, [] {});
+  net.fail_link(0, 2);
+  net.send(0, 2, 30, [] {});     // net_drop: link_failed
+  f.sched.run_until();
+  log.flush();
+
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(*snap.counter("net.messages_sent"), net.stats().messages_sent);
+  EXPECT_EQ(*snap.counter("net.messages_delivered"),
+            net.stats().messages_delivered);
+  EXPECT_EQ(*snap.counter("net.messages_dropped"), net.stats().messages_dropped);
+  EXPECT_EQ(*snap.counter("net.bytes_sent"), net.stats().bytes_sent);
+  EXPECT_EQ(*snap.counter("net.bytes_delivered"), net.stats().bytes_delivered);
+  EXPECT_EQ(*snap.counter("net.bytes_dropped"), net.stats().bytes_dropped);
+
+  std::ifstream in(path);
+  std::string line;
+  int outages = 0, drops = 0;
+  while (std::getline(in, line)) {
+    if (line.find("\"event\":\"net_outage\"") != std::string::npos) ++outages;
+    if (line.find("\"event\":\"net_drop\"") != std::string::npos) ++drops;
+  }
+  EXPECT_EQ(outages, 5);  // link_failed, node_down, node_up, link_healed, link_failed
+  EXPECT_EQ(drops, 1);
+  std::remove(path.c_str());
 }
 
 TEST(Network, JitterBoundsDeliveryTime) {

@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "telemetry/metrics.hpp"
+
 namespace gt::sim {
 namespace {
 
@@ -150,6 +152,21 @@ TEST(Scheduler, PendingExcludesCancelled) {
   EXPECT_EQ(sched.pending(), 2u);
   sched.cancel(a);
   EXPECT_EQ(sched.pending(), 1u);
+}
+
+TEST(Scheduler, TelemetryCountersMirrorEventLifecycle) {
+  Scheduler sched;
+  telemetry::MetricsRegistry reg;
+  sched.attach_telemetry(&reg);
+  const auto a = sched.schedule_at(1.0, [] {});
+  sched.schedule_at(2.0, [] {});
+  sched.schedule_at(3.0, [] {});
+  sched.cancel(a);
+  sched.run_until();
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(*snap.counter("sim.events_scheduled"), 3u);
+  EXPECT_EQ(*snap.counter("sim.events_executed"), 2u);
+  EXPECT_EQ(*snap.counter("sim.events_cancelled"), 1u);
 }
 
 }  // namespace
