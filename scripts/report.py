@@ -199,6 +199,13 @@ def main():
             return 1
     else:
         summarize_events(records)
+    # Degraded cycles (gossip non-convergence; the engine fell back to the
+    # previous reputation vector) are an operational red flag — surface the
+    # count whenever the log carries cycle records.
+    cycles = [r for r in records if r["event"] == "cycle"]
+    if cycles:
+        degraded = sum(1 for r in cycles if r.get("degraded"))
+        print(f"\ndegraded cycles: {degraded}/{len(cycles)}")
     return 0
 
 

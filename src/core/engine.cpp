@@ -9,6 +9,12 @@
 
 namespace gt::core {
 
+std::size_t AggregationResult::degraded_cycles() const noexcept {
+  std::size_t s = 0;
+  for (const auto& c : cycles) s += c.degraded ? 1 : 0;
+  return s;
+}
+
 std::size_t AggregationResult::total_gossip_steps() const noexcept {
   std::size_t s = 0;
   for (const auto& c : cycles) s += c.gossip_steps;
@@ -97,17 +103,27 @@ CycleStats GossipTrustEngine::run_cycle(const trust::SparseMatrix& s,
     return alive == nullptr || (*alive)[v_id] != 0;
   };
 
+  // Graceful degradation: a cycle whose gossip never reached epsilon-
+  // stability holds a *biased* partial aggregate (mass still traveling or
+  // lost), and silently adopting it would corrupt every later cycle. Keep
+  // the previous cycle's vector instead and flag the cycle degraded;
+  // `next` is still computed above so change_from_previous reports how far
+  // off the abandoned aggregate was.
+  const bool degraded = !gres.converged && config_.fallback_on_nonconverged;
+
   // Greedy-factor damping toward the power nodes selected after the
   // previous cycle — skipping anchors that have since departed, so no
   // reputation mass teleports onto dead peers.
-  if (alive == nullptr) {
-    apply_power_node_mix(next, power, config_.alpha);
-  } else {
-    std::vector<NodeId> live_power;
-    live_power.reserve(power.size());
-    for (const NodeId p : power)
-      if (is_alive(p)) live_power.push_back(p);
-    apply_power_node_mix(next, live_power, config_.alpha);
+  if (!degraded) {
+    if (alive == nullptr) {
+      apply_power_node_mix(next, power, config_.alpha);
+    } else {
+      std::vector<NodeId> live_power;
+      live_power.reserve(power.size());
+      for (const NodeId p : power)
+        if (is_alive(p)) live_power.push_back(p);
+      apply_power_node_mix(next, live_power, config_.alpha);
+    }
   }
 
   // CycleStats is a snapshot view over the kernel's metrics registry: the
@@ -117,6 +133,7 @@ CycleStats GossipTrustEngine::run_cycle(const trust::SparseMatrix& s,
   CycleStats stats;
   stats.gossip_steps = gres.steps;
   stats.gossip_converged = gres.converged;
+  stats.degraded = degraded;
   stats.messages_sent = *snap.counter("gossip.messages_sent");
   stats.messages_lost = *snap.counter("gossip.messages_lost");
   stats.triplets_sent = *snap.counter("gossip.triplets_sent");
@@ -135,6 +152,7 @@ CycleStats GossipTrustEngine::run_cycle(const trust::SparseMatrix& s,
         .field("n", n_)
         .field("gossip_steps", stats.gossip_steps)
         .field("gossip_converged", stats.gossip_converged)
+        .field("degraded", stats.degraded ? 1 : 0)
         .field("messages_sent", stats.messages_sent)
         .field("messages_dropped", stats.messages_lost)
         .field("triplets_sent", stats.triplets_sent)
@@ -152,8 +170,10 @@ CycleStats GossipTrustEngine::run_cycle(const trust::SparseMatrix& s,
     for (NodeId i = 0; i < n_; ++i) views_out->push_back(gossip.node_view(i));
   }
 
-  v = std::move(next);
-  power = select_power_nodes(v, config_.power_node_fraction);
+  if (!degraded) {
+    v = std::move(next);
+    power = select_power_nodes(v, config_.power_node_fraction);
+  }
   return stats;
 }
 
@@ -173,7 +193,9 @@ AggregationResult GossipTrustEngine::run(const trust::SparseMatrix& s, Rng& rng,
         run_cycle(s, v, power, rng, overlay, last_views ? &views : nullptr);
     result.cycles.push_back(stats);
     if (last_views) result.final_views = std::move(views);
-    if (stats.change_from_previous < config_.delta) {
+    // A degraded cycle retained the previous vector; its (near-zero)
+    // change must not masquerade as global convergence.
+    if (!stats.degraded && stats.change_from_previous < config_.delta) {
       result.converged = true;
       break;
     }

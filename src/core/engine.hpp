@@ -41,6 +41,12 @@ struct GossipTrustConfig {
   bool neighbors_only = false;     ///< restrict gossip targets to overlay neighbors
   bool keep_final_views = false;   ///< retain per-node views of the last cycle
   std::size_t num_threads = 1;     ///< gossip kernel lanes (0 = hardware concurrency)
+  /// Graceful degradation: when a cycle's gossip fails to reach epsilon-
+  /// stability within max_gossip_steps, fall back to the previous cycle's
+  /// reputation vector and flag the cycle `degraded` instead of silently
+  /// returning the biased partial aggregate. Disable to get the legacy
+  /// use-whatever-gossip-produced behavior.
+  bool fallback_on_nonconverged = true;
 };
 
 /// Per-cycle telemetry: a snapshot view over the gossip kernel's metrics
@@ -49,6 +55,7 @@ struct GossipTrustConfig {
 struct CycleStats {
   std::size_t gossip_steps = 0;
   bool gossip_converged = false;
+  bool degraded = false;  ///< non-converged gossip; previous V retained
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_lost = 0;
   std::uint64_t triplets_sent = 0;
@@ -68,6 +75,7 @@ struct AggregationResult {
   bool converged = false;
 
   std::size_t num_cycles() const noexcept { return cycles.size(); }
+  std::size_t degraded_cycles() const noexcept;
   std::size_t total_gossip_steps() const noexcept;
   std::uint64_t total_messages() const noexcept;
   std::uint64_t total_triplets() const noexcept;

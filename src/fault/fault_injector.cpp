@@ -1,0 +1,123 @@
+#include "fault/fault_injector.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace gt::fault {
+
+FaultInjector::FaultInjector(sim::Scheduler& scheduler, net::Network& network,
+                             FaultPlan plan)
+    : scheduler_(scheduler), network_(network), plan_(std::move(plan)) {
+  const std::string problem = plan_.validate(network_.num_nodes());
+  if (!problem.empty()) {
+    std::fprintf(stderr, "fatal: FaultInjector: invalid plan: %s\n",
+                 problem.c_str());
+    std::abort();
+  }
+}
+
+void FaultInjector::arm() {
+  if (armed_) {
+    std::fprintf(stderr, "fatal: FaultInjector::arm() called twice\n");
+    std::abort();
+  }
+  armed_ = true;
+  baseline_loss_ = network_.config().loss_probability;
+  executed_.reserve(plan_.size());
+  for (const Fault& f : plan_.faults()) {
+    const double when = std::max(f.time, scheduler_.now());
+    scheduler_.schedule_at(when, [this, &f] { execute(f); });
+  }
+}
+
+void FaultInjector::execute(const Fault& f) {
+  switch (f.kind) {
+    case FaultKind::kNodeCrash:
+      network_.set_node_up(f.a, false);
+      break;
+    case FaultKind::kNodeRecover:
+      network_.set_node_up(f.a, true);
+      break;
+    case FaultKind::kLinkFail:
+      network_.fail_link(f.a, f.b);
+      break;
+    case FaultKind::kLinkHeal:
+      network_.heal_link(f.a, f.b);
+      break;
+    case FaultKind::kPartitionStart:
+      network_.set_partition(f.groups);
+      break;
+    case FaultKind::kPartitionEnd:
+      network_.clear_partition();
+      break;
+    case FaultKind::kLossBurstStart:
+      network_.set_loss_probability(f.rate);
+      break;
+    case FaultKind::kLossBurstEnd:
+      network_.set_loss_probability(baseline_loss_);
+      break;
+    case FaultKind::kDuplicationStart:
+      network_.set_duplicate_probability(f.rate);
+      break;
+    case FaultKind::kDuplicationEnd:
+      network_.set_duplicate_probability(0.0);
+      break;
+    case FaultKind::kCorruptionStart:
+      network_.set_corrupt_probability(f.rate);
+      break;
+    case FaultKind::kCorruptionEnd:
+      network_.set_corrupt_probability(0.0);
+      break;
+  }
+
+  executed_.push_back(FaultRecord{executed_.size(), f});
+
+  if (events_ != nullptr) {
+    auto rec = events_->record("fault");
+    rec.field("sim_time", scheduler_.now())
+        .field("index", executed_.back().index)
+        .field("kind", to_string(f.kind));
+    switch (f.kind) {
+      case FaultKind::kNodeCrash:
+      case FaultKind::kNodeRecover:
+        rec.field("node", f.a);
+        break;
+      case FaultKind::kLinkFail:
+      case FaultKind::kLinkHeal:
+        rec.field("a", f.a).field("b", f.b);
+        break;
+      case FaultKind::kPartitionStart:
+        rec.field("groups", f.groups.size());
+        break;
+      case FaultKind::kLossBurstStart:
+      case FaultKind::kDuplicationStart:
+      case FaultKind::kCorruptionStart:
+        rec.field("rate", f.rate);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Hooks run after the network reflects the fault, so a crash hook that
+  // inspects Network::is_node_up already sees the node down.
+  if (f.kind == FaultKind::kNodeCrash) {
+    for (const auto& hook : crash_hooks_) hook(f.a);
+  } else if (f.kind == FaultKind::kNodeRecover) {
+    for (const auto& hook : recover_hooks_) hook(f.a);
+  }
+}
+
+std::string FaultInjector::log_text() const {
+  std::string out;
+  char buf[64];
+  for (const FaultRecord& rec : executed_) {
+    std::snprintf(buf, sizeof(buf), "#%zu ", rec.index);
+    out += buf;
+    out += format_fault(rec.fault);
+  }
+  return out;
+}
+
+}  // namespace gt::fault

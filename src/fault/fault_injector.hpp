@@ -1,0 +1,77 @@
+// Executes a FaultPlan against the simulated network, deterministically.
+//
+// The injector turns each scheduled fault into a sim::Scheduler event that
+// mutates net::Network state (node up/down, link failures, partitions,
+// loss/duplication/corruption rates) and then invokes any registered
+// protocol hooks (e.g. AsyncGossip's crash-repair path). Every executed
+// fault is appended to an in-memory log whose text serialization carries
+// no wall-clock timestamps, so two runs of the same plan produce
+// byte-identical logs — the determinism contract the chaos tests assert.
+// When a telemetry EventLog is attached, each fault is additionally
+// emitted as a `fault` JSONL record.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+#include "telemetry/event_log.hpp"
+
+namespace gt::fault {
+
+/// One fault as it actually fired: the plan entry plus the execution order.
+struct FaultRecord {
+  std::size_t index = 0;  ///< execution sequence number
+  Fault fault;
+};
+
+class FaultInjector {
+ public:
+  using NodeHook = std::function<void(NodeId)>;
+
+  /// The plan must validate against `network` (loud abort otherwise — a
+  /// malformed chaos script is a test bug, not a runtime condition).
+  FaultInjector(sim::Scheduler& scheduler, net::Network& network, FaultPlan plan);
+
+  /// Protocol hooks, called after the network state change is applied.
+  /// Register before arm().
+  void on_crash(NodeHook hook) { crash_hooks_.push_back(std::move(hook)); }
+  void on_recover(NodeHook hook) { recover_hooks_.push_back(std::move(hook)); }
+
+  /// Optional JSONL sink: one `fault` record per executed fault.
+  void set_event_log(telemetry::EventLog* events) { events_ = events; }
+
+  /// Schedules every fault in the plan (absolute times; faults already in
+  /// the past fire at the scheduler's next step). Call exactly once.
+  void arm();
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+  std::size_t faults_executed() const noexcept { return executed_.size(); }
+  std::size_t faults_pending() const noexcept {
+    return plan_.size() - executed_.size();
+  }
+  const std::vector<FaultRecord>& executed() const noexcept { return executed_; }
+
+  /// Deterministic text serialization of the executed faults, in execution
+  /// order: identical seed + plan => byte-identical text across runs.
+  std::string log_text() const;
+
+ private:
+  void execute(const Fault& f);
+
+  sim::Scheduler& scheduler_;
+  net::Network& network_;
+  FaultPlan plan_;
+  bool armed_ = false;
+  double baseline_loss_ = 0.0;  ///< loss probability to restore after a burst
+  std::vector<NodeHook> crash_hooks_;
+  std::vector<NodeHook> recover_hooks_;
+  std::vector<FaultRecord> executed_;
+  telemetry::EventLog* events_ = nullptr;
+};
+
+}  // namespace gt::fault

@@ -1,0 +1,215 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace gt::fault {
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNodeCrash: return "node_crash";
+    case FaultKind::kNodeRecover: return "node_recover";
+    case FaultKind::kLinkFail: return "link_fail";
+    case FaultKind::kLinkHeal: return "link_heal";
+    case FaultKind::kPartitionStart: return "partition_start";
+    case FaultKind::kPartitionEnd: return "partition_end";
+    case FaultKind::kLossBurstStart: return "loss_burst_start";
+    case FaultKind::kLossBurstEnd: return "loss_burst_end";
+    case FaultKind::kDuplicationStart: return "duplication_burst_start";
+    case FaultKind::kDuplicationEnd: return "duplication_burst_end";
+    case FaultKind::kCorruptionStart: return "corruption_burst_start";
+    case FaultKind::kCorruptionEnd: return "corruption_burst_end";
+  }
+  return "unknown";
+}
+
+FaultPlan& FaultPlan::push(Fault f) {
+  if (!faults_.empty() && f.time < faults_.back().time) sorted_ = false;
+  faults_.push_back(std::move(f));
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash(double t, NodeId node) {
+  return push({t, FaultKind::kNodeCrash, node, 0, 0.0, {}});
+}
+
+FaultPlan& FaultPlan::recover(double t, NodeId node) {
+  return push({t, FaultKind::kNodeRecover, node, 0, 0.0, {}});
+}
+
+FaultPlan& FaultPlan::fail_link(double t, NodeId a, NodeId b) {
+  return push({t, FaultKind::kLinkFail, a, b, 0.0, {}});
+}
+
+FaultPlan& FaultPlan::heal_link(double t, NodeId a, NodeId b) {
+  return push({t, FaultKind::kLinkHeal, a, b, 0.0, {}});
+}
+
+FaultPlan& FaultPlan::partition(double t_start, double t_end,
+                                std::vector<int> groups) {
+  push({t_start, FaultKind::kPartitionStart, 0, 0, 0.0, std::move(groups)});
+  return push({t_end, FaultKind::kPartitionEnd, 0, 0, 0.0, {}});
+}
+
+FaultPlan& FaultPlan::bisect(double t_start, double t_end, std::size_t n,
+                             std::size_t split) {
+  std::vector<int> groups(n, 0);
+  for (std::size_t i = split; i < n; ++i) groups[i] = 1;
+  return partition(t_start, t_end, std::move(groups));
+}
+
+FaultPlan& FaultPlan::loss_burst(double t_start, double t_end, double rate) {
+  push({t_start, FaultKind::kLossBurstStart, 0, 0, rate, {}});
+  return push({t_end, FaultKind::kLossBurstEnd, 0, 0, 0.0, {}});
+}
+
+FaultPlan& FaultPlan::duplication_burst(double t_start, double t_end, double rate) {
+  push({t_start, FaultKind::kDuplicationStart, 0, 0, rate, {}});
+  return push({t_end, FaultKind::kDuplicationEnd, 0, 0, 0.0, {}});
+}
+
+FaultPlan& FaultPlan::corruption_burst(double t_start, double t_end, double rate) {
+  push({t_start, FaultKind::kCorruptionStart, 0, 0, rate, {}});
+  return push({t_end, FaultKind::kCorruptionEnd, 0, 0, 0.0, {}});
+}
+
+FaultPlan& FaultPlan::crash_fraction(double t, std::size_t n, std::size_t count,
+                                     std::uint64_t seed) {
+  Rng rng(mix64(seed, 0xfa17ULL));
+  auto victims = rng.sample_without_replacement(n, std::min(count, n));
+  std::sort(victims.begin(), victims.end());  // canonical order in the plan
+  for (const auto v : victims) crash(t, v);
+  return *this;
+}
+
+FaultPlan FaultPlan::random_churn(std::size_t n, const ChurnSpec& spec,
+                                  std::uint64_t seed) {
+  FaultPlan plan;
+  if (n == 0 || spec.crashes == 0) return plan;
+  Rng rng(mix64(seed, 0xc512ULL));
+  const std::size_t count = std::min(spec.crashes, n);
+  auto victims = rng.sample_without_replacement(n, count);
+  std::sort(victims.begin(), victims.end());
+  const double span = std::max(0.0, spec.end - spec.start);
+  for (const auto v : victims) {
+    const double t_crash = spec.start + rng.next_double() * span;
+    plan.crash(t_crash, v);
+    if (rng.next_bool(spec.recover_fraction)) {
+      const double latest = std::max(spec.end, t_crash + spec.min_downtime);
+      const double t_back =
+          t_crash + spec.min_downtime +
+          rng.next_double() * std::max(0.0, latest - t_crash - spec.min_downtime);
+      plan.recover(t_back, v);
+    }
+  }
+  return plan;
+}
+
+const std::vector<Fault>& FaultPlan::faults() const {
+  if (!sorted_) {
+    std::stable_sort(faults_.begin(), faults_.end(),
+                     [](const Fault& x, const Fault& y) { return x.time < y.time; });
+    sorted_ = true;
+  }
+  return faults_;
+}
+
+double FaultPlan::end_time() const {
+  const auto& fs = faults();
+  return fs.empty() ? 0.0 : fs.back().time;
+}
+
+std::string FaultPlan::validate(std::size_t n) const {
+  char buf[160];
+  for (const Fault& f : faults()) {
+    if (!(f.time >= 0.0) || !std::isfinite(f.time)) {
+      std::snprintf(buf, sizeof(buf), "%s: bad time %g", fault::to_string(f.kind), f.time);
+      return buf;
+    }
+    switch (f.kind) {
+      case FaultKind::kNodeCrash:
+      case FaultKind::kNodeRecover:
+        if (f.a >= n) {
+          std::snprintf(buf, sizeof(buf), "%s: node %zu out of range (n=%zu)",
+                        fault::to_string(f.kind), f.a, n);
+          return buf;
+        }
+        break;
+      case FaultKind::kLinkFail:
+      case FaultKind::kLinkHeal:
+        if (f.a >= n || f.b >= n) {
+          std::snprintf(buf, sizeof(buf), "%s: link (%zu, %zu) out of range (n=%zu)",
+                        fault::to_string(f.kind), f.a, f.b, n);
+          return buf;
+        }
+        break;
+      case FaultKind::kPartitionStart:
+        if (f.groups.size() != n) {
+          std::snprintf(buf, sizeof(buf),
+                        "partition_start: %zu group entries for n=%zu nodes",
+                        f.groups.size(), n);
+          return buf;
+        }
+        break;
+      case FaultKind::kLossBurstStart:
+      case FaultKind::kDuplicationStart:
+      case FaultKind::kCorruptionStart:
+        if (!(f.rate >= 0.0 && f.rate <= 1.0)) {
+          std::snprintf(buf, sizeof(buf), "%s: rate %g outside [0, 1]",
+                        fault::to_string(f.kind), f.rate);
+          return buf;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return {};
+}
+
+std::string format_fault(const Fault& f) {
+  std::string out;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "t=%.17g %s", f.time, fault::to_string(f.kind));
+  out += buf;
+  switch (f.kind) {
+    case FaultKind::kNodeCrash:
+    case FaultKind::kNodeRecover:
+      std::snprintf(buf, sizeof(buf), " node=%zu", f.a);
+      out += buf;
+      break;
+    case FaultKind::kLinkFail:
+    case FaultKind::kLinkHeal:
+      std::snprintf(buf, sizeof(buf), " a=%zu b=%zu", f.a, f.b);
+      out += buf;
+      break;
+    case FaultKind::kPartitionStart:
+      out += " groups=[";
+      for (std::size_t i = 0; i < f.groups.size(); ++i) {
+        if (i != 0) out += ',';
+        std::snprintf(buf, sizeof(buf), "%d", f.groups[i]);
+        out += buf;
+      }
+      out += ']';
+      break;
+    case FaultKind::kLossBurstStart:
+    case FaultKind::kDuplicationStart:
+    case FaultKind::kCorruptionStart:
+      std::snprintf(buf, sizeof(buf), " rate=%.17g", f.rate);
+      out += buf;
+      break;
+    default:
+      break;
+  }
+  out += '\n';
+  return out;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  for (const Fault& f : faults()) out += format_fault(f);
+  return out;
+}
+
+}  // namespace gt::fault

@@ -1,0 +1,127 @@
+// Deterministic fault schedules for chaos experiments.
+//
+// The paper's robustness story ("does not require error recovery
+// mechanisms") is only exercised here if failures are *reproducible*: a
+// FaultPlan is a seeded, validated, sorted list of timed faults — node
+// crash/recover, link fail/heal, network partitions, loss-rate bursts,
+// message duplication and corruption bursts — that a FaultInjector replays
+// against the simulated network. Identical plan + identical seed =>
+// byte-identical fault logs and gossip results, which is what lets the
+// chaos tests assert exact mass accounting instead of eyeballing graphs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/network.hpp"
+
+namespace gt::fault {
+
+using NodeId = net::NodeId;
+
+/// Every way this harness knows how to hurt the network.
+enum class FaultKind : std::uint8_t {
+  kNodeCrash,        ///< node `a` goes down (resident protocol state is lost)
+  kNodeRecover,      ///< node `a` comes back with blank state
+  kLinkFail,         ///< link (a, b) drops all traffic
+  kLinkHeal,         ///< link (a, b) restored
+  kPartitionStart,   ///< nodes split into groups; cross-group traffic drops
+  kPartitionEnd,     ///< partition healed
+  kLossBurstStart,   ///< i.i.d. loss probability raised to `rate`
+  kLossBurstEnd,     ///< loss probability restored to the pre-burst baseline
+  kDuplicationStart, ///< messages delivered twice with probability `rate`
+  kDuplicationEnd,
+  kCorruptionStart,  ///< messages corrupted in transit with probability `rate`
+  kCorruptionEnd,
+};
+
+const char* to_string(FaultKind kind) noexcept;
+
+struct Fault;
+
+/// Canonical one-line text form of a fault (newline-terminated): fixed
+/// field order, %.17g numerics — deterministic byte-for-byte.
+std::string format_fault(const Fault& f);
+
+/// One scheduled fault. Which fields matter depends on `kind`:
+/// node faults use `a`; link faults use `a` and `b`; bursts use `rate`;
+/// kPartitionStart uses `groups` (one group id per node).
+struct Fault {
+  double time = 0.0;
+  FaultKind kind = FaultKind::kNodeCrash;
+  NodeId a = 0;
+  NodeId b = 0;
+  double rate = 0.0;
+  std::vector<int> groups;
+};
+
+/// Parameters for FaultPlan::random_churn.
+struct ChurnSpec {
+  double start = 0.0;            ///< first possible fault time
+  double end = 100.0;            ///< last possible fault time
+  std::size_t crashes = 4;       ///< number of crash events
+  double recover_fraction = 0.5; ///< fraction of crashed nodes that rejoin
+  double min_downtime = 5.0;     ///< downtime before a rejoin
+};
+
+/// An ordered, validated fault schedule.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  // -- Builder helpers (all return *this for chaining). Times are absolute
+  //    simulated time; add_* with out-of-order times is fine, faults() is
+  //    always returned sorted by (time, insertion order).
+  FaultPlan& crash(double t, NodeId node);
+  FaultPlan& recover(double t, NodeId node);
+  FaultPlan& fail_link(double t, NodeId a, NodeId b);
+  FaultPlan& heal_link(double t, NodeId a, NodeId b);
+  /// Splits the network into the given groups over [t_start, t_end).
+  FaultPlan& partition(double t_start, double t_end, std::vector<int> groups);
+  /// Convenience: two contiguous halves [0, split) | [split, n).
+  FaultPlan& bisect(double t_start, double t_end, std::size_t n, std::size_t split);
+  FaultPlan& loss_burst(double t_start, double t_end, double rate);
+  FaultPlan& duplication_burst(double t_start, double t_end, double rate);
+  FaultPlan& corruption_burst(double t_start, double t_end, double rate);
+
+  /// Crashes a deterministic pseudo-random `count`-node subset of [0, n)
+  /// at time t (seeded; independent of any other RNG stream in the run).
+  FaultPlan& crash_fraction(double t, std::size_t n, std::size_t count,
+                            std::uint64_t seed);
+
+  /// Seeded random churn: crash times uniform in [start, end), a
+  /// recover_fraction of victims rejoin after >= min_downtime.
+  static FaultPlan random_churn(std::size_t n, const ChurnSpec& spec,
+                                std::uint64_t seed);
+
+  /// Faults sorted by (time, insertion order).
+  const std::vector<Fault>& faults() const;
+
+  std::size_t size() const noexcept { return faults_.size(); }
+  bool empty() const noexcept { return faults_.empty(); }
+
+  /// Time of the last fault (0 when empty) — chaos harnesses use this to
+  /// keep the protocol running past the final fault before declaring
+  /// convergence.
+  double end_time() const;
+
+  /// Validates against an n-node network: times >= 0 and finite, node ids
+  /// < n, partition maps exactly n entries, rates in [0, 1]. Returns an
+  /// empty string when valid, else a description of the first problem.
+  std::string validate(std::size_t n) const;
+
+  /// Canonical text form, one fault per line — deterministic, so two plans
+  /// (or two runs of one plan) can be compared byte-for-byte.
+  std::string to_string() const;
+
+ private:
+  FaultPlan& push(Fault f);
+
+  mutable std::vector<Fault> faults_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace gt::fault

@@ -7,20 +7,74 @@
 #include <stdexcept>
 
 namespace gt::gossip {
+namespace {
+
+/// Wire cost of an acknowledgement: message id + epoch.
+constexpr std::size_t kAckBytes = 16;
+
+}  // namespace
 
 AsyncGossip::AsyncGossip(sim::Scheduler& scheduler, net::Network& network,
                          PushSumConfig config, Timing timing)
+    : AsyncGossip(scheduler, network, config, timing, Reliability{}) {}
+
+AsyncGossip::AsyncGossip(sim::Scheduler& scheduler, net::Network& network,
+                         PushSumConfig config, Timing timing,
+                         Reliability reliability)
     : scheduler_(scheduler),
       network_(network),
       config_(config),
       timing_(timing),
+      reliability_(reliability),
       n_(network.num_nodes()),
       x_(n_ * n_, 0.0),
       w_(n_ * n_, 0.0),
       prev_ratio_(n_ * n_, std::numeric_limits<double>::quiet_NaN()),
-      stable_count_(n_, 0) {
+      stable_count_(n_, 0),
+      initial_x_(n_, 0.0),
+      initial_w_(n_, 0.0),
+      in_flight_x_(n_, 0.0),
+      in_flight_w_(n_, 0.0),
+      destroyed_x_(n_, 0.0),
+      destroyed_w_(n_, 0.0),
+      repaired_x_(n_, 0.0),
+      repaired_w_(n_, 0.0) {
   if (n_ == 0) throw std::invalid_argument("AsyncGossip: empty network");
   if (timing_.period <= 0.0) throw std::invalid_argument("AsyncGossip: bad period");
+  if (reliability_.acks) {
+    if (reliability_.ack_timeout <= 0.0 || reliability_.backoff < 1.0)
+      throw std::invalid_argument("AsyncGossip: bad reliability timing");
+    seen_.resize(n_);
+    suspected_.assign(n_ * n_, 0);
+    fail_streak_.assign(n_ * n_, 0);
+  }
+}
+
+void AsyncGossip::seed_row(net::NodeId i, bool count_repaired) {
+  // Algorithm 2 seeding for one node, shared by initialize() and epoch
+  // restarts: x_i = s_i .* v_i (uniform share when the row is empty),
+  // w_i = e_i.
+  const auto& s = *seed_s_;
+  double* xi = row_x(i);
+  const auto entries = s.row(i);
+  auto credit = [&](net::NodeId j, double amount) {
+    xi[j] += amount;
+    if (count_repaired)
+      repaired_x_[j] += amount;
+    else
+      initial_x_[j] += amount;
+  };
+  if (entries.empty()) {
+    const double share = seed_v_[i] / static_cast<double>(n_);
+    for (net::NodeId j = 0; j < n_; ++j) credit(j, share);
+  } else {
+    for (const auto& e : entries) credit(e.col, e.value * seed_v_[i]);
+  }
+  row_w(i)[i] += 1.0;
+  if (count_repaired)
+    repaired_w_[i] += 1.0;
+  else
+    initial_w_[i] += 1.0;
 }
 
 void AsyncGossip::initialize(const trust::SparseMatrix& s, std::span<const double> v) {
@@ -32,19 +86,25 @@ void AsyncGossip::initialize(const trust::SparseMatrix& s, std::span<const doubl
             std::numeric_limits<double>::quiet_NaN());
   std::fill(stable_count_.begin(), stable_count_.end(), 0);
   stats_ = AsyncGossipResult{};
+  std::fill(initial_x_.begin(), initial_x_.end(), 0.0);
+  std::fill(initial_w_.begin(), initial_w_.end(), 0.0);
+  std::fill(in_flight_x_.begin(), in_flight_x_.end(), 0.0);
+  std::fill(in_flight_w_.begin(), in_flight_w_.end(), 0.0);
+  std::fill(destroyed_x_.begin(), destroyed_x_.end(), 0.0);
+  std::fill(destroyed_w_.begin(), destroyed_w_.end(), 0.0);
+  std::fill(repaired_x_.begin(), repaired_x_.end(), 0.0);
+  std::fill(repaired_w_.begin(), repaired_w_.end(), 0.0);
+  epoch_ = 0;
+  next_msg_id_ = 1;
+  pending_.clear();
+  reclaimed_.clear();
+  for (auto& seen : seen_) seen.clear();
+  std::fill(suspected_.begin(), suspected_.end(), 0);
+  std::fill(fail_streak_.begin(), fail_streak_.end(), 0);
 
-  const double uniform = 1.0 / static_cast<double>(n_);
-  for (net::NodeId i = 0; i < n_; ++i) {
-    double* xi = row_x(i);
-    const auto entries = s.row(i);
-    if (entries.empty()) {
-      const double share = v[i] * uniform;
-      for (net::NodeId j = 0; j < n_; ++j) xi[j] = share;
-    } else {
-      for (const auto& e : entries) xi[e.col] = e.value * v[i];
-    }
-    row_w(i)[i] = 1.0;
-  }
+  seed_s_ = s;
+  seed_v_.assign(v.begin(), v.end());
+  for (net::NodeId i = 0; i < n_; ++i) seed_row(i, /*count_repaired=*/false);
 }
 
 void AsyncGossip::update_stability(net::NodeId i) {
@@ -67,50 +127,362 @@ void AsyncGossip::update_stability(net::NodeId i) {
   stable_count_[i] = stable ? stable_count_[i] + 1 : 0;
 }
 
+void AsyncGossip::add_in_flight(const Payload& p, double sign) {
+  for (const auto& e : p) {
+    in_flight_x_[e.id] += sign * e.x;
+    in_flight_w_[e.id] += sign * e.w;
+  }
+}
+
+void AsyncGossip::add_destroyed(const Payload& p) {
+  for (const auto& e : p) {
+    destroyed_x_[e.id] += e.x;
+    destroyed_w_[e.id] += e.w;
+  }
+}
+
+net::NodeId AsyncGossip::pick_target(net::NodeId i, Rng& rng,
+                                     const graph::Graph* overlay, bool& ok) {
+  ok = true;
+  if (!reliability_.acks) {
+    // Legacy path: identical RNG consumption to earlier revisions.
+    if (config_.neighbors_only && overlay != nullptr) {
+      const auto nbrs = overlay->neighbors(i);
+      if (nbrs.empty()) {
+        ok = false;
+        return i;
+      }
+      return nbrs[rng.next_below(nbrs.size())];
+    }
+    if (n_ <= 1) {
+      ok = false;
+      return i;
+    }
+    net::NodeId target = rng.next_below(n_ - 1);
+    if (target >= i) ++target;
+    return target;
+  }
+
+  // Reliable mode: suspected peers are skipped, so pushes stop draining
+  // into black holes during an outage (suspicion expires on a TTL and is
+  // cleared the moment the peer is heard from again).
+  const std::uint8_t* row = suspected_.data() + i * n_;
+  std::vector<net::NodeId> candidates;
+  if (config_.neighbors_only && overlay != nullptr) {
+    const auto nbrs = overlay->neighbors(i);
+    candidates.reserve(nbrs.size());
+    for (const auto t : nbrs)
+      if (row[t] == 0) candidates.push_back(t);
+  } else {
+    candidates.reserve(n_ - 1);
+    for (net::NodeId t = 0; t < n_; ++t)
+      if (t != i && row[t] == 0) candidates.push_back(t);
+  }
+  if (candidates.empty()) {
+    ok = false;
+    return i;
+  }
+  return candidates[rng.next_below(candidates.size())];
+}
+
 void AsyncGossip::node_push(net::NodeId i, Rng& rng, const graph::Graph* overlay) {
   if (!network_.is_node_up(i)) return;
   ++stats_.send_events;
   update_stability(i);
 
-  net::NodeId target = i;
-  if (config_.neighbors_only && overlay != nullptr) {
-    const auto nbrs = overlay->neighbors(i);
-    if (nbrs.empty()) return;  // isolated: keeps everything
-    target = nbrs[rng.next_below(nbrs.size())];
-  } else {
-    if (n_ <= 1) return;
-    target = rng.next_below(n_ - 1);
-    if (target >= i) ++target;
-  }
+  bool ok = false;
+  const net::NodeId target = pick_target(i, rng, overlay, ok);
+  if (!ok) return;  // isolated or everyone suspected: keeps everything
 
-  // Halve the vector; the kept half stays in place, the pushed half rides
-  // inside the message closure until delivery (or is destroyed on loss —
-  // x and w together, which is why loss does not bias the ratios).
-  auto payload_x = std::make_shared<std::vector<double>>(n_);
-  auto payload_w = std::make_shared<std::vector<double>>(n_);
+  // Halve the vector; only live (x, w) components ride the wire, packed as
+  // <component id, x, w> triplets, so the in-memory payload matches the
+  // 24-bytes-per-triplet wire accounting instead of two dense length-n
+  // vectors.
   double* xi = row_x(i);
   double* wi = row_w(i);
-  std::size_t nonzero = 0;
+  Payload payload;
   for (net::NodeId j = 0; j < n_; ++j) {
-    (*payload_x)[j] = 0.5 * xi[j];
-    (*payload_w)[j] = 0.5 * wi[j];
-    xi[j] *= 0.5;
-    wi[j] *= 0.5;
-    nonzero += ((*payload_x)[j] != 0.0 || (*payload_w)[j] != 0.0);
+    if (xi[j] == 0.0 && wi[j] == 0.0) continue;
+    const double px = 0.5 * xi[j];
+    const double pw = 0.5 * wi[j];
+    payload.push_back({static_cast<std::uint32_t>(j), px, pw});
+    xi[j] = px;
+    wi[j] = pw;
+  }
+  const std::size_t bytes = 24 * payload.size();
+
+  if (!reliability_.acks) {
+    // Fire-and-forget: the pushed half rides inside the message closure
+    // until delivery; destruction events (loss, stale epoch) destroy x and
+    // w together, which is why pure loss does not bias the ratios.
+    ++stats_.messages_sent;
+    auto shared = std::make_shared<Payload>(std::move(payload));
+    add_in_flight(*shared, +1.0);
+    const std::uint32_t ep = epoch_;
+    const bool sent = network_.send(
+        i, target, bytes,
+        [this, target, shared, ep] {
+          add_in_flight(*shared, -1.0);
+          if (ep != epoch_) {
+            // A copy from a pre-repair epoch: its mass was superseded by
+            // the restart's re-seed, so it is destroyed, not applied.
+            ++stats_.stale_discarded;
+            add_destroyed(*shared);
+            return;
+          }
+          double* xt = row_x(target);
+          double* wt = row_w(target);
+          for (const auto& e : *shared) {
+            xt[e.id] += e.x;
+            wt[e.id] += e.w;
+          }
+        },
+        [this, shared](const char*) {
+          ++stats_.messages_dropped;
+          add_in_flight(*shared, -1.0);
+          add_destroyed(*shared);
+        });
+    if (!sent) {
+      ++stats_.messages_dropped;
+      add_in_flight(*shared, -1.0);
+      add_destroyed(*shared);
+    }
+    return;
   }
 
+  // Reliable mode: the pending buffer is the canonical owner of the pushed
+  // mass until the receiver confirms it (or the sender reclaims it).
+  const std::uint64_t id = next_msg_id_++;
+  PendingSend rec;
+  rec.from = i;
+  rec.to = target;
+  rec.epoch = epoch_;
+  rec.rto = reliability_.ack_timeout;
+  rec.payload = std::move(payload);
+  add_in_flight(rec.payload, +1.0);
+  pending_.emplace(id, std::move(rec));
+  send_data_copy(id);
+  PendingSend& stored = pending_.at(id);
+  stored.timer =
+      scheduler_.schedule_after(stored.rto, [this, id] { on_ack_timeout(id); });
+}
+
+void AsyncGossip::send_data_copy(std::uint64_t id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  const PendingSend& p = it->second;
   ++stats_.messages_sent;
-  const std::size_t bytes = 24 * nonzero;  // <x, id, w> triplets on the wire
-  const bool sent = network_.send(i, target, bytes, [this, target, payload_x,
-                                                     payload_w] {
-    double* xt = row_x(target);
-    double* wt = row_w(target);
-    for (net::NodeId j = 0; j < n_; ++j) {
-      xt[j] += (*payload_x)[j];
-      wt[j] += (*payload_w)[j];
-    }
-  });
+  const std::size_t bytes = 24 * p.payload.size();
+  const net::NodeId from = p.from;
+  const net::NodeId to = p.to;
+  const std::uint32_t ep = p.epoch;
+  const bool sent = network_.send(
+      from, to, bytes, [this, from, to, id, ep] { on_data_arrival(from, to, id, ep); },
+      [this](const char*) { ++stats_.messages_dropped; });
   if (!sent) ++stats_.messages_dropped;
+}
+
+void AsyncGossip::on_data_arrival(net::NodeId from, net::NodeId to,
+                                  std::uint64_t id, std::uint32_t ep) {
+  if (ep != epoch_) {
+    // Stale epoch: the restart already moved this message's mass to the
+    // destroyed ledger; the copy itself is inert. No ack — the sender's
+    // pending entry is gone.
+    ++stats_.stale_discarded;
+    return;
+  }
+  if (reclaimed_.count(id) != 0) {
+    // The sender gave up and took the mass back; a late copy must not
+    // double-deliver it.
+    ++stats_.stale_discarded;
+    return;
+  }
+  const bool fresh = seen_[to].insert(id).second;
+  if (fresh) {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) {
+      // Unreachable by construction (erased records imply a seen id), but
+      // never apply mass we cannot account.
+      seen_[to].erase(id);
+      return;
+    }
+    PendingSend& p = it->second;
+    double* xt = row_x(to);
+    double* wt = row_w(to);
+    for (const auto& e : p.payload) {
+      xt[e.id] += e.x;
+      wt[e.id] += e.w;
+    }
+    add_in_flight(p.payload, -1.0);
+    p.delivered = true;
+    // Hearing from a peer refutes any suspicion of it.
+    if (suspected_[to * n_ + from] != 0) suspected_[to * n_ + from] = 0;
+    fail_streak_[to * n_ + from] = 0;
+  } else {
+    ++stats_.duplicates_ignored;
+  }
+  // Ack every copy, including duplicates: the previous ack may have been
+  // lost, and re-acking is what stops the retransmission chain.
+  send_ack(to, from, id);
+}
+
+void AsyncGossip::send_ack(net::NodeId from, net::NodeId to, std::uint64_t id) {
+  ++stats_.acks_sent;
+  const bool sent = network_.send(
+      from, to, kAckBytes, [this, id] { on_ack(id); },
+      [this](const char*) { ++stats_.acks_dropped; });
+  if (!sent) ++stats_.acks_dropped;
+}
+
+void AsyncGossip::on_ack(std::uint64_t id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;  // duplicate ack after completion
+  scheduler_.cancel(it->second.timer);
+  fail_streak_[it->second.from * n_ + it->second.to] = 0;
+  pending_.erase(it);
+}
+
+void AsyncGossip::record_send_failure(net::NodeId from, net::NodeId to) {
+  std::size_t& streak = ++fail_streak_[from * n_ + to];
+  if (streak >= reliability_.suspicion_threshold &&
+      suspected_[from * n_ + to] == 0) {
+    suspected_[from * n_ + to] = 1;
+    ++stats_.suspicions;
+    scheduler_.schedule_after(reliability_.suspicion_ttl, [this, from, to] {
+      suspected_[from * n_ + to] = 0;
+      fail_streak_[from * n_ + to] = 0;
+    });
+  }
+}
+
+void AsyncGossip::on_ack_timeout(std::uint64_t id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  PendingSend& p = it->second;
+  if (p.retries >= reliability_.max_retries) {
+    if (!p.delivered) {
+      // Exhausted and provably undelivered: reclaim the mass into the
+      // sender's own row (conservation over availability) and poison the
+      // id so a copy that is still crawling through a healed partition
+      // cannot double-deliver it later.
+      double* xs = row_x(p.from);
+      double* ws = row_w(p.from);
+      for (const auto& e : p.payload) {
+        xs[e.id] += e.x;
+        ws[e.id] += e.w;
+      }
+      add_in_flight(p.payload, -1.0);
+      reclaimed_.insert(id);
+      ++stats_.mass_reclaims;
+      record_send_failure(p.from, p.to);
+    }
+    pending_.erase(it);
+    return;
+  }
+  ++p.retries;
+  ++stats_.retransmits;
+  p.rto = std::min(p.rto * reliability_.backoff, reliability_.max_timeout);
+  const double rto = p.rto;
+  send_data_copy(id);  // may invalidate `it`/`p` via unrelated erase? no: sync
+  auto again = pending_.find(id);
+  if (again != pending_.end())
+    again->second.timer =
+        scheduler_.schedule_after(rto, [this, id] { on_ack_timeout(id); });
+}
+
+void AsyncGossip::destroy_row(net::NodeId i) {
+  double* xi = row_x(i);
+  double* wi = row_w(i);
+  for (net::NodeId j = 0; j < n_; ++j) {
+    destroyed_x_[j] += xi[j];
+    destroyed_w_[j] += wi[j];
+    xi[j] = 0.0;
+    wi[j] = 0.0;
+  }
+  double* prev = prev_ratio_.data() + i * n_;
+  std::fill(prev, prev + n_, std::numeric_limits<double>::quiet_NaN());
+  stable_count_[i] = 0;
+}
+
+void AsyncGossip::epoch_restart(const char* reason) {
+  (void)reason;
+  ++epoch_;
+  ++stats_.repairs;
+
+  if (reliability_.acks) {
+    // Every pending send belongs to the dead epoch: undelivered mass is
+    // destroyed (the re-seed below replaces it) and the ids are poisoned
+    // so in-flight copies cannot resurrect it.
+    for (auto& [id, p] : pending_) {
+      scheduler_.cancel(p.timer);
+      if (!p.delivered) {
+        add_in_flight(p.payload, -1.0);
+        add_destroyed(p.payload);
+        reclaimed_.insert(id);
+      }
+    }
+    pending_.clear();
+    for (auto& seen : seen_) seen.clear();
+  }
+  // Legacy-mode in-flight copies resolve lazily: their delivery closure
+  // sees the epoch mismatch and moves their mass to the destroyed ledger.
+
+  for (net::NodeId i = 0; i < n_; ++i) {
+    if (!network_.is_node_up(i)) continue;
+    destroy_row(i);
+    seed_row(i, /*count_repaired=*/true);
+  }
+  std::fill(prev_ratio_.begin(), prev_ratio_.end(),
+            std::numeric_limits<double>::quiet_NaN());
+  std::fill(stable_count_.begin(), stable_count_.end(), 0);
+}
+
+void AsyncGossip::notify_crash(net::NodeId v) {
+  if (v >= n_) throw std::invalid_argument("AsyncGossip::notify_crash: bad node");
+  ++stats_.crashes;
+  // The crashed node's resident mass dies with it — this is exactly the
+  // regime where "no error recovery needed" stops being true.
+  destroy_row(v);
+  if (reliability_.acks) {
+    // Its retry buffers die too: undelivered pending mass is destroyed and
+    // poisoned (a copy already on the wire must not deliver mass that the
+    // ledger just wrote off).
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->second.from == v) {
+        scheduler_.cancel(it->second.timer);
+        if (!it->second.delivered) {
+          add_in_flight(it->second.payload, -1.0);
+          add_destroyed(it->second.payload);
+          reclaimed_.insert(it->first);
+        }
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    seen_[v].clear();  // receiver-side dedup state is resident state
+    for (net::NodeId t = 0; t < n_; ++t) {
+      suspected_[v * n_ + t] = 0;
+      fail_streak_[v * n_ + t] = 0;
+    }
+  }
+  if (reliability_.repair_on_crash && seed_s_.has_value()) epoch_restart("crash");
+}
+
+void AsyncGossip::notify_recover(net::NodeId v) {
+  if (v >= n_) throw std::invalid_argument("AsyncGossip::notify_recover: bad node");
+  // The node returns blank (its row was destroyed at crash time); peers
+  // drop their suspicion on its rejoin announcement.
+  stable_count_[v] = 0;
+  if (reliability_.acks) {
+    seen_[v].clear();
+    for (net::NodeId i = 0; i < n_; ++i) {
+      suspected_[i * n_ + v] = 0;
+      fail_streak_[i * n_ + v] = 0;
+    }
+  }
+  if (reliability_.repair_on_crash && seed_s_.has_value())
+    epoch_restart("rejoin");
 }
 
 bool AsyncGossip::all_stable() const {
@@ -140,14 +512,14 @@ AsyncGossipResult AsyncGossip::run(Rng& rng, const graph::Graph* overlay) {
   bool converged = false;
   while (scheduler_.now() < deadline) {
     if (!scheduler_.step()) break;
-    if (all_stable()) {
+    if (scheduler_.now() >= timing_.min_time && all_stable()) {
       converged = true;
       break;
     }
   }
   // Disarm the timers (their lambdas reference the caller's rng). Delivery
-  // closures still in flight only touch this object's state; do not step
-  // the scheduler past this AsyncGossip's lifetime.
+  // and retry closures still in flight only touch this object's state; do
+  // not step the scheduler past this AsyncGossip's lifetime.
   for (const auto id : *timers) scheduler_.cancel(id);
 
   stats_.converged = converged;
@@ -180,6 +552,48 @@ double AsyncGossip::resident_w_mass(net::NodeId j) const {
   double s = 0.0;
   for (net::NodeId i = 0; i < n_; ++i) s += row_w(i)[j];
   return s;
+}
+
+MassAccount AsyncGossip::mass_account(net::NodeId j) const {
+  MassAccount a;
+  a.initial_x = initial_x_[j];
+  a.initial_w = initial_w_[j];
+  a.resident_x = resident_x_mass(j);
+  a.resident_w = resident_w_mass(j);
+  a.in_flight_x = in_flight_x_[j];
+  a.in_flight_w = in_flight_w_[j];
+  a.destroyed_x = destroyed_x_[j];
+  a.destroyed_w = destroyed_w_[j];
+  a.repaired_x = repaired_x_[j];
+  a.repaired_w = repaired_w_[j];
+  return a;
+}
+
+double AsyncGossip::mass_invariant_gap() const {
+  double gap = 0.0;
+  for (net::NodeId j = 0; j < n_; ++j) {
+    const MassAccount a = mass_account(j);
+    gap = std::max(gap, std::abs(a.x_gap()));
+    gap = std::max(gap, std::abs(a.w_gap()));
+  }
+  return gap;
+}
+
+std::vector<double> AsyncGossip::expected_live_x_mass() const {
+  std::vector<double> expected(n_, 0.0);
+  if (!seed_s_.has_value()) return expected;
+  const auto& s = *seed_s_;
+  for (net::NodeId i = 0; i < n_; ++i) {
+    if (!network_.is_node_up(i)) continue;
+    const auto entries = s.row(i);
+    if (entries.empty()) {
+      const double share = seed_v_[i] / static_cast<double>(n_);
+      for (net::NodeId j = 0; j < n_; ++j) expected[j] += share;
+    } else {
+      for (const auto& e : entries) expected[e.col] += e.value * seed_v_[i];
+    }
+  }
+  return expected;
 }
 
 }  // namespace gt::gossip

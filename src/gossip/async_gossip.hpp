@@ -1,4 +1,4 @@
-// Event-driven (asynchronous) vector push-sum.
+// Event-driven (asynchronous) vector push-sum, with optional self-healing.
 //
 // The synchronous-round VectorGossip matches the paper's lock-step
 // description of Algorithm 2; real unstructured networks are asynchronous:
@@ -6,14 +6,37 @@
 // and some are lost. AsyncGossip runs the same protocol over the
 // discrete-event Scheduler and the simulated Network — per-peer periodic
 // send timers with jitter, latency-delayed delivery, loss and node-failure
-// handling — and demonstrates that push-sum's convergence and its
-// mass-conservation invariant are untouched by asynchrony (in-flight
-// messages simply hold mass until delivery).
+// handling.
+//
+// The paper's "no error recovery needed" claim is only true for *message
+// loss* (x and w are destroyed together, so ratios stay unbiased). Two
+// regimes break it, and this class can repair both when a Reliability
+// policy is enabled:
+//
+//   * Transient loss/partition/corruption: ack-based retransmission with
+//     bounded exponential backoff keeps pushed mass in a sender-side
+//     pending buffer until the receiver confirms it; exhausted retries
+//     reclaim the mass into the sender's row (never destroying it) and
+//     raise timeout-based suspicion against the unresponsive peer.
+//   * Node crash: a crashed node destroys its resident mass, permanently
+//     biasing every survivor's ratio. With repair_on_crash, the epoch is
+//     restarted: survivors discard the tainted epoch and re-seed from the
+//     stored (S, v) restricted to live membership, restoring the
+//     mass-conservation invariant. A crash-rejoin re-initializes the
+//     returning node and (with repair on) restarts the epoch to re-admit
+//     its trust row.
+//
+// Full mass accounting is maintained per component: at any drain point
+//   resident + in_flight + destroyed - repaired == initial
+// which the chaos tests assert exactly.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -25,13 +48,41 @@
 
 namespace gt::gossip {
 
-/// Outcome of an asynchronous gossip run.
+/// Outcome of an asynchronous gossip run. After run() returns, delivery /
+/// retry closures left in the scheduler keep updating the live counters;
+/// read AsyncGossip::stats() again once the scheduler is drained for
+/// totals that reconcile exactly with net::TrafficStats.
 struct AsyncGossipResult {
   double sim_time = 0.0;          ///< simulated time at termination
   std::size_t send_events = 0;    ///< per-node push events executed
   bool converged = false;         ///< every live node epsilon-stable
-  std::uint64_t messages_sent = 0;
-  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_sent = 0;     ///< data copies handed to the network
+  std::uint64_t messages_dropped = 0;  ///< data copies lost (send-time AND in-flight)
+  std::uint64_t acks_sent = 0;
+  std::uint64_t acks_dropped = 0;
+  std::uint64_t retransmits = 0;       ///< data resends after ack timeout
+  std::uint64_t duplicates_ignored = 0;///< receiver-side dedup hits
+  std::uint64_t stale_discarded = 0;   ///< old-epoch copies discarded
+  std::uint64_t mass_reclaims = 0;     ///< pending sends reclaimed by the sender
+  std::uint64_t suspicions = 0;        ///< peer-suspicion events raised
+  std::uint64_t crashes = 0;           ///< notify_crash() calls observed
+  std::uint64_t repairs = 0;           ///< epoch restarts executed
+};
+
+/// Per-component mass ledger (see the invariant in the file header).
+struct MassAccount {
+  double initial_x = 0.0, initial_w = 0.0;
+  double resident_x = 0.0, resident_w = 0.0;
+  double in_flight_x = 0.0, in_flight_w = 0.0;
+  double destroyed_x = 0.0, destroyed_w = 0.0;
+  double repaired_x = 0.0, repaired_w = 0.0;
+
+  double x_gap() const noexcept {
+    return resident_x + in_flight_x + destroyed_x - repaired_x - initial_x;
+  }
+  double w_gap() const noexcept {
+    return resident_w + in_flight_w + destroyed_w - repaired_w - initial_w;
+  }
 };
 
 /// Asynchronous vector push-sum over a Scheduler + Network.
@@ -42,21 +93,46 @@ class AsyncGossip {
   struct Timing {
     double period = 1.0;
     double timeout = 10000.0;  ///< give up after this much simulated time
+    double min_time = 0.0;     ///< never declare convergence before this
+                               ///< absolute sim time (chaos harnesses set it
+                               ///< past the last scheduled fault so a
+                               ///< partition-stable plateau does not end the
+                               ///< run early)
+  };
+
+  /// Self-healing policy. Defaults preserve the legacy fire-and-forget
+  /// protocol exactly (no acks, no repair).
+  struct Reliability {
+    bool acks = false;          ///< ack + retransmit + reclaim machinery
+    double ack_timeout = 4.0;   ///< initial retransmission timeout (sim time)
+    double backoff = 2.0;       ///< RTO multiplier per retry
+    double max_timeout = 32.0;  ///< RTO cap
+    std::size_t max_retries = 4;         ///< then reclaim + count a failure
+    std::size_t suspicion_threshold = 2; ///< consecutive failures -> suspected
+    double suspicion_ttl = 30.0;         ///< suspicion expires after this long
+    bool repair_on_crash = false;        ///< epoch restart on crash/rejoin
   };
 
   AsyncGossip(sim::Scheduler& scheduler, net::Network& network,
               PushSumConfig config, Timing timing);
+  AsyncGossip(sim::Scheduler& scheduler, net::Network& network,
+              PushSumConfig config, Timing timing, Reliability reliability);
 
   std::size_t num_nodes() const noexcept { return n_; }
 
   /// Algorithm 2 initialization: x_i^{(j)} = s_ij * v_i, w_i^{(j)} = [i==j].
+  /// Stores (s, v) as the seed for crash-repair epoch restarts.
   void initialize(const trust::SparseMatrix& s, std::span<const double> v);
 
   /// Runs the event loop until every node that the Network reports up has
-  /// been epsilon-stable for `stable_rounds` consecutive push events, or
-  /// the timeout elapses. An overlay restricts targets to neighbors when
-  /// config.neighbors_only is set.
+  /// been epsilon-stable for `stable_rounds` consecutive push events (and
+  /// sim time passed timing.min_time), or the timeout elapses. An overlay
+  /// restricts targets to neighbors when config.neighbors_only is set.
   AsyncGossipResult run(Rng& rng, const graph::Graph* overlay = nullptr);
+
+  /// Live counters (same struct run() returns); meaningful to re-read
+  /// after draining the scheduler.
+  const AsyncGossipResult& stats() const noexcept { return stats_; }
 
   /// Node i's current estimate of component j (NaN while w == 0).
   double estimate(net::NodeId i, net::NodeId j) const;
@@ -66,19 +142,90 @@ class AsyncGossip {
 
   /// Mass currently residing on nodes for component j. Note: with messages
   /// in flight this is <= the initial column mass; the remainder travels
-  /// inside undelivered messages, and only loss destroys it.
+  /// inside undelivered messages (or sender-side retry buffers), and only
+  /// destruction events (crash, unrepaired loss) remove it for good.
   double resident_x_mass(net::NodeId j) const;
   double resident_w_mass(net::NodeId j) const;
 
+  /// Full per-component ledger (see MassAccount).
+  MassAccount mass_account(net::NodeId j) const;
+
+  /// Largest |gap| of the accounting identity across all components and
+  /// both x and w ledgers — 0 (up to FP noise) whenever the bookkeeping is
+  /// complete, faults or not.
+  double mass_invariant_gap() const;
+
+  /// What the live membership *should* be aggregating: column masses of
+  /// the seed product restricted to currently-live rows. With repair
+  /// enabled, resident + in-flight mass returns to this after every crash;
+  /// without repair, crashes leave a permanent deficit.
+  std::vector<double> expected_live_x_mass() const;
+  double available_x_mass(net::NodeId j) const {
+    const auto a = mass_account(j);
+    return a.resident_x + a.in_flight_x;
+  }
+
+  /// Crash notification (typically wired to FaultInjector::on_crash; the
+  /// network must already report the node down). Destroys the node's
+  /// resident mass and pending sends, clears its protocol state, and — with
+  /// repair_on_crash — restarts the epoch among survivors.
+  void notify_crash(net::NodeId v);
+
+  /// Rejoin notification (network must already report the node up). The
+  /// node returns blank; with repair_on_crash the epoch restarts so its
+  /// trust row re-enters the aggregate.
+  void notify_recover(net::NodeId v);
+
+  std::uint32_t epoch() const noexcept { return epoch_; }
+  bool is_suspected(net::NodeId by, net::NodeId peer) const {
+    return !suspected_.empty() && suspected_[by * n_ + peer] != 0;
+  }
+
  private:
+  /// Sparse wire triplet: <component id, x half, w half> — 24 bytes each,
+  /// matching the accounted wire format.
+  struct WireEntry {
+    std::uint32_t id;
+    double x;
+    double w;
+  };
+  using Payload = std::vector<WireEntry>;
+
+  struct PendingSend {
+    net::NodeId from = 0;
+    net::NodeId to = 0;
+    std::uint32_t epoch = 0;
+    std::size_t retries = 0;
+    double rto = 0.0;
+    sim::EventId timer = 0;
+    bool delivered = false;  ///< receiver has processed some copy
+    Payload payload;
+  };
+
   void node_push(net::NodeId i, Rng& rng, const graph::Graph* overlay);
+  net::NodeId pick_target(net::NodeId i, Rng& rng, const graph::Graph* overlay,
+                          bool& ok);
   void update_stability(net::NodeId i);
   bool all_stable() const;
+
+  void send_data_copy(std::uint64_t id);
+  void on_data_arrival(net::NodeId from, net::NodeId to, std::uint64_t id,
+                       std::uint32_t ep);
+  void send_ack(net::NodeId from, net::NodeId to, std::uint64_t id);
+  void on_ack(std::uint64_t id);
+  void on_ack_timeout(std::uint64_t id);
+  void record_send_failure(net::NodeId from, net::NodeId to);
+  void epoch_restart(const char* reason);
+  void seed_row(net::NodeId i, bool count_repaired);
+  void add_in_flight(const Payload& p, double sign);
+  void add_destroyed(const Payload& p);
+  void destroy_row(net::NodeId i);
 
   sim::Scheduler& scheduler_;
   net::Network& network_;
   PushSumConfig config_;
   Timing timing_;
+  Reliability reliability_;
   std::size_t n_;
 
   std::vector<double> x_;  // n*n row-major
@@ -86,6 +233,26 @@ class AsyncGossip {
   std::vector<double> prev_ratio_;
   std::vector<std::size_t> stable_count_;
   AsyncGossipResult stats_;
+
+  // Mass ledgers, one slot per component (column).
+  std::vector<double> initial_x_, initial_w_;
+  std::vector<double> in_flight_x_, in_flight_w_;
+  std::vector<double> destroyed_x_, destroyed_w_;
+  std::vector<double> repaired_x_, repaired_w_;
+
+  // Reliability state (ack mode).
+  std::uint32_t epoch_ = 0;
+  std::uint64_t next_msg_id_ = 1;
+  std::unordered_map<std::uint64_t, PendingSend> pending_;
+  std::unordered_set<std::uint64_t> reclaimed_;  ///< poisoned message ids
+  std::vector<std::unordered_set<std::uint64_t>> seen_;  ///< per-receiver dedup
+  std::vector<std::uint8_t> suspected_;    // n*n: [by * n + peer]
+  std::vector<std::size_t> fail_streak_;   // n*n consecutive send failures
+
+  // Seed snapshot for epoch restarts (optional because SparseMatrix is
+  // only constructible through its Builder; copy-assignment is public).
+  std::optional<trust::SparseMatrix> seed_s_;
+  std::vector<double> seed_v_;
 
   double* row_x(net::NodeId i) { return x_.data() + i * n_; }
   double* row_w(net::NodeId i) { return w_.data() + i * n_; }

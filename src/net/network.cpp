@@ -1,6 +1,7 @@
 #include "net/network.hpp"
 
-#include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 namespace gt::net {
@@ -15,6 +16,22 @@ Network::Network(sim::Scheduler& scheduler, std::size_t num_nodes,
 std::uint64_t Network::link_key(NodeId a, NodeId b) noexcept {
   if (a > b) std::swap(a, b);
   return (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint64_t>(b);
+}
+
+void Network::check_node(NodeId node, const char* fn) const {
+  // Out-of-range node ids are always caller bugs; a release-mode-silent
+  // assert would index out of bounds downstream, so fail loudly in every
+  // build type (same convention as Rng::next_below(0)).
+  if (node >= node_up_.size()) {
+    std::fprintf(stderr, "fatal: net::Network::%s: node %zu out of range (n=%zu)\n",
+                 fn, node, node_up_.size());
+    std::abort();
+  }
+}
+
+bool Network::is_node_up(NodeId node) const {
+  check_node(node, "is_node_up");
+  return node_up_[node];
 }
 
 void Network::attach_telemetry(telemetry::MetricsRegistry* registry,
@@ -49,9 +66,14 @@ void Network::count_drop(NodeId from, NodeId to, std::size_t size_bytes,
   }
 }
 
+bool Network::cross_partition(NodeId a, NodeId b) const {
+  return !partition_.empty() && partition_[a] != partition_[b];
+}
+
 bool Network::send(NodeId from, NodeId to, std::size_t size_bytes,
-                   Handler on_deliver) {
-  assert(from < node_up_.size() && to < node_up_.size());
+                   Handler on_deliver, DropHandler on_drop) {
+  check_node(from, "send");
+  check_node(to, "send");
   ++stats_.messages_sent;
   stats_.bytes_sent += size_bytes;
   if (metrics_ != nullptr) {
@@ -66,6 +88,8 @@ bool Network::send(NodeId from, NodeId to, std::size_t size_bytes,
     reason = "receiver_down";
   } else if (link_failed(from, to)) {
     reason = "link_failed";
+  } else if (cross_partition(from, to)) {
+    reason = "partitioned";
   } else if (rng_.next_bool(config_.loss_probability)) {
     reason = "loss";
   }
@@ -74,16 +98,52 @@ bool Network::send(NodeId from, NodeId to, std::size_t size_bytes,
     return false;
   }
 
+  // RNG draw order is part of the determinism contract: corruption
+  // (primary), duplication, primary jitter, then — only when a duplicate
+  // was drawn — duplicate corruption and duplicate jitter. Disabled knobs
+  // (probability 0) consume no randomness, so runs without faults keep
+  // the exact streams of earlier revisions.
+  const bool corrupt_primary = rng_.next_bool(config_.corrupt_probability);
+  const bool duplicate = rng_.next_bool(config_.duplicate_probability);
   double delay = config_.base_latency;
   if (config_.jitter > 0.0) delay += rng_.next_double(0.0, config_.jitter);
 
+  if (duplicate) {
+    ++stats_.messages_duplicated;
+    const bool corrupt_dup = rng_.next_bool(config_.corrupt_probability);
+    double dup_delay = config_.base_latency;
+    if (config_.jitter > 0.0) dup_delay += rng_.next_double(0.0, config_.jitter);
+    // The duplicate is best-effort bonus traffic: its losses are silent
+    // and never touch the primary sent/delivered/dropped invariant.
+    scheduler_.schedule_after(
+        dup_delay, [this, from, to, corrupt_dup, handler = on_deliver] {
+          if (!node_up_[to] || cross_partition(from, to) || corrupt_dup) return;
+          ++stats_.duplicates_delivered;
+          handler();
+        });
+  }
+
   scheduler_.schedule_after(
-      delay, [this, from, to, size_bytes,
-              handler = std::move(on_deliver)]() mutable {
-        // The receiver may have gone down while the message was in flight:
-        // its payload bytes never land, so they are accounted as dropped.
+      delay, [this, from, to, size_bytes, corrupt_primary,
+              handler = std::move(on_deliver),
+              dropper = std::move(on_drop)]() mutable {
+        // The receiver may have gone down (or a partition opened) while
+        // the message was in flight, and corrupted payloads fail their
+        // checksum on arrival: the payload bytes never land, so they are
+        // accounted as dropped and the sender's drop closure (if any) is
+        // told why.
+        const char* drop_reason = nullptr;
         if (!node_up_[to]) {
-          count_drop(from, to, size_bytes, "receiver_down_in_flight");
+          drop_reason = "receiver_down_in_flight";
+        } else if (cross_partition(from, to)) {
+          drop_reason = "partitioned_in_flight";
+        } else if (corrupt_primary) {
+          drop_reason = "corrupted";
+          ++stats_.messages_corrupted;
+        }
+        if (drop_reason != nullptr) {
+          count_drop(from, to, size_bytes, drop_reason);
+          if (dropper) dropper(drop_reason);
           return;
         }
         ++stats_.messages_delivered;
@@ -98,7 +158,7 @@ bool Network::send(NodeId from, NodeId to, std::size_t size_bytes,
 }
 
 void Network::set_node_up(NodeId node, bool up) {
-  assert(node < node_up_.size());
+  check_node(node, "set_node_up");
   if (events_ != nullptr && node_up_[node] != up) {
     events_->record("net_outage")
         .field("sim_time", scheduler_.now())
@@ -109,6 +169,8 @@ void Network::set_node_up(NodeId node, bool up) {
 }
 
 void Network::fail_link(NodeId a, NodeId b) {
+  check_node(a, "fail_link");
+  check_node(b, "fail_link");
   if (events_ != nullptr && !link_failed(a, b)) {
     events_->record("net_outage")
         .field("sim_time", scheduler_.now())
@@ -120,6 +182,8 @@ void Network::fail_link(NodeId a, NodeId b) {
 }
 
 void Network::heal_link(NodeId a, NodeId b) {
+  check_node(a, "heal_link");
+  check_node(b, "heal_link");
   if (events_ != nullptr && link_failed(a, b)) {
     events_->record("net_outage")
         .field("sim_time", scheduler_.now())
@@ -131,7 +195,35 @@ void Network::heal_link(NodeId a, NodeId b) {
 }
 
 bool Network::link_failed(NodeId a, NodeId b) const {
+  check_node(a, "link_failed");
+  check_node(b, "link_failed");
   return failed_links_.count(link_key(a, b)) != 0;
+}
+
+void Network::set_partition(const std::vector<int>& group_of_node) {
+  if (group_of_node.size() != node_up_.size()) {
+    std::fprintf(stderr,
+                 "fatal: net::Network::set_partition: %zu group entries for "
+                 "%zu nodes\n",
+                 group_of_node.size(), node_up_.size());
+    std::abort();
+  }
+  if (events_ != nullptr) {
+    events_->record("net_outage")
+        .field("sim_time", scheduler_.now())
+        .field("kind", "partition_start")
+        .field("nodes", group_of_node.size());
+  }
+  partition_ = group_of_node;
+}
+
+void Network::clear_partition() {
+  if (events_ != nullptr && !partition_.empty()) {
+    events_->record("net_outage")
+        .field("sim_time", scheduler_.now())
+        .field("kind", "partition_end");
+  }
+  partition_.clear();
 }
 
 }  // namespace gt::net

@@ -3,10 +3,14 @@
 // Gossip messages in GossipTrust travel over an unreliable network: the
 // paper claims the protocol "does not require error recovery mechanisms"
 // and "tolerates link failures", so the network model supports per-message
-// loss, per-link outages, node up/down state, and latency. Delivery is
-// type-erased: senders pass a closure that the network invokes at delivery
-// time, which keeps this layer independent of payload schemas while still
-// accounting message and byte counts for the overhead experiments.
+// loss, per-link outages, node up/down state, latency, network partitions,
+// and duplication/corruption in transit (the knobs the fault-injection
+// subsystem drives). Delivery is type-erased: senders pass a closure that
+// the network invokes at delivery time, which keeps this layer independent
+// of payload schemas while still accounting message and byte counts for
+// the overhead experiments. An optional per-message drop closure tells the
+// sender about delivery-time losses (in-flight receiver death, partition,
+// corruption) that a bare `send(...) == false` cannot report.
 #pragma once
 
 #include <cstddef>
@@ -28,10 +32,15 @@ using NodeId = std::size_t;
 /// all in-flight messages have been drained by the scheduler):
 ///   messages_sent == messages_delivered + messages_dropped
 ///   bytes_sent    == bytes_delivered + bytes_dropped + in-flight bytes
+/// Duplicate copies are accounted separately (messages_duplicated /
+/// duplicates_delivered) and never perturb the primary invariant.
 struct TrafficStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;   ///< lost to link failure / dead node
+  std::uint64_t messages_corrupted = 0; ///< subset of dropped: checksum fail
+  std::uint64_t messages_duplicated = 0;   ///< extra copies created in transit
+  std::uint64_t duplicates_delivered = 0;  ///< extra copies that landed
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_delivered = 0;
   std::uint64_t bytes_dropped = 0;      ///< payload of dropped messages
@@ -48,15 +57,20 @@ struct TrafficStats {
 
 /// Network configuration knobs.
 struct NetworkConfig {
-  double loss_probability = 0.0;   ///< i.i.d. per-message drop probability
-  double base_latency = 1.0;       ///< fixed propagation delay (sim time units)
-  double jitter = 0.0;             ///< uniform extra delay in [0, jitter)
+  double loss_probability = 0.0;      ///< i.i.d. per-message drop probability
+  double base_latency = 1.0;          ///< fixed propagation delay (sim time units)
+  double jitter = 0.0;                ///< uniform extra delay in [0, jitter)
+  double duplicate_probability = 0.0; ///< per-message chance of a second copy
+  double corrupt_probability = 0.0;   ///< per-copy chance of in-transit corruption
 };
 
 /// Simulated network: connects node closures through the event scheduler.
 class Network {
  public:
   using Handler = std::function<void()>;
+  /// Delivery-time drop notification; `reason` is a static string
+  /// ("receiver_down_in_flight", "partitioned_in_flight", "corrupted").
+  using DropHandler = std::function<void(const char* reason)>;
 
   Network(sim::Scheduler& scheduler, std::size_t num_nodes, NetworkConfig config,
           Rng rng);
@@ -65,12 +79,17 @@ class Network {
 
   /// Sends a message of `size_bytes` from `from` to `to`; `on_deliver` runs
   /// at delivery time unless the message is dropped. Returns true when the
-  /// message was enqueued for delivery (false = dropped at send time).
-  bool send(NodeId from, NodeId to, std::size_t size_bytes, Handler on_deliver);
+  /// message was enqueued for delivery (false = dropped at send time; the
+  /// send-time drop is NOT reported through `on_drop`). `on_drop`, when
+  /// non-null, runs instead of `on_deliver` if the enqueued message is lost
+  /// in flight. A duplicated copy may additionally run `on_deliver` a
+  /// second time; duplicate-copy losses are silent.
+  bool send(NodeId from, NodeId to, std::size_t size_bytes, Handler on_deliver,
+            DropHandler on_drop = nullptr);
 
   /// Marks a node down: messages to/from it are dropped.
   void set_node_up(NodeId node, bool up);
-  bool is_node_up(NodeId node) const { return node_up_[node]; }
+  bool is_node_up(NodeId node) const;
 
   /// Fails or heals a specific (unordered) link.
   void fail_link(NodeId a, NodeId b);
@@ -78,21 +97,35 @@ class Network {
   bool link_failed(NodeId a, NodeId b) const;
   std::size_t failed_link_count() const noexcept { return failed_links_.size(); }
 
+  /// Splits the network: `group_of_node[i]` is node i's partition group;
+  /// traffic between different groups is dropped ("partitioned" at send
+  /// time, "partitioned_in_flight" at delivery time). Must have exactly
+  /// num_nodes() entries. clear_partition() heals the split.
+  void set_partition(const std::vector<int>& group_of_node);
+  void clear_partition();
+  bool partitioned() const noexcept { return !partition_.empty(); }
+  /// True when a and b are currently in different partition groups.
+  bool cross_partition(NodeId a, NodeId b) const;
+
   const TrafficStats& stats() const noexcept { return stats_; }
   void reset_stats() { stats_.reset(); }
 
   const NetworkConfig& config() const noexcept { return config_; }
   void set_loss_probability(double p) { config_.loss_probability = p; }
+  void set_duplicate_probability(double p) { config_.duplicate_probability = p; }
+  void set_corrupt_probability(double p) { config_.corrupt_probability = p; }
 
   /// Mirrors traffic counters into `registry` (lane 0; the simulated
   /// network is single-threaded) and emits one `net_drop` record per
-  /// dropped message plus `net_outage` records on node/link state changes
-  /// into `events`. Either pointer may be null; call before traffic flows.
+  /// dropped message plus `net_outage` records on node/link/partition
+  /// state changes into `events`. Either pointer may be null; call before
+  /// traffic flows.
   void attach_telemetry(telemetry::MetricsRegistry* registry,
                         telemetry::EventLog* events);
 
  private:
   static std::uint64_t link_key(NodeId a, NodeId b) noexcept;
+  void check_node(NodeId node, const char* fn) const;
   void count_drop(NodeId from, NodeId to, std::size_t size_bytes,
                   const char* reason);
 
@@ -101,6 +134,7 @@ class Network {
   Rng rng_;
   std::vector<bool> node_up_;
   std::unordered_set<std::uint64_t> failed_links_;
+  std::vector<int> partition_;  ///< empty = no partition
   TrafficStats stats_;
 
   telemetry::EventLog* events_ = nullptr;

@@ -179,6 +179,64 @@ TEST(GossipTrustEngine, RejectsBadConfig) {
   EXPECT_THROW(GossipTrustEngine(0, GossipTrustConfig{}), std::invalid_argument);
 }
 
+TEST(GossipTrustEngine, DegradedCycleRetainsPreviousVector) {
+  // One gossip step can never reach epsilon-stability, so every cycle is
+  // degraded: the engine must keep the previous vector, flag the cycle,
+  // and refuse to call the (zero-change) run converged.
+  const std::size_t n = 24;
+  const auto s = workload_matrix(n, 20);
+  auto cfg = test_config();
+  cfg.max_gossip_steps = 1;
+  cfg.max_cycles = 3;
+  GossipTrustEngine engine(n, cfg);
+
+  auto v = engine.initial_scores();
+  const auto v_before = v;
+  std::vector<NodeId> power;
+  Rng rng(21);
+  const auto stats = engine.run_cycle(s, v, power, rng);
+  EXPECT_FALSE(stats.gossip_converged);
+  EXPECT_TRUE(stats.degraded);
+  EXPECT_EQ(v, v_before);       // previous cycle's vector retained
+  EXPECT_TRUE(power.empty());   // no power nodes selected from a bad cycle
+
+  Rng rng2(22);
+  const auto res = engine.run(s, rng2);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.num_cycles(), cfg.max_cycles);
+  EXPECT_EQ(res.degraded_cycles(), cfg.max_cycles);
+}
+
+TEST(GossipTrustEngine, FallbackDisabledRestoresLegacyBehavior) {
+  const std::size_t n = 24;
+  const auto s = workload_matrix(n, 23);
+  auto cfg = test_config();
+  cfg.max_gossip_steps = 1;
+  cfg.fallback_on_nonconverged = false;
+  GossipTrustEngine engine(n, cfg);
+
+  auto v = engine.initial_scores();
+  const auto v_before = v;
+  std::vector<NodeId> power;
+  Rng rng(24);
+  const auto stats = engine.run_cycle(s, v, power, rng);
+  EXPECT_FALSE(stats.gossip_converged);
+  EXPECT_FALSE(stats.degraded);
+  EXPECT_NE(v, v_before);  // legacy: the partial aggregate is adopted
+  EXPECT_FALSE(power.empty());
+}
+
+TEST(GossipTrustEngine, HealthyCyclesAreNotDegraded) {
+  const std::size_t n = 32;
+  const auto s = workload_matrix(n, 25);
+  GossipTrustEngine engine(n, test_config());
+  Rng rng(26);
+  const auto res = engine.run(s, rng);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.degraded_cycles(), 0u);
+  for (const auto& c : res.cycles) EXPECT_FALSE(c.degraded);
+}
+
 TEST(GossipTrustEngine, InitialScoresUniform) {
   GossipTrustEngine engine(8, test_config());
   const auto v = engine.initial_scores();

@@ -1,0 +1,379 @@
+// Chaos harness for the self-healing asynchronous push-sum: the acceptance
+// scenario (crash 10% of nodes mid-aggregation, partition the network for
+// 50 sim-time units, heal) plus mass-accounting edge cases. Every scenario
+// asserts the full per-component ledger identity
+//   resident + in_flight + destroyed - repaired == initial
+// instead of eyeballing convergence plots.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "fault/fault_injector.hpp"
+#include "gossip/async_gossip.hpp"
+#include "trust/feedback.hpp"
+#include "trust/generator.hpp"
+
+namespace gt::gossip {
+namespace {
+
+trust::SparseMatrix make_matrix(std::size_t n, std::uint64_t seed) {
+  trust::FeedbackLedger ledger(n);
+  trust::FeedbackGenConfig cfg;
+  cfg.n = n;
+  cfg.d_max = std::min<std::size_t>(40, n - 1);
+  cfg.d_avg = std::min(10.0, static_cast<double>(n) / 3.0);
+  Rng rng(seed);
+  const std::vector<double> quality(n, 0.9);
+  trust::generate_honest_feedback(ledger, quality, cfg, rng);
+  return ledger.normalized_matrix();
+}
+
+struct ChaosOutcome {
+  AsyncGossipResult stats;
+  net::TrafficStats net_stats;
+  std::string fault_log;
+  double invariant_gap = 0.0;       ///< ledger identity residual (max |gap|)
+  double live_mass_mismatch = 0.0;  ///< max_j |available - expected live mass|
+  double destroyed_net = 0.0;       ///< sum_j destroyed_x - repaired_x
+  double value_error = 0.0;         ///< rms rel. error on live components
+  double rank_error = 0.0;          ///< discordant-pair fraction, live comps
+  std::vector<double> probe_view;   ///< one live node's view (determinism)
+};
+
+constexpr std::size_t kChaosN = 30;
+
+AsyncGossip::Reliability chaos_reliability(bool repair) {
+  AsyncGossip::Reliability rel;
+  rel.acks = true;
+  rel.ack_timeout = 2.0;
+  rel.backoff = 2.0;
+  rel.max_timeout = 8.0;
+  rel.max_retries = 3;
+  rel.suspicion_threshold = 2;
+  rel.suspicion_ttl = 8.0;
+  rel.repair_on_crash = repair;
+  return rel;
+}
+
+/// The acceptance scenario: 10% of nodes crash at t=5 while aggregation is
+/// underway, the network bisects over [10, 60) (50 sim-time units), then
+/// heals and the protocol runs to epsilon-stability.
+ChaosOutcome run_chaos(bool repair, bool with_faults = true) {
+  const std::size_t n = kChaosN;
+  sim::Scheduler sched;
+  net::NetworkConfig ncfg;
+  ncfg.base_latency = 0.2;
+  ncfg.jitter = 0.1;
+  net::Network network(sched, n, ncfg, Rng(21));
+
+  PushSumConfig cfg;
+  cfg.epsilon = 1e-7;
+  cfg.stable_rounds = 3;
+
+  fault::FaultPlan plan;
+  if (with_faults) {
+    plan.crash_fraction(5.0, n, n / 10, 0xc0ffee);
+    plan.bisect(10.0, 60.0, n, n / 2);
+  }
+
+  AsyncGossip::Timing timing;
+  timing.timeout = 600.0;
+  // Hold the run open past the last fault plus suspicion expiry: both
+  // partition sides go epsilon-stable mid-split, and that plateau must not
+  // be declared convergence.
+  timing.min_time = with_faults ? plan.end_time() + 15.0 : 0.0;
+
+  AsyncGossip gossip(sched, network, cfg, timing, chaos_reliability(repair));
+  fault::FaultInjector injector(sched, network, plan);
+  injector.on_crash([&](fault::NodeId v) { gossip.notify_crash(v); });
+  injector.on_recover([&](fault::NodeId v) { gossip.notify_recover(v); });
+  injector.arm();
+
+  const auto s = make_matrix(n, 2);
+  const std::vector<double> v(n, 1.0 / static_cast<double>(n));
+  gossip.initialize(s, v);
+
+  Rng rng(5);
+  ChaosOutcome out;
+  gossip.run(rng);
+  // Drain every in-flight delivery, retry timer, and suspicion expiry so
+  // the counters and ledgers are final.
+  sched.run_until();
+  out.stats = gossip.stats();
+  out.net_stats = network.stats();
+  out.fault_log = injector.log_text();
+  out.invariant_gap = gossip.mass_invariant_gap();
+
+  const auto expected = gossip.expected_live_x_mass();
+  for (net::NodeId j = 0; j < n; ++j) {
+    out.live_mass_mismatch = std::max(
+        out.live_mass_mismatch, std::abs(gossip.available_x_mass(j) - expected[j]));
+    const auto acct = gossip.mass_account(j);
+    out.destroyed_net += acct.destroyed_x - acct.repaired_x;
+  }
+
+  net::NodeId probe = 0;
+  while (!network.is_node_up(probe)) ++probe;
+  out.probe_view = gossip.node_view(probe);
+  std::vector<double> exp_live, got_live;
+  for (net::NodeId j = 0; j < n; ++j) {
+    if (!network.is_node_up(j)) continue;
+    exp_live.push_back(expected[j]);
+    got_live.push_back(out.probe_view[j]);
+  }
+  out.value_error = rms_relative_error(exp_live, got_live);
+  out.rank_error = 0.5 * (1.0 - kendall_tau(exp_live, got_live));
+  return out;
+}
+
+TEST(ChaosScenarios, AcceptanceScenarioWithRepair) {
+  const ChaosOutcome fault_free = run_chaos(true, /*with_faults=*/false);
+  ASSERT_TRUE(fault_free.stats.converged);
+  ASSERT_EQ(fault_free.stats.crashes, 0u);
+  ASSERT_LT(fault_free.invariant_gap, 1e-9);
+
+  const ChaosOutcome chaos = run_chaos(/*repair=*/true);
+  EXPECT_TRUE(chaos.stats.converged);
+  EXPECT_EQ(chaos.stats.crashes, kChaosN / 10);
+  EXPECT_GE(chaos.stats.repairs, kChaosN / 10);
+
+  // Full mass accounting at drain: the ledger identity closes and the
+  // available (resident + in-flight) mass equals exactly what the live
+  // membership should be aggregating.
+  EXPECT_LT(chaos.invariant_gap, 1e-9);
+  EXPECT_LT(chaos.live_mass_mismatch, 1e-9);
+
+  // Bounded ranking error: no worse than 2x the fault-free run (both are
+  // epsilon-converged, so both discordant-pair fractions should be ~0; the
+  // tiny floor absorbs a single near-tie inversion out of ~350 pairs).
+  EXPECT_LE(chaos.rank_error, 2.0 * fault_free.rank_error + 0.01);
+  EXPECT_LE(chaos.value_error, 2.0 * fault_free.value_error + 1e-4);
+}
+
+TEST(ChaosScenarios, WithoutRepairMassInvariantIsViolated) {
+  const ChaosOutcome chaos = run_chaos(/*repair=*/false);
+  // The bookkeeping itself stays complete (every unit of destroyed mass is
+  // ledgered)...
+  EXPECT_LT(chaos.invariant_gap, 1e-9);
+  // ...but the protocol-level conservation the paper relies on is gone:
+  // the crashed nodes' resident mass was destroyed and never repaired, so
+  // what the survivors aggregate no longer matches the live membership.
+  EXPECT_EQ(chaos.stats.crashes, kChaosN / 10);
+  EXPECT_EQ(chaos.stats.repairs, 0u);
+  EXPECT_GT(chaos.destroyed_net, 0.01);
+  EXPECT_GT(chaos.live_mass_mismatch, 1e-3);
+}
+
+TEST(ChaosScenarios, DeterministicAcrossRuns) {
+  const ChaosOutcome a = run_chaos(true);
+  const ChaosOutcome b = run_chaos(true);
+  // Identical seeds + identical plan => byte-identical fault logs and
+  // bit-identical results.
+  EXPECT_FALSE(a.fault_log.empty());
+  EXPECT_EQ(a.fault_log, b.fault_log);
+  EXPECT_EQ(a.stats.messages_sent, b.stats.messages_sent);
+  EXPECT_EQ(a.stats.retransmits, b.stats.retransmits);
+  EXPECT_EQ(a.stats.mass_reclaims, b.stats.mass_reclaims);
+  ASSERT_EQ(a.probe_view.size(), b.probe_view.size());
+  EXPECT_EQ(std::memcmp(a.probe_view.data(), b.probe_view.data(),
+                        a.probe_view.size() * sizeof(double)),
+            0);
+}
+
+TEST(ChaosScenarios, AckModeCountersReconcileWithNetwork) {
+  const ChaosOutcome chaos = run_chaos(true);
+  // AsyncGossip is the network's only user, so after drain its counters
+  // must add up to the network's own TrafficStats.
+  EXPECT_EQ(chaos.stats.messages_sent + chaos.stats.acks_sent,
+            chaos.net_stats.messages_sent);
+  EXPECT_EQ(chaos.stats.messages_dropped + chaos.stats.acks_dropped,
+            chaos.net_stats.messages_dropped);
+  EXPECT_EQ(chaos.net_stats.messages_sent,
+            chaos.net_stats.messages_delivered + chaos.net_stats.messages_dropped);
+  EXPECT_GT(chaos.stats.messages_dropped, 0u);  // the partition did bite
+  EXPECT_GT(chaos.stats.retransmits, 0u);
+  EXPECT_GT(chaos.stats.suspicions, 0u);
+}
+
+TEST(ChaosScenarios, LegacyCountersReconcileWithNetwork) {
+  // Fire-and-forget mode, lossy network, plus an unannounced mid-run crash:
+  // every data copy the protocol hands to the network must show up as
+  // exactly one delivered or one dropped message — including in-flight
+  // drops, which messages_dropped used to undercount.
+  const std::size_t n = 20;
+  sim::Scheduler sched;
+  net::NetworkConfig ncfg;
+  ncfg.base_latency = 0.2;
+  ncfg.jitter = 0.1;
+  ncfg.loss_probability = 0.15;
+  net::Network network(sched, n, ncfg, Rng(31));
+  PushSumConfig cfg;
+  cfg.epsilon = 1e-6;
+  cfg.stable_rounds = 3;
+  AsyncGossip gossip(sched, network, cfg, AsyncGossip::Timing{});
+
+  fault::FaultPlan plan;
+  plan.crash(3.0, 4);  // no notify_crash: the node silently disappears
+  fault::FaultInjector injector(sched, network, plan);
+  injector.arm();
+
+  const auto s = make_matrix(n, 8);
+  const std::vector<double> v(n, 1.0 / static_cast<double>(n));
+  gossip.initialize(s, v);
+  Rng rng(9);
+  gossip.run(rng);
+  sched.run_until();
+
+  const auto& gs = gossip.stats();
+  const auto& ns = network.stats();
+  EXPECT_EQ(gs.acks_sent, 0u);
+  EXPECT_EQ(gs.messages_sent, ns.messages_sent);
+  EXPECT_EQ(gs.messages_dropped, ns.messages_dropped);
+  EXPECT_EQ(ns.messages_sent, ns.messages_delivered + ns.messages_dropped);
+  EXPECT_GT(gs.messages_dropped, 0u);
+  // Loss destroys x and w together; with in-flight drops ledgered the
+  // identity closes even though nobody repaired anything.
+  EXPECT_LT(gossip.mass_invariant_gap(), 1e-9);
+}
+
+TEST(ChaosScenarios, CrashWithInFlightMessagesKeepsLedgerExact) {
+  // Node goes down (with a proper crash notification) while messages are
+  // still in flight to and from it: the in-flight ledger must transfer to
+  // the destroyed ledger, never leak.
+  const std::size_t n = 8;
+  sim::Scheduler sched;
+  net::NetworkConfig ncfg;
+  ncfg.base_latency = 0.5;  // long latency: plenty of mass in flight
+  net::Network network(sched, n, ncfg, Rng(41));
+  PushSumConfig cfg;
+  cfg.epsilon = 1e-6;
+  cfg.stable_rounds = 3;
+  AsyncGossip::Timing timing;
+  timing.min_time = 4.0;
+  AsyncGossip gossip(sched, network, cfg, timing);
+
+  fault::FaultPlan plan;
+  plan.crash(2.25, 3);  // mid-flight for several latency windows
+  fault::FaultInjector injector(sched, network, plan);
+  injector.on_crash([&](fault::NodeId v) { gossip.notify_crash(v); });
+  injector.arm();
+
+  const auto s = make_matrix(n, 12);
+  const std::vector<double> v(n, 1.0 / static_cast<double>(n));
+  gossip.initialize(s, v);
+  Rng rng(13);
+  gossip.run(rng);
+  sched.run_until();
+
+  double destroyed = 0.0;
+  for (net::NodeId j = 0; j < n; ++j)
+    destroyed += gossip.mass_account(j).destroyed_x;
+  EXPECT_GT(destroyed, 0.0);  // the crashed row held real mass
+  EXPECT_EQ(gossip.stats().crashes, 1u);
+  EXPECT_LT(gossip.mass_invariant_gap(), 1e-12);
+}
+
+TEST(ChaosScenarios, EstimateIsNaNBelowWeightFloor) {
+  const std::size_t n = 4;
+  sim::Scheduler sched;
+  net::Network network(sched, n, net::NetworkConfig{}, Rng(51));
+  AsyncGossip gossip(sched, network, PushSumConfig{}, AsyncGossip::Timing{});
+  const auto s = make_matrix(n, 14);
+  const std::vector<double> v(n, 0.25);
+  gossip.initialize(s, v);
+  // Before any exchange node 0 only holds weight for its own component.
+  EXPECT_FALSE(std::isnan(gossip.estimate(0, 0)));
+  EXPECT_TRUE(std::isnan(gossip.estimate(0, 1)));
+  // node_view maps the undefined components to 0 instead of NaN.
+  const auto view = gossip.node_view(0);
+  EXPECT_EQ(view[1], 0.0);
+}
+
+TEST(ChaosScenarios, ResidentMassRestoredByEpochRepair) {
+  // Pure ledger arithmetic, no event loop: a crash destroys the victim's
+  // resident mass; the epoch restart re-seeds the survivors so that the
+  // available mass equals the live-membership expectation again.
+  const std::size_t n = 10;
+  sim::Scheduler sched;
+  net::Network network(sched, n, net::NetworkConfig{}, Rng(61));
+  AsyncGossip gossip(sched, network, PushSumConfig{}, AsyncGossip::Timing{},
+                     chaos_reliability(/*repair=*/true));
+  const auto s = make_matrix(n, 16);
+  const std::vector<double> v(n, 1.0 / static_cast<double>(n));
+  gossip.initialize(s, v);
+
+  double before = 0.0;
+  for (net::NodeId j = 0; j < n; ++j) before += gossip.resident_x_mass(j);
+
+  network.set_node_up(2, false);
+  gossip.notify_crash(2);
+  EXPECT_EQ(gossip.epoch(), 1u);
+
+  double after = 0.0, expected_total = 0.0;
+  const auto expected = gossip.expected_live_x_mass();
+  for (net::NodeId j = 0; j < n; ++j) {
+    after += gossip.resident_x_mass(j);
+    expected_total += expected[j];
+    EXPECT_NEAR(gossip.available_x_mass(j), expected[j], 1e-12);
+  }
+  EXPECT_LT(after, before);  // node 2's trust row left the aggregate
+  EXPECT_NEAR(after, expected_total, 1e-12);
+  EXPECT_LT(gossip.mass_invariant_gap(), 1e-12);
+
+  // Rejoin: the node comes back blank and the epoch restarts again, so its
+  // row re-enters the expectation.
+  network.set_node_up(2, true);
+  gossip.notify_recover(2);
+  EXPECT_EQ(gossip.epoch(), 2u);
+  const auto expected2 = gossip.expected_live_x_mass();
+  for (net::NodeId j = 0; j < n; ++j)
+    EXPECT_NEAR(gossip.available_x_mass(j), expected2[j], 1e-12);
+  EXPECT_LT(gossip.mass_invariant_gap(), 1e-12);
+}
+
+TEST(ChaosScenarios, SuspicionRaisedAndCleared) {
+  // A two-node network where the peer dies: the survivor's retries exhaust,
+  // mass is reclaimed (never destroyed), and the peer becomes suspected;
+  // after the TTL the suspicion expires.
+  const std::size_t n = 2;
+  sim::Scheduler sched;
+  net::NetworkConfig ncfg;
+  ncfg.base_latency = 0.1;
+  net::Network network(sched, n, ncfg, Rng(71));
+  PushSumConfig cfg;
+  auto rel = chaos_reliability(false);
+  rel.ack_timeout = 0.5;
+  rel.max_timeout = 1.0;
+  rel.max_retries = 1;
+  rel.suspicion_threshold = 1;
+  rel.suspicion_ttl = 5.0;
+  AsyncGossip::Timing timing;
+  timing.timeout = 4.0;
+  AsyncGossip gossip(sched, network, cfg, timing, rel);
+  trust::SparseMatrix::Builder b(n);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 1.0);
+  const auto s = std::move(b).build();
+  const std::vector<double> v(n, 0.5);
+  gossip.initialize(s, v);
+
+  network.set_node_up(1, false);
+  Rng rng(19);
+  gossip.run(rng);
+  EXPECT_GT(gossip.stats().mass_reclaims, 0u);
+  EXPECT_GT(gossip.stats().suspicions, 0u);
+  EXPECT_TRUE(gossip.is_suspected(0, 1));
+  EXPECT_LT(gossip.mass_invariant_gap(), 1e-12);
+  // Nothing was destroyed: reclaim keeps the mass on the sender.
+  EXPECT_EQ(gossip.mass_account(0).destroyed_x, 0.0);
+
+  sched.run_until();  // suspicion TTL expires during the drain
+  EXPECT_FALSE(gossip.is_suspected(0, 1));
+}
+
+}  // namespace
+}  // namespace gt::gossip

@@ -1,0 +1,179 @@
+#include "fault/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/event_log.hpp"
+
+namespace gt::fault {
+namespace {
+
+struct Fixture {
+  sim::Scheduler sched;
+  net::NetworkConfig cfg;
+  Fixture() { cfg.base_latency = 0.5; }
+  net::Network make(std::size_t n) { return net::Network(sched, n, cfg, Rng(1)); }
+};
+
+TEST(FaultInjector, AppliesEveryFaultKindToTheNetwork) {
+  Fixture f;
+  f.cfg.loss_probability = 0.05;  // baseline a loss burst must restore
+  auto net = f.make(4);
+  FaultPlan plan;
+  plan.crash(1.0, 2)
+      .recover(2.0, 2)
+      .fail_link(3.0, 0, 1)
+      .heal_link(4.0, 0, 1)
+      .bisect(5.0, 6.0, 4, 2)
+      .loss_burst(7.0, 8.0, 0.9)
+      .duplication_burst(9.0, 10.0, 0.4)
+      .corruption_burst(11.0, 12.0, 0.3);
+  FaultInjector inj(f.sched, net, plan);
+  inj.arm();
+
+  f.sched.run_until(1.5);
+  EXPECT_FALSE(net.is_node_up(2));
+  f.sched.run_until(2.5);
+  EXPECT_TRUE(net.is_node_up(2));
+  f.sched.run_until(3.5);
+  EXPECT_TRUE(net.link_failed(0, 1));
+  f.sched.run_until(4.5);
+  EXPECT_FALSE(net.link_failed(0, 1));
+  f.sched.run_until(5.5);
+  EXPECT_TRUE(net.partitioned());
+  EXPECT_TRUE(net.cross_partition(0, 3));
+  EXPECT_FALSE(net.cross_partition(0, 1));
+  f.sched.run_until(6.5);
+  EXPECT_FALSE(net.partitioned());
+  f.sched.run_until(7.5);
+  EXPECT_DOUBLE_EQ(net.config().loss_probability, 0.9);
+  f.sched.run_until(8.5);
+  EXPECT_DOUBLE_EQ(net.config().loss_probability, 0.05);  // baseline restored
+  f.sched.run_until(9.5);
+  EXPECT_DOUBLE_EQ(net.config().duplicate_probability, 0.4);
+  f.sched.run_until(10.5);
+  EXPECT_DOUBLE_EQ(net.config().duplicate_probability, 0.0);
+  f.sched.run_until(11.5);
+  EXPECT_DOUBLE_EQ(net.config().corrupt_probability, 0.3);
+  f.sched.run_until();
+  EXPECT_DOUBLE_EQ(net.config().corrupt_probability, 0.0);
+
+  EXPECT_EQ(inj.faults_executed(), plan.size());
+  EXPECT_EQ(inj.faults_pending(), 0u);
+}
+
+TEST(FaultInjector, HooksFireAfterNetworkStateChange) {
+  Fixture f;
+  auto net = f.make(3);
+  FaultPlan plan;
+  plan.crash(1.0, 1).recover(2.0, 1);
+  FaultInjector inj(f.sched, net, plan);
+
+  std::vector<std::string> calls;
+  inj.on_crash([&](NodeId v) {
+    // The network must already reflect the crash when the hook runs.
+    EXPECT_FALSE(net.is_node_up(v));
+    calls.push_back("crash:" + std::to_string(v));
+  });
+  inj.on_recover([&](NodeId v) {
+    EXPECT_TRUE(net.is_node_up(v));
+    calls.push_back("recover:" + std::to_string(v));
+  });
+  inj.arm();
+  f.sched.run_until();
+  ASSERT_EQ(calls.size(), 2u);
+  EXPECT_EQ(calls[0], "crash:1");
+  EXPECT_EQ(calls[1], "recover:1");
+}
+
+TEST(FaultInjector, LogTextIsByteIdenticalAcrossRuns) {
+  auto run_once = [] {
+    sim::Scheduler sched;
+    net::NetworkConfig cfg;
+    net::Network net(sched, 10, cfg, Rng(3));
+    FaultPlan plan;
+    plan.crash_fraction(5.0, 10, 2, 99).bisect(8.0, 12.0, 10, 5).loss_burst(
+        9.0, 11.0, 0.33);
+    FaultInjector inj(sched, net, plan);
+    inj.arm();
+    sched.run_until();
+    return inj.log_text();
+  };
+  const std::string a = run_once();
+  const std::string b = run_once();
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("#0 "), std::string::npos);
+}
+
+TEST(FaultInjector, EmitsOneFaultRecordPerExecutedFault) {
+  Fixture f;
+  auto net = f.make(4);
+  const std::string path = testing::TempDir() + "gt_fault_events.jsonl";
+  telemetry::EventLogConfig lcfg;
+  lcfg.path = path;
+  telemetry::EventLog log(lcfg);
+  ASSERT_TRUE(log.enabled());
+
+  FaultPlan plan;
+  plan.crash(1.0, 0).bisect(2.0, 3.0, 4, 2).corruption_burst(4.0, 5.0, 0.5);
+  FaultInjector inj(f.sched, net, plan);
+  inj.set_event_log(&log);
+  inj.arm();
+  f.sched.run_until();
+  log.flush();
+
+  std::ifstream in(path);
+  std::string line;
+  std::size_t fault_records = 0;
+  bool saw_kind = false;
+  while (std::getline(in, line)) {
+    if (line.find("\"event\":\"fault\"") != std::string::npos) ++fault_records;
+    if (line.find("\"kind\":\"partition_start\"") != std::string::npos)
+      saw_kind = true;
+  }
+  EXPECT_EQ(fault_records, plan.size());
+  EXPECT_TRUE(saw_kind);
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjector, PastFaultsFireAtTheNextStep) {
+  Fixture f;
+  auto net = f.make(2);
+  f.sched.schedule_at(10.0, [] {});
+  f.sched.run_until();  // now == 10
+  FaultPlan plan;
+  plan.crash(1.0, 0);  // already in the past
+  FaultInjector inj(f.sched, net, plan);
+  inj.arm();
+  f.sched.run_until();
+  EXPECT_FALSE(net.is_node_up(0));
+  EXPECT_EQ(inj.faults_executed(), 1u);
+}
+
+using FaultInjectorDeathTest = Fixture;
+
+TEST(FaultInjectorDeathTest, InvalidPlanAbortsLoudly) {
+  Fixture f;
+  auto net = f.make(2);
+  FaultPlan bad;
+  bad.crash(1.0, 5);  // node out of range for n=2
+  EXPECT_DEATH(FaultInjector(f.sched, net, bad), "invalid plan");
+}
+
+TEST(FaultInjectorDeathTest, DoubleArmAbortsLoudly) {
+  Fixture f;
+  auto net = f.make(2);
+  FaultPlan plan;
+  plan.crash(1.0, 0);
+  FaultInjector inj(f.sched, net, plan);
+  inj.arm();
+  EXPECT_DEATH(inj.arm(), "arm\\(\\) called twice");
+}
+
+}  // namespace
+}  // namespace gt::fault

@@ -1,0 +1,145 @@
+#include "fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace gt::fault {
+namespace {
+
+TEST(FaultPlan, BuildersChainAndSortByTime) {
+  FaultPlan plan;
+  plan.crash(7.0, 2).recover(9.0, 2).fail_link(1.0, 0, 1).heal_link(3.0, 0, 1);
+  const auto& fs = plan.faults();
+  ASSERT_EQ(fs.size(), 4u);
+  EXPECT_DOUBLE_EQ(fs[0].time, 1.0);
+  EXPECT_EQ(fs[0].kind, FaultKind::kLinkFail);
+  EXPECT_DOUBLE_EQ(fs[1].time, 3.0);
+  EXPECT_DOUBLE_EQ(fs[2].time, 7.0);
+  EXPECT_EQ(fs[3].kind, FaultKind::kNodeRecover);
+  EXPECT_DOUBLE_EQ(plan.end_time(), 9.0);
+}
+
+TEST(FaultPlan, SortIsStableForSimultaneousFaults) {
+  FaultPlan plan;
+  plan.crash(5.0, 0).crash(5.0, 1).crash(5.0, 2).crash(1.0, 3);
+  const auto& fs = plan.faults();
+  ASSERT_EQ(fs.size(), 4u);
+  EXPECT_EQ(fs[0].a, 3u);
+  // Insertion order preserved among the t=5 trio.
+  EXPECT_EQ(fs[1].a, 0u);
+  EXPECT_EQ(fs[2].a, 1u);
+  EXPECT_EQ(fs[3].a, 2u);
+}
+
+TEST(FaultPlan, BisectBuildsTwoContiguousGroups) {
+  FaultPlan plan;
+  plan.bisect(10.0, 20.0, 6, 4);
+  const auto& fs = plan.faults();
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_EQ(fs[0].kind, FaultKind::kPartitionStart);
+  EXPECT_EQ(fs[0].groups, (std::vector<int>{0, 0, 0, 0, 1, 1}));
+  EXPECT_EQ(fs[1].kind, FaultKind::kPartitionEnd);
+}
+
+TEST(FaultPlan, ValidateCatchesEveryProblemClass) {
+  const std::size_t n = 8;
+  EXPECT_TRUE(FaultPlan{}.validate(n).empty());
+
+  FaultPlan good;
+  good.crash(1.0, 7).fail_link(2.0, 0, 7).bisect(3.0, 4.0, n, 4).loss_burst(
+      5.0, 6.0, 0.5);
+  EXPECT_TRUE(good.validate(n).empty());
+
+  FaultPlan bad_node;
+  bad_node.crash(1.0, 8);
+  EXPECT_NE(bad_node.validate(n).find("out of range"), std::string::npos);
+
+  FaultPlan bad_link;
+  bad_link.fail_link(1.0, 0, 9);
+  EXPECT_FALSE(bad_link.validate(n).empty());
+
+  FaultPlan bad_groups;
+  bad_groups.partition(1.0, 2.0, std::vector<int>{0, 1});
+  EXPECT_NE(bad_groups.validate(n).find("group entries"), std::string::npos);
+
+  FaultPlan bad_rate;
+  bad_rate.loss_burst(1.0, 2.0, 1.5);
+  EXPECT_NE(bad_rate.validate(n).find("rate"), std::string::npos);
+
+  FaultPlan bad_time;
+  bad_time.crash(-1.0, 0);
+  EXPECT_NE(bad_time.validate(n).find("bad time"), std::string::npos);
+
+  FaultPlan nan_time;
+  nan_time.crash(std::numeric_limits<double>::quiet_NaN(), 0);
+  EXPECT_FALSE(nan_time.validate(n).empty());
+}
+
+TEST(FaultPlan, ToStringIsCanonicalAndDeterministic) {
+  auto build = [] {
+    FaultPlan plan;
+    plan.crash(5.0, 3)
+        .bisect(10.0, 60.0, 4, 2)
+        .loss_burst(20.0, 30.0, 0.25)
+        .recover(70.0, 3);
+    return plan;
+  };
+  const std::string a = build().to_string();
+  const std::string b = build().to_string();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("t=5 node_crash node=3"), std::string::npos);
+  EXPECT_NE(a.find("partition_start groups=[0,0,1,1]"), std::string::npos);
+  EXPECT_NE(a.find("loss_burst_start rate=0.25"), std::string::npos);
+}
+
+TEST(FaultPlan, CrashFractionIsSeededAndClamped) {
+  FaultPlan a, b, c;
+  a.crash_fraction(5.0, 30, 3, 42);
+  b.crash_fraction(5.0, 30, 3, 42);
+  c.crash_fraction(5.0, 30, 3, 43);
+  EXPECT_EQ(a.to_string(), b.to_string());
+  EXPECT_NE(a.to_string(), c.to_string());
+  ASSERT_EQ(a.size(), 3u);
+  for (const auto& f : a.faults()) {
+    EXPECT_EQ(f.kind, FaultKind::kNodeCrash);
+    EXPECT_LT(f.a, 30u);
+  }
+
+  FaultPlan clamped;
+  clamped.crash_fraction(1.0, 4, 100, 1);
+  EXPECT_EQ(clamped.size(), 4u);  // can't crash more nodes than exist
+}
+
+TEST(FaultPlan, RandomChurnRespectsSpecAndSeed) {
+  ChurnSpec spec;
+  spec.start = 10.0;
+  spec.end = 50.0;
+  spec.crashes = 6;
+  spec.recover_fraction = 1.0;  // every victim rejoins
+  spec.min_downtime = 5.0;
+  const auto plan = FaultPlan::random_churn(20, spec, 7);
+  EXPECT_EQ(plan.to_string(), FaultPlan::random_churn(20, spec, 7).to_string());
+  EXPECT_TRUE(plan.validate(20).empty());
+
+  std::size_t crashes = 0, recovers = 0;
+  double crash_time[20] = {};
+  for (const auto& f : plan.faults()) {
+    if (f.kind == FaultKind::kNodeCrash) {
+      ++crashes;
+      crash_time[f.a] = f.time;
+      EXPECT_GE(f.time, spec.start);
+      EXPECT_LT(f.time, spec.end);
+    } else if (f.kind == FaultKind::kNodeRecover) {
+      ++recovers;
+      EXPECT_GE(f.time, crash_time[f.a] + spec.min_downtime);
+    }
+  }
+  EXPECT_EQ(crashes, 6u);
+  EXPECT_EQ(recovers, 6u);
+
+  EXPECT_TRUE(FaultPlan::random_churn(0, spec, 7).empty());
+}
+
+}  // namespace
+}  // namespace gt::fault

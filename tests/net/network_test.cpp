@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "telemetry/event_log.hpp"
 #include "telemetry/metrics.hpp"
@@ -234,6 +235,140 @@ TEST(Network, TelemetryMirrorsStatsAndEmitsEvents) {
   EXPECT_EQ(outages, 5);  // link_failed, node_down, node_up, link_healed, link_failed
   EXPECT_EQ(drops, 1);
   std::remove(path.c_str());
+}
+
+TEST(Network, PartitionBlocksCrossGroupTraffic) {
+  Fixture f;
+  auto net = f.make(4);
+  net.set_partition({0, 0, 1, 1});
+  EXPECT_TRUE(net.partitioned());
+  EXPECT_TRUE(net.cross_partition(0, 2));
+  EXPECT_FALSE(net.cross_partition(0, 1));
+  bool within = false;
+  EXPECT_TRUE(net.send(0, 1, 10, [&] { within = true; }));  // same group
+  EXPECT_FALSE(net.send(0, 2, 10, [] {}));                  // cross-group
+  f.sched.run_until();
+  EXPECT_TRUE(within);
+  EXPECT_EQ(net.stats().messages_dropped, 1u);
+  net.clear_partition();
+  EXPECT_FALSE(net.partitioned());
+  EXPECT_TRUE(net.send(0, 2, 10, [] {}));
+}
+
+TEST(Network, PartitionOpeningMidFlightDropsWithReason) {
+  Fixture f;
+  auto net = f.make(2);
+  bool delivered = false;
+  std::string reason;
+  net.send(0, 1, 10, [&] { delivered = true; },
+           [&](const char* r) { reason = r; });
+  net.set_partition({0, 1});  // splits while the message is in flight
+  f.sched.run_until();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(reason, "partitioned_in_flight");
+  EXPECT_EQ(net.stats().messages_dropped, 1u);
+}
+
+TEST(Network, OnDropReportsInFlightReceiverDeath) {
+  Fixture f;
+  auto net = f.make(2);
+  std::string reason;
+  net.send(0, 1, 10, [] {}, [&](const char* r) { reason = r; });
+  net.set_node_up(1, false);
+  f.sched.run_until();
+  EXPECT_EQ(reason, "receiver_down_in_flight");
+}
+
+TEST(Network, DuplicationDeliversBonusCopies) {
+  Fixture f;
+  f.cfg.duplicate_probability = 1.0;
+  auto net = f.make(2);
+  int deliveries = 0;
+  net.send(0, 1, 10, [&] { ++deliveries; });
+  f.sched.run_until();
+  EXPECT_EQ(deliveries, 2);
+  const auto& s = net.stats();
+  // The duplicate never perturbs the primary invariant.
+  EXPECT_EQ(s.messages_sent, 1u);
+  EXPECT_EQ(s.messages_delivered, 1u);
+  EXPECT_EQ(s.messages_dropped, 0u);
+  EXPECT_EQ(s.messages_duplicated, 1u);
+  EXPECT_EQ(s.duplicates_delivered, 1u);
+}
+
+TEST(Network, DuplicateCopyLossIsSilent) {
+  Fixture f;
+  f.cfg.duplicate_probability = 1.0;
+  auto net = f.make(3);
+  int deliveries = 0;
+  net.send(0, 1, 10, [&] { ++deliveries; });
+  net.set_node_up(1, false);  // kills both copies in flight
+  f.sched.run_until();
+  EXPECT_EQ(deliveries, 0);
+  const auto& s = net.stats();
+  EXPECT_EQ(s.messages_dropped, 1u);  // only the primary is accounted
+  EXPECT_EQ(s.messages_duplicated, 1u);
+  EXPECT_EQ(s.duplicates_delivered, 0u);
+}
+
+TEST(Network, CorruptionDropsAtDeliveryWithReason) {
+  Fixture f;
+  f.cfg.corrupt_probability = 1.0;
+  auto net = f.make(2);
+  bool delivered = false;
+  std::string reason;
+  // Corruption is decided at send time but bites at delivery: the send
+  // itself succeeds (the bytes do travel).
+  EXPECT_TRUE(net.send(0, 1, 10, [&] { delivered = true; },
+                       [&](const char* r) { reason = r; }));
+  f.sched.run_until();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(reason, "corrupted");
+  EXPECT_EQ(net.stats().messages_corrupted, 1u);
+  EXPECT_EQ(net.stats().messages_dropped, 1u);
+}
+
+TEST(Network, ZeroProbabilityKnobsPreserveRngStream) {
+  // New fault knobs at probability 0 must not consume randomness, so
+  // legacy runs keep their exact delivery schedules.
+  Fixture f;
+  f.cfg.jitter = 1.0;
+  auto baseline = f.make(2);
+  std::vector<double> times_a;
+  for (int i = 0; i < 50; ++i)
+    baseline.send(0, 1, 1, [&] { times_a.push_back(f.sched.now()); });
+  f.sched.run_until();
+
+  Fixture g;
+  g.cfg.jitter = 1.0;
+  g.cfg.duplicate_probability = 0.0;
+  g.cfg.corrupt_probability = 0.0;
+  auto knobs = g.make(2);
+  std::vector<double> times_b;
+  for (int i = 0; i < 50; ++i)
+    knobs.send(0, 1, 1, [&] { times_b.push_back(g.sched.now()); });
+  g.sched.run_until();
+  EXPECT_EQ(times_a, times_b);
+}
+
+using NetworkDeathTest = Fixture;
+
+TEST(NetworkDeathTest, OutOfRangeNodeAbortsLoudly) {
+  // Bounds violations abort in every build type (same convention as
+  // Rng::next_below(0)) instead of silently indexing out of range when
+  // NDEBUG strips assert().
+  Fixture f;
+  auto net = f.make(2);
+  EXPECT_DEATH(net.send(0, 5, 1, [] {}), "out of range");
+  EXPECT_DEATH(net.send(7, 0, 1, [] {}), "out of range");
+  EXPECT_DEATH(net.set_node_up(2, false), "out of range");
+  EXPECT_DEATH(net.is_node_up(9), "out of range");
+}
+
+TEST(NetworkDeathTest, PartitionSizeMismatchAbortsLoudly) {
+  Fixture f;
+  auto net = f.make(3);
+  EXPECT_DEATH(net.set_partition({0, 1}), "group entries");
 }
 
 TEST(Network, JitterBoundsDeliveryTime) {
