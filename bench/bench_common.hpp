@@ -9,6 +9,9 @@
 //   GT_TELEMETRY=path -> write a JSONL event log next to the table output
 //                        (equivalent: --telemetry <path> on the command line;
 //                        fold it into tables with scripts/report.py)
+//   GT_TRACE=path     -> record a binary causal trace (equivalent: --trace
+//                        <path>; inspect with tools/trace_analyze, export to
+//                        Perfetto with its --perfetto flag)
 #pragma once
 
 #include <cstdio>
@@ -25,6 +28,7 @@
 #include "common/table.hpp"
 #include "core/engine.hpp"
 #include "telemetry/event_log.hpp"
+#include "trace/trace.hpp"
 #include "threat/models.hpp"
 #include "trust/feedback.hpp"
 #include "trust/generator.hpp"
@@ -81,42 +85,67 @@ inline std::unique_ptr<telemetry::EventLog>& event_log_storage() {
   static std::unique_ptr<telemetry::EventLog> log;
   return log;
 }
+// Declared after the event-log storage so static destruction runs the
+// trace sink first: its finish() may still mirror nothing, but keeping the
+// log alive across the sink's teardown makes the ordering obviously safe.
+inline std::unique_ptr<trace::TraceSink>& trace_sink_storage() {
+  static std::unique_ptr<trace::TraceSink> sink;
+  return sink;
+}
 }  // namespace detail
 
 /// The bench-wide JSONL event log; null until telemetry_init() enables it.
 inline telemetry::EventLog* event_log() { return detail::event_log_storage().get(); }
 
+/// The bench-wide binary trace sink; null until telemetry_init() enables it.
+inline trace::TraceSink* trace_sink() { return detail::trace_sink_storage().get(); }
+
 /// Enables the JSONL event log when `--telemetry <path>` was passed or
-/// GT_TELEMETRY is set (the flag wins). Call once at the top of main with
-/// the bench's name; returns the log (null = disabled). The log flushes
-/// and closes at process exit.
+/// GT_TELEMETRY is set, and the binary causal trace when `--trace <path>`
+/// or GT_TRACE is set (flags win). Call once at the top of main with the
+/// bench's name; returns the log (null = disabled). Both sinks flush and
+/// close at process exit; when both are enabled, trace records are also
+/// mirrored into the JSONL log as `trace`/`probe` records.
 inline telemetry::EventLog* telemetry_init(const char* bench_name, int argc,
                                            char** argv) {
   std::string path = env_string("GT_TELEMETRY", "");
+  std::string trace_path = env_string("GT_TRACE", "");
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--telemetry") == 0) path = argv[i + 1];
+    if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
   }
-  if (path.empty()) return nullptr;
-  telemetry::EventLogConfig cfg;
-  cfg.path = path;
   auto& log = detail::event_log_storage();
-  log = std::make_unique<telemetry::EventLog>(cfg);
-  if (!log->enabled()) {
-    log.reset();
-    return nullptr;
+  if (!path.empty()) {
+    telemetry::EventLogConfig cfg;
+    cfg.path = path;
+    log = std::make_unique<telemetry::EventLog>(cfg);
+    if (!log->enabled()) {
+      log.reset();
+    } else {
+      log->set_context("bench", std::string(bench_name));
+      log->set_context("threads", static_cast<std::uint64_t>(gossip_threads()));
+      log->set_context("seed", base_seed());
+      std::printf("[telemetry -> %s]\n", path.c_str());
+    }
   }
-  log->set_context("bench", std::string(bench_name));
-  log->set_context("threads", static_cast<std::uint64_t>(gossip_threads()));
-  log->set_context("seed", base_seed());
-  std::printf("[telemetry -> %s]\n", path.c_str());
+  if (!trace_path.empty()) {
+    trace::TraceConfig tcfg;
+    tcfg.path = trace_path;
+    auto& sink = detail::trace_sink_storage();
+    sink = std::make_unique<trace::TraceSink>(tcfg);
+    if (log) sink->set_event_log(log.get());
+    std::printf("[trace -> %s]\n", trace_path.c_str());
+  }
   return log.get();
 }
 
-/// Wires the bench event log into an engine (no-op when disabled). Sampled
-/// gossip-step records default to every 16th step to bound log volume.
+/// Wires the bench event log and trace sink into an engine (no-op when
+/// disabled). Sampled gossip-step records default to every 16th step to
+/// bound log volume.
 inline void attach_engine(core::GossipTrustEngine& engine,
                           std::size_t step_sample_every = 16) {
   if (auto* log = event_log()) engine.set_event_log(log, step_sample_every);
+  if (auto* sink = trace_sink()) engine.set_trace(sink);
 }
 
 /// Seeds for one data point.

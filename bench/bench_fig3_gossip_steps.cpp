@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
         cfg.num_threads = bench::gossip_threads();
         gossip::VectorGossip vg(n, cfg);
         if (telemetry != nullptr) vg.set_event_log(telemetry, 16);
+        if (auto* sink = bench::trace_sink()) vg.set_trace(sink);
         const std::vector<double> v(n, 1.0 / static_cast<double>(n));
         vg.initialize(workload.honest, v);
         Rng rng(seed ^ 0xf16f3);

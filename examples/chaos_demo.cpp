@@ -5,7 +5,11 @@
 // for 50 sim-time units, and heals it — with every fault, network drop and
 // outage logged to a telemetry JSONL file (CI uploads it as an artifact).
 //
-//   $ ./chaos_demo [n] [events.jsonl]
+//   $ ./chaos_demo [n] [events.jsonl] [trace.bin]
+//
+// The optional third argument records a binary causal trace of the run
+// (message spans, retransmission chains, fault markers, mass probes);
+// inspect it with tools/trace_analyze or export it to Perfetto.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -14,6 +18,7 @@
 #include "fault/fault_injector.hpp"
 #include "gossip/async_gossip.hpp"
 #include "telemetry/event_log.hpp"
+#include "trace/trace.hpp"
 #include "trust/feedback.hpp"
 #include "trust/generator.hpp"
 
@@ -22,6 +27,7 @@ using namespace gt;
 int main(int argc, char** argv) {
   const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 50;
   const char* log_path = argc > 2 ? argv[2] : "chaos_events.jsonl";
+  const char* trace_path = argc > 3 ? argv[3] : "";
 
   // Trust workload.
   Rng rng(31);
@@ -46,6 +52,14 @@ int main(int argc, char** argv) {
   telemetry::EventLog events(lcfg);
   network.attach_telemetry(nullptr, &events);
 
+  trace::TraceConfig tcfg;
+  tcfg.path = trace_path;
+  trace::TraceSink trace_sink(tcfg);
+  if (trace_sink.enabled()) {
+    trace_sink.set_event_log(&events);
+    network.attach_trace(&trace_sink);
+  }
+
   // The acceptance scenario: crash 10% at t=5, partition [10, 60), heal.
   fault::FaultPlan plan;
   plan.crash_fraction(5.0, n, n / 10, 0xc0ffee);
@@ -65,8 +79,10 @@ int main(int argc, char** argv) {
   rel.repair_on_crash = true;
 
   gossip::AsyncGossip gossip(scheduler, network, cfg, timing, rel);
+  if (trace_sink.enabled()) gossip.set_trace(&trace_sink);
   fault::FaultInjector injector(scheduler, network, plan);
   injector.set_event_log(&events);
+  if (trace_sink.enabled()) injector.set_trace(&trace_sink);
   injector.on_crash([&](fault::NodeId node) { gossip.notify_crash(node); });
   injector.on_recover([&](fault::NodeId node) { gossip.notify_recover(node); });
   injector.arm();
@@ -79,6 +95,11 @@ int main(int argc, char** argv) {
   gossip.run(grng);
   scheduler.run_until();  // drain retries, acks, suspicion expiries
   const auto& res = gossip.stats();
+  if (trace_sink.enabled()) {
+    trace_sink.finish();
+    std::printf("trace -> %s (%llu records emitted)\n", trace_path,
+                static_cast<unsigned long long>(trace_sink.records_emitted()));
+  }
   events.flush();
 
   std::printf("\nfaults executed (%zu):\n%s", injector.faults_executed(),

@@ -9,10 +9,19 @@ log and summarizes it per event type:
     python3 scripts/report.py run.jsonl --check          # validate only
     python3 scripts/report.py run.jsonl --group n,epsilon
     python3 scripts/report.py run.jsonl --event cycle --group n,epsilon
+    python3 scripts/report.py run.jsonl --trace          # flight recorder
+    python3 scripts/report.py out.json --perfetto-check  # trace JSON gate
 
 With --group, numeric fields of the selected event type are aggregated
 per group key; e.g. grouping `cycle` records by (n, epsilon) reproduces
 the Figure 3 table (mean gossip_steps per cell) from the log alone.
+
+Mirrored causal-trace records (`trace` / `probe`, written when a bench
+runs with both --telemetry and --trace) get extra validation: --check
+enforces their schemas and per-trace-id sim-time monotonicity, and
+--trace summarizes retransmission chains, drops by reason, fault
+markers, and the convergence probe series.  --perfetto-check validates
+an exported Chrome trace-event JSON instead of a JSONL log.
 
 Exit status: 0 on success, 1 on any invalid line or I/O error (so CI can
 use `report.py log --check` as a schema gate).  No third-party deps.
@@ -25,12 +34,54 @@ import sys
 from collections import OrderedDict
 
 
+# Span kinds the C++ TraceSink mirrors into the JSONL log (kProbe records
+# become consolidated `probe` records instead).
+TRACE_KINDS = frozenset({
+    "cycle", "gossip_step", "phase",
+    "msg_send", "msg_deliver", "msg_drop",
+    "ack_send", "ack_deliver", "ack_drop",
+    "retransmit", "reclaim", "suspicion", "epoch_restart", "fault",
+})
+
+
+def _is_id(v):
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def validate_trace_fields(obj):
+    """Schema check for a mirrored `trace` record; returns an error or None."""
+    if not isinstance(obj.get("sim_time"), (int, float)):
+        return "trace record: missing/invalid 'sim_time'"
+    kind = obj.get("kind")
+    if not isinstance(kind, str):
+        return "trace record: missing/invalid 'kind'"
+    if kind not in TRACE_KINDS:
+        return f"trace record: unknown kind '{kind}'"
+    for key in ("trace_id", "span_id", "parent_id"):
+        if not _is_id(obj.get(key)):
+            return f"trace record: missing/invalid '{key}'"
+    return None
+
+
+def validate_probe_fields(obj):
+    """Schema check for a flight-recorder `probe` record."""
+    for key in ("sim_time", "weight", "mass_residual", "delta_v"):
+        if not isinstance(obj.get(key), (int, float)):
+            return f"probe record: missing/invalid '{key}'"
+    for key in ("trace_id", "series", "node"):
+        if not _is_id(obj.get(key)):
+            return f"probe record: missing/invalid '{key}'"
+    return None
+
+
 def load(path):
     """Parses a JSONL file; returns (records, errors).
 
     Each record must be a JSON object with an `event` string, a numeric
     `ts`, and a non-negative integer `seq`.  Blank lines are invalid: the
     writer never emits them, so one indicates truncation or corruption.
+    Mirrored causal-trace records (`trace` / `probe`) additionally get
+    their type-specific schemas enforced.
     """
     records, errors = [], []
     try:
@@ -58,8 +109,39 @@ def load(path):
             if not isinstance(seq, int) or seq < 0:
                 errors.append(f"line {lineno}: missing/invalid 'seq'")
                 continue
+            schema_error = None
+            if obj["event"] == "trace":
+                schema_error = validate_trace_fields(obj)
+            elif obj["event"] == "probe":
+                schema_error = validate_probe_fields(obj)
+            if schema_error:
+                errors.append(f"line {lineno}: {schema_error}")
+                continue
             records.append(obj)
     return records, errors
+
+
+def check_trace_monotonic(records):
+    """Sim-time monotonicity within each trace id.
+
+    Trace records are mirrored when a span *completes*, stamped with the
+    span's end time, so within one causal tree the mirrored sim_time
+    stream must be non-decreasing.  A violation means the sink emitted
+    out of causal order — a tracing bug worth failing CI over.
+    """
+    errors = []
+    last = {}
+    for r in records:
+        if r["event"] != "trace":
+            continue
+        tid, t = r["trace_id"], r["sim_time"]
+        prev = last.get(tid)
+        if prev is not None and t < prev:
+            errors.append(
+                f"trace id {tid}: sim_time went backwards "
+                f"({fmt(prev)} -> {fmt(t)} at kind '{r['kind']}')")
+        last[tid] = t
+    return errors
 
 
 def is_number(v):
@@ -166,9 +248,129 @@ def summarize_grouped(records, event, group_keys):
     return True
 
 
+def summarize_trace(records):
+    """Flight-recorder view of the mirrored `trace` / `probe` records."""
+    traces = [r for r in records if r["event"] == "trace"]
+    probes = [r for r in records if r["event"] == "probe"]
+    if not traces and not probes:
+        print("no trace/probe records in log (run the bench with both "
+              "--telemetry and --trace)", file=sys.stderr)
+        return False
+
+    by_kind = OrderedDict()
+    for r in traces:
+        by_kind.setdefault(r["kind"], []).append(r)
+    print(f"\n== causal trace: {len(traces)} spans, {len(probes)} probes ==")
+    if by_kind:
+        print_table(["kind", "count"],
+                    [[k, str(len(v))] for k, v in by_kind.items()])
+
+    drops = [r for r in traces if r["kind"] in ("msg_drop", "ack_drop")]
+    if drops:
+        by_reason = OrderedDict()
+        for r in drops:
+            by_reason.setdefault(r.get("reason", "unknown"), []).append(r)
+        print(f"\ndrops by reason ({len(drops)} total):")
+        print_table(["reason", "count"],
+                    [[k, str(len(v))] for k, v in by_reason.items()])
+
+    retrans = by_kind.get("retransmit", [])
+    if retrans:
+        chains = OrderedDict()
+        for r in retrans:
+            chains.setdefault(r["trace_id"], []).append(r)
+        rows = []
+        for tid, rs in sorted(chains.items(),
+                              key=lambda kv: -len(kv[1]))[:10]:
+            rows.append([str(tid), str(len(rs)),
+                         fmt(rs[0].get("node", -1)),
+                         fmt(rs[0].get("peer", -1)),
+                         fmt(min(r["sim_time"] for r in rs)),
+                         fmt(max(r["sim_time"] for r in rs))])
+        print(f"\nretransmission chains ({len(chains)} trace ids, "
+              "longest first):")
+        print_table(["trace_id", "retries", "from", "to", "t_first", "t_last"],
+                    rows)
+
+    faults = by_kind.get("fault", [])
+    if faults:
+        print(f"\nfault markers ({len(faults)}):")
+        rows = [[fmt(r["sim_time"]), fmt(r.get("flags", -1)),
+                 fmt(r.get("node", -1)), fmt(r.get("value", 0))]
+                for r in faults]
+        print_table(["sim_time", "kind_code", "node", "rate"], rows)
+
+    if probes:
+        series = OrderedDict()
+        for r in probes:
+            series.setdefault(r["series"], []).append(r)
+        rows = []
+        for sid, rs in series.items():
+            dv = [abs(r["delta_v"]) for r in rs]
+            res = [abs(r["mass_residual"]) for r in rs]
+            rows.append([str(sid), str(len(rs)),
+                         fmt(sum(dv) / len(dv)), fmt(max(dv)),
+                         fmt(max(res))])
+        print(f"\nconvergence probe series ({len(series)} sweeps):")
+        print_table(
+            ["sweep", "nodes", "mean|dV|", "max|dV|", "max|residual|"], rows)
+    return True
+
+
+# Event phases the exporter emits: complete spans, flow start/finish,
+# instants, counters, metadata (B/E tolerated for hand-edited files).
+PERFETTO_PHASES = frozenset({"X", "s", "f", "i", "C", "M", "B", "E"})
+
+
+def perfetto_check(path):
+    """Validates an exported Chrome trace-event JSON file."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {path}: {e}", file=sys.stderr)
+        return 1
+    errors = []
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"),
+                                                   list):
+        errors.append("top level must be an object with a 'traceEvents' list")
+        events = []
+    else:
+        events = doc["traceEvents"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in PERFETTO_PHASES:
+            errors.append(f"{where}: missing/unknown ph {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str):
+            errors.append(f"{where}: missing 'name'")
+        if ph != "M" and not isinstance(ev.get("ts"), (int, float)):
+            errors.append(f"{where}: missing numeric 'ts'")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: 'X' event needs dur >= 0")
+        if ph in ("s", "f") and "id" not in ev:
+            errors.append(f"{where}: flow event needs an 'id'")
+        if len(errors) >= 20:
+            errors.append("... (stopping after 20 errors)")
+            break
+    for e in errors:
+        print(f"error: {e}", file=sys.stderr)
+    verdict = "OK" if not errors else "INVALID"
+    print(f"{path}: {verdict} ({len(events)} trace events, "
+          f"{len(errors)} errors)")
+    return 1 if errors else 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("log", help="telemetry JSONL file")
+    ap.add_argument("log", help="telemetry JSONL file (or Chrome trace JSON "
+                                "with --perfetto-check)")
     ap.add_argument("--check", action="store_true",
                     help="validate only; print a one-line verdict")
     ap.add_argument("--event", default="cycle",
@@ -176,9 +378,20 @@ def main():
     ap.add_argument("--group", default=None, metavar="K1,K2",
                     help="comma-separated fields to group the --event "
                          "records by (e.g. n,epsilon)")
+    ap.add_argument("--trace", action="store_true",
+                    help="summarize mirrored trace/probe records "
+                         "(flight-recorder view)")
+    ap.add_argument("--perfetto-check", action="store_true",
+                    help="validate an exported Chrome trace-event JSON "
+                         "instead of a JSONL log")
     args = ap.parse_args()
 
+    if args.perfetto_check:
+        return perfetto_check(args.log)
+
     records, errors = load(args.log)
+    if not errors:
+        errors += check_trace_monotonic(records)
     for e in errors:
         print(f"error: {e}", file=sys.stderr)
     if args.check:
@@ -193,6 +406,8 @@ def main():
         return 1
 
     print(f"{args.log}: {len(records)} records")
+    if args.trace:
+        return 0 if summarize_trace(records) else 1
     if args.group:
         keys = [k.strip() for k in args.group.split(",") if k.strip()]
         if not summarize_grouped(records, args.event, keys):

@@ -83,6 +83,14 @@ CycleStats GossipTrustEngine::run_cycle(const trust::SparseMatrix& s,
   // record below, so the kernel sink is only attached when sampling is on.
   if (events_ != nullptr && step_sample_every_ > 0)
     gossip.set_event_log(events_, step_sample_every_);
+  std::uint64_t cycle_trace = 0, cycle_span = 0;
+  double cycle_base = 0.0;
+  if (trace_ != nullptr) {
+    cycle_trace = trace_->alloc_trace();
+    cycle_span = trace_->alloc_span();
+    cycle_base = trace_->time_cursor();
+    gossip.set_trace(trace_, cycle_base, cycle_trace, cycle_span);
+  }
   gossip.initialize(s, v);
   const auto gres = gossip.run(rng, overlay);
 
@@ -146,6 +154,30 @@ CycleStats GossipTrustEngine::run_cycle(const trust::SparseMatrix& s,
   stats.readout_seconds = readout_seconds;
   stats.change_from_previous = mean_relative_error(next, v);
 
+  if (trace_ != nullptr) {
+    // The cycle span closes over the steps the kernel just traced; the
+    // flight-recorder sweep samples every live column at the boundary.
+    const double cycle_end = trace_->time_cursor();
+    trace::TraceRecord rec;
+    rec.t_start = cycle_base;
+    rec.t_end = cycle_end;
+    rec.trace_id = cycle_trace;
+    rec.span_id = cycle_span;
+    rec.kind = static_cast<std::uint32_t>(trace::SpanKind::kCycle);
+    rec.flags = static_cast<std::uint32_t>(trace_cycle_seq_);
+    rec.value = stats.change_from_previous;
+    trace_->emit(rec);
+    const std::uint64_t sweep = trace_->alloc_trace();
+    for (NodeId j = 0; j < n_; ++j) {
+      if (!is_alive(j)) continue;
+      const double weight = gossip.column_w_mass(j);
+      trace_->probe(sweep, trace_cycle_seq_, cycle_end,
+                    static_cast<std::uint32_t>(j), weight, weight - 1.0,
+                    std::abs(next[j] - v[j]));
+    }
+    ++trace_cycle_seq_;
+  }
+
   if (events_ != nullptr) {
     events_->record("cycle")
         .field("cycle", cycles_emitted_++)
@@ -185,6 +217,7 @@ AggregationResult GossipTrustEngine::run(const trust::SparseMatrix& s, Rng& rng,
   if (v.size() != n_)
     throw std::invalid_argument("GossipTrustEngine::run: warm start size mismatch");
   std::vector<NodeId> power;  // none before the first aggregation completes
+  trace_cycle_seq_ = 0;  // each run() is its own probe series
 
   for (std::size_t t = 0; t < config_.max_cycles; ++t) {
     const bool last_views = config_.keep_final_views;

@@ -24,6 +24,7 @@
 #include "gossip/vector_gossip.hpp"
 #include "graph/topology.hpp"
 #include "telemetry/event_log.hpp"
+#include "trace/trace.hpp"
 #include "trust/matrix.hpp"
 
 namespace gt::core {
@@ -123,6 +124,14 @@ class GossipTrustEngine {
   /// `gossip_step` record every step_sample_every-th step. Null detaches.
   void set_event_log(telemetry::EventLog* events, std::size_t step_sample_every = 0);
 
+  /// Attaches a causal-trace sink: every run_cycle emits one kCycle span
+  /// (on the sink's synchronous time axis) whose gossip steps parent into
+  /// it, plus one flight-recorder probe sweep at the cycle boundary —
+  /// per live component, the column weight mass, its deviation from the
+  /// conserved value 1, and |V_j(t+1) - V_j(t)|. Observational only: the
+  /// aggregation is bit-identical with tracing on or off. Null detaches.
+  void set_trace(trace::TraceSink* sink) { trace_ = sink; }
+
  private:
   std::size_t n_;
   GossipTrustConfig config_;
@@ -130,6 +139,8 @@ class GossipTrustEngine {
   telemetry::EventLog* events_ = nullptr;
   std::size_t step_sample_every_ = 0;
   std::uint64_t cycles_emitted_ = 0;  // cycle index stamped onto records
+  trace::TraceSink* trace_ = nullptr;
+  std::uint64_t trace_cycle_seq_ = 0;  // probe-sweep series index
 };
 
 }  // namespace gt::core

@@ -73,6 +73,23 @@ void FaultInjector::execute(const Fault& f) {
 
   executed_.push_back(FaultRecord{executed_.size(), f});
 
+  if (trace_ != nullptr) {
+    const bool node_scoped =
+        f.kind == FaultKind::kNodeCrash || f.kind == FaultKind::kNodeRecover ||
+        f.kind == FaultKind::kLinkFail || f.kind == FaultKind::kLinkHeal;
+    const bool link_scoped =
+        f.kind == FaultKind::kLinkFail || f.kind == FaultKind::kLinkHeal;
+    trace::TraceRecord rec;
+    rec.t_start = rec.t_end = scheduler_.now();
+    rec.span_id = trace_->alloc_span();
+    rec.kind = static_cast<std::uint32_t>(trace::SpanKind::kFault);
+    rec.flags = static_cast<std::uint32_t>(f.kind);
+    if (node_scoped) rec.node = static_cast<std::uint32_t>(f.a);
+    if (link_scoped) rec.peer = static_cast<std::uint32_t>(f.b);
+    rec.value = f.rate;
+    trace_->emit(rec);
+  }
+
   if (events_ != nullptr) {
     auto rec = events_->record("fault");
     rec.field("sim_time", scheduler_.now())

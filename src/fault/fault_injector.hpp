@@ -20,6 +20,7 @@
 #include "net/network.hpp"
 #include "sim/scheduler.hpp"
 #include "telemetry/event_log.hpp"
+#include "trace/trace.hpp"
 
 namespace gt::fault {
 
@@ -44,6 +45,11 @@ class FaultInjector {
 
   /// Optional JSONL sink: one `fault` record per executed fault.
   void set_event_log(telemetry::EventLog* events) { events_ = events; }
+
+  /// Optional trace sink: one kFault instant marker per executed fault
+  /// (flags = FaultKind, so the analyzer can pair partition start/end
+  /// markers into windows). Null detaches.
+  void set_trace(trace::TraceSink* sink) { trace_ = sink; }
 
   /// Schedules every fault in the plan (absolute times; faults already in
   /// the past fire at the scheduler's next step). Call exactly once.
@@ -72,6 +78,7 @@ class FaultInjector {
   std::vector<NodeHook> recover_hooks_;
   std::vector<FaultRecord> executed_;
   telemetry::EventLog* events_ = nullptr;
+  trace::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace gt::fault

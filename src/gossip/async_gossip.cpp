@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <memory>
 #include <stdexcept>
@@ -107,6 +108,57 @@ void AsyncGossip::initialize(const trust::SparseMatrix& s, std::span<const doubl
   for (net::NodeId i = 0; i < n_; ++i) seed_row(i, /*count_repaired=*/false);
 }
 
+void AsyncGossip::set_trace(trace::TraceSink* sink, std::size_t probe_every) {
+  trace_ = sink;
+  probe_every_ = probe_every != 0 ? probe_every : n_;
+  probe_seq_ = 0;
+  probe_prev_.assign(n_, std::numeric_limits<double>::quiet_NaN());
+}
+
+void AsyncGossip::trace_instant(trace::SpanKind kind, std::uint64_t trace_id,
+                                std::uint64_t parent_id, net::NodeId node,
+                                net::NodeId peer, std::uint32_t flags,
+                                double value) {
+  trace::TraceRecord rec;
+  rec.t_start = rec.t_end = scheduler_.now();
+  rec.trace_id = trace_id;
+  rec.span_id = trace_->alloc_span();
+  rec.parent_id = parent_id;
+  rec.kind = static_cast<std::uint32_t>(kind);
+  rec.flags = flags;
+  rec.node = node == static_cast<net::NodeId>(trace::kGlobalNode)
+                 ? trace::kGlobalNode
+                 : static_cast<std::uint32_t>(node);
+  rec.peer = peer == static_cast<net::NodeId>(trace::kNoPeer)
+                 ? trace::kNoPeer
+                 : static_cast<std::uint32_t>(peer);
+  rec.value = value;
+  trace_->emit(rec);
+}
+
+void AsyncGossip::probe_sweep() {
+  // Flight-recorder sample: pure reads of the mass ledgers — nothing is
+  // scheduled and no randomness is drawn, so traced and untraced runs
+  // execute identical event streams.
+  const std::uint64_t tid = trace_->alloc_trace();
+  const std::uint64_t series = probe_seq_++;
+  const double t = scheduler_.now();
+  for (net::NodeId j = 0; j < n_; ++j) {
+    if (!network_.is_node_up(j)) continue;
+    const MassAccount a = mass_account(j);
+    const double avail_x = a.resident_x + a.in_flight_x;
+    const double avail_w = a.resident_w + a.in_flight_w;
+    double ratio = std::numeric_limits<double>::quiet_NaN();
+    if (avail_w > kWeightFloor) ratio = avail_x / avail_w;
+    double delta = 0.0;
+    if (!std::isnan(ratio) && !std::isnan(probe_prev_[j]))
+      delta = std::abs(ratio - probe_prev_[j]);
+    probe_prev_[j] = ratio;
+    trace_->probe(tid, series, t, static_cast<std::uint32_t>(j), avail_w,
+                  a.w_gap(), delta);
+  }
+}
+
 void AsyncGossip::update_stability(net::NodeId i) {
   const double* xi = row_x(i);
   const double* wi = row_w(i);
@@ -188,6 +240,9 @@ net::NodeId AsyncGossip::pick_target(net::NodeId i, Rng& rng,
 void AsyncGossip::node_push(net::NodeId i, Rng& rng, const graph::Graph* overlay) {
   if (!network_.is_node_up(i)) return;
   ++stats_.send_events;
+  if (trace_ != nullptr && probe_every_ != 0 &&
+      stats_.send_events % probe_every_ == 0)
+    probe_sweep();
   update_stability(i);
 
   bool ok = false;
@@ -219,6 +274,11 @@ void AsyncGossip::node_push(net::NodeId i, Rng& rng, const graph::Graph* overlay
     auto shared = std::make_shared<Payload>(std::move(payload));
     add_in_flight(*shared, +1.0);
     const std::uint32_t ep = epoch_;
+    trace::TraceCtx tctx;
+    if (trace_ != nullptr) {
+      tctx.trace_id = trace_->alloc_trace();
+      tctx.span_id = trace_->alloc_span();
+    }
     const bool sent = network_.send(
         i, target, bytes,
         [this, target, shared, ep] {
@@ -241,7 +301,8 @@ void AsyncGossip::node_push(net::NodeId i, Rng& rng, const graph::Graph* overlay
           ++stats_.messages_dropped;
           add_in_flight(*shared, -1.0);
           add_destroyed(*shared);
-        });
+        },
+        tctx);
     if (!sent) {
       ++stats_.messages_dropped;
       add_in_flight(*shared, -1.0);
@@ -258,6 +319,7 @@ void AsyncGossip::node_push(net::NodeId i, Rng& rng, const graph::Graph* overlay
   rec.to = target;
   rec.epoch = epoch_;
   rec.rto = reliability_.ack_timeout;
+  if (trace_ != nullptr) rec.trace_id = trace_->alloc_trace();
   rec.payload = std::move(payload);
   add_in_flight(rec.payload, +1.0);
   pending_.emplace(id, std::move(rec));
@@ -270,20 +332,37 @@ void AsyncGossip::node_push(net::NodeId i, Rng& rng, const graph::Graph* overlay
 void AsyncGossip::send_data_copy(std::uint64_t id) {
   auto it = pending_.find(id);
   if (it == pending_.end()) return;
-  const PendingSend& p = it->second;
+  PendingSend& p = it->second;
   ++stats_.messages_sent;
   const std::size_t bytes = 24 * p.payload.size();
   const net::NodeId from = p.from;
   const net::NodeId to = p.to;
   const std::uint32_t ep = p.epoch;
+  trace::TraceCtx tctx;
+  if (trace_ != nullptr && p.trace_id != 0) {
+    // Each copy is one hop span; chaining parent_id to the previous hop
+    // makes send -> drop -> retransmit -> ack one tree under p.trace_id.
+    tctx.trace_id = p.trace_id;
+    tctx.span_id = trace_->alloc_span();
+    tctx.parent_id = p.last_span;
+    tctx.attempt = static_cast<std::uint32_t>(p.retries);
+    p.last_span = tctx.span_id;
+  }
+  const std::uint64_t tid = tctx.trace_id;
+  const std::uint64_t hop_span = tctx.span_id;
   const bool sent = network_.send(
-      from, to, bytes, [this, from, to, id, ep] { on_data_arrival(from, to, id, ep); },
-      [this](const char*) { ++stats_.messages_dropped; });
+      from, to, bytes,
+      [this, from, to, id, ep, tid, hop_span] {
+        on_data_arrival(from, to, id, ep, tid, hop_span);
+      },
+      [this](const char*) { ++stats_.messages_dropped; }, tctx);
   if (!sent) ++stats_.messages_dropped;
 }
 
 void AsyncGossip::on_data_arrival(net::NodeId from, net::NodeId to,
-                                  std::uint64_t id, std::uint32_t ep) {
+                                  std::uint64_t id, std::uint32_t ep,
+                                  std::uint64_t trace_id,
+                                  std::uint64_t hop_span) {
   if (ep != epoch_) {
     // Stale epoch: the restart already moved this message's mass to the
     // destroyed ledger; the copy itself is inert. No ack — the sender's
@@ -323,14 +402,23 @@ void AsyncGossip::on_data_arrival(net::NodeId from, net::NodeId to,
   }
   // Ack every copy, including duplicates: the previous ack may have been
   // lost, and re-acking is what stops the retransmission chain.
-  send_ack(to, from, id);
+  send_ack(to, from, id, trace_id, hop_span);
 }
 
-void AsyncGossip::send_ack(net::NodeId from, net::NodeId to, std::uint64_t id) {
+void AsyncGossip::send_ack(net::NodeId from, net::NodeId to, std::uint64_t id,
+                           std::uint64_t trace_id, std::uint64_t parent_span) {
   ++stats_.acks_sent;
+  trace::TraceCtx tctx;
+  if (trace_ != nullptr && trace_id != 0) {
+    // The ack parents to the data hop it confirms.
+    tctx.trace_id = trace_id;
+    tctx.span_id = trace_->alloc_span();
+    tctx.parent_id = parent_span;
+    tctx.ack = true;
+  }
   const bool sent = network_.send(
       from, to, kAckBytes, [this, id] { on_ack(id); },
-      [this](const char*) { ++stats_.acks_dropped; });
+      [this](const char*) { ++stats_.acks_dropped; }, tctx);
   if (!sent) ++stats_.acks_dropped;
 }
 
@@ -348,6 +436,9 @@ void AsyncGossip::record_send_failure(net::NodeId from, net::NodeId to) {
       suspected_[from * n_ + to] == 0) {
     suspected_[from * n_ + to] = 1;
     ++stats_.suspicions;
+    if (trace_ != nullptr)
+      trace_instant(trace::SpanKind::kSuspicion, 0, 0, from, to, 0,
+                    static_cast<double>(streak));
     scheduler_.schedule_after(reliability_.suspicion_ttl, [this, from, to] {
       suspected_[from * n_ + to] = 0;
       fail_streak_[from * n_ + to] = 0;
@@ -374,6 +465,10 @@ void AsyncGossip::on_ack_timeout(std::uint64_t id) {
       add_in_flight(p.payload, -1.0);
       reclaimed_.insert(id);
       ++stats_.mass_reclaims;
+      if (trace_ != nullptr && p.trace_id != 0)
+        trace_instant(trace::SpanKind::kReclaim, p.trace_id, p.last_span,
+                      p.from, p.to, static_cast<std::uint32_t>(p.retries),
+                      static_cast<double>(p.payload.size()));
       record_send_failure(p.from, p.to);
     }
     pending_.erase(it);
@@ -383,6 +478,9 @@ void AsyncGossip::on_ack_timeout(std::uint64_t id) {
   ++stats_.retransmits;
   p.rto = std::min(p.rto * reliability_.backoff, reliability_.max_timeout);
   const double rto = p.rto;
+  if (trace_ != nullptr && p.trace_id != 0)
+    trace_instant(trace::SpanKind::kRetransmit, p.trace_id, p.last_span, p.from,
+                  p.to, static_cast<std::uint32_t>(p.retries), rto);
   send_data_copy(id);  // may invalidate `it`/`p` via unrelated erase? no: sync
   auto again = pending_.find(id);
   if (again != pending_.end())
@@ -405,9 +503,14 @@ void AsyncGossip::destroy_row(net::NodeId i) {
 }
 
 void AsyncGossip::epoch_restart(const char* reason) {
-  (void)reason;
   ++epoch_;
   ++stats_.repairs;
+  if (trace_ != nullptr)
+    trace_instant(trace::SpanKind::kEpochRestart, 0, 0,
+                  static_cast<net::NodeId>(trace::kGlobalNode),
+                  static_cast<net::NodeId>(trace::kNoPeer),
+                  std::strcmp(reason, "rejoin") == 0 ? 1u : 0u,
+                  static_cast<double>(epoch_));
 
   if (reliability_.acks) {
     // Every pending send belongs to the dead epoch: undelivered mass is

@@ -44,6 +44,7 @@
 #include "graph/topology.hpp"
 #include "net/network.hpp"
 #include "sim/scheduler.hpp"
+#include "trace/trace.hpp"
 #include "trust/matrix.hpp"
 
 namespace gt::gossip {
@@ -181,6 +182,14 @@ class AsyncGossip {
     return !suspected_.empty() && suspected_[by * n_ + peer] != 0;
   }
 
+  /// Enables causal tracing: every data message gets its own trace id with
+  /// retransmitted copies and acks chained by parent span, and a
+  /// flight-recorder probe sweep (available mass, ledger gap, |dV|) runs
+  /// every `probe_every` push events (0 = once per n). Observational only:
+  /// no event is scheduled and no RNG is drawn, so results are
+  /// bit-identical with tracing on or off. Null disables.
+  void set_trace(trace::TraceSink* sink, std::size_t probe_every = 0);
+
  private:
   /// Sparse wire triplet: <component id, x half, w half> — 24 bytes each,
   /// matching the accounted wire format.
@@ -199,6 +208,8 @@ class AsyncGossip {
     double rto = 0.0;
     sim::EventId timer = 0;
     bool delivered = false;  ///< receiver has processed some copy
+    std::uint64_t trace_id = 0;  ///< causal tree for every copy + ack
+    std::uint64_t last_span = 0; ///< most recent hop span (retransmit parent)
     Payload payload;
   };
 
@@ -210,12 +221,18 @@ class AsyncGossip {
 
   void send_data_copy(std::uint64_t id);
   void on_data_arrival(net::NodeId from, net::NodeId to, std::uint64_t id,
-                       std::uint32_t ep);
-  void send_ack(net::NodeId from, net::NodeId to, std::uint64_t id);
+                       std::uint32_t ep, std::uint64_t trace_id,
+                       std::uint64_t hop_span);
+  void send_ack(net::NodeId from, net::NodeId to, std::uint64_t id,
+                std::uint64_t trace_id, std::uint64_t parent_span);
   void on_ack(std::uint64_t id);
   void on_ack_timeout(std::uint64_t id);
   void record_send_failure(net::NodeId from, net::NodeId to);
   void epoch_restart(const char* reason);
+  void trace_instant(trace::SpanKind kind, std::uint64_t trace_id,
+                     std::uint64_t parent_id, net::NodeId node,
+                     net::NodeId peer, std::uint32_t flags, double value);
+  void probe_sweep();
   void seed_row(net::NodeId i, bool count_repaired);
   void add_in_flight(const Payload& p, double sign);
   void add_destroyed(const Payload& p);
@@ -248,6 +265,12 @@ class AsyncGossip {
   std::vector<std::unordered_set<std::uint64_t>> seen_;  ///< per-receiver dedup
   std::vector<std::uint8_t> suspected_;    // n*n: [by * n + peer]
   std::vector<std::size_t> fail_streak_;   // n*n consecutive send failures
+
+  // Causal tracing + flight recorder (null = off; see set_trace).
+  trace::TraceSink* trace_ = nullptr;
+  std::size_t probe_every_ = 0;
+  std::uint64_t probe_seq_ = 0;       ///< sweep series index
+  std::vector<double> probe_prev_;    ///< last sweep's mass ratio, per column
 
   // Seed snapshot for epoch restarts (optional because SparseMatrix is
   // only constructible through its Builder; copy-assignment is public).

@@ -61,6 +61,15 @@ void VectorGossip::set_event_log(telemetry::EventLog* events,
   step_sample_every_ = sample_every;
 }
 
+void VectorGossip::set_trace(trace::TraceSink* sink, double base_time,
+                             std::uint64_t trace_id,
+                             std::uint64_t parent_span) {
+  trace_ = sink;
+  trace_base_time_ = base_time;
+  trace_trace_id_ = trace_id;
+  trace_parent_span_ = parent_span;
+}
+
 VectorGossip::CounterTotals VectorGossip::counter_totals() const noexcept {
   return CounterTotals{metrics_->counter_value(c_sent_),
                        metrics_->counter_value(c_lost_),
@@ -430,9 +439,60 @@ void VectorGossip::step(Rng& rng, const graph::Graph* overlay,
 VectorGossipResult VectorGossip::run(Rng& rng, const graph::Graph* overlay) {
   VectorGossipResult result;
   const bool masked = !alive_.empty();
+  // Synchronous trace axis: step k of this run covers [base + k, base + k + 1).
+  const bool traced = trace_ != nullptr;
+  double trace_base = 0.0;
+  std::uint64_t run_trace = 0;
+  std::uint64_t prev_sent = 0, prev_lost = 0, prev_triplets = 0;
+  if (traced) {
+    trace_base =
+        trace_base_time_ >= 0.0 ? trace_base_time_ : trace_->time_cursor();
+    run_trace =
+        trace_trace_id_ != 0 ? trace_trace_id_ : trace_->alloc_trace();
+  }
   while (result.steps < config_.max_steps) {
     step(rng, overlay, result);
     ++result.steps;
+    if (traced) {
+      const double t0 = trace_base + static_cast<double>(result.steps - 1);
+      const std::uint64_t step_span = trace_->alloc_span();
+      // Phase sub-spans are synthetic equal quarters of the step interval
+      // (wall timings would break byte-identical same-seed traces); their
+      // values are this step's deterministic counter deltas. Emitted
+      // before the step span so the mirrored JSONL sim_time stream stays
+      // non-decreasing within the run's trace id.
+      const double sent = static_cast<double>(result.messages_sent - prev_sent);
+      const double lost = static_cast<double>(result.messages_lost - prev_lost);
+      const double phase_value[4] = {
+          sent, sent - lost,
+          static_cast<double>(result.triplets_sent - prev_triplets),
+          static_cast<double>(result.active_triplets)};
+      prev_sent = result.messages_sent;
+      prev_lost = result.messages_lost;
+      prev_triplets = result.triplets_sent;
+      for (std::uint32_t k = 0; k < 4; ++k) {
+        trace::TraceRecord rec;
+        rec.t_start = t0 + 0.25 * k;
+        rec.t_end = t0 + 0.25 * (k + 1);
+        rec.trace_id = run_trace;
+        rec.span_id = trace_->alloc_span();
+        rec.parent_id = step_span;
+        rec.kind = static_cast<std::uint32_t>(trace::SpanKind::kPhase);
+        rec.flags = k;
+        rec.value = phase_value[k];
+        trace_->emit(rec);
+      }
+      trace::TraceRecord rec;
+      rec.t_start = t0;
+      rec.t_end = t0 + 1.0;
+      rec.trace_id = run_trace;
+      rec.span_id = step_span;
+      rec.parent_id = trace_parent_span_;
+      rec.kind = static_cast<std::uint32_t>(trace::SpanKind::kGossipStep);
+      rec.flags = static_cast<std::uint32_t>(result.steps - 1);
+      rec.value = static_cast<double>(result.active_triplets);
+      trace_->emit(rec);
+    }
     if (events_ != nullptr && step_sample_every_ > 0 &&
         result.steps % step_sample_every_ == 0) {
       events_->record("gossip_step")
@@ -456,6 +516,8 @@ VectorGossipResult VectorGossip::run(Rng& rng, const graph::Graph* overlay) {
       break;
     }
   }
+  if (traced)
+    trace_->bump_time_cursor(trace_base + static_cast<double>(result.steps));
   if (events_ != nullptr) {
     events_->record("gossip_run")
         .field("n", n_)

@@ -41,6 +41,7 @@
 #include "graph/topology.hpp"
 #include "telemetry/event_log.hpp"
 #include "telemetry/metrics.hpp"
+#include "trace/trace.hpp"
 #include "trust/matrix.hpp"
 
 namespace gt::gossip {
@@ -142,6 +143,19 @@ class VectorGossip {
   /// every sample_every-th step. Null detaches.
   void set_event_log(telemetry::EventLog* events, std::size_t sample_every = 0);
 
+  /// Attaches a causal-trace sink: run() emits one kGossipStep span per
+  /// step plus four kPhase sub-spans carrying that step's deterministic
+  /// counter deltas. The synchronous time axis is the cumulative step
+  /// index: `base_time` < 0 resolves the base from the sink's time cursor
+  /// (bumped past the last step when run() returns), so consecutive runs
+  /// sharing one sink land on one monotone axis. When the engine drives
+  /// this kernel it passes the enclosing cycle's trace id and span so steps
+  /// parent into the cycle tree; standalone runs (trace_id == 0) allocate
+  /// their own trace id per run(). Observational only (no wall-clock values
+  /// land in the trace). Null detaches.
+  void set_trace(trace::TraceSink* sink, double base_time = -1.0,
+                 std::uint64_t trace_id = 0, std::uint64_t parent_span = 0);
+
  private:
   bool is_alive(NodeId v) const { return alive_.empty() || alive_[v] != 0; }
   std::size_t lanes() const noexcept { return pool_ ? pool_->num_threads() : 1; }
@@ -208,6 +222,11 @@ class VectorGossip {
   telemetry::Histogram h_send_, h_book_;
   telemetry::EventLog* events_ = nullptr;
   std::size_t step_sample_every_ = 0;
+
+  trace::TraceSink* trace_ = nullptr;
+  double trace_base_time_ = -1.0;     // < 0: resolve from the sink's cursor
+  std::uint64_t trace_trace_id_ = 0;  // 0: allocate per run()
+  std::uint64_t trace_parent_span_ = 0;
 
   double* row_x(NodeId i) { return x_.data() + i * n_; }
   double* row_w(NodeId i) { return w_.data() + i * n_; }

@@ -70,10 +70,32 @@ bool Network::cross_partition(NodeId a, NodeId b) const {
   return !partition_.empty() && partition_[a] != partition_[b];
 }
 
+void Network::trace_event(const trace::TraceCtx& tctx, trace::SpanKind kind,
+                          NodeId node, NodeId peer, std::uint32_t flags,
+                          double value) {
+  trace::TraceRecord rec;
+  rec.t_start = rec.t_end = scheduler_.now();
+  rec.trace_id = tctx.trace_id;
+  rec.span_id = tctx.span_id;
+  rec.parent_id = tctx.parent_id;
+  rec.kind = static_cast<std::uint32_t>(kind);
+  rec.flags = flags;
+  rec.node = static_cast<std::uint32_t>(node);
+  rec.peer = static_cast<std::uint32_t>(peer);
+  rec.value = value;
+  trace_->emit(rec);
+}
+
 bool Network::send(NodeId from, NodeId to, std::size_t size_bytes,
-                   Handler on_deliver, DropHandler on_drop) {
+                   Handler on_deliver, DropHandler on_drop,
+                   const trace::TraceCtx& tctx) {
   check_node(from, "send");
   check_node(to, "send");
+  const bool traced = trace_ != nullptr && tctx.active();
+  if (traced)
+    trace_event(tctx,
+                tctx.ack ? trace::SpanKind::kAckSend : trace::SpanKind::kMsgSend,
+                from, to, tctx.attempt, static_cast<double>(size_bytes));
   ++stats_.messages_sent;
   stats_.bytes_sent += size_bytes;
   if (metrics_ != nullptr) {
@@ -95,6 +117,11 @@ bool Network::send(NodeId from, NodeId to, std::size_t size_bytes,
   }
   if (reason != nullptr) {
     count_drop(from, to, size_bytes, reason);
+    if (traced)
+      trace_event(tctx,
+                  tctx.ack ? trace::SpanKind::kAckDrop : trace::SpanKind::kMsgDrop,
+                  from, to, trace::drop_reason_code(reason),
+                  static_cast<double>(size_bytes));
     return false;
   }
 
@@ -124,7 +151,7 @@ bool Network::send(NodeId from, NodeId to, std::size_t size_bytes,
   }
 
   scheduler_.schedule_after(
-      delay, [this, from, to, size_bytes, corrupt_primary,
+      delay, [this, from, to, size_bytes, corrupt_primary, tctx,
               handler = std::move(on_deliver),
               dropper = std::move(on_drop)]() mutable {
         // The receiver may have gone down (or a partition opened) while
@@ -143,6 +170,12 @@ bool Network::send(NodeId from, NodeId to, std::size_t size_bytes,
         }
         if (drop_reason != nullptr) {
           count_drop(from, to, size_bytes, drop_reason);
+          if (trace_ != nullptr && tctx.active())
+            trace_event(tctx,
+                        tctx.ack ? trace::SpanKind::kAckDrop
+                                 : trace::SpanKind::kMsgDrop,
+                        from, to, trace::drop_reason_code(drop_reason),
+                        static_cast<double>(size_bytes));
           if (dropper) dropper(drop_reason);
           return;
         }
@@ -152,6 +185,11 @@ bool Network::send(NodeId from, NodeId to, std::size_t size_bytes,
           metrics_->add(m_delivered_);
           metrics_->add(m_bytes_delivered_, size_bytes);
         }
+        if (trace_ != nullptr && tctx.active())
+          trace_event(tctx,
+                      tctx.ack ? trace::SpanKind::kAckDeliver
+                               : trace::SpanKind::kMsgDeliver,
+                      to, from, tctx.attempt, static_cast<double>(size_bytes));
         handler();
       });
   return true;

@@ -23,6 +23,7 @@
 #include "sim/scheduler.hpp"
 #include "telemetry/event_log.hpp"
 #include "telemetry/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace gt::net {
 
@@ -83,9 +84,12 @@ class Network {
   /// send-time drop is NOT reported through `on_drop`). `on_drop`, when
   /// non-null, runs instead of `on_deliver` if the enqueued message is lost
   /// in flight. A duplicated copy may additionally run `on_deliver` a
-  /// second time; duplicate-copy losses are silent.
+  /// second time; duplicate-copy losses are silent. When a trace sink is
+  /// attached and `tctx.active()`, the hop's send and its outcome
+  /// (deliver/drop) are recorded under the caller's span — purely
+  /// observational, no scheduling or RNG impact.
   bool send(NodeId from, NodeId to, std::size_t size_bytes, Handler on_deliver,
-            DropHandler on_drop = nullptr);
+            DropHandler on_drop = nullptr, const trace::TraceCtx& tctx = {});
 
   /// Marks a node down: messages to/from it are dropped.
   void set_node_up(NodeId node, bool up);
@@ -123,11 +127,17 @@ class Network {
   void attach_telemetry(telemetry::MetricsRegistry* registry,
                         telemetry::EventLog* events);
 
+  /// Records per-message hop spans into `sink` for sends that carry an
+  /// active TraceCtx. Null detaches. Observational only.
+  void attach_trace(trace::TraceSink* sink) { trace_ = sink; }
+
  private:
   static std::uint64_t link_key(NodeId a, NodeId b) noexcept;
   void check_node(NodeId node, const char* fn) const;
   void count_drop(NodeId from, NodeId to, std::size_t size_bytes,
                   const char* reason);
+  void trace_event(const trace::TraceCtx& tctx, trace::SpanKind kind,
+                   NodeId node, NodeId peer, std::uint32_t flags, double value);
 
   sim::Scheduler& scheduler_;
   NetworkConfig config_;
@@ -139,6 +149,7 @@ class Network {
 
   telemetry::EventLog* events_ = nullptr;
   telemetry::MetricsRegistry* metrics_ = nullptr;
+  trace::TraceSink* trace_ = nullptr;
   telemetry::Counter m_sent_, m_delivered_, m_dropped_;
   telemetry::Counter m_bytes_sent_, m_bytes_delivered_, m_bytes_dropped_;
 };

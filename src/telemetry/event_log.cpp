@@ -36,6 +36,24 @@ EventLog::EventLog(EventLogConfig config) : config_(std::move(config)) {
 }
 
 EventLog::~EventLog() {
+  if (enabled_) {
+    // Drain the retained window first: in flight-recorder mode a full ring
+    // overwrites its oldest slot, and the accounting record must not evict
+    // a data line.
+    flush();
+    // Final accounting record: how much was logged and how much the ring
+    // overwrote, so a truncated flight-recorder log is detectable from the
+    // file alone.
+    std::uint64_t logged, dropped;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      logged = seq_;
+      dropped = lines_dropped_;
+    }
+    record("meta")
+        .field("records_logged", logged)
+        .field("lines_dropped", dropped);
+  }
   flush();
   if (file_ != nullptr) std::fclose(file_);
 }
@@ -95,8 +113,17 @@ void EventLog::set_context(std::string key, std::uint64_t value) {
 void EventLog::push(const std::string& line) {
   if (!enabled_) return;
   std::lock_guard<std::mutex> lock(mutex_);
+  if (config_.drop_oldest_on_overflow &&
+      ring_.size() >= config_.ring_capacity && !ring_.empty()) {
+    ring_[start_] = line;
+    start_ = (start_ + 1) % ring_.size();
+    ++lines_dropped_;
+    return;
+  }
   ring_.push_back(line);
-  if (ring_.size() >= config_.ring_capacity) flush_locked();
+  if (!config_.drop_oldest_on_overflow &&
+      ring_.size() >= config_.ring_capacity)
+    flush_locked();
 }
 
 void EventLog::flush() {
@@ -106,11 +133,14 @@ void EventLog::flush() {
 }
 
 void EventLog::flush_locked() {
-  for (const auto& line : ring_) {
+  // Oldest-first: [start_, end) then [0, start_) once the ring has wrapped.
+  for (std::size_t k = 0; k < ring_.size(); ++k) {
+    const std::string& line = ring_[(start_ + k) % ring_.size()];
     std::fwrite(line.data(), 1, line.size(), file_);
     std::fputc('\n', file_);
   }
   ring_.clear();
+  start_ = 0;
   std::fflush(file_);
 }
 

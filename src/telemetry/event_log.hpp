@@ -33,6 +33,12 @@ struct EventLogConfig {
   std::string path;                  ///< output file; empty disables the log
   std::size_t ring_capacity = 4096;  ///< buffered lines before an auto-flush
   bool append = false;               ///< append instead of truncating
+  /// Flight-recorder mode: when the ring fills, overwrite the oldest
+  /// buffered line instead of flushing to the file (lines only reach disk
+  /// via flush()/destruction). Every overwritten line is counted in
+  /// lines_dropped() and reported by the final `meta` record — overflow is
+  /// loud, never silent.
+  bool drop_oldest_on_overflow = false;
 };
 
 class EventLog {
@@ -91,6 +97,11 @@ class EventLog {
   std::uint64_t records_logged() const noexcept { return seq_; }
   std::size_t buffered() const noexcept { return ring_.size(); }
 
+  /// Lines lost to ring overflow (only nonzero with
+  /// drop_oldest_on_overflow). Also reported by the final `meta` record
+  /// the destructor emits.
+  std::uint64_t lines_dropped() const noexcept { return lines_dropped_; }
+
  private:
   void push(const std::string& line);
   void flush_locked();
@@ -104,6 +115,8 @@ class EventLog {
   EventLogConfig config_;
   std::FILE* file_ = nullptr;
   std::vector<std::string> ring_;
+  std::size_t start_ = 0;  ///< oldest line once the ring has wrapped
+  std::uint64_t lines_dropped_ = 0;
   std::vector<ContextField> context_;
   std::uint64_t seq_ = 0;
   std::mutex mutex_;

@@ -1,0 +1,263 @@
+#include "trace/analyzer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace gt::trace {
+namespace {
+
+bool is_kind(const TraceRecord& r, SpanKind k) noexcept {
+  return r.kind == static_cast<std::uint32_t>(k);
+}
+
+bool is_partition_drop(const TraceRecord& r) noexcept {
+  if (!is_kind(r, SpanKind::kMsgDrop) && !is_kind(r, SpanKind::kAckDrop))
+    return false;
+  return r.flags == kDropPartitioned || r.flags == kDropPartitionedInFlight;
+}
+
+std::string fmt(const char* format, ...) __attribute__((format(printf, 1, 2)));
+std::string fmt(const char* format, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace
+
+const char* anomaly_type_name(Anomaly::Type type) noexcept {
+  switch (type) {
+    case Anomaly::Type::kRingOverflow: return "ring_overflow";
+    case Anomaly::Type::kMassLeak: return "mass_leak";
+    case Anomaly::Type::kSuspectedPeer: return "suspected_peer";
+    case Anomaly::Type::kRetransmitStorm: return "retransmit_storm";
+    case Anomaly::Type::kPartition: return "partition";
+    case Anomaly::Type::kConvergenceStall: return "convergence_stall";
+  }
+  return "unknown";
+}
+
+TraceSummary analyze_trace(const TraceFileHeader& header,
+                           const std::vector<TraceRecord>& records,
+                           const AnalyzerConfig& config) {
+  TraceSummary out;
+  out.header = header;
+  for (const auto& r : records) ++out.kind_counts[r.kind];
+
+  // --- ring overflow -----------------------------------------------------
+  if (header.records_emitted > header.record_count) {
+    Anomaly a;
+    a.type = Anomaly::Type::kRingOverflow;
+    a.value = static_cast<double>(header.records_emitted - header.record_count);
+    a.detail = fmt("%llu of %llu emitted records lost to ring overflow",
+                   static_cast<unsigned long long>(header.records_emitted -
+                                                   header.record_count),
+                   static_cast<unsigned long long>(header.records_emitted));
+    out.anomalies.push_back(std::move(a));
+  }
+
+  // --- retransmission chains (grouped by trace id) -----------------------
+  std::map<std::uint64_t, RetransmitChain> chains;
+  for (const auto& r : records) {
+    if (is_kind(r, SpanKind::kRetransmit)) {
+      auto& c = chains[r.trace_id];
+      if (c.retransmits == 0) {
+        c.trace_id = r.trace_id;
+        c.node = r.node;
+        c.peer = r.peer;
+        c.t_first = r.t_start;
+      }
+      ++c.retransmits;
+      c.t_last = r.t_start;
+    }
+  }
+  for (const auto& r : records) {
+    auto it = chains.find(r.trace_id);
+    if (it == chains.end()) continue;
+    if (is_kind(r, SpanKind::kAckDeliver)) it->second.acked = true;
+    if (is_kind(r, SpanKind::kReclaim)) it->second.reclaimed = true;
+  }
+  out.chains.reserve(chains.size());
+  for (auto& [id, c] : chains) out.chains.push_back(c);
+  for (const auto& c : out.chains) {
+    if (c.retransmits < config.storm_threshold) continue;
+    Anomaly a;
+    a.type = Anomaly::Type::kRetransmitStorm;
+    a.trace_id = c.trace_id;
+    a.node = c.node;
+    a.peer = c.peer;
+    a.t_start = c.t_first;
+    a.t_end = c.t_last;
+    a.value = c.retransmits;
+    a.detail = fmt("trace %llu: %u retransmits %u->%u over [%.3f, %.3f]%s",
+                   static_cast<unsigned long long>(c.trace_id), c.retransmits,
+                   c.node, c.peer, c.t_first, c.t_last,
+                   c.reclaimed ? ", reclaimed" : (c.acked ? ", acked" : ""));
+    out.anomalies.push_back(std::move(a));
+  }
+
+  // --- partitions (fault markers + drops inside the window) --------------
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    if (!is_kind(r, SpanKind::kFault) || r.flags != 4 /*kPartitionStart*/)
+      continue;
+    PartitionWindow win;
+    win.t_start = r.t_start;
+    win.t_end = std::numeric_limits<double>::infinity();
+    for (std::size_t j = i + 1; j < records.size(); ++j) {
+      const auto& e = records[j];
+      if (is_kind(e, SpanKind::kFault) && e.flags == 5 /*kPartitionEnd*/) {
+        win.t_end = e.t_start;
+        break;
+      }
+      if (is_partition_drop(e)) ++win.drops;
+    }
+    out.partitions.push_back(win);
+    Anomaly a;
+    a.type = Anomaly::Type::kPartition;
+    a.t_start = win.t_start;
+    a.t_end = win.t_end;
+    a.value = static_cast<double>(win.drops);
+    a.detail = fmt("partition window [%.3f, %.3f]: %llu partitioned drops",
+                   win.t_start, win.t_end,
+                   static_cast<unsigned long long>(win.drops));
+    out.anomalies.push_back(std::move(a));
+  }
+
+  // --- suspected peers (one anomaly per (node, peer), max streak) --------
+  std::map<std::pair<std::uint32_t, std::uint32_t>, Anomaly> suspicions;
+  for (const auto& r : records) {
+    if (!is_kind(r, SpanKind::kSuspicion)) continue;
+    auto& a = suspicions[{r.node, r.peer}];
+    if (a.detail.empty()) {
+      a.type = Anomaly::Type::kSuspectedPeer;
+      a.node = r.node;
+      a.peer = r.peer;
+      a.t_start = r.t_start;
+    }
+    a.t_end = r.t_start;
+    if (r.value > a.value) a.value = r.value;
+    a.detail = fmt("node %u suspects peer %u (failure streak %.0f) at t=%.3f",
+                   r.node, r.peer, a.value, a.t_start);
+  }
+  for (auto& [key, a] : suspicions) out.anomalies.push_back(std::move(a));
+
+  // --- probe-based detectors ---------------------------------------------
+  // Sweeps in emission order: (trace id, series, t, per-field aggregates).
+  struct Sweep {
+    std::uint64_t trace_id = 0;
+    std::uint64_t series = 0;
+    double t = 0.0;
+    double dv_sum = 0.0;
+    std::size_t dv_count = 0;
+    double mean_dv() const noexcept {
+      return dv_count ? dv_sum / static_cast<double>(dv_count) : 0.0;
+    }
+  };
+  std::vector<Sweep> sweeps;
+  for (const auto& r : records) {
+    if (!is_kind(r, SpanKind::kProbe)) continue;
+    if (sweeps.empty() || sweeps.back().trace_id != r.trace_id) {
+      Sweep s;
+      s.trace_id = r.trace_id;
+      s.series = r.peer;
+      s.t = r.t_end;
+      sweeps.push_back(s);
+    }
+    if (r.flags == static_cast<std::uint32_t>(ProbeField::kDeltaV)) {
+      sweeps.back().dv_sum += std::abs(r.value);
+      ++sweeps.back().dv_count;
+    }
+  }
+
+  // Mass leak: check the final sweep's residual on every node it covers.
+  if (!sweeps.empty()) {
+    const std::uint64_t last = sweeps.back().trace_id;
+    for (const auto& r : records) {
+      if (!is_kind(r, SpanKind::kProbe) || r.trace_id != last) continue;
+      if (r.flags != static_cast<std::uint32_t>(ProbeField::kMassResidual))
+        continue;
+      if (std::abs(r.value) <= config.mass_tolerance) continue;
+      Anomaly a;
+      a.type = Anomaly::Type::kMassLeak;
+      a.trace_id = last;
+      a.node = r.node;
+      a.t_start = a.t_end = r.t_end;
+      a.value = r.value;
+      a.detail = fmt("node %u mass residual %.3e exceeds tolerance %.1e "
+                     "in final sweep",
+                     r.node, r.value, config.mass_tolerance);
+      out.anomalies.push_back(std::move(a));
+    }
+  }
+
+  // Convergence stall: within one probe series (series index increments by
+  // one between consecutive sweeps of the same run; a reset to 0 starts a
+  // new run), mean |dV| should decay geometrically. Flag growth beyond
+  // growth_threshold, and — when an expected lambda2/lambda1 rate is given
+  // — decay slower than sqrt of that rate.
+  for (std::size_t i = 1; i < sweeps.size(); ++i) {
+    const Sweep& prev = sweeps[i - 1];
+    const Sweep& cur = sweeps[i];
+    if (cur.series != prev.series + 1 || cur.series == 0) continue;
+    const double m0 = prev.mean_dv();
+    const double m1 = cur.mean_dv();
+    if (m0 <= 1e-15 || m1 <= 1e-12) continue;
+    const bool grew = m1 > config.growth_threshold * m0;
+    const bool slow = config.expected_rate > 0.0 &&
+                      m1 > std::sqrt(config.expected_rate) * m0;
+    if (!grew && !slow) continue;
+    Anomaly a;
+    a.type = Anomaly::Type::kConvergenceStall;
+    a.trace_id = cur.trace_id;
+    a.t_start = prev.t;
+    a.t_end = cur.t;
+    a.value = m1 / m0;
+    a.detail = fmt("mean |dV| %s %.2fx between sweeps %llu and %llu "
+                   "(%.3e -> %.3e)",
+                   grew ? "grew" : "decayed only", m1 / m0,
+                   static_cast<unsigned long long>(prev.series),
+                   static_cast<unsigned long long>(cur.series), m0, m1);
+    out.anomalies.push_back(std::move(a));
+  }
+
+  return out;
+}
+
+std::string summary_text(const TraceSummary& s) {
+  std::ostringstream os;
+  os << "trace: " << s.header.record_count << " records retained ("
+     << s.header.records_emitted << " emitted), " << s.header.node_count
+     << " nodes, span high-water " << s.header.span_high_water << "\n";
+  os << "kinds:";
+  for (const auto& [kind, count] : s.kind_counts)
+    os << " " << kind_name(static_cast<SpanKind>(kind)) << "=" << count;
+  os << "\n";
+  if (!s.chains.empty()) {
+    const auto longest = std::max_element(
+        s.chains.begin(), s.chains.end(),
+        [](const RetransmitChain& a, const RetransmitChain& b) {
+          return a.retransmits < b.retransmits;
+        });
+    os << "retransmit chains: " << s.chains.size() << " (longest "
+       << longest->retransmits << " retransmits, trace " << longest->trace_id
+       << ", " << longest->node << "->" << longest->peer << ")\n";
+  }
+  for (const auto& w : s.partitions)
+    os << "partition: [" << w.t_start << ", " << w.t_end << "] with "
+       << w.drops << " partitioned drops\n";
+  os << "anomalies: " << s.anomalies.size() << "\n";
+  for (const auto& a : s.anomalies)
+    os << "  [" << anomaly_type_name(a.type) << "] " << a.detail << "\n";
+  if (s.anomalies.empty()) os << "clean\n";
+  return os.str();
+}
+
+}  // namespace gt::trace

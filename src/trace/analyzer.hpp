@@ -1,0 +1,97 @@
+// Post-run trace analyzer: reads the records produced by TraceSink and
+// turns them into a summary plus a list of anomalies — the "why did this
+// run degrade" half of the flight recorder.
+//
+// Detectors (all deterministic; each maps to an Anomaly::Type):
+//   * ring overflow    — the sink emitted more records than it retained;
+//   * mass leak        — the final probe sweep shows |mass residual| above
+//                        tolerance on some node (conserved-mass invariant
+//                        broken, independent of epsilon);
+//   * suspected peer   — a node raised suspicion on a peer (stalled or
+//                        crashed neighbour);
+//   * retransmit storm — one message's causal chain needed >= threshold
+//                        retransmissions (congestion/loss hot spot);
+//   * partition        — a fault-injector partition window, annotated with
+//                        the partitioned drops recorded inside it;
+//   * convergence stall— consecutive probe sweeps whose mean |dV| grew by
+//                        more than growth_threshold, where gossip theory
+//                        predicts geometric decay at ~lambda2/lambda1 per
+//                        cycle (the analyzer self-calibrates from the
+//                        series itself; set expected_rate to also flag
+//                        sweeps decaying slower than a known lambda2/lambda1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace gt::trace {
+
+struct AnalyzerConfig {
+  double mass_tolerance = 1e-6;     ///< |residual| above this is a leak
+  std::uint32_t storm_threshold = 3;///< retransmits per chain to call a storm
+  double growth_threshold = 5.0;    ///< mean |dV| growth factor to call a stall
+  double expected_rate = 0.0;       ///< optional lambda2/lambda1; 0 = off
+};
+
+struct Anomaly {
+  enum class Type : std::uint32_t {
+    kRingOverflow = 0,
+    kMassLeak = 1,
+    kSuspectedPeer = 2,
+    kRetransmitStorm = 3,
+    kPartition = 4,
+    kConvergenceStall = 5,
+  };
+  Type type = Type::kRingOverflow;
+  std::uint64_t trace_id = 0;       ///< causal tree involved (0 = none)
+  std::uint32_t node = kGlobalNode;
+  std::uint32_t peer = kNoPeer;
+  double t_start = 0.0;
+  double t_end = 0.0;
+  double value = 0.0;               ///< type-specific magnitude
+  std::string detail;               ///< human-readable one-liner
+};
+
+const char* anomaly_type_name(Anomaly::Type type) noexcept;
+
+/// One message's retransmission history, grouped by trace id.
+struct RetransmitChain {
+  std::uint64_t trace_id = 0;
+  std::uint32_t node = kGlobalNode;  ///< sender
+  std::uint32_t peer = kNoPeer;      ///< receiver
+  std::uint32_t retransmits = 0;
+  double t_first = 0.0;              ///< first retransmission decision
+  double t_last = 0.0;               ///< last retransmission decision
+  bool acked = false;                ///< an ack for this trace id landed
+  bool reclaimed = false;            ///< retries exhausted, mass reclaimed
+};
+
+/// A fault-injector partition episode.
+struct PartitionWindow {
+  double t_start = 0.0;
+  double t_end = 0.0;          ///< +inf if never healed before trace end
+  std::uint64_t drops = 0;     ///< partitioned(-in-flight) drops inside it
+};
+
+struct TraceSummary {
+  TraceFileHeader header;
+  std::map<std::uint32_t, std::uint64_t> kind_counts;  ///< SpanKind -> count
+  std::vector<RetransmitChain> chains;    ///< trace-id ascending
+  std::vector<PartitionWindow> partitions;
+  std::vector<Anomaly> anomalies;         ///< detection-pass order (stable)
+};
+
+/// Runs every detector over `records` (emission order, as returned by
+/// read_trace_file / TraceSink::records).
+TraceSummary analyze_trace(const TraceFileHeader& header,
+                           const std::vector<TraceRecord>& records,
+                           const AnalyzerConfig& config = {});
+
+/// Deterministic multi-line report (ends with "clean" when no anomalies).
+std::string summary_text(const TraceSummary& summary);
+
+}  // namespace gt::trace

@@ -1,0 +1,217 @@
+#include "trace/perfetto.hpp"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace gt::trace {
+namespace {
+
+constexpr double kTimeScale = 1e6;  ///< sim-time units -> microseconds
+
+double finite(double v) noexcept { return std::isfinite(v) ? v : 0.0; }
+
+/// tid 0 = global/engine track, tid i+1 = node i.
+long tid_of(std::uint32_t node) noexcept {
+  return node == kGlobalNode ? 0L : static_cast<long>(node) + 1L;
+}
+
+struct Writer {
+  std::FILE* f = nullptr;
+  bool first = true;
+
+  void event(const char* fmt, ...) __attribute__((format(printf, 2, 3))) {
+    if (!first) std::fputs(",\n", f);
+    first = false;
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(f, fmt, args);
+    va_end(args);
+  }
+};
+
+const char* phase_name(std::uint32_t id) noexcept {
+  switch (static_cast<PhaseId>(id)) {
+    case PhaseId::kRoute: return "route";
+    case PhaseId::kBucket: return "bucket";
+    case PhaseId::kGather: return "gather";
+    case PhaseId::kBookkeeping: return "bookkeeping";
+  }
+  return "phase";
+}
+
+}  // namespace
+
+bool write_perfetto_json(const TraceFileHeader& header,
+                         const std::vector<TraceRecord>& records,
+                         const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perfetto: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", f);
+  Writer w{f, true};
+
+  // First pass: match each hop span to its outcome so the sender-track
+  // slice can span send -> deliver/drop, and collect the tracks in use.
+  struct Outcome {
+    double t = 0.0;
+    bool delivered = false;
+  };
+  std::unordered_map<std::uint64_t, Outcome> outcome;  // span -> landing
+  std::set<long> tids{0};
+  for (const auto& r : records) {
+    tids.insert(tid_of(r.node));
+    const auto kind = static_cast<SpanKind>(r.kind);
+    if (kind == SpanKind::kMsgDeliver || kind == SpanKind::kAckDeliver)
+      outcome[r.span_id] = {r.t_end, true};
+    else if (kind == SpanKind::kMsgDrop || kind == SpanKind::kAckDrop)
+      outcome[r.span_id] = {r.t_end, false};
+    if (r.peer != kNoPeer) tids.insert(tid_of(r.peer));
+  }
+
+  w.event("{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\","
+          "\"args\":{\"name\":\"gossiptrust sim (n=%u)\"}}",
+          header.node_count);
+  for (const long tid : tids) {
+    if (tid == 0)
+      w.event("{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"thread_name\","
+              "\"args\":{\"name\":\"engine\"}}");
+    else
+      w.event("{\"ph\":\"M\",\"pid\":0,\"tid\":%ld,\"name\":\"thread_name\","
+              "\"args\":{\"name\":\"node %ld\"}}",
+              tid, tid - 1);
+    w.event("{\"ph\":\"M\",\"pid\":0,\"tid\":%ld,\"name\":\"thread_sort_index\","
+            "\"args\":{\"sort_index\":%ld}}",
+            tid, tid);
+  }
+
+  // Probe sweeps aggregate into counters: (sweep trace id, field) ->
+  // (t, mean, max) across nodes, emitted after the main pass.
+  struct ProbeAgg {
+    double t = 0.0, sum = 0.0, max = 0.0;
+    std::size_t count = 0;
+  };
+  std::map<std::pair<std::uint64_t, std::uint32_t>, ProbeAgg> probes;
+
+  for (const auto& r : records) {
+    const auto kind = static_cast<SpanKind>(r.kind);
+    const double ts = r.t_start * kTimeScale;
+    const double dur = (r.t_end - r.t_start) * kTimeScale;
+    const long tid = tid_of(r.node);
+    switch (kind) {
+      case SpanKind::kCycle:
+        w.event("{\"ph\":\"X\",\"pid\":0,\"tid\":%ld,\"ts\":%.3f,"
+                "\"dur\":%.3f,\"name\":\"cycle %u\",\"cat\":\"cycle\","
+                "\"args\":{\"trace_id\":%llu,\"change\":%.9g}}",
+                tid, ts, dur, r.flags,
+                static_cast<unsigned long long>(r.trace_id), finite(r.value));
+        break;
+      case SpanKind::kGossipStep:
+        w.event("{\"ph\":\"X\",\"pid\":0,\"tid\":%ld,\"ts\":%.3f,"
+                "\"dur\":%.3f,\"name\":\"step %u\",\"cat\":\"step\","
+                "\"args\":{\"trace_id\":%llu,\"active_triplets\":%.9g}}",
+                tid, ts, dur, r.flags,
+                static_cast<unsigned long long>(r.trace_id), finite(r.value));
+        break;
+      case SpanKind::kPhase:
+        w.event("{\"ph\":\"X\",\"pid\":0,\"tid\":%ld,\"ts\":%.3f,"
+                "\"dur\":%.3f,\"name\":\"%s\",\"cat\":\"phase\","
+                "\"args\":{\"count\":%.9g}}",
+                tid, ts, dur, phase_name(r.flags), finite(r.value));
+        break;
+      case SpanKind::kMsgSend:
+      case SpanKind::kAckSend: {
+        const auto it = outcome.find(r.span_id);
+        const double t_land = it != outcome.end() ? it->second.t : r.t_start;
+        const char* cat = kind == SpanKind::kMsgSend ? "msg" : "ack";
+        w.event("{\"ph\":\"X\",\"pid\":0,\"tid\":%ld,\"ts\":%.3f,"
+                "\"dur\":%.3f,\"name\":\"%s #%llu\",\"cat\":\"%s\","
+                "\"args\":{\"span\":%llu,\"parent\":%llu,\"to\":%ld,"
+                "\"attempt\":%u,\"bytes\":%.9g}}",
+                tid, ts, (t_land - r.t_start) * kTimeScale, cat,
+                static_cast<unsigned long long>(r.trace_id), cat,
+                static_cast<unsigned long long>(r.span_id),
+                static_cast<unsigned long long>(r.parent_id), tid_of(r.peer) - 1,
+                r.flags, finite(r.value));
+        w.event("{\"ph\":\"s\",\"pid\":0,\"tid\":%ld,\"ts\":%.3f,"
+                "\"id\":%llu,\"name\":\"hop\",\"cat\":\"flow\"}",
+                tid, ts, static_cast<unsigned long long>(r.span_id));
+        break;
+      }
+      case SpanKind::kMsgDeliver:
+      case SpanKind::kAckDeliver:
+        w.event("{\"ph\":\"X\",\"pid\":0,\"tid\":%ld,\"ts\":%.3f,"
+                "\"dur\":1,\"name\":\"recv #%llu\",\"cat\":\"%s\","
+                "\"args\":{\"span\":%llu,\"from\":%ld}}",
+                tid, ts, static_cast<unsigned long long>(r.trace_id),
+                kind == SpanKind::kMsgDeliver ? "msg" : "ack",
+                static_cast<unsigned long long>(r.span_id), tid_of(r.peer) - 1);
+        w.event("{\"ph\":\"f\",\"bp\":\"e\",\"pid\":0,\"tid\":%ld,"
+                "\"ts\":%.3f,\"id\":%llu,\"name\":\"hop\",\"cat\":\"flow\"}",
+                tid, ts, static_cast<unsigned long long>(r.span_id));
+        break;
+      case SpanKind::kMsgDrop:
+      case SpanKind::kAckDrop:
+        w.event("{\"ph\":\"i\",\"pid\":0,\"tid\":%ld,\"ts\":%.3f,\"s\":\"t\","
+                "\"name\":\"drop:%s\",\"cat\":\"drop\","
+                "\"args\":{\"trace_id\":%llu,\"span\":%llu}}",
+                tid, ts, drop_reason_name(r.flags),
+                static_cast<unsigned long long>(r.trace_id),
+                static_cast<unsigned long long>(r.span_id));
+        break;
+      case SpanKind::kRetransmit:
+      case SpanKind::kReclaim:
+      case SpanKind::kSuspicion:
+      case SpanKind::kEpochRestart:
+        w.event("{\"ph\":\"i\",\"pid\":0,\"tid\":%ld,\"ts\":%.3f,\"s\":\"t\","
+                "\"name\":\"%s\",\"cat\":\"protocol\","
+                "\"args\":{\"trace_id\":%llu,\"flags\":%u,\"value\":%.9g}}",
+                tid, ts, kind_name(kind),
+                static_cast<unsigned long long>(r.trace_id), r.flags,
+                finite(r.value));
+        break;
+      case SpanKind::kFault:
+        w.event("{\"ph\":\"i\",\"pid\":0,\"tid\":%ld,\"ts\":%.3f,\"s\":\"g\","
+                "\"name\":\"fault #%u\",\"cat\":\"fault\","
+                "\"args\":{\"kind\":%u,\"value\":%.9g}}",
+                tid, ts, r.flags, r.flags, finite(r.value));
+        break;
+      case SpanKind::kProbe: {
+        auto& agg = probes[{r.trace_id, r.flags}];
+        const double v = finite(r.value);
+        agg.t = r.t_end;
+        agg.sum += v;
+        if (agg.count == 0 || v > agg.max) agg.max = v;
+        ++agg.count;
+        break;
+      }
+    }
+  }
+
+  for (const auto& [key, agg] : probes) {
+    const char* name = "probe.weight";
+    if (key.second == static_cast<std::uint32_t>(ProbeField::kMassResidual))
+      name = "probe.mass_residual";
+    else if (key.second == static_cast<std::uint32_t>(ProbeField::kDeltaV))
+      name = "probe.delta_v";
+    w.event("{\"ph\":\"C\",\"pid\":0,\"ts\":%.3f,\"name\":\"%s\","
+            "\"args\":{\"mean\":%.9g,\"max\":%.9g}}",
+            agg.t * kTimeScale, name,
+            agg.count ? agg.sum / static_cast<double>(agg.count) : 0.0, agg.max);
+  }
+
+  std::fputs("\n]}\n", f);
+  const bool ok = std::ferror(f) == 0;
+  if (std::fclose(f) != 0 || !ok) {
+    std::fprintf(stderr, "perfetto: short write to %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace gt::trace

@@ -1,0 +1,34 @@
+// Chrome trace-event JSON export (loadable at ui.perfetto.dev).
+//
+// Maps the binary trace onto Perfetto's track model:
+//   * pid 0 is the simulation; tid 0 is the global "engine" track and
+//     tid i+1 is node i's track (thread_name metadata labels both);
+//   * cycle/step/phase spans become `ph:"X"` complete slices;
+//   * each message hop becomes a sender-track slice spanning send ->
+//     deliver/drop, a receiver-track landing slice, and an `s`/`f` flow
+//     arrow connecting them (the causal arrows you follow in the UI);
+//   * drops, retransmits, reclaims, suspicions, epoch restarts and
+//     fault-injector events become `ph:"i"` instant markers (faults are
+//     global-scoped);
+//   * flight-recorder probes aggregate into `ph:"C"` counter tracks
+//     (mean/max across nodes per sweep, one track per probe field).
+//
+// Simulated time is scaled by 1e6 (one sim-time unit renders as one
+// second); synchronous traces use the gossip-step index as their time
+// axis, so one step renders as one second too.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace gt::trace {
+
+/// Writes `records` as Chrome trace-event JSON. Returns false on I/O
+/// failure (also reported on stderr).
+bool write_perfetto_json(const TraceFileHeader& header,
+                         const std::vector<TraceRecord>& records,
+                         const std::string& path);
+
+}  // namespace gt::trace

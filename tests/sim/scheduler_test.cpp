@@ -145,6 +145,31 @@ TEST(Scheduler, ResetClearsExecutedCounter) {
   EXPECT_EQ(sched.executed(), 3u);  // fresh count, not 8
 }
 
+TEST(Scheduler, NowIsMonotoneWithinRunAndAcrossReset) {
+  // The causal trace stamps every record with now(); the flight recorder
+  // relies on the clock never moving backwards within a run, and reset()
+  // returning it to exactly zero so a reused scheduler starts a fresh,
+  // again-monotone timeline.
+  Scheduler sched;
+  std::vector<double> stamps;
+  for (int i = 0; i < 6; ++i)
+    sched.schedule_at(0.5 * (i + 1), [&] { stamps.push_back(sched.now()); });
+  sched.run_until();
+  for (std::size_t k = 1; k < stamps.size(); ++k)
+    EXPECT_LE(stamps[k - 1], stamps[k]);
+  EXPECT_DOUBLE_EQ(sched.now(), 3.0);
+
+  sched.reset();
+  EXPECT_DOUBLE_EQ(sched.now(), 0.0);
+  stamps.clear();
+  for (int i = 0; i < 4; ++i)
+    sched.schedule_at(1.0 * (i + 1), [&] { stamps.push_back(sched.now()); });
+  sched.run_until();
+  for (std::size_t k = 1; k < stamps.size(); ++k)
+    EXPECT_LE(stamps[k - 1], stamps[k]);
+  EXPECT_DOUBLE_EQ(sched.now(), 4.0);
+}
+
 TEST(Scheduler, PendingExcludesCancelled) {
   Scheduler sched;
   const auto a = sched.schedule_at(1.0, [] {});

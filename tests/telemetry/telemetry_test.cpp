@@ -296,9 +296,9 @@ TEST(EventLog, WritesOneParseableLinePerRecord) {
     log.record("cycle").field("steps", std::uint64_t{21}).field("ok", true);
     log.record("gossip_step").field("step", std::uint64_t{16});
     EXPECT_EQ(log.records_logged(), 2u);
-  }  // destructor flushes + closes
+  }  // destructor flushes + closes (appending a final meta record)
   const auto lines = read_lines(path);
-  ASSERT_EQ(lines.size(), 2u);
+  ASSERT_EQ(lines.size(), 3u);
   // Schema: ts/seq/event stamped first, then context, then fields.
   EXPECT_EQ(lines[0].find("{\"ts\":"), 0u);
   EXPECT_NE(lines[0].find("\"seq\":0"), std::string::npos);
@@ -310,6 +310,7 @@ TEST(EventLog, WritesOneParseableLinePerRecord) {
   EXPECT_EQ(lines[0].back(), '}');
   EXPECT_NE(lines[1].find("\"seq\":1"), std::string::npos);
   EXPECT_NE(lines[1].find("\"event\":\"gossip_step\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"event\":\"meta\""), std::string::npos);
   std::remove(path.c_str());
 }
 
@@ -345,7 +346,7 @@ TEST(EventLog, MetricsSnapshotInlined) {
     log.record("cycle").metrics(reg.snapshot());
   }
   const auto lines = read_lines(path);
-  ASSERT_EQ(lines.size(), 1u);
+  ASSERT_EQ(lines.size(), 2u);  // cycle + final meta record
   EXPECT_NE(lines[0].find("\"gossip.messages_sent\":123"), std::string::npos);
   EXPECT_NE(lines[0].find("\"gossip.active_triplets\":64"), std::string::npos);
   EXPECT_NE(lines[0].find("\"gossip.send_phase_seconds\":{\"count\":1"),
@@ -361,9 +362,52 @@ TEST(EventLog, AppendModePreservesExistingLines) {
   cfg.append = true;
   { EventLog log(cfg); log.record("second"); }
   const auto lines = read_lines(path);
-  ASSERT_EQ(lines.size(), 2u);
+  ASSERT_EQ(lines.size(), 4u);  // each run: its record + final meta record
   EXPECT_NE(lines[0].find("\"event\":\"first\""), std::string::npos);
-  EXPECT_NE(lines[1].find("\"event\":\"second\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"event\":\"meta\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"event\":\"second\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(EventLog, FlightRecorderModeDropsOldestAndReportsLoss) {
+  const std::string path = temp_log_path("overflow");
+  {
+    EventLogConfig cfg;
+    cfg.path = path;
+    cfg.ring_capacity = 4;
+    cfg.drop_oldest_on_overflow = true;
+    EventLog log(cfg);
+    ASSERT_TRUE(log.enabled());
+    for (int i = 0; i < 10; ++i)
+      log.record("tick").field("i", static_cast<std::uint64_t>(i));
+    // 10 records through a 4-slot flight-recorder ring: the oldest 6 are
+    // overwritten rather than flushed, and the loss is accounted.
+    EXPECT_EQ(log.lines_dropped(), 6u);
+  }  // destructor: meta record, flush
+  const auto lines = read_lines(path);
+  // Retained window (newest 4) in order, plus the final meta record.
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_NE(lines[0].find("\"i\":6"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"i\":9"), std::string::npos);
+  EXPECT_NE(lines[4].find("\"event\":\"meta\""), std::string::npos);
+  EXPECT_NE(lines[4].find("\"lines_dropped\":6"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(EventLog, MetaRecordWrittenWithoutOverflow) {
+  const std::string path = temp_log_path("meta");
+  {
+    EventLogConfig cfg;
+    cfg.path = path;
+    EventLog log(cfg);
+    log.record("tick");
+    EXPECT_EQ(log.lines_dropped(), 0u);
+  }
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[1].find("\"event\":\"meta\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"records_logged\":1"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"lines_dropped\":0"), std::string::npos);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,90 @@
+// trace_analyze: flight-recorder post-mortem for GTTRACE1 binary traces.
+//
+//   trace_analyze <trace.bin> [--perfetto out.json] [--expect-clean]
+//                 [--expect-anomalies N] [--mass-tolerance T]
+//                 [--storm-threshold K]
+//
+// Prints the analyzer summary (kind counts, retransmission chains grouped
+// by trace id, partition windows, anomalies) and optionally exports Chrome
+// trace-event JSON loadable at ui.perfetto.dev. Exit codes: 0 ok, 1 an
+// --expect-* check failed, 2 file/usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "trace/analyzer.hpp"
+#include "trace/perfetto.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <trace.bin> [--perfetto out.json] [--expect-clean] "
+               "[--expect-anomalies N] [--mass-tolerance T] "
+               "[--storm-threshold K]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  std::string perfetto_out;
+  bool expect_clean = false;
+  long expect_anomalies = -1;
+  gt::trace::AnalyzerConfig config;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--perfetto") == 0 && i + 1 < argc) {
+      perfetto_out = argv[++i];
+    } else if (std::strcmp(arg, "--expect-clean") == 0) {
+      expect_clean = true;
+    } else if (std::strcmp(arg, "--expect-anomalies") == 0 && i + 1 < argc) {
+      expect_anomalies = std::strtol(argv[++i], nullptr, 10);
+    } else if (std::strcmp(arg, "--mass-tolerance") == 0 && i + 1 < argc) {
+      config.mass_tolerance = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(arg, "--storm-threshold") == 0 && i + 1 < argc) {
+      config.storm_threshold =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg[0] == '-') {
+      return usage(argv[0]);
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (input.empty()) return usage(argv[0]);
+
+  gt::trace::TraceFileHeader header;
+  std::vector<gt::trace::TraceRecord> records;
+  if (!gt::trace::read_trace_file(input, header, records)) return 2;
+
+  const gt::trace::TraceSummary summary =
+      gt::trace::analyze_trace(header, records, config);
+  std::fputs(gt::trace::summary_text(summary).c_str(), stdout);
+
+  if (!perfetto_out.empty()) {
+    if (!gt::trace::write_perfetto_json(header, records, perfetto_out))
+      return 2;
+    std::printf("perfetto json -> %s\n", perfetto_out.c_str());
+  }
+
+  if (expect_clean && !summary.anomalies.empty()) {
+    std::fprintf(stderr, "FAIL: expected a clean trace, found %zu anomalies\n",
+                 summary.anomalies.size());
+    return 1;
+  }
+  if (expect_anomalies >= 0 &&
+      summary.anomalies.size() < static_cast<std::size_t>(expect_anomalies)) {
+    std::fprintf(stderr, "FAIL: expected >= %ld anomalies, found %zu\n",
+                 expect_anomalies, summary.anomalies.size());
+    return 1;
+  }
+  return 0;
+}
