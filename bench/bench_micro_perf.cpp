@@ -3,6 +3,13 @@
 // are caught in isolation.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <vector>
+
 #include "bloom/bloom_filter.hpp"
 #include "bloom/score_store.hpp"
 #include "common/powerlaw.hpp"
@@ -11,9 +18,70 @@
 #include "dht/chord.hpp"
 #include "gossip/pushsum.hpp"
 #include "gossip/vector_gossip.hpp"
+#include "gossip/async_gossip.hpp"
 #include "graph/topology.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
 #include "trust/feedback.hpp"
 #include "trust/generator.hpp"
+
+// ---------------------------------------------------------------------------
+// Counting allocator: this binary replaces global operator new so the
+// event-core cases can report allocations/event. The steady-state scheduler
+// and pooled-network loops are expected to report 0 — that number is checked
+// against the BENCH_5.json baseline by scripts/bench_record.py.
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+// GCC flags free() on memory from a replaced operator new as a mismatch once
+// it inlines both sides; the pairing here is correct by construction (every
+// operator new below allocates with malloc/posix_memalign, both free()able).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), size) != 0)
+    throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 namespace {
 
@@ -160,6 +228,159 @@ void BM_ChordLookup(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ChordLookup)->Arg(1024)->Arg(8192);
+
+// ---------------------------------------------------------------------------
+// Event core: the scheduler + pooled network fast path. Each case warms the
+// slab/heap to steady state outside the timed loop, then reports
+// allocations/event alongside the usual items/sec (scripts/bench_record.py
+// turns these into BENCH_5.json and the CI perf-smoke gate).
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  sim::Scheduler sched;
+  for (std::size_t i = 0; i < batch; ++i) sched.schedule_after(1.0, [] {});
+  sched.run_until();  // warm the slab, freelist, and heap storage
+  std::uint64_t allocs = 0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const auto before = g_heap_allocs.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < batch; ++i)
+      sched.schedule_after(static_cast<double>(i & 15) * 0.25, [] {});
+    sched.run_until();
+    allocs += g_heap_allocs.load(std::memory_order_relaxed) - before;
+    events += batch;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["allocs_per_event"] =
+      static_cast<double>(allocs) / static_cast<double>(events);
+}
+BENCHMARK(BM_SchedulerScheduleRun)->Arg(1024);
+
+void BM_SchedulerScheduleCancel(benchmark::State& state) {
+  // The cancel-heavy pattern (retry timers that usually get disarmed):
+  // schedule a batch, cancel every other event, drain the rest.
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  sim::Scheduler sched;
+  std::vector<sim::EventId> ids(batch);
+  for (std::size_t i = 0; i < batch; ++i)
+    ids[i] = sched.schedule_after(1.0, [] {});
+  for (std::size_t i = 0; i < batch; i += 2) sched.cancel(ids[i]);
+  sched.run_until();
+  std::uint64_t allocs = 0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const auto before = g_heap_allocs.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < batch; ++i)
+      ids[i] = sched.schedule_after(static_cast<double>(i & 7) * 0.5, [] {});
+    for (std::size_t i = 0; i < batch; i += 2) sched.cancel(ids[i]);
+    sched.run_until();
+    allocs += g_heap_allocs.load(std::memory_order_relaxed) - before;
+    events += batch;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["allocs_per_event"] =
+      static_cast<double>(allocs) / static_cast<double>(events);
+}
+BENCHMARK(BM_SchedulerScheduleCancel)->Arg(1024);
+
+void pooled_bench_deliver(void*, std::span<const std::byte>, net::NodeId,
+                          net::NodeId) {}
+
+void BM_NetworkSendPooled(benchmark::State& state) {
+  // The zero-allocation wire path: slab-recycled payload, function-pointer
+  // sink, 16-byte scheduler captures.
+  constexpr std::size_t kNodes = 64;
+  constexpr std::size_t kBurst = 256;
+  sim::Scheduler sched;
+  net::NetworkConfig ncfg;
+  ncfg.base_latency = 1.0;
+  net::Network network(sched, kNodes, ncfg, Rng(1));
+  const net::Network::PooledSend sink{pooled_bench_deliver, nullptr, nullptr,
+                                      nullptr};
+  for (std::size_t i = 0; i < kBurst; ++i) {  // warm pool + meta + scheduler
+    const auto h = network.acquire_payload(24);
+    network.send_pooled(i % kNodes, (i + 1) % kNodes, 24, 1, h, sink);
+  }
+  sched.run_until();
+  std::uint64_t allocs = 0;
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    const auto before = g_heap_allocs.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kBurst; ++i) {
+      const auto h = network.acquire_payload(24);
+      network.send_pooled(i % kNodes, (i + 1) % kNodes, 24, 1, h, sink);
+    }
+    sched.run_until();
+    allocs += g_heap_allocs.load(std::memory_order_relaxed) - before;
+    messages += kBurst;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(messages));
+  state.counters["allocs_per_event"] =
+      static_cast<double>(allocs) / static_cast<double>(messages);
+}
+BENCHMARK(BM_NetworkSendPooled);
+
+void BM_NetworkSendLegacy(benchmark::State& state) {
+  // The closure API now wraps send_pooled(); kept benchmarked so the wrapper
+  // overhead (one heap closure box per message) stays visible.
+  constexpr std::size_t kNodes = 64;
+  constexpr std::size_t kBurst = 256;
+  sim::Scheduler sched;
+  net::NetworkConfig ncfg;
+  ncfg.base_latency = 1.0;
+  net::Network network(sched, kNodes, ncfg, Rng(1));
+  for (std::size_t i = 0; i < kBurst; ++i)
+    network.send(i % kNodes, (i + 1) % kNodes, 24, [] {});
+  sched.run_until();
+  std::uint64_t allocs = 0;
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    const auto before = g_heap_allocs.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kBurst; ++i)
+      network.send(i % kNodes, (i + 1) % kNodes, 24, [] {});
+    sched.run_until();
+    allocs += g_heap_allocs.load(std::memory_order_relaxed) - before;
+    messages += kBurst;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(messages));
+  state.counters["allocs_per_event"] =
+      static_cast<double>(allocs) / static_cast<double>(messages);
+}
+BENCHMARK(BM_NetworkSendLegacy);
+
+void BM_AsyncGossipConverge(benchmark::State& state) {
+  // Full asynchronous aggregation to epsilon-stability, batched vs
+  // per-triplet framing (arg 1/0): the end-to-end win of one wire message
+  // per destination.
+  const bool batch_wire = state.range(0) != 0;
+  constexpr std::size_t n = 64;
+  const auto s = bench_matrix(n);
+  const std::vector<double> v(n, 1.0 / static_cast<double>(n));
+  std::uint64_t triplets = 0;
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    net::NetworkConfig ncfg;
+    ncfg.base_latency = 1.0;
+    net::Network network(sched, n, ncfg, Rng(11));
+    gossip::PushSumConfig pcfg;
+    pcfg.epsilon = 1e-3;
+    pcfg.stable_rounds = 3;
+    pcfg.batch_wire = batch_wire;
+    gossip::AsyncGossip::Timing timing;
+    timing.period = 1.0;
+    timing.timeout = 300.0;
+    gossip::AsyncGossip g(sched, network, pcfg, timing);
+    g.initialize(s, v);
+    Rng rng(5);
+    g.run(rng);
+    sched.run_until();
+    triplets += g.stats().triplets_sent;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(triplets));
+  state.counters["triplets"] = static_cast<double>(triplets) /
+                               static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_AsyncGossipConverge)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

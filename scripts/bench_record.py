@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Record or gate the event-core perf baseline (BENCH_5.json).
+
+Runs the `bench_micro_perf` event-core cases (scheduler dispatch, pooled
+vs legacy network send, batched async gossip) with google-benchmark JSON
+output and folds each case into three numbers:
+
+    events_per_sec    items/sec as reported by the bench
+    ns_per_event      1e9 / events_per_sec
+    allocs_per_event  heap allocations per event, from the bench
+                      binary's counting allocator (global operator new)
+
+Default mode writes the folded measurements to --out (BENCH_5.json), the
+perf trajectory future PRs regress against:
+
+    python3 scripts/bench_record.py --bench build/bench/bench_micro_perf
+
+--check additionally gates the fresh run against a checked-in baseline
+and exits 1 when any case's ns_per_event regresses more than --tolerance
+(default 0.25 = 25%), or when a case that was allocation-free in the
+baseline starts allocating (strict: the zero-allocation claim is the
+point of the event core, so any nonzero count is a failure, not a
+percentage). Faster-than-baseline runs always pass:
+
+    python3 scripts/bench_record.py --bench build/bench/bench_micro_perf \
+        --check results/BENCH_5.json --out BENCH_5.json
+
+Exit status: 0 on success, 1 on a regression or I/O error (so CI can use
+it as a perf gate). No third-party deps.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+# The event-core cases recorded in BENCH_5.json. Names must match the
+# google-benchmark registrations in bench/bench_micro_perf.cpp.
+CASES = (
+    "BM_SchedulerScheduleRun/1024",
+    "BM_SchedulerScheduleCancel/1024",
+    "BM_NetworkSendPooled",
+    "BM_NetworkSendLegacy",
+    "BM_AsyncGossipConverge/1",
+    "BM_AsyncGossipConverge/0",
+)
+FILTER = "|".join(dict.fromkeys(n.split("/")[0] for n in CASES))
+
+
+def run_bench(bench, min_time, repetitions):
+    cmd = [
+        bench,
+        f"--benchmark_filter=^({FILTER})",
+        f"--benchmark_min_time={min_time}",
+        "--benchmark_format=json",
+    ]
+    if repetitions > 1:
+        cmd.append(f"--benchmark_repetitions={repetitions}")
+        cmd.append("--benchmark_report_aggregates_only=true")
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True, check=True)
+    except OSError as exc:
+        raise SystemExit(f"bench_record: cannot run {bench}: {exc}")
+    except subprocess.CalledProcessError as exc:
+        sys.stderr.write(exc.stderr)
+        raise SystemExit(f"bench_record: {bench} exited {exc.returncode}")
+    return json.loads(proc.stdout)
+
+
+def fold(report, repetitions):
+    """google-benchmark JSON -> {case: {events_per_sec, ns_per_event, ...}}."""
+    cases = {}
+    for row in report.get("benchmarks", ()):
+        name = row.get("name", "")
+        base = row.get("run_name", name)
+        if repetitions > 1 and row.get("aggregate_name") != "median":
+            continue
+        if base not in CASES:
+            continue
+        items = row.get("items_per_second")
+        if not items or items <= 0:
+            raise SystemExit(f"bench_record: case {base} reported no "
+                             "items_per_second (bench out of date?)")
+        cases[base] = {
+            "events_per_sec": items,
+            "ns_per_event": 1e9 / items,
+            "allocs_per_event": row.get("allocs_per_event", None),
+        }
+    missing = [c for c in CASES if c not in cases]
+    if missing:
+        raise SystemExit(f"bench_record: missing cases: {', '.join(missing)}")
+    return cases
+
+
+def check(fresh, baseline_path, tolerance):
+    try:
+        with open(baseline_path, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"bench_record: cannot read {baseline_path}: {exc}")
+    failures = []
+    for name, base in baseline.get("cases", {}).items():
+        now = fresh.get(name)
+        if now is None:
+            failures.append(f"{name}: present in baseline but not measured")
+            continue
+        limit = base["ns_per_event"] * (1.0 + tolerance)
+        if now["ns_per_event"] > limit:
+            failures.append(
+                f"{name}: ns/event {now['ns_per_event']:.1f} > "
+                f"{limit:.1f} (baseline {base['ns_per_event']:.1f} "
+                f"+{tolerance:.0%})")
+        base_allocs = base.get("allocs_per_event")
+        now_allocs = now.get("allocs_per_event")
+        if base_allocs == 0 and now_allocs is not None and now_allocs > 0:
+            failures.append(
+                f"{name}: was allocation-free, now "
+                f"{now_allocs:g} allocs/event")
+    for line in failures:
+        print(f"REGRESSION {line}")
+    if not failures:
+        print(f"perf gate passed: {len(baseline.get('cases', {}))} cases "
+              f"within +{tolerance:.0%} of {baseline_path}")
+    return not failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--bench", default="build/bench/bench_micro_perf",
+                    help="path to the bench_micro_perf binary")
+    ap.add_argument("--out", default="BENCH_5.json",
+                    help="where to write the folded measurements")
+    ap.add_argument("--check", metavar="BASELINE",
+                    help="gate the fresh run against this baseline JSON")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed ns/event regression fraction (default 0.25)")
+    ap.add_argument("--min-time", default="0.2",
+                    help="--benchmark_min_time per case (default 0.2)")
+    ap.add_argument("--repetitions", type=int, default=3,
+                    help="benchmark repetitions; the median is recorded "
+                         "(default 3, use 1 for a quick look)")
+    args = ap.parse_args()
+
+    report = run_bench(args.bench, args.min_time, args.repetitions)
+    cases = fold(report, args.repetitions)
+
+    doc = {
+        "schema": "gossiptrust-bench-5",
+        "bench": "bench_micro_perf",
+        "units": {"ns_per_event": "nanoseconds",
+                  "events_per_sec": "items/s",
+                  "allocs_per_event": "heap allocations per event"},
+        "cases": cases,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for name in CASES:
+        c = cases[name]
+        allocs = c["allocs_per_event"]
+        allocs_str = "n/a" if allocs is None else f"{allocs:g}"
+        print(f"{name:36s} {c['events_per_sec']:>14.3e} ev/s "
+              f"{c['ns_per_event']:>10.1f} ns/ev  allocs/ev {allocs_str}")
+    print(f"wrote {args.out}")
+
+    if args.check is not None and not check(cases, args.check, args.tolerance):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,31 @@ namespace {
 /// Wire cost of an acknowledgement: message id + epoch.
 constexpr std::size_t kAckBytes = 16;
 
+// Pooled payloads travel as raw bytes (header, then `count` triplets);
+// memcpy in and out keeps the access well-defined regardless of how the
+// pool aligned the buffer, and compiles to plain loads/stores.
+
+WireHeader read_header(std::span<const std::byte> p) {
+  WireHeader h;
+  std::memcpy(&h, p.data(), sizeof h);
+  return h;
+}
+
+WireEntry read_entry(std::span<const std::byte> p, std::size_t k) {
+  WireEntry e;
+  std::memcpy(&e, p.data() + sizeof(WireHeader) + k * sizeof(WireEntry),
+              sizeof e);
+  return e;
+}
+
+void write_payload(std::span<std::byte> buf, const WireHeader& h,
+                   std::span<const WireEntry> entries) {
+  std::memcpy(buf.data(), &h, sizeof h);
+  if (!entries.empty())
+    std::memcpy(buf.data() + sizeof h, entries.data(),
+                entries.size() * sizeof(WireEntry));
+}
+
 }  // namespace
 
 AsyncGossip::AsyncGossip(sim::Scheduler& scheduler, net::Network& network,
@@ -179,14 +204,14 @@ void AsyncGossip::update_stability(net::NodeId i) {
   stable_count_[i] = stable ? stable_count_[i] + 1 : 0;
 }
 
-void AsyncGossip::add_in_flight(const Payload& p, double sign) {
+void AsyncGossip::add_in_flight(std::span<const WireEntry> p, double sign) {
   for (const auto& e : p) {
     in_flight_x_[e.id] += sign * e.x;
     in_flight_w_[e.id] += sign * e.w;
   }
 }
 
-void AsyncGossip::add_destroyed(const Payload& p) {
+void AsyncGossip::add_destroyed(std::span<const WireEntry> p) {
   for (const auto& e : p) {
     destroyed_x_[e.id] += e.x;
     destroyed_w_[e.id] += e.w;
@@ -250,73 +275,83 @@ void AsyncGossip::node_push(net::NodeId i, Rng& rng, const graph::Graph* overlay
   if (!ok) return;  // isolated or everyone suspected: keeps everything
 
   // Halve the vector; only live (x, w) components ride the wire, packed as
-  // <component id, x, w> triplets, so the in-memory payload matches the
+  // <component id, x, w> triplets, so the payload matches the
   // 24-bytes-per-triplet wire accounting instead of two dense length-n
-  // vectors.
+  // vectors. The staging buffer is a member whose capacity is recycled
+  // across pushes.
   double* xi = row_x(i);
   double* wi = row_w(i);
-  Payload payload;
+  scratch_.clear();
   for (net::NodeId j = 0; j < n_; ++j) {
     if (xi[j] == 0.0 && wi[j] == 0.0) continue;
     const double px = 0.5 * xi[j];
     const double pw = 0.5 * wi[j];
-    payload.push_back({static_cast<std::uint32_t>(j), px, pw});
+    scratch_.push_back({static_cast<std::uint32_t>(j), px, pw});
     xi[j] = px;
     wi[j] = pw;
   }
-  const std::size_t bytes = 24 * payload.size();
 
   if (!reliability_.acks) {
-    // Fire-and-forget: the pushed half rides inside the message closure
+    // Fire-and-forget: the pushed half rides inside a pooled wire buffer
     // until delivery; destruction events (loss, stale epoch) destroy x and
     // w together, which is why pure loss does not bias the ratios.
-    ++stats_.messages_sent;
-    auto shared = std::make_shared<Payload>(std::move(payload));
-    add_in_flight(*shared, +1.0);
-    const std::uint32_t ep = epoch_;
-    trace::TraceCtx tctx;
-    if (trace_ != nullptr) {
-      tctx.trace_id = trace_->alloc_trace();
-      tctx.span_id = trace_->alloc_span();
-    }
-    const bool sent = network_.send(
-        i, target, bytes,
-        [this, target, shared, ep] {
-          add_in_flight(*shared, -1.0);
-          if (ep != epoch_) {
-            // A copy from a pre-repair epoch: its mass was superseded by
-            // the restart's re-seed, so it is destroyed, not applied.
-            ++stats_.stale_discarded;
-            add_destroyed(*shared);
-            return;
-          }
-          double* xt = row_x(target);
-          double* wt = row_w(target);
-          for (const auto& e : *shared) {
-            xt[e.id] += e.x;
-            wt[e.id] += e.w;
-          }
-        },
-        [this, shared](const char*) {
-          ++stats_.messages_dropped;
-          add_in_flight(*shared, -1.0);
-          add_destroyed(*shared);
-        },
-        tctx);
-    if (!sent) {
-      ++stats_.messages_dropped;
-      add_in_flight(*shared, -1.0);
-      add_destroyed(*shared);
+    if (config_.batch_wire || scratch_.empty()) {
+      // One batch per destination per push: one event, one delivery, and
+      // k * 24 payload bytes (an all-zero row still sends its empty push,
+      // as it always did).
+      send_ff(i, target, scratch_);
+    } else {
+      for (const auto& e : scratch_) send_ff(i, target, {&e, 1});
     }
     return;
   }
 
   // Reliable mode: the pending buffer is the canonical owner of the pushed
   // mass until the receiver confirms it (or the sender reclaims it).
+  if (config_.batch_wire || scratch_.empty()) {
+    queue_pending(i, target, Payload(scratch_.begin(), scratch_.end()));
+  } else {
+    for (const auto& e : scratch_) queue_pending(i, target, Payload{e});
+  }
+}
+
+void AsyncGossip::send_ff(net::NodeId from, net::NodeId to,
+                          std::span<const WireEntry> entries) {
+  ++stats_.messages_sent;
+  stats_.triplets_sent += entries.size();
+  add_in_flight(entries, +1.0);
+  trace::TraceCtx tctx;
+  if (trace_ != nullptr) {
+    tctx.trace_id = trace_->alloc_trace();
+    tctx.span_id = trace_->alloc_span();
+  }
+  WireHeader hd;
+  hd.epoch = epoch_;
+  hd.count = static_cast<std::uint32_t>(entries.size());
+  const net::MsgHandle h = network_.acquire_payload(
+      sizeof(WireHeader) + entries.size() * sizeof(WireEntry));
+  write_payload(network_.payload(h), hd, entries);
+  net::Network::PooledSend sink;
+  sink.on_deliver = &AsyncGossip::on_ff_deliver;
+  sink.on_drop = &AsyncGossip::on_ff_drop;
+  sink.ctx = this;
+  const bool sent = network_.send_pooled(
+      from, to, 24 * entries.size(),
+      static_cast<std::uint32_t>(entries.size()), h, sink, tctx);
+  if (!sent) {
+    ++stats_.messages_dropped;
+    stats_.triplets_dropped += entries.size();
+    add_in_flight(entries, -1.0);
+    add_destroyed(entries);
+  }
+}
+
+void AsyncGossip::queue_pending(net::NodeId from, net::NodeId to,
+                                Payload payload) {
   const std::uint64_t id = next_msg_id_++;
   PendingSend rec;
-  rec.from = i;
-  rec.to = target;
+  rec.from = from;
+  rec.to = to;
   rec.epoch = epoch_;
   rec.rto = reliability_.ack_timeout;
   if (trace_ != nullptr) rec.trace_id = trace_->alloc_trace();
@@ -329,15 +364,90 @@ void AsyncGossip::node_push(net::NodeId i, Rng& rng, const graph::Graph* overlay
       scheduler_.schedule_after(stored.rto, [this, id] { on_ack_timeout(id); });
 }
 
+void AsyncGossip::on_ff_deliver(void* ctx, std::span<const std::byte> p,
+                                net::NodeId /*from*/, net::NodeId to) {
+  auto* self = static_cast<AsyncGossip*>(ctx);
+  const WireHeader hd = read_header(p);
+  for (std::size_t k = 0; k < hd.count; ++k) {
+    const WireEntry e = read_entry(p, k);
+    self->in_flight_x_[e.id] -= e.x;
+    self->in_flight_w_[e.id] -= e.w;
+  }
+  if (hd.epoch != self->epoch_) {
+    // A copy from a pre-repair epoch: its mass was superseded by the
+    // restart's re-seed, so it is destroyed, not applied.
+    ++self->stats_.stale_discarded;
+    for (std::size_t k = 0; k < hd.count; ++k) {
+      const WireEntry e = read_entry(p, k);
+      self->destroyed_x_[e.id] += e.x;
+      self->destroyed_w_[e.id] += e.w;
+    }
+    return;
+  }
+  double* xt = self->row_x(to);
+  double* wt = self->row_w(to);
+  for (std::size_t k = 0; k < hd.count; ++k) {
+    const WireEntry e = read_entry(p, k);
+    xt[e.id] += e.x;
+    wt[e.id] += e.w;
+  }
+}
+
+void AsyncGossip::on_ff_drop(void* ctx, std::span<const std::byte> p,
+                             net::NodeId /*from*/, net::NodeId /*to*/,
+                             const char* /*reason*/) {
+  auto* self = static_cast<AsyncGossip*>(ctx);
+  const WireHeader hd = read_header(p);
+  ++self->stats_.messages_dropped;
+  self->stats_.triplets_dropped += hd.count;
+  for (std::size_t k = 0; k < hd.count; ++k) {
+    const WireEntry e = read_entry(p, k);
+    self->in_flight_x_[e.id] -= e.x;
+    self->in_flight_w_[e.id] -= e.w;
+  }
+  for (std::size_t k = 0; k < hd.count; ++k) {
+    const WireEntry e = read_entry(p, k);
+    self->destroyed_x_[e.id] += e.x;
+    self->destroyed_w_[e.id] += e.w;
+  }
+}
+
+void AsyncGossip::on_data_deliver(void* ctx, std::span<const std::byte> p,
+                                  net::NodeId from, net::NodeId to) {
+  auto* self = static_cast<AsyncGossip*>(ctx);
+  const WireHeader hd = read_header(p);
+  self->on_data_arrival(from, to, hd.msg_id, hd.epoch, hd.trace_id,
+                        hd.hop_span);
+}
+
+void AsyncGossip::on_data_drop(void* ctx, std::span<const std::byte> /*p*/,
+                               net::NodeId /*from*/, net::NodeId /*to*/,
+                               const char* /*reason*/) {
+  // A lost copy is retransmitted after the ack timeout; its mass stays in
+  // the sender's pending buffer, so only the copy counter moves.
+  ++static_cast<AsyncGossip*>(ctx)->stats_.messages_dropped;
+}
+
+void AsyncGossip::on_ack_deliver(void* ctx, std::span<const std::byte> p,
+                                 net::NodeId /*from*/, net::NodeId /*to*/) {
+  static_cast<AsyncGossip*>(ctx)->on_ack(read_header(p).msg_id);
+}
+
+void AsyncGossip::on_ack_drop(void* ctx, std::span<const std::byte> /*p*/,
+                              net::NodeId /*from*/, net::NodeId /*to*/,
+                              const char* /*reason*/) {
+  ++static_cast<AsyncGossip*>(ctx)->stats_.acks_dropped;
+}
+
 void AsyncGossip::send_data_copy(std::uint64_t id) {
   auto it = pending_.find(id);
   if (it == pending_.end()) return;
   PendingSend& p = it->second;
   ++stats_.messages_sent;
+  stats_.triplets_sent += p.payload.size();
   const std::size_t bytes = 24 * p.payload.size();
   const net::NodeId from = p.from;
   const net::NodeId to = p.to;
-  const std::uint32_t ep = p.epoch;
   trace::TraceCtx tctx;
   if (trace_ != nullptr && p.trace_id != 0) {
     // Each copy is one hop span; chaining parent_id to the previous hop
@@ -348,14 +458,24 @@ void AsyncGossip::send_data_copy(std::uint64_t id) {
     tctx.attempt = static_cast<std::uint32_t>(p.retries);
     p.last_span = tctx.span_id;
   }
-  const std::uint64_t tid = tctx.trace_id;
-  const std::uint64_t hop_span = tctx.span_id;
-  const bool sent = network_.send(
-      from, to, bytes,
-      [this, from, to, id, ep, tid, hop_span] {
-        on_data_arrival(from, to, id, ep, tid, hop_span);
-      },
-      [this](const char*) { ++stats_.messages_dropped; }, tctx);
+  // The wire copy carries the triplets too (the receiver applies from its
+  // pending_ record for pointer-stable accounting, but the bytes must be
+  // on the wire for the traffic model to mean anything).
+  WireHeader hd;
+  hd.msg_id = id;
+  hd.trace_id = tctx.trace_id;
+  hd.hop_span = tctx.span_id;
+  hd.epoch = p.epoch;
+  hd.count = static_cast<std::uint32_t>(p.payload.size());
+  const net::MsgHandle h = network_.acquire_payload(
+      sizeof(WireHeader) + p.payload.size() * sizeof(WireEntry));
+  write_payload(network_.payload(h), hd, p.payload);
+  net::Network::PooledSend sink;
+  sink.on_deliver = &AsyncGossip::on_data_deliver;
+  sink.on_drop = &AsyncGossip::on_data_drop;
+  sink.ctx = this;
+  const bool sent =
+      network_.send_pooled(from, to, bytes, hd.count, h, sink, tctx);
   if (!sent) ++stats_.messages_dropped;
 }
 
@@ -416,9 +536,15 @@ void AsyncGossip::send_ack(net::NodeId from, net::NodeId to, std::uint64_t id,
     tctx.parent_id = parent_span;
     tctx.ack = true;
   }
-  const bool sent = network_.send(
-      from, to, kAckBytes, [this, id] { on_ack(id); },
-      [this](const char*) { ++stats_.acks_dropped; }, tctx);
+  WireHeader hd;
+  hd.msg_id = id;
+  const net::MsgHandle h = network_.acquire_payload(sizeof(WireHeader));
+  write_payload(network_.payload(h), hd, {});
+  net::Network::PooledSend sink;
+  sink.on_deliver = &AsyncGossip::on_ack_deliver;
+  sink.on_drop = &AsyncGossip::on_ack_drop;
+  sink.ctx = this;
+  const bool sent = network_.send_pooled(from, to, kAckBytes, 1, h, sink, tctx);
   if (!sent) ++stats_.acks_dropped;
 }
 

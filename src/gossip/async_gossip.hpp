@@ -59,6 +59,13 @@ struct AsyncGossipResult {
   bool converged = false;         ///< every live node epsilon-stable
   std::uint64_t messages_sent = 0;     ///< data copies handed to the network
   std::uint64_t messages_dropped = 0;  ///< data copies lost (send-time AND in-flight)
+  std::uint64_t triplets_sent = 0;     ///< logical triplets across all data
+                                       ///< copies (a batch of k counts k, and
+                                       ///< a retransmitted copy counts again),
+                                       ///< so data wire bytes == 24 * this
+  std::uint64_t triplets_dropped = 0;  ///< fire-and-forget triplets destroyed
+                                       ///< by message drops (ack-mode copy
+                                       ///< losses retransmit instead)
   std::uint64_t acks_sent = 0;
   std::uint64_t acks_dropped = 0;
   std::uint64_t retransmits = 0;       ///< data resends after ack timeout
@@ -84,6 +91,28 @@ struct MassAccount {
   double w_gap() const noexcept {
     return resident_w + in_flight_w + destroyed_w - repaired_w - initial_w;
   }
+};
+
+/// Sparse wire triplet: <component id, x half, w half> — 24 bytes each,
+/// matching the accounted wire format (one batch message carries k of
+/// these, so its payload is k * 24 accounted bytes).
+struct WireEntry {
+  std::uint32_t id;
+  double x;
+  double w;
+};
+static_assert(sizeof(WireEntry) == 24, "wire triplets are 24 bytes");
+
+/// In-memory framing header for pooled gossip messages. Not accounted as
+/// wire bytes (it models negligible framing the paper's byte counts
+/// ignore): a data batch is accounted as count * 24 bytes and an ack as
+/// kAckBytes, exactly as before pooling.
+struct WireHeader {
+  std::uint64_t msg_id = 0;    ///< ack-mode message id; 0 = fire-and-forget
+  std::uint64_t trace_id = 0;  ///< causal tree (0 = untraced)
+  std::uint64_t hop_span = 0;  ///< span of the hop that carried this copy
+  std::uint32_t epoch = 0;
+  std::uint32_t count = 0;     ///< WireEntry triplets following the header
 };
 
 /// Asynchronous vector push-sum over a Scheduler + Network.
@@ -191,13 +220,6 @@ class AsyncGossip {
   void set_trace(trace::TraceSink* sink, std::size_t probe_every = 0);
 
  private:
-  /// Sparse wire triplet: <component id, x half, w half> — 24 bytes each,
-  /// matching the accounted wire format.
-  struct WireEntry {
-    std::uint32_t id;
-    double x;
-    double w;
-  };
   using Payload = std::vector<WireEntry>;
 
   struct PendingSend {
@@ -219,7 +241,29 @@ class AsyncGossip {
   void update_stability(net::NodeId i);
   bool all_stable() const;
 
+  /// Fire-and-forget: ships `entries` as one pooled wire message.
+  void send_ff(net::NodeId from, net::NodeId to,
+               std::span<const WireEntry> entries);
+  /// Ack mode: allocates a PendingSend owning `payload`, sends the first
+  /// copy, and arms its retransmission timer.
+  void queue_pending(net::NodeId from, net::NodeId to, Payload payload);
   void send_data_copy(std::uint64_t id);
+
+  // Pooled-network callbacks (ctx is the AsyncGossip instance). Payload
+  // spans are only valid for the duration of the call.
+  static void on_ff_deliver(void* ctx, std::span<const std::byte> p,
+                            net::NodeId from, net::NodeId to);
+  static void on_ff_drop(void* ctx, std::span<const std::byte> p,
+                         net::NodeId from, net::NodeId to, const char* reason);
+  static void on_data_deliver(void* ctx, std::span<const std::byte> p,
+                              net::NodeId from, net::NodeId to);
+  static void on_data_drop(void* ctx, std::span<const std::byte> p,
+                           net::NodeId from, net::NodeId to, const char* reason);
+  static void on_ack_deliver(void* ctx, std::span<const std::byte> p,
+                             net::NodeId from, net::NodeId to);
+  static void on_ack_drop(void* ctx, std::span<const std::byte> p,
+                          net::NodeId from, net::NodeId to, const char* reason);
+
   void on_data_arrival(net::NodeId from, net::NodeId to, std::uint64_t id,
                        std::uint32_t ep, std::uint64_t trace_id,
                        std::uint64_t hop_span);
@@ -234,8 +278,8 @@ class AsyncGossip {
                      net::NodeId peer, std::uint32_t flags, double value);
   void probe_sweep();
   void seed_row(net::NodeId i, bool count_repaired);
-  void add_in_flight(const Payload& p, double sign);
-  void add_destroyed(const Payload& p);
+  void add_in_flight(std::span<const WireEntry> p, double sign);
+  void add_destroyed(std::span<const WireEntry> p);
   void destroy_row(net::NodeId i);
 
   sim::Scheduler& scheduler_;
@@ -249,6 +293,7 @@ class AsyncGossip {
   std::vector<double> w_;
   std::vector<double> prev_ratio_;
   std::vector<std::size_t> stable_count_;
+  Payload scratch_;  ///< per-push triplet staging; capacity is recycled
   AsyncGossipResult stats_;
 
   // Mass ledgers, one slot per component (column).

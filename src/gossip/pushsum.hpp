@@ -35,6 +35,10 @@ struct PushSumConfig {
   double loss_probability = 0.0;    ///< i.i.d. message loss (failure injection)
   bool neighbors_only = false;      ///< push to overlay neighbors instead of any node
   std::size_t num_threads = 1;      ///< vector-gossip kernel lanes (0 = hardware)
+  bool batch_wire = true;           ///< async: coalesce a push's active triplets
+                                    ///< into one wire message per destination
+                                    ///< (false = one message per triplet; same
+                                    ///< math, different traffic accounting)
 };
 
 /// Outcome of a push-sum run.

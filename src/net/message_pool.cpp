@@ -1,0 +1,65 @@
+#include "net/message_pool.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gt::net {
+
+MessagePool::Slot& MessagePool::checked(MsgHandle h, const char* fn) {
+  if (h.gen == 0 || h.slot >= slots_.size() || slots_[h.slot].gen != h.gen) {
+    std::fprintf(stderr,
+                 "MessagePool::%s: stale or invalid handle (slot %u gen %u)\n",
+                 fn, h.slot, h.gen);
+    std::abort();
+  }
+  return slots_[h.slot];
+}
+
+const MessagePool::Slot& MessagePool::checked(MsgHandle h,
+                                              const char* fn) const {
+  return const_cast<MessagePool*>(this)->checked(h, fn);
+}
+
+MsgHandle MessagePool::acquire(std::size_t bytes) {
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  if (s.buf.size() < bytes) s.buf.resize(bytes);  // capacity persists after
+  s.len = bytes;
+  ++s.gen;
+  if (s.gen == 0) ++s.gen;  // 0 marks an invalid handle; skip it on wrap
+  s.refs = 1;
+  ++live_;
+  ++total_acquires_;
+  return MsgHandle{slot, s.gen};
+}
+
+std::span<std::byte> MessagePool::payload(MsgHandle h) {
+  Slot& s = checked(h, "payload");
+  return {s.buf.data(), s.len};
+}
+
+std::span<const std::byte> MessagePool::payload(MsgHandle h) const {
+  const Slot& s = checked(h, "payload");
+  return {s.buf.data(), s.len};
+}
+
+void MessagePool::add_ref(MsgHandle h) { ++checked(h, "add_ref").refs; }
+
+bool MessagePool::release(MsgHandle h) {
+  Slot& s = checked(h, "release");
+  if (--s.refs > 0) return false;
+  ++s.gen;  // retire: every outstanding handle to this occupancy goes stale
+  if (s.gen == 0) ++s.gen;
+  free_.push_back(h.slot);
+  --live_;
+  return true;
+}
+
+}  // namespace gt::net

@@ -1,0 +1,75 @@
+// Slab-recycled payload buffers for in-flight network messages.
+//
+// Every message the simulated network carries used to own a freshly
+// heap-allocated closure (and the gossip layer a shared_ptr'd payload
+// vector on top); at fig3 scale that is millions of allocator round-trips
+// per run. MessagePool replaces per-message ownership with recycled slots:
+// a slot is a byte buffer whose capacity survives release, a generation
+// counter that makes stale handles loudly detectable, and a reference
+// count so a duplicated in-transit copy can share its primary's payload.
+// Once the pool reaches its high-water slot count and per-slot capacity,
+// acquire/release never allocates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gt::net {
+
+/// Handle to a pooled message slot. The generation is checked on every
+/// access, so holding a handle past its release is a loud abort, not a
+/// silent read of some later message's bytes. A default-constructed handle
+/// (gen 0) is never valid.
+struct MsgHandle {
+  std::uint32_t slot = 0;
+  std::uint32_t gen = 0;
+
+  bool valid() const noexcept { return gen != 0; }
+};
+
+/// Freelist-recycled pool of reference-counted byte buffers.
+class MessagePool {
+ public:
+  /// Takes a slot holding `bytes` writable bytes (contents unspecified)
+  /// with reference count 1. Never zero-fills recycled capacity.
+  MsgHandle acquire(std::size_t bytes);
+
+  /// The slot's payload bytes. Aborts on a stale or invalid handle.
+  std::span<std::byte> payload(MsgHandle h);
+  std::span<const std::byte> payload(MsgHandle h) const;
+
+  /// Adds one reference (a duplicated in-transit copy shares the payload).
+  void add_ref(MsgHandle h);
+
+  /// Drops one reference; returns true when this was the last one and the
+  /// slot was retired to the freelist (its generation bumps, so every
+  /// outstanding handle to it becomes stale).
+  bool release(MsgHandle h);
+
+  /// Live (acquired, unreleased) slot count.
+  std::size_t live() const noexcept { return live_; }
+  /// Total slots ever created (high-water mark of concurrent messages).
+  std::size_t slab_size() const noexcept { return slots_.size(); }
+  /// Lifetime acquire count (freelist hits = acquires - slab_size).
+  std::uint64_t total_acquires() const noexcept { return total_acquires_; }
+
+ private:
+  struct Slot {
+    std::vector<std::byte> buf;  ///< capacity persists across recycling
+    std::size_t len = 0;         ///< current payload length <= buf.size()
+    std::uint32_t gen = 0;       ///< parity with live handles; bumped on retire
+    std::uint32_t refs = 0;
+  };
+
+  Slot& checked(MsgHandle h, const char* fn);
+  const Slot& checked(MsgHandle h, const char* fn) const;
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+  std::size_t live_ = 0;
+  std::uint64_t total_acquires_ = 0;
+};
+
+}  // namespace gt::net

@@ -6,6 +6,31 @@
 
 namespace gt::net {
 
+namespace {
+
+/// Heap box carrying the legacy closure pair through the pooled core. One
+/// allocation per send() call (the pooled path itself makes none); freed by
+/// the release hook when the message's pool slot retires.
+struct LegacyClosures {
+  Network::Handler deliver;
+  Network::DropHandler drop;
+};
+
+void legacy_deliver(void* ctx, std::span<const std::byte>, NodeId, NodeId) {
+  auto* c = static_cast<LegacyClosures*>(ctx);
+  if (c->deliver) c->deliver();
+}
+
+void legacy_drop(void* ctx, std::span<const std::byte>, NodeId, NodeId,
+                 const char* reason) {
+  auto* c = static_cast<LegacyClosures*>(ctx);
+  if (c->drop) c->drop(reason);
+}
+
+void legacy_release(void* ctx) { delete static_cast<LegacyClosures*>(ctx); }
+
+}  // namespace
+
 Network::Network(sim::Scheduler& scheduler, std::size_t num_nodes,
                  NetworkConfig config, Rng rng)
     : scheduler_(scheduler),
@@ -42,6 +67,9 @@ void Network::attach_telemetry(telemetry::MetricsRegistry* registry,
     m_sent_ = metrics_->counter("net.messages_sent");
     m_delivered_ = metrics_->counter("net.messages_delivered");
     m_dropped_ = metrics_->counter("net.messages_dropped");
+    m_items_sent_ = metrics_->counter("net.items_sent");
+    m_items_delivered_ = metrics_->counter("net.items_delivered");
+    m_items_dropped_ = metrics_->counter("net.items_dropped");
     m_bytes_sent_ = metrics_->counter("net.bytes_sent");
     m_bytes_delivered_ = metrics_->counter("net.bytes_delivered");
     m_bytes_dropped_ = metrics_->counter("net.bytes_dropped");
@@ -49,11 +77,13 @@ void Network::attach_telemetry(telemetry::MetricsRegistry* registry,
 }
 
 void Network::count_drop(NodeId from, NodeId to, std::size_t size_bytes,
-                         const char* reason) {
+                         std::uint32_t items, const char* reason) {
   ++stats_.messages_dropped;
+  stats_.items_dropped += items;
   stats_.bytes_dropped += size_bytes;
   if (metrics_ != nullptr) {
     metrics_->add(m_dropped_);
+    metrics_->add(m_items_dropped_, items);
     metrics_->add(m_bytes_dropped_, size_bytes);
   }
   if (events_ != nullptr) {
@@ -86,9 +116,73 @@ void Network::trace_event(const trace::TraceCtx& tctx, trace::SpanKind kind,
   trace_->emit(rec);
 }
 
-bool Network::send(NodeId from, NodeId to, std::size_t size_bytes,
-                   Handler on_deliver, DropHandler on_drop,
-                   const trace::TraceCtx& tctx) {
+void Network::finish(MsgHandle h, const PooledSend& sink) {
+  if (pool_.release(h) && sink.on_release != nullptr) sink.on_release(sink.ctx);
+}
+
+void Network::deliver_primary(MsgHandle h) {
+  // Copy the metadata: handlers may send (growing the slab and relocating
+  // meta_), so a reference must not be held across them.
+  const InFlightMeta m = meta_[h.slot];
+  // The receiver may have gone down (or a partition opened) while the
+  // message was in flight, and corrupted payloads fail their checksum on
+  // arrival: the payload bytes never land, so they are accounted as
+  // dropped and the sender's drop hook (if any) is told why.
+  const char* drop_reason = nullptr;
+  if (!node_up_[m.to]) {
+    drop_reason = "receiver_down_in_flight";
+  } else if (cross_partition(m.from, m.to)) {
+    drop_reason = "partitioned_in_flight";
+  } else if (m.corrupt_primary) {
+    drop_reason = "corrupted";
+    ++stats_.messages_corrupted;
+  }
+  if (drop_reason != nullptr) {
+    count_drop(m.from, m.to, m.size_bytes, m.items, drop_reason);
+    if (trace_ != nullptr && m.tctx.active())
+      trace_event(m.tctx,
+                  m.tctx.ack ? trace::SpanKind::kAckDrop
+                             : trace::SpanKind::kMsgDrop,
+                  m.from, m.to, trace::drop_reason_code(drop_reason),
+                  static_cast<double>(m.size_bytes));
+    if (m.sink.on_drop != nullptr)
+      m.sink.on_drop(m.sink.ctx, pool_.payload(h), m.from, m.to, drop_reason);
+  } else {
+    ++stats_.messages_delivered;
+    stats_.items_delivered += m.items;
+    stats_.bytes_delivered += m.size_bytes;
+    if (metrics_ != nullptr) {
+      metrics_->add(m_delivered_);
+      metrics_->add(m_items_delivered_, m.items);
+      metrics_->add(m_bytes_delivered_, m.size_bytes);
+    }
+    if (trace_ != nullptr && m.tctx.active())
+      trace_event(m.tctx,
+                  m.tctx.ack ? trace::SpanKind::kAckDeliver
+                             : trace::SpanKind::kMsgDeliver,
+                  m.to, m.from, m.tctx.attempt,
+                  static_cast<double>(m.size_bytes));
+    if (m.sink.on_deliver != nullptr)
+      m.sink.on_deliver(m.sink.ctx, pool_.payload(h), m.from, m.to);
+  }
+  finish(h, m.sink);
+}
+
+void Network::deliver_duplicate(MsgHandle h) {
+  const InFlightMeta m = meta_[h.slot];
+  // The duplicate is best-effort bonus traffic: its losses are silent and
+  // never touch the primary sent/delivered/dropped invariant.
+  if (node_up_[m.to] && !cross_partition(m.from, m.to) && !m.corrupt_dup) {
+    ++stats_.duplicates_delivered;
+    if (m.sink.on_deliver != nullptr)
+      m.sink.on_deliver(m.sink.ctx, pool_.payload(h), m.from, m.to);
+  }
+  finish(h, m.sink);
+}
+
+bool Network::send_pooled(NodeId from, NodeId to, std::size_t size_bytes,
+                          std::uint32_t items, MsgHandle h,
+                          const PooledSend& sink, const trace::TraceCtx& tctx) {
   check_node(from, "send");
   check_node(to, "send");
   const bool traced = trace_ != nullptr && tctx.active();
@@ -97,9 +191,11 @@ bool Network::send(NodeId from, NodeId to, std::size_t size_bytes,
                 tctx.ack ? trace::SpanKind::kAckSend : trace::SpanKind::kMsgSend,
                 from, to, tctx.attempt, static_cast<double>(size_bytes));
   ++stats_.messages_sent;
+  stats_.items_sent += items;
   stats_.bytes_sent += size_bytes;
   if (metrics_ != nullptr) {
     metrics_->add(m_sent_);
+    metrics_->add(m_items_sent_, items);
     metrics_->add(m_bytes_sent_, size_bytes);
   }
 
@@ -116,12 +212,13 @@ bool Network::send(NodeId from, NodeId to, std::size_t size_bytes,
     reason = "loss";
   }
   if (reason != nullptr) {
-    count_drop(from, to, size_bytes, reason);
+    count_drop(from, to, size_bytes, items, reason);
     if (traced)
       trace_event(tctx,
                   tctx.ack ? trace::SpanKind::kAckDrop : trace::SpanKind::kMsgDrop,
                   from, to, trace::drop_reason_code(reason),
                   static_cast<double>(size_bytes));
+    finish(h, sink);
     return false;
   }
 
@@ -135,64 +232,42 @@ bool Network::send(NodeId from, NodeId to, std::size_t size_bytes,
   double delay = config_.base_latency;
   if (config_.jitter > 0.0) delay += rng_.next_double(0.0, config_.jitter);
 
+  if (meta_.size() < pool_.slab_size()) meta_.resize(pool_.slab_size());
+  InFlightMeta& m = meta_[h.slot];
+  m.sink = sink;
+  m.tctx = tctx;
+  m.from = from;
+  m.to = to;
+  m.size_bytes = size_bytes;
+  m.items = items;
+  m.corrupt_primary = corrupt_primary;
+  m.corrupt_dup = false;
+
   if (duplicate) {
     ++stats_.messages_duplicated;
-    const bool corrupt_dup = rng_.next_bool(config_.corrupt_probability);
+    m.corrupt_dup = rng_.next_bool(config_.corrupt_probability);
     double dup_delay = config_.base_latency;
     if (config_.jitter > 0.0) dup_delay += rng_.next_double(0.0, config_.jitter);
-    // The duplicate is best-effort bonus traffic: its losses are silent
-    // and never touch the primary sent/delivered/dropped invariant.
-    scheduler_.schedule_after(
-        dup_delay, [this, from, to, corrupt_dup, handler = on_deliver] {
-          if (!node_up_[to] || cross_partition(from, to) || corrupt_dup) return;
-          ++stats_.duplicates_delivered;
-          handler();
-        });
+    pool_.add_ref(h);  // the copy shares the payload slot
+    // Scheduled before the primary so that at equal delivery times the
+    // copy's lower sequence number runs first (legacy event order).
+    scheduler_.schedule_after(dup_delay, [this, h] { deliver_duplicate(h); });
   }
 
-  scheduler_.schedule_after(
-      delay, [this, from, to, size_bytes, corrupt_primary, tctx,
-              handler = std::move(on_deliver),
-              dropper = std::move(on_drop)]() mutable {
-        // The receiver may have gone down (or a partition opened) while
-        // the message was in flight, and corrupted payloads fail their
-        // checksum on arrival: the payload bytes never land, so they are
-        // accounted as dropped and the sender's drop closure (if any) is
-        // told why.
-        const char* drop_reason = nullptr;
-        if (!node_up_[to]) {
-          drop_reason = "receiver_down_in_flight";
-        } else if (cross_partition(from, to)) {
-          drop_reason = "partitioned_in_flight";
-        } else if (corrupt_primary) {
-          drop_reason = "corrupted";
-          ++stats_.messages_corrupted;
-        }
-        if (drop_reason != nullptr) {
-          count_drop(from, to, size_bytes, drop_reason);
-          if (trace_ != nullptr && tctx.active())
-            trace_event(tctx,
-                        tctx.ack ? trace::SpanKind::kAckDrop
-                                 : trace::SpanKind::kMsgDrop,
-                        from, to, trace::drop_reason_code(drop_reason),
-                        static_cast<double>(size_bytes));
-          if (dropper) dropper(drop_reason);
-          return;
-        }
-        ++stats_.messages_delivered;
-        stats_.bytes_delivered += size_bytes;
-        if (metrics_ != nullptr) {
-          metrics_->add(m_delivered_);
-          metrics_->add(m_bytes_delivered_, size_bytes);
-        }
-        if (trace_ != nullptr && tctx.active())
-          trace_event(tctx,
-                      tctx.ack ? trace::SpanKind::kAckDeliver
-                               : trace::SpanKind::kMsgDeliver,
-                      to, from, tctx.attempt, static_cast<double>(size_bytes));
-        handler();
-      });
+  scheduler_.schedule_after(delay, [this, h] { deliver_primary(h); });
   return true;
+}
+
+bool Network::send(NodeId from, NodeId to, std::size_t size_bytes,
+                   Handler on_deliver, DropHandler on_drop,
+                   const trace::TraceCtx& tctx) {
+  auto* box = new LegacyClosures{std::move(on_deliver), std::move(on_drop)};
+  PooledSend sink;
+  sink.on_deliver = &legacy_deliver;
+  sink.on_drop = &legacy_drop;
+  sink.on_release = &legacy_release;
+  sink.ctx = box;
+  return send_pooled(from, to, size_bytes, 1, pool_.acquire(0), sink, tctx);
 }
 
 void Network::set_node_up(NodeId node, bool up) {

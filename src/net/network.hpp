@@ -5,21 +5,31 @@
 // and "tolerates link failures", so the network model supports per-message
 // loss, per-link outages, node up/down state, latency, network partitions,
 // and duplication/corruption in transit (the knobs the fault-injection
-// subsystem drives). Delivery is type-erased: senders pass a closure that
-// the network invokes at delivery time, which keeps this layer independent
-// of payload schemas while still accounting message and byte counts for
-// the overhead experiments. An optional per-message drop closure tells the
-// sender about delivery-time losses (in-flight receiver death, partition,
-// corruption) that a bare `send(...) == false` cannot report.
+// subsystem drives).
+//
+// Two send paths share one delivery core:
+//   * send_pooled() — the fast path. The payload lives in a slab-recycled
+//     MessagePool buffer and the sender provides plain function pointers
+//     (deliver / drop / release) plus one context pointer, so an in-flight
+//     message costs zero heap allocations in steady state and its scheduler
+//     event captures just {network, handle, flag}.
+//   * send() — the legacy closure API, kept as a thin wrapper: the two
+//     std::functions ride in a single heap box that the pool's release hook
+//     frees when the message retires. Semantics are unchanged.
+// Both account message and byte counts for the overhead experiments, plus
+// logical item counts so a batched wire message (one event, k triplets)
+// still reports its k items to TrafficStats and telemetry.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "net/message_pool.hpp"
 #include "sim/scheduler.hpp"
 #include "telemetry/event_log.hpp"
 #include "telemetry/metrics.hpp"
@@ -32,7 +42,11 @@ using NodeId = std::size_t;
 /// Aggregate traffic counters, one per Network instance. Invariant (once
 /// all in-flight messages have been drained by the scheduler):
 ///   messages_sent == messages_delivered + messages_dropped
+///   items_sent    == items_delivered + items_dropped
 ///   bytes_sent    == bytes_delivered + bytes_dropped + in-flight bytes
+/// messages_* count wire messages (a batch is one message); items_* count
+/// the logical units the sender declared (e.g. gossip triplets in a batch),
+/// so the two series reconcile batching against per-item accounting.
 /// Duplicate copies are accounted separately (messages_duplicated /
 /// duplicates_delivered) and never perturb the primary invariant.
 struct TrafficStats {
@@ -42,6 +56,9 @@ struct TrafficStats {
   std::uint64_t messages_corrupted = 0; ///< subset of dropped: checksum fail
   std::uint64_t messages_duplicated = 0;   ///< extra copies created in transit
   std::uint64_t duplicates_delivered = 0;  ///< extra copies that landed
+  std::uint64_t items_sent = 0;        ///< logical units across all messages
+  std::uint64_t items_delivered = 0;
+  std::uint64_t items_dropped = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_delivered = 0;
   std::uint64_t bytes_dropped = 0;      ///< payload of dropped messages
@@ -73,10 +90,49 @@ class Network {
   /// ("receiver_down_in_flight", "partitioned_in_flight", "corrupted").
   using DropHandler = std::function<void(const char* reason)>;
 
+  /// Pooled-path callbacks: plain function pointers sharing one context
+  /// pointer, so registering them allocates nothing. The payload span is
+  /// valid only for the duration of the call.
+  using DeliverFn = void (*)(void* ctx, std::span<const std::byte> payload,
+                             NodeId from, NodeId to);
+  using DropFn = void (*)(void* ctx, std::span<const std::byte> payload,
+                          NodeId from, NodeId to, const char* reason);
+  using ReleaseFn = void (*)(void* ctx);
+
+  /// Sink for one pooled message. `on_deliver` runs at delivery (possibly
+  /// twice when a duplicate copy lands); `on_drop` runs instead for an
+  /// in-flight loss (send-time drops are reported only by send_pooled()
+  /// returning false, mirroring the closure API); `on_release` runs exactly
+  /// once when the message's pool slot retires — after the last deliver or
+  /// drop — and is the hook for freeing `ctx`.
+  struct PooledSend {
+    DeliverFn on_deliver = nullptr;
+    DropFn on_drop = nullptr;
+    ReleaseFn on_release = nullptr;
+    void* ctx = nullptr;
+  };
+
   Network(sim::Scheduler& scheduler, std::size_t num_nodes, NetworkConfig config,
           Rng rng);
 
   std::size_t num_nodes() const noexcept { return node_up_.size(); }
+
+  /// Takes a recycled payload buffer of `bytes` writable bytes. Fill it via
+  /// payload(), then pass the handle to send_pooled(), which assumes
+  /// ownership (including on send-time drop).
+  MsgHandle acquire_payload(std::size_t bytes) { return pool_.acquire(bytes); }
+  std::span<std::byte> payload(MsgHandle h) { return pool_.payload(h); }
+
+  /// Sends the pooled message `h` (accounted as `size_bytes` wire bytes and
+  /// `items` logical units) from `from` to `to`. Returns true when the
+  /// message was enqueued for delivery; false means it was dropped at send
+  /// time — the payload is still readable until this call returns, but the
+  /// handle is consumed either way. RNG draw order, scheduling order
+  /// (duplicate copy before primary), latency model, counters, and tracing
+  /// are identical to the closure path.
+  bool send_pooled(NodeId from, NodeId to, std::size_t size_bytes,
+                   std::uint32_t items, MsgHandle h, const PooledSend& sink,
+                   const trace::TraceCtx& tctx = {});
 
   /// Sends a message of `size_bytes` from `from` to `to`; `on_deliver` runs
   /// at delivery time unless the message is dropped. Returns true when the
@@ -114,6 +170,10 @@ class Network {
   const TrafficStats& stats() const noexcept { return stats_; }
   void reset_stats() { stats_.reset(); }
 
+  /// The payload pool (exposed for allocation-behaviour assertions: slab
+  /// high-water mark, live count, freelist reuse).
+  const MessagePool& pool() const noexcept { return pool_; }
+
   const NetworkConfig& config() const noexcept { return config_; }
   void set_loss_probability(double p) { config_.loss_probability = p; }
   void set_duplicate_probability(double p) { config_.duplicate_probability = p; }
@@ -132,12 +192,30 @@ class Network {
   void attach_trace(trace::TraceSink* sink) { trace_ = sink; }
 
  private:
+  /// Per-in-flight-message bookkeeping, parallel to the pool slab (indexed
+  /// by slot). Valid while the slot is live; scheduler events carry only
+  /// the generation-checked handle.
+  struct InFlightMeta {
+    PooledSend sink;
+    trace::TraceCtx tctx;
+    NodeId from = 0;
+    NodeId to = 0;
+    std::size_t size_bytes = 0;
+    std::uint32_t items = 0;
+    bool corrupt_primary = false;
+    bool corrupt_dup = false;
+  };
+
   static std::uint64_t link_key(NodeId a, NodeId b) noexcept;
   void check_node(NodeId node, const char* fn) const;
   void count_drop(NodeId from, NodeId to, std::size_t size_bytes,
-                  const char* reason);
+                  std::uint32_t items, const char* reason);
   void trace_event(const trace::TraceCtx& tctx, trace::SpanKind kind,
                    NodeId node, NodeId peer, std::uint32_t flags, double value);
+  void deliver_primary(MsgHandle h);
+  void deliver_duplicate(MsgHandle h);
+  /// Drops one pool reference; on retirement fires the sink's release hook.
+  void finish(MsgHandle h, const PooledSend& sink);
 
   sim::Scheduler& scheduler_;
   NetworkConfig config_;
@@ -146,11 +224,14 @@ class Network {
   std::unordered_set<std::uint64_t> failed_links_;
   std::vector<int> partition_;  ///< empty = no partition
   TrafficStats stats_;
+  MessagePool pool_;
+  std::vector<InFlightMeta> meta_;  ///< slot-indexed, grown with the slab
 
   telemetry::EventLog* events_ = nullptr;
   telemetry::MetricsRegistry* metrics_ = nullptr;
   trace::TraceSink* trace_ = nullptr;
   telemetry::Counter m_sent_, m_delivered_, m_dropped_;
+  telemetry::Counter m_items_sent_, m_items_delivered_, m_items_dropped_;
   telemetry::Counter m_bytes_sent_, m_bytes_delivered_, m_bytes_dropped_;
 };
 

@@ -1,0 +1,107 @@
+// Small-buffer-only callable for the discrete-event hot path.
+//
+// std::function<void()> type-erases through the heap whenever the capture
+// exceeds the implementation's tiny SBO window (16 bytes on libstdc++), so
+// every scheduled gossip event used to cost an allocator round-trip before
+// any simulation work happened. InlineCallback is the allocation-free
+// replacement: a fixed 48-byte inline buffer, a three-entry manual vtable
+// (invoke / relocate / destroy), and a *compile-time* rejection of captures
+// that do not fit — an oversized lambda is a loud static_assert naming the
+// limit, never a silent heap fallback. Move-only, like the events it
+// carries.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace gt::sim {
+
+/// Capture budget for scheduled events: six pointer-sized slots. Big enough
+/// for every event closure in the simulator (the largest, AsyncGossip's
+/// timer-arming lambda, captures this + node + rng ref + overlay + a
+/// shared_ptr = exactly 48 bytes); small enough that a heap of events stays
+/// cache-resident.
+inline constexpr std::size_t kInlineCallbackCapacity = 48;
+
+/// Move-only `void()` callable with inline-only storage.
+class InlineCallback {
+ public:
+  InlineCallback() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor): mirrors
+                           // std::function's converting constructor
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kInlineCallbackCapacity,
+                  "InlineCallback: callable capture exceeds the 48-byte "
+                  "inline budget — shrink the capture (pack indices, move "
+                  "shared state behind one pointer) instead of growing the "
+                  "event; scheduled events must stay allocation-free");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "InlineCallback: over-aligned callable");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "InlineCallback: callable must be nothrow-movable (the "
+                  "event pool relocates callbacks when slabs grow)");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    ops_ = &OpsFor<Fn>::ops;
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { move_from(other); }
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+  ~InlineCallback() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  /// Destroys the held callable (no-op when empty).
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src) noexcept;  ///< move-construct dst, destroy src
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  struct OpsFor {
+    static void invoke(void* p) { (*static_cast<Fn*>(p))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+      static_cast<Fn*>(src)->~Fn();
+    }
+    static void destroy(void* p) noexcept { static_cast<Fn*>(p)->~Fn(); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  void move_from(InlineCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCallbackCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace gt::sim

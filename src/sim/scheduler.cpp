@@ -6,17 +6,73 @@
 
 namespace gt::sim {
 
-EventId Scheduler::alloc_event(Callback cb) {
-  EventId id;
-  if (!free_ids_.empty()) {
-    id = free_ids_.back();
-    free_ids_.pop_back();
-    events_[id] = Pending{std::move(cb), false, false, 0.0};
-  } else {
-    id = events_.size();
-    events_.push_back(Pending{std::move(cb), false, false, 0.0});
+// 4-ary heap layout over the flat vector: children of i are 4i+1 .. 4i+4.
+// Shallower than a binary heap (log4 vs log2 levels), so a push/pop touches
+// fewer cache lines; the wider sibling scan is four comparisons against
+// entries that share at most two cache lines.
+
+void Scheduler::heap_push(HeapEntry e) {
+  std::size_t i = heap_.size();
+  heap_.push_back(e);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!entry_less(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
   }
-  return id;
+}
+
+Scheduler::HeapEntry Scheduler::heap_pop() {
+  assert(!heap_.empty());
+  const HeapEntry top = heap_[0];
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    std::size_t i = 0;
+    const std::size_t size = heap_.size();
+    for (;;) {
+      const std::size_t first_child = 4 * i + 1;
+      if (first_child >= size) break;
+      std::size_t best = first_child;
+      const std::size_t end = std::min(first_child + 4, size);
+      for (std::size_t c = first_child + 1; c < end; ++c)
+        if (entry_less(heap_[c], heap_[best])) best = c;
+      if (!entry_less(heap_[best], last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return top;
+}
+
+std::uint32_t Scheduler::alloc_slot(Callback cb) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(events_.size());
+    events_.emplace_back();
+  }
+  Event& e = events_[slot];
+  e.cb = std::move(cb);
+  ++e.gen;  // first occupancy gets gen 1, so id 0 is never valid
+  if (e.gen == 0) ++e.gen;  // skip 0 on wraparound
+  e.live = true;
+  e.cancelled = false;
+  e.periodic = false;
+  e.period = 0.0;
+  return slot;
+}
+
+void Scheduler::release_slot(std::uint32_t slot) {
+  Event& e = events_[slot];
+  e.cb.reset();
+  e.live = false;
+  e.cancelled = false;
+  e.periodic = false;
+  free_slots_.push_back(slot);
 }
 
 void Scheduler::attach_telemetry(telemetry::MetricsRegistry* registry) {
@@ -25,60 +81,82 @@ void Scheduler::attach_telemetry(telemetry::MetricsRegistry* registry) {
     m_scheduled_ = metrics_->counter("sim.events_scheduled");
     m_executed_ = metrics_->counter("sim.events_executed");
     m_cancelled_ = metrics_->counter("sim.events_cancelled");
+    m_stale_ = metrics_->counter("sim.stale_cancels");
   }
 }
 
 EventId Scheduler::schedule_at(SimTime when, Callback cb) {
   if (when < now_) throw std::invalid_argument("Scheduler: cannot schedule in the past");
-  const EventId id = alloc_event(std::move(cb));
-  queue_.push(Entry{when, seq_++, id});
+  const std::uint32_t slot = alloc_slot(std::move(cb));
+  heap_push(HeapEntry{when, seq_++, slot, 0});
   if (metrics_ != nullptr) metrics_->add(m_scheduled_);
-  return id;
+  return make_id(slot);
 }
 
 EventId Scheduler::schedule_periodic(SimTime period, Callback cb) {
   if (period <= 0.0) throw std::invalid_argument("Scheduler: period must be positive");
-  const EventId id = alloc_event(std::move(cb));
-  events_[id].periodic = true;
-  events_[id].period = period;
-  queue_.push(Entry{now_ + period, seq_++, id});
+  const std::uint32_t slot = alloc_slot(std::move(cb));
+  events_[slot].periodic = true;
+  events_[slot].period = period;
+  heap_push(HeapEntry{now_ + period, seq_++, slot, 0});
   if (metrics_ != nullptr) metrics_->add(m_scheduled_);
-  return id;
+  return make_id(slot);
 }
 
 bool Scheduler::cancel(EventId id) {
-  if (id >= events_.size()) return false;
-  Pending& p = events_[id];
-  if (p.cancelled || !p.cb) return false;
-  p.cancelled = true;
+  const std::uint32_t slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+  if (gen == 0 || slot >= events_.size()) return false;
+  Event& e = events_[slot];
+  if (e.gen != gen) {
+    // The event this id named has completed and its slot may have been
+    // recycled: refuse loudly (counter + telemetry) instead of silently
+    // cancelling the slot's current occupant.
+    ++stale_cancels_;
+    if (metrics_ != nullptr) metrics_->add(m_stale_);
+    return false;
+  }
+  if (!e.live || e.cancelled) return false;
+  e.cancelled = true;
   ++cancelled_pending_;
   if (metrics_ != nullptr) metrics_->add(m_cancelled_);
   return true;
 }
 
 bool Scheduler::step() {
-  while (!queue_.empty()) {
-    const Entry top = queue_.top();
-    queue_.pop();
-    Pending& p = events_[top.id];
-    if (p.cancelled) {
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_pop();
+    const std::uint32_t slot = top.slot;
+    Event& e = events_[slot];
+    if (e.cancelled) {
       --cancelled_pending_;
-      p = Pending{};
-      free_ids_.push_back(top.id);
+      release_slot(slot);
       continue;
     }
     assert(top.when >= now_);
     now_ = top.when;
     ++executed_;
     if (metrics_ != nullptr) metrics_->add(m_executed_);
-    if (p.periodic) {
-      // Re-arm before invoking so the callback may cancel itself.
-      queue_.push(Entry{now_ + p.period, seq_++, top.id});
-      p.cb();
+    if (e.periodic) {
+      // Re-arm before invoking so the callback may cancel itself. The
+      // callback runs from a local (the slab may grow — and relocate — if
+      // the callback schedules events) and is moved back afterwards unless
+      // the callback cancelled its own id.
+      heap_push(HeapEntry{now_ + e.period, seq_++, slot, 0});
+      const std::uint32_t gen = e.gen;
+      Callback cb = std::move(e.cb);
+      cb();
+      // Re-index: the slab may have reallocated (the callback scheduled
+      // events) or been reset; move the callback back only when the slot
+      // still holds this very occupancy and it was not cancelled.
+      if (slot < events_.size()) {
+        Event& after = events_[slot];
+        if (after.live && after.gen == gen && !after.cancelled)
+          after.cb = std::move(cb);
+      }
     } else {
-      Callback cb = std::move(p.cb);
-      p = Pending{};
-      free_ids_.push_back(top.id);
+      Callback cb = std::move(e.cb);
+      release_slot(slot);
       cb();
     }
     return true;
@@ -88,9 +166,8 @@ bool Scheduler::step() {
 
 std::size_t Scheduler::run_until(SimTime horizon) {
   std::size_t count = 0;
-  while (!queue_.empty()) {
-    const Entry& top = queue_.top();
-    if (top.when > horizon) break;
+  while (!heap_.empty()) {
+    if (heap_[0].when > horizon) break;
     if (step()) ++count;
   }
   // Advance the clock to the horizon when it is finite so repeated calls
@@ -102,13 +179,25 @@ std::size_t Scheduler::run_until(SimTime horizon) {
 }
 
 void Scheduler::reset() {
-  queue_ = {};
-  events_.clear();
-  free_ids_.clear();
+  heap_.clear();
+  // Release slots instead of destroying them: the slab keeps each slot's
+  // generation counter, so EventIds minted before the reset stay stale and
+  // can never cancel a post-reset event that happens to reuse their slot.
+  free_slots_.clear();
+  free_slots_.reserve(events_.size());
+  for (std::size_t i = events_.size(); i-- > 0;) {
+    Event& e = events_[i];
+    e.cb.reset();
+    e.live = false;
+    e.cancelled = false;
+    e.periodic = false;
+    free_slots_.push_back(static_cast<std::uint32_t>(i));
+  }
   now_ = 0.0;
   seq_ = 0;
   executed_ = 0;  // a reused scheduler must not report pre-reset executions
   cancelled_pending_ = 0;
+  stale_cancels_ = 0;
 }
 
 }  // namespace gt::sim

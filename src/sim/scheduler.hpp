@@ -5,25 +5,43 @@
 // experiments use one unit per gossip step, the file-sharing workload uses
 // one unit per query). Events are closures ordered by (time, sequence), so
 // ties execute in scheduling order and runs are fully deterministic.
+//
+// The event core is allocation-free in steady state:
+//   * callbacks are InlineCallback (48-byte inline storage, compile-time
+//     rejection of oversized captures) instead of std::function, so no
+//     closure ever touches the heap;
+//   * event slots live in a slab (std::vector) recycled through a freelist,
+//     and the ready queue is a 4-ary heap over a flat vector — both reach a
+//     high-water capacity and then stop allocating;
+//   * event ids carry a per-slot generation counter, so an id from a
+//     completed event can never cancel the event that later reused its slot
+//     (stale cancels are counted and reported instead of misfiring).
+// The heap pops the strict minimum by (time, seq) exactly like the
+// std::priority_queue it replaced, so event order — and therefore RNG
+// consumption and simulation results — is bit-identical to the legacy
+// implementation.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <limits>
-#include <queue>
 #include <vector>
 
+#include "sim/inline_callback.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace gt::sim {
 
 using SimTime = double;
+
+/// Opaque event id: low 32 bits index the slot slab, high 32 bits carry the
+/// slot's generation at allocation time. 0 is never a valid id (generations
+/// start at 1), so a default-initialized id is always a safe no-op cancel.
 using EventId = std::uint64_t;
 
 /// Deterministic discrete-event scheduler.
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;
@@ -47,7 +65,10 @@ class Scheduler {
   EventId schedule_periodic(SimTime period, Callback cb);
 
   /// Cancels a pending event. Safe on already-fired or unknown ids
-  /// (returns false in those cases).
+  /// (returns false in those cases). A stale id — one whose slot was
+  /// recycled by a later event — is guaranteed not to cancel the newer
+  /// event: the generation mismatch makes it a no-op, counted in
+  /// stale_cancels() and the `sim.stale_cancels` telemetry counter.
   bool cancel(EventId id);
 
   /// Runs events until the queue empties or `horizon` is passed.
@@ -57,51 +78,76 @@ class Scheduler {
   /// Executes exactly one event if available; returns whether one ran.
   bool step();
 
-  /// Number of events waiting (including cancelled tombstones not yet popped).
-  std::size_t pending() const noexcept { return queue_.size() - cancelled_pending_; }
+  /// Number of events waiting (excluding cancelled tombstones not yet popped).
+  std::size_t pending() const noexcept { return heap_.size() - cancelled_pending_; }
 
   /// Total events executed since construction or the last reset().
   std::size_t executed() const noexcept { return executed_; }
 
+  /// Cancels that named an already-completed (and possibly recycled) event:
+  /// each was refused rather than misdirected at the slot's new occupant.
+  std::size_t stale_cancels() const noexcept { return stale_cancels_; }
+
   /// Drops all pending events, resets the clock to zero, and zeroes the
-  /// executed-event counter: a reset scheduler is indistinguishable from a
-  /// freshly constructed one.
+  /// executed-event counter: a reset scheduler behaves like a freshly
+  /// constructed one, except that slot generations keep climbing — an
+  /// EventId minted before reset() can never cancel a post-reset event
+  /// that reuses its slot (it is refused as stale instead). Slab/heap
+  /// capacity is retained as a warm cache.
   void reset();
 
   /// Mirrors event counters (`sim.events_scheduled` / `sim.events_executed`
-  /// / `sim.events_cancelled`) into `registry` (lane 0); null detaches.
+  /// / `sim.events_cancelled` / `sim.stale_cancels`) into `registry`
+  /// (lane 0); null detaches.
   void attach_telemetry(telemetry::MetricsRegistry* registry);
 
  private:
-  struct Entry {
-    SimTime when;
-    std::uint64_t seq;
-    EventId id;
-    bool operator>(const Entry& other) const noexcept {
-      if (when != other.when) return when > other.when;
-      return seq > other.seq;
-    }
-  };
-
-  struct Pending {
+  /// One slab slot. `gen` counts how many events have occupied the slot;
+  /// ids minted from it embed the generation, and only a matching pair is
+  /// live. Slots are recycled through `free_slots_`.
+  struct Event {
     Callback cb;
+    std::uint32_t gen = 0;
+    bool live = false;
     bool cancelled = false;
     bool periodic = false;
     SimTime period = 0.0;
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  std::vector<Pending> events_;          // indexed by EventId
-  std::vector<EventId> free_ids_;        // recycled slots
+  /// Ready-queue entry: 24 bytes, three per cache line. The heap key is
+  /// (when, seq); seq is unique, so the pop order is a total order.
+  struct HeapEntry {
+    SimTime when;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t pad = 0;
+  };
+
+  static bool entry_less(const HeapEntry& a, const HeapEntry& b) noexcept {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+
+  void heap_push(HeapEntry e);
+  HeapEntry heap_pop();
+
+  std::uint32_t alloc_slot(Callback cb);
+  EventId make_id(std::uint32_t slot) const noexcept {
+    return (static_cast<EventId>(events_[slot].gen) << 32) | slot;
+  }
+  void release_slot(std::uint32_t slot);
+
+  std::vector<HeapEntry> heap_;          // 4-ary min-heap by (when, seq)
+  std::vector<Event> events_;            // slot slab
+  std::vector<std::uint32_t> free_slots_;
   SimTime now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::size_t executed_ = 0;
   std::size_t cancelled_pending_ = 0;
+  std::size_t stale_cancels_ = 0;
 
   telemetry::MetricsRegistry* metrics_ = nullptr;
-  telemetry::Counter m_scheduled_, m_executed_, m_cancelled_;
-
-  EventId alloc_event(Callback cb);
+  telemetry::Counter m_scheduled_, m_executed_, m_cancelled_, m_stale_;
 };
 
 }  // namespace gt::sim

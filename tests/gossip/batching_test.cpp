@@ -1,0 +1,227 @@
+// Per-link batching invariants for asynchronous gossip.
+//
+// A push's active triplets travel as one batched wire message by default
+// (PushSumConfig::batch_wire); the per-triplet mode exists to validate the
+// accounting. These tests pin down: the TrafficStats invariant in both
+// modes under faults, the triplet/byte reconciliation (data wire bytes ==
+// 24 * logical triplets in both modes, batched or not), batch drops
+// destroying every contained triplet's mass, and bit-identical estimates
+// across modes when no fault knob draws randomness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gossip/async_gossip.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+#include "trust/feedback.hpp"
+#include "trust/generator.hpp"
+#include "trust/matrix.hpp"
+
+namespace gt::gossip {
+namespace {
+
+trust::SparseMatrix batching_matrix(std::size_t n, std::uint64_t seed) {
+  trust::FeedbackLedger ledger(n);
+  trust::FeedbackGenConfig cfg;
+  cfg.n = n;
+  cfg.d_max = n / 2;
+  cfg.d_avg = static_cast<double>(n) / 4.0;
+  Rng rng(seed);
+  const std::vector<double> quality(n, 0.9);
+  trust::generate_honest_feedback(ledger, quality, cfg, rng);
+  return ledger.normalized_matrix();
+}
+
+struct AsyncRun {
+  AsyncGossipResult gossip;
+  net::TrafficStats net;
+  std::vector<double> estimates;
+  double mass_gap = 0.0;
+};
+
+AsyncRun run_async(bool batch_wire, bool acks, bool faults) {
+  const std::size_t n = 24;
+  sim::Scheduler sched;
+  net::NetworkConfig ncfg;
+  ncfg.base_latency = 1.0;
+  if (faults) {
+    ncfg.jitter = 0.4;
+    ncfg.loss_probability = 0.08;
+    ncfg.duplicate_probability = 0.03;
+    ncfg.corrupt_probability = 0.02;
+  }
+  net::Network network(sched, n, ncfg, Rng(11));
+
+  PushSumConfig pcfg;
+  pcfg.epsilon = 1e-3;
+  pcfg.stable_rounds = 3;
+  pcfg.batch_wire = batch_wire;
+  AsyncGossip::Timing timing;
+  timing.period = 1.0;
+  timing.timeout = 300.0;
+  AsyncGossip::Reliability rel;
+  if (acks) {
+    rel.acks = true;
+    rel.ack_timeout = 4.0;
+  }
+  AsyncGossip gossip(sched, network, pcfg, timing, rel);
+
+  const auto s = batching_matrix(n, 77);
+  const std::vector<double> v(n, 1.0 / static_cast<double>(n));
+  gossip.initialize(s, v);
+  Rng rng(5);
+  gossip.run(rng);
+  sched.run_until();  // drain every in-flight delivery and retry timer
+
+  AsyncRun r;
+  r.gossip = gossip.stats();
+  r.net = network.stats();
+  r.estimates.reserve(n * n);
+  for (net::NodeId i = 0; i < n; ++i)
+    for (net::NodeId j = 0; j < n; ++j) r.estimates.push_back(gossip.estimate(i, j));
+  r.mass_gap = gossip.mass_invariant_gap();
+  return r;
+}
+
+TEST(Batching, TrafficInvariantHoldsInBothModesUnderFaults) {
+  for (const bool batch : {true, false}) {
+    const AsyncRun r = run_async(batch, /*acks=*/false, /*faults=*/true);
+    SCOPED_TRACE(batch ? "batched" : "per-triplet");
+    EXPECT_GT(r.net.messages_sent, 0u);
+    EXPECT_EQ(r.net.messages_sent,
+              r.net.messages_delivered + r.net.messages_dropped);
+    EXPECT_EQ(r.net.items_sent, r.net.items_delivered + r.net.items_dropped);
+    EXPECT_EQ(r.net.bytes_sent, r.net.bytes_delivered + r.net.bytes_dropped);
+  }
+}
+
+TEST(Batching, TripletCountersReconcileWithBytes) {
+  // Every data triplet is 24 accounted wire bytes, batched or not; in ack
+  // mode each ack adds its fixed 16 bytes. The gossip-side triplet counter
+  // and the network-side byte counter are kept by different layers, so
+  // agreement means the batching path accounts every logical unit.
+  for (const bool batch : {true, false}) {
+    SCOPED_TRACE(batch ? "batched" : "per-triplet");
+    const AsyncRun ff = run_async(batch, /*acks=*/false, /*faults=*/true);
+    EXPECT_EQ(ff.net.bytes_sent, 24 * ff.gossip.triplets_sent);
+    EXPECT_EQ(ff.net.items_sent, ff.gossip.triplets_sent);
+
+    const AsyncRun ak = run_async(batch, /*acks=*/true, /*faults=*/true);
+    EXPECT_EQ(ak.net.bytes_sent,
+              24 * ak.gossip.triplets_sent + 16 * ak.gossip.acks_sent);
+  }
+}
+
+TEST(Batching, BatchedModeSendsFewerLargerMessages) {
+  const AsyncRun batched = run_async(true, false, false);
+  const AsyncRun unbatched = run_async(false, false, false);
+  // Same RNG, same protocol decisions in a fault-free network, so the
+  // logical triplet traffic matches; only the framing differs.
+  EXPECT_EQ(batched.gossip.triplets_sent, unbatched.gossip.triplets_sent);
+  EXPECT_LT(batched.net.messages_sent, unbatched.net.messages_sent);
+  // Per-triplet mode pays one message per triplet (plus one empty push per
+  // all-zero row, which batched mode sends too).
+  EXPECT_GE(unbatched.net.messages_sent, unbatched.gossip.triplets_sent);
+}
+
+TEST(Batching, ModesAreBitIdenticalWithoutFaults) {
+  // With every fault knob at zero the network draws no randomness per
+  // message, so message count does not perturb any RNG stream and the two
+  // wire formats must produce byte-identical estimates.
+  for (const bool acks : {false, true}) {
+    SCOPED_TRACE(acks ? "acks" : "fire-and-forget");
+    const AsyncRun batched = run_async(true, acks, false);
+    const AsyncRun unbatched = run_async(false, acks, false);
+    ASSERT_EQ(batched.estimates.size(), unbatched.estimates.size());
+    for (std::size_t k = 0; k < batched.estimates.size(); ++k) {
+      const double a = batched.estimates[k];
+      const double b = unbatched.estimates[k];
+      if (std::isnan(a) && std::isnan(b)) continue;
+      std::uint64_t ba, bb;
+      std::memcpy(&ba, &a, sizeof a);
+      std::memcpy(&bb, &b, sizeof b);
+      ASSERT_EQ(ba, bb) << "component " << k;
+    }
+    EXPECT_EQ(batched.gossip.send_events, unbatched.gossip.send_events);
+  }
+}
+
+TEST(Batching, DroppedBatchDestroysEveryContainedTriplet) {
+  // One push's whole batch rides one message: when that message drops, the
+  // drop hook must account every triplet it contained, or mass leaks from
+  // the ledger. Full loss makes every send fail; conservation then demands
+  // destroyed mass == pushed mass, which only holds if no triplet of any
+  // batch is skipped (the mass-invariant gap would show the leak).
+  const std::size_t n = 8;
+  sim::Scheduler sched;
+  net::NetworkConfig ncfg;
+  ncfg.base_latency = 1.0;
+  net::Network network(sched, n, ncfg, Rng(3));
+
+  PushSumConfig pcfg;
+  pcfg.stable_rounds = 3;
+  AsyncGossip::Timing timing;
+  timing.period = 1.0;
+  timing.timeout = 40.0;
+  AsyncGossip gossip(sched, network, pcfg, timing);
+
+  const auto s = batching_matrix(n, 9);
+  const std::vector<double> v(n, 1.0 / static_cast<double>(n));
+  gossip.initialize(s, v);
+
+  // Let a few healthy cycles fan mass out so batches carry many triplets,
+  // then fail every message.
+  Rng rng(2);
+  gossip.run(rng);
+  sched.run_until();
+  network.set_loss_probability(1.0);
+  Rng rng2(4);
+  gossip.run(rng2);
+  sched.run_until();
+
+  const auto& st = gossip.stats();
+  const auto& ts = network.stats();
+  EXPECT_GT(st.triplets_dropped, 0u);
+  EXPECT_EQ(st.triplets_dropped, ts.items_dropped);
+  EXPECT_EQ(24 * st.triplets_dropped, ts.bytes_dropped);
+  // The leak detector: every dropped triplet's (x, w) must have landed in
+  // the destroyed ledger, or this gap is non-zero.
+  EXPECT_LT(gossip.mass_invariant_gap(), 1e-9);
+}
+
+TEST(Batching, InFlightBatchDropAccountsAllTriplets) {
+  // Delivery-time drop of a multi-triplet batch: kill the receiver while
+  // the batch is in flight and check the drop hook reported every triplet.
+  const std::size_t n = 6;
+  sim::Scheduler sched;
+  net::NetworkConfig ncfg;
+  ncfg.base_latency = 5.0;  // long flight so the crash lands mid-flight
+  net::Network network(sched, n, ncfg, Rng(3));
+
+  PushSumConfig pcfg;
+  AsyncGossip::Timing timing;
+  timing.period = 1.0;
+  timing.timeout = 3.0;  // a couple of pushes, then stop
+  AsyncGossip gossip(sched, network, pcfg, timing);
+
+  const auto s = batching_matrix(n, 21);
+  const std::vector<double> v(n, 1.0 / static_cast<double>(n));
+  gossip.initialize(s, v);
+  Rng rng(6);
+  gossip.run(rng);
+  for (net::NodeId i = 0; i < n; ++i) network.set_node_up(i, false);
+  sched.run_until();  // every in-flight batch now drops at delivery
+
+  const auto& st = gossip.stats();
+  const auto& ts = network.stats();
+  EXPECT_GT(ts.messages_dropped, 0u);
+  EXPECT_EQ(st.triplets_dropped, ts.items_dropped);
+  EXPECT_LT(gossip.mass_invariant_gap(), 1e-9);
+}
+
+}  // namespace
+}  // namespace gt::gossip

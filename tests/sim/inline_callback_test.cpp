@@ -1,0 +1,94 @@
+#include "sim/inline_callback.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace gt::sim {
+namespace {
+
+TEST(InlineCallback, DefaultIsEmpty) {
+  InlineCallback cb;
+  EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(InlineCallback, InvokesCapturedLambda) {
+  int hits = 0;
+  InlineCallback cb([&hits] { ++hits; });
+  ASSERT_TRUE(static_cast<bool>(cb));
+  cb();
+  cb();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallback, MoveTransfersOwnership) {
+  int hits = 0;
+  InlineCallback a([&hits] { ++hits; });
+  InlineCallback b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  InlineCallback c;
+  c = std::move(b);
+  ASSERT_TRUE(static_cast<bool>(c));
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallback, MoveAssignDestroysPreviousTarget) {
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  InlineCallback holder([t = std::move(token)] { (void)*t; });
+  EXPECT_FALSE(watch.expired());
+  holder = InlineCallback([] {});
+  EXPECT_TRUE(watch.expired()) << "old capture must be destroyed on assign";
+}
+
+TEST(InlineCallback, ResetDestroysCapture) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  InlineCallback cb([t = std::move(token)] { (void)*t; });
+  EXPECT_FALSE(watch.expired());
+  cb.reset();
+  EXPECT_TRUE(watch.expired());
+  EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(InlineCallback, DestructorReleasesCapture) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  {
+    InlineCallback cb([t = std::move(token)] { (void)*t; });
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineCallback, FullBudgetCaptureFits) {
+  // Exactly 48 bytes of capture — the documented ceiling, used by the
+  // largest event closure in the simulator. Compiling at all is most of
+  // the test; the rest checks the payload survives the round trip.
+  struct Fat {
+    std::uint64_t a, b, c, d, e;
+    std::uint64_t* out;
+  };
+  static_assert(sizeof(Fat) == kInlineCallbackCapacity);
+  std::uint64_t sum = 0;
+  Fat fat{1, 2, 3, 4, 5, &sum};
+  InlineCallback cb([fat] { *fat.out = fat.a + fat.b + fat.c + fat.d + fat.e; });
+  InlineCallback moved(std::move(cb));  // relocation must carry all 48 bytes
+  moved();
+  EXPECT_EQ(sum, 15u);
+}
+
+// An oversized capture (> 48 bytes) is rejected at compile time by a
+// static_assert in InlineCallback's converting constructor; that cannot be
+// expressed as a runtime test, but the scheduler build itself exercises it:
+// every scheduled closure in the tree compiles against the budget.
+
+}  // namespace
+}  // namespace gt::sim

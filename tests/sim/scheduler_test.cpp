@@ -179,6 +179,92 @@ TEST(Scheduler, PendingExcludesCancelled) {
   EXPECT_EQ(sched.pending(), 1u);
 }
 
+TEST(Scheduler, StaleCancelIsLoudNoOp) {
+  // Regression for slot recycling: ids carry a generation, so an id kept
+  // past its event's completion must never cancel the event that later
+  // reused the slot. The stale cancel is refused (false), counted, and the
+  // newer event still fires.
+  Scheduler sched;
+  bool first_fired = false;
+  const auto stale = sched.schedule_at(1.0, [&] { first_fired = true; });
+  sched.run_until();
+  ASSERT_TRUE(first_fired);
+
+  // Completed events answer false without touching the stale counter: the
+  // slot is simply free, no newer occupant was endangered.
+  EXPECT_FALSE(sched.cancel(stale));
+
+  // The freelist hands the completed event's slot straight back, so the
+  // very next schedule reuses it; then fire the stale id at the occupant.
+  bool recycled_fired = false;
+  const EventId recycled =
+      sched.schedule_after(1.0, [&] { recycled_fired = true; });
+  ASSERT_EQ(recycled & 0xffffffffu, stale & 0xffffffffu)
+      << "freelist should hand the slot back immediately";
+  ASSERT_NE(recycled, stale) << "generation must differ on reuse";
+
+  const auto stale_before = sched.stale_cancels();
+  EXPECT_FALSE(sched.cancel(stale));
+  EXPECT_EQ(sched.stale_cancels(), stale_before + 1);
+  sched.run_until();
+  EXPECT_TRUE(recycled_fired) << "stale cancel must not kill the new event";
+  EXPECT_TRUE(sched.cancel(recycled) == false);  // it already ran
+}
+
+TEST(Scheduler, StaleCancelTelemetry) {
+  Scheduler sched;
+  telemetry::MetricsRegistry reg;
+  sched.attach_telemetry(&reg);
+  const auto a = sched.schedule_at(1.0, [] {});
+  sched.run_until();
+  const auto b = sched.schedule_after(1.0, [] {});  // reuses a's slot
+  ASSERT_EQ(a & 0xffffffffu, b & 0xffffffffu);
+  EXPECT_FALSE(sched.cancel(a));
+  sched.run_until();
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(*snap.counter("sim.stale_cancels"), 1u);
+}
+
+TEST(Scheduler, ZeroIdNeverValid) {
+  // A default-initialized EventId (0) must always be a safe no-op, even
+  // though slot 0 exists: generations start at 1.
+  Scheduler sched;
+  bool fired = false;
+  sched.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_FALSE(sched.cancel(0));
+  sched.run_until();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Scheduler, ResetInvalidatesOldIds) {
+  Scheduler sched;
+  const auto id = sched.schedule_at(1.0, [] {});
+  sched.reset();
+  bool fired = false;
+  const auto fresh = sched.schedule_at(1.0, [&] { fired = true; });
+  // The pre-reset id aliases the fresh event's slot but not its generation.
+  EXPECT_EQ(id & 0xffffffffu, fresh & 0xffffffffu);
+  EXPECT_FALSE(sched.cancel(id));
+  sched.run_until();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Scheduler, SlabAndHeapReachSteadyState) {
+  // The event core's zero-allocation claim, observed through the public
+  // interface: a sustained schedule-one-run-one workload keeps recycling
+  // the same slot, so stale-cancel generations keep climbing while
+  // pending() stays bounded.
+  Scheduler sched;
+  EventId last = 0;
+  for (int i = 0; i < 1000; ++i) {
+    last = sched.schedule_after(1.0, [] {});
+    sched.run_until(sched.now() + 1.0);
+  }
+  EXPECT_EQ(last & 0xffffffffu, 0u) << "one-at-a-time load needs one slot";
+  EXPECT_GE(last >> 32, 1000u);
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
 TEST(Scheduler, TelemetryCountersMirrorEventLifecycle) {
   Scheduler sched;
   telemetry::MetricsRegistry reg;
