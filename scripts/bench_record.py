@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Record or gate the event-core perf baseline (BENCH_5.json).
+"""Record or gate the perf trajectory (BENCH_6.json).
 
 Runs the `bench_micro_perf` event-core cases (scheduler dispatch, pooled
 vs legacy network send, batched async gossip) with google-benchmark JSON
@@ -10,20 +10,32 @@ output and folds each case into three numbers:
     allocs_per_event  heap allocations per event, from the bench
                       binary's counting allocator (global operator new)
 
-Default mode writes the folded measurements to --out (BENCH_5.json), the
+--million additionally runs the `bench_million` sharded-engine bench (it
+prints its own JSON case document on stdout) and folds its cases —
+events_per_sec / ns_per_event plus the memory-plan bytes_per_node — into
+the same trajectory. Cases recorded with "gated": false (the full
+n = 1,000,000 run) are kept in the baseline for the record but are NOT
+required to be re-measured by a --check run, so CI's quick pass never
+pays the full-scale wall time.
+
+Default mode writes the folded measurements to --out (BENCH_6.json), the
 perf trajectory future PRs regress against:
 
-    python3 scripts/bench_record.py --bench build/bench/bench_micro_perf
+    python3 scripts/bench_record.py --bench build/bench/bench_micro_perf \
+        --million build/bench/bench_million
 
 --check additionally gates the fresh run against a checked-in baseline
 and exits 1 when any case's ns_per_event regresses more than --tolerance
-(default 0.25 = 25%), or when a case that was allocation-free in the
+(default 0.25 = 25%), when a case that was allocation-free in the
 baseline starts allocating (strict: the zero-allocation claim is the
 point of the event core, so any nonzero count is a failure, not a
-percentage). Faster-than-baseline runs always pass:
+percentage), or when a case's bytes_per_node grows more than 5% (the
+memory plan is a contract, not a suggestion). Faster-than-baseline runs
+always pass:
 
     python3 scripts/bench_record.py --bench build/bench/bench_micro_perf \
-        --check results/BENCH_5.json --out BENCH_5.json
+        --million build/bench/bench_million \
+        --check results/BENCH_6.json --out BENCH_6.json
 
 Exit status: 0 on success, 1 on a regression or I/O error (so CI can use
 it as a perf gate). No third-party deps.
@@ -92,6 +104,27 @@ def fold(report, repetitions):
     return cases
 
 
+def run_million(bench):
+    """Run bench_million and return its {case: metrics} dict."""
+    try:
+        proc = subprocess.run([bench], capture_output=True, text=True,
+                              check=True)
+    except OSError as exc:
+        raise SystemExit(f"bench_record: cannot run {bench}: {exc}")
+    except subprocess.CalledProcessError as exc:
+        sys.stderr.write(exc.stderr)
+        raise SystemExit(f"bench_record: {bench} exited {exc.returncode}")
+    sys.stderr.write(proc.stderr)
+    try:
+        doc = json.loads(proc.stdout)
+    except ValueError as exc:
+        raise SystemExit(f"bench_record: {bench} emitted bad JSON: {exc}")
+    cases = doc.get("cases", {})
+    if not cases:
+        raise SystemExit(f"bench_record: {bench} reported no cases")
+    return cases
+
+
 def check(fresh, baseline_path, tolerance):
     try:
         with open(baseline_path, encoding="utf-8") as fh:
@@ -102,6 +135,10 @@ def check(fresh, baseline_path, tolerance):
     for name, base in baseline.get("cases", {}).items():
         now = fresh.get(name)
         if now is None:
+            if base.get("gated") is False:
+                print(f"skipped (ungated): {name} — kept for the record, "
+                      "not re-measured")
+                continue
             failures.append(f"{name}: present in baseline but not measured")
             continue
         limit = base["ns_per_event"] * (1.0 + tolerance)
@@ -116,6 +153,12 @@ def check(fresh, baseline_path, tolerance):
             failures.append(
                 f"{name}: was allocation-free, now "
                 f"{now_allocs:g} allocs/event")
+        base_bpn = base.get("bytes_per_node")
+        now_bpn = now.get("bytes_per_node")
+        if base_bpn and now_bpn and now_bpn > base_bpn * 1.05:
+            failures.append(
+                f"{name}: bytes/node {now_bpn:.1f} > "
+                f"{base_bpn * 1.05:.1f} (baseline {base_bpn:.1f} +5%)")
     for line in failures:
         print(f"REGRESSION {line}")
     if not failures:
@@ -128,7 +171,10 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--bench", default="build/bench/bench_micro_perf",
                     help="path to the bench_micro_perf binary")
-    ap.add_argument("--out", default="BENCH_5.json",
+    ap.add_argument("--million", metavar="BENCH_MILLION",
+                    help="also run this bench_million binary and fold its "
+                         "sharded-engine cases into the trajectory")
+    ap.add_argument("--out", default="BENCH_6.json",
                     help="where to write the folded measurements")
     ap.add_argument("--check", metavar="BASELINE",
                     help="gate the fresh run against this baseline JSON")
@@ -143,24 +189,29 @@ def main():
 
     report = run_bench(args.bench, args.min_time, args.repetitions)
     cases = fold(report, args.repetitions)
+    if args.million:
+        cases.update(run_million(args.million))
 
     doc = {
-        "schema": "gossiptrust-bench-5",
-        "bench": "bench_micro_perf",
+        "schema": "gossiptrust-bench-6",
+        "bench": "bench_micro_perf + bench_million",
         "units": {"ns_per_event": "nanoseconds",
                   "events_per_sec": "items/s",
-                  "allocs_per_event": "heap allocations per event"},
+                  "allocs_per_event": "heap allocations per event",
+                  "bytes_per_node": "resident bytes per node "
+                                    "(SoA state + CSR + Bloom store)"},
         "cases": cases,
     }
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")
-    for name in CASES:
-        c = cases[name]
-        allocs = c["allocs_per_event"]
-        allocs_str = "n/a" if allocs is None else f"{allocs:g}"
+    for name, c in sorted(cases.items()):
+        extra = (f"bytes/node {c['bytes_per_node']:.1f}"
+                 if c.get("bytes_per_node") is not None
+                 else f"allocs/ev "
+                      f"{'n/a' if c.get('allocs_per_event') is None else format(c['allocs_per_event'], 'g')}")
         print(f"{name:36s} {c['events_per_sec']:>14.3e} ev/s "
-              f"{c['ns_per_event']:>10.1f} ns/ev  allocs/ev {allocs_str}")
+              f"{c['ns_per_event']:>10.1f} ns/ev  {extra}")
     print(f"wrote {args.out}")
 
     if args.check is not None and not check(cases, args.check, args.tolerance):

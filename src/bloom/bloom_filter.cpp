@@ -16,8 +16,13 @@ constexpr std::uint64_t kSeed2 = 0xc2b2ae3d27d4eb4fULL;
 
 BloomFilter::BloomFilter(std::size_t bits, std::size_t hashes)
     : bits_((std::max<std::size_t>(bits, 64) + 63) / 64 * 64),
-      hashes_(std::max<std::size_t>(hashes, 1)),
-      words_(bits_ / 64, 0) {}
+      hashes_(hashes),
+      words_(bits_ / 64, 0) {
+  if (hashes == 0)
+    throw std::invalid_argument(
+        "BloomFilter: hashes must be >= 1 — a zero-probe filter reports "
+        "every key as present");
+}
 
 BloomFilter BloomFilter::with_capacity(std::size_t expected_items, double target_fpr) {
   if (expected_items == 0) expected_items = 1;

@@ -18,7 +18,8 @@ namespace gt::bloom {
 /// (h_i = h1 + i * h2), the Kirsch–Mitzenmacher construction.
 class BloomFilter {
  public:
-  /// `bits` is rounded up to a multiple of 64; `hashes` >= 1.
+  /// `bits` is rounded up to a multiple of 64. Throws std::invalid_argument
+  /// when `hashes` is 0 — a zero-probe filter would contain everything.
   BloomFilter(std::size_t bits, std::size_t hashes);
 
   /// Sizes a filter for `expected_items` at `target_fpr`, choosing optimal

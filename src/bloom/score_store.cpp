@@ -22,7 +22,10 @@ BloomScoreStore::BloomScoreStore(std::span<const double> scores,
     if (s > 0.0) lo = std::min(lo, s);
     hi = std::max(hi, s);
   }
-  if (!std::isfinite(lo) || hi <= 0.0) {  // all-zero vector: one big bucket
+  if (!std::isfinite(lo) || hi <= 0.0) {
+    // All-zero vector: the synthetic range only shapes (unused) bucket
+    // geometry — every peer lands in the exact-zero filter below and reads
+    // back 0, not a synthetic representative.
     lo = 1e-12;
     hi = 1.0;
   }
@@ -38,33 +41,54 @@ BloomScoreStore::BloomScoreStore(std::span<const double> scores,
   for (std::size_t k = 0; k < levels; ++k)
     representatives_[k] = std::sqrt(edge(k) * edge(k + 1));
 
-  // Count the population of each bucket, then size each filter from the
-  // global bits budget proportionally to its population.
+  // Count populations: exact zeros go to a dedicated zero filter (a score
+  // of 0 means "fully distrusted" and must never read back as a nonzero
+  // bucket representative), positive scores quantize into the log buckets.
   std::vector<std::size_t> population(levels, 0);
-  for (const double s : scores) ++population[bucket_of(s)];
+  std::size_t zero_population = 0;
+  for (const double s : scores) {
+    if (s > 0.0)
+      ++population[bucket_of(s)];
+    else
+      ++zero_population;
+  }
 
   const double total_bits =
       std::max(64.0 * static_cast<double>(levels),
                config.bits_per_peer * static_cast<double>(n));
-  filters_.reserve(levels);
-  for (std::size_t k = 0; k < levels; ++k) {
-    const double share = n ? static_cast<double>(population[k]) /
-                                 static_cast<double>(n)
-                           : 0.0;
+  const auto size_filter = [&](std::size_t items) {
+    const double share =
+        n ? static_cast<double>(items) / static_cast<double>(n) : 0.0;
     const auto bits = static_cast<std::size_t>(
         std::max(64.0, std::floor(total_bits * share)));
     std::size_t hashes = config.hashes;
     if (hashes == 0) {
-      const double items = std::max<double>(1.0, static_cast<double>(population[k]));
+      // Optimal probe count is bits/items * ln2, but a near-empty bucket
+      // sitting on the 64-bit floor derives an absurd count (64 * ln2 ~ 44
+      // probes for one item). Past k = 8 the false-positive gain is
+      // negligible (2^-8 per fully random probe) while every insert and
+      // lookup pays k memory touches, so clamp there.
+      const double items_f = std::max<double>(1.0, static_cast<double>(items));
       hashes = std::max<std::size_t>(
           1, static_cast<std::size_t>(
-                 std::llround(static_cast<double>(bits) / items * std::log(2.0))));
-      hashes = std::min<std::size_t>(hashes, 16);
+                 std::llround(static_cast<double>(bits) / items_f * std::log(2.0))));
+      hashes = std::min<std::size_t>(hashes, 8);
     }
-    filters_.emplace_back(bits, hashes);
+    return BloomFilter(bits, hashes);
+  };
+
+  filters_.reserve(levels);
+  for (std::size_t k = 0; k < levels; ++k)
+    filters_.push_back(size_filter(population[k]));
+  if (zero_population > 0) zero_filter_.emplace(size_filter(zero_population));
+
+  for (std::size_t id = 0; id < n; ++id) {
+    const double s = scores[id];
+    if (s > 0.0)
+      filters_[bucket_of(s)].insert(static_cast<std::uint64_t>(id));
+    else
+      zero_filter_->insert(static_cast<std::uint64_t>(id));
   }
-  for (std::size_t id = 0; id < n; ++id)
-    filters_[bucket_of(scores[id])].insert(static_cast<std::uint64_t>(id));
 }
 
 std::size_t BloomScoreStore::bucket_of(double score) const {
@@ -75,10 +99,14 @@ std::size_t BloomScoreStore::bucket_of(double score) const {
 double BloomScoreStore::lookup(std::uint64_t peer) const {
   // Probe lowest-first: a false positive can then only *under*-report a
   // score, so Bloom noise can never inflate a malicious peer's reputation.
+  // The zero filter is the lowest rung — an exact-zero score reads back as
+  // exactly 0, never as the bottom bucket's geometric-mean representative.
+  if (zero_filter_ && zero_filter_->contains(peer)) return 0.0;
   for (std::size_t k = 0; k < filters_.size(); ++k) {
     if (filters_[k].contains(peer)) return representatives_[k];
   }
-  return representatives_.front();
+  // Missing from every filter: report the most conservative value.
+  return 0.0;
 }
 
 std::vector<double> BloomScoreStore::approximate_scores(std::size_t n) const {
@@ -89,7 +117,7 @@ std::vector<double> BloomScoreStore::approximate_scores(std::size_t n) const {
 }
 
 std::size_t BloomScoreStore::storage_bytes() const {
-  std::size_t bytes = 0;
+  std::size_t bytes = zero_filter_ ? zero_filter_->storage_bytes() : 0;
   for (const auto& f : filters_) bytes += f.storage_bytes();
   return bytes;
 }

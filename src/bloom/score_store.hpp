@@ -35,8 +35,9 @@ class BloomScoreStore {
 
   /// Approximate score of a peer: the representative (geometric mean of the
   /// bucket bounds) of the lowest bucket whose filter reports membership.
-  /// Peers missing from every filter (can happen only via quantization of
-  /// zero scores) return the bottom representative.
+  /// Peers whose stored score was exactly 0 read back exactly 0 (dedicated
+  /// zero filter, probed first); peers missing from every filter also
+  /// return 0, the most conservative answer.
   double lookup(std::uint64_t peer) const;
 
   /// Recovers the whole approximate vector for peers 0..n-1.
@@ -51,8 +52,14 @@ class BloomScoreStore {
   /// Representative score of a bucket.
   double representative(std::size_t bucket) const { return representatives_[bucket]; }
 
+  /// The bucket's filter — geometry introspection for tests and ablations.
+  const BloomFilter& filter(std::size_t bucket) const { return filters_[bucket]; }
+
  private:
   std::vector<BloomFilter> filters_;
+  /// Ids whose score is exactly 0 — kept out of the log buckets so full
+  /// distrust can never inflate into a nonzero representative.
+  std::optional<BloomFilter> zero_filter_;
   std::vector<double> boundaries_;       // ascending upper bounds, size L-1
   std::vector<double> representatives_;  // size L
 };

@@ -1,0 +1,121 @@
+#include "fault/fault_timeline.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace gt::fault {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::uint64_t link_key(std::size_t a, std::size_t b) noexcept {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint64_t>(b);
+}
+
+}  // namespace
+
+FaultTimeline::FaultTimeline(const FaultPlan& plan, std::size_t n) {
+  const std::string err = plan.validate(n);
+  if (!err.empty())
+    throw std::invalid_argument("FaultTimeline: invalid plan: " + err);
+
+  // Scan the (time-sorted) fault list, tracking open-ended intervals as
+  // `end == +inf` until their closing event arrives.
+  bool partition_open = false;
+
+  for (const Fault& f : plan.faults()) {
+    switch (f.kind) {
+      case FaultKind::kNodeCrash: {
+        auto& vec = node_down_[f.a];
+        if (vec.empty() || vec.back().end < kInf)
+          vec.push_back({f.time, kInf});
+        break;
+      }
+      case FaultKind::kNodeRecover: {
+        auto& vec = node_down_[f.a];
+        if (!vec.empty() && vec.back().end == kInf) vec.back().end = f.time;
+        break;
+      }
+      case FaultKind::kLinkFail: {
+        auto& vec = link_down_[link_key(f.a, f.b)];
+        if (vec.empty() || vec.back().end < kInf)
+          vec.push_back({f.time, kInf});
+        break;
+      }
+      case FaultKind::kLinkHeal: {
+        auto& vec = link_down_[link_key(f.a, f.b)];
+        if (!vec.empty() && vec.back().end == kInf) vec.back().end = f.time;
+        break;
+      }
+      case FaultKind::kPartitionStart: {
+        if (partition_open) partitions_.back().end = f.time;
+        partitions_.push_back({f.time, kInf, f.groups});
+        partition_open = true;
+        break;
+      }
+      case FaultKind::kPartitionEnd: {
+        if (partition_open) partitions_.back().end = f.time;
+        partition_open = false;
+        break;
+      }
+      case FaultKind::kLossBurstStart:
+        loss_steps_.emplace_back(f.time, f.rate);
+        break;
+      case FaultKind::kLossBurstEnd:
+        loss_steps_.emplace_back(f.time, 0.0);
+        break;
+      case FaultKind::kDuplicationStart:
+      case FaultKind::kDuplicationEnd:
+      case FaultKind::kCorruptionStart:
+      case FaultKind::kCorruptionEnd:
+        throw std::invalid_argument(
+            std::string("FaultTimeline: ") + to_string(f.kind) +
+            " draws delivery-side randomness from the network's global "
+            "stream and cannot be replayed shard-deterministically");
+    }
+  }
+}
+
+bool FaultTimeline::in_interval(
+    const std::unordered_map<std::uint64_t, std::vector<Interval>>& map,
+    std::uint64_t key, double t) noexcept {
+  const auto it = map.find(key);
+  if (it == map.end()) return false;
+  const auto& vec = it->second;
+  // First interval with start > t; the candidate is its predecessor.
+  auto pos = std::upper_bound(
+      vec.begin(), vec.end(), t,
+      [](double v, const Interval& iv) { return v < iv.start; });
+  if (pos == vec.begin()) return false;
+  --pos;
+  return t < pos->end;
+}
+
+bool FaultTimeline::path_blocked(std::size_t a, std::size_t b,
+                                 double t) const noexcept {
+  if (!link_down_.empty() && in_interval(link_down_, link_key(a, b), t))
+    return true;
+  if (partitions_.empty()) return false;
+  auto pos = std::upper_bound(
+      partitions_.begin(), partitions_.end(), t,
+      [](double v, const Partition& p) { return v < p.start; });
+  if (pos == partitions_.begin()) return false;
+  --pos;
+  if (!(t < pos->end)) return false;
+  return pos->groups[a] != pos->groups[b];
+}
+
+double FaultTimeline::loss_rate(double t) const noexcept {
+  if (loss_steps_.empty()) return 0.0;
+  auto pos = std::upper_bound(
+      loss_steps_.begin(), loss_steps_.end(), t,
+      [](double v, const std::pair<double, double>& s) { return v < s.first; });
+  if (pos == loss_steps_.begin()) return 0.0;
+  return std::prev(pos)->second;
+}
+
+}  // namespace gt::fault

@@ -1,0 +1,84 @@
+// Time-indexed, side-effect-free view of a FaultPlan.
+//
+// The FaultInjector replays a plan by mutating the simulated Network as
+// the clock reaches each fault — inherently sequential state. The sharded
+// engine executes windows of events on several threads at once, so it
+// cannot share mutable fault state; instead it asks this timeline pure
+// questions — "was node v up at time t?", "was the (a, b) path blocked at
+// time t?", "what was the loss rate at time t?" — whose answers depend
+// only on (plan, query), never on replay order. Any shard on any thread
+// gets the same answer for the same event, which is what keeps sharded
+// execution bit-identical to the single-queue oracle under faults.
+//
+// Deterministically replayable kinds: node crash/recover, link fail/heal,
+// partitions, and loss bursts (the loss *decision* is drawn from the
+// sending node's private stream, not from the timeline). Duplication and
+// corruption bursts draw delivery-side randomness from the Network's
+// global stream and are rejected at construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+
+namespace gt::fault {
+
+class FaultTimeline {
+ public:
+  /// Empty timeline: everything is always up, nothing is ever lost.
+  FaultTimeline() = default;
+
+  /// Compiles `plan` (validated against n nodes) into interval form.
+  /// Throws std::invalid_argument when the plan fails validation or
+  /// contains kinds the sharded engine cannot replay deterministically
+  /// (duplication / corruption bursts).
+  FaultTimeline(const FaultPlan& plan, std::size_t n);
+
+  bool empty() const noexcept {
+    return node_down_.empty() && link_down_.empty() && partitions_.empty() &&
+           loss_steps_.empty();
+  }
+
+  /// Node up/down state at time t (down on [crash, recover)).
+  bool node_up(std::size_t v, double t) const noexcept {
+    if (node_down_.empty()) return true;
+    return !in_interval(node_down_, v, t);
+  }
+
+  /// True when traffic a -> b at time t is blocked by a failed link or an
+  /// active partition (node up/down state is queried separately).
+  bool path_blocked(std::size_t a, std::size_t b, double t) const noexcept;
+
+  /// i.i.d. message-loss probability in force at time t.
+  double loss_rate(double t) const noexcept;
+
+  /// True when any query can ever return a non-default answer — callers
+  /// skip per-event lookups entirely on an empty timeline.
+  bool any() const noexcept { return !empty(); }
+
+ private:
+  struct Interval {
+    double start;
+    double end;  // half-open [start, end); end may be +inf
+  };
+  struct Partition {
+    double start;
+    double end;
+    std::vector<int> groups;
+  };
+
+  static bool in_interval(
+      const std::unordered_map<std::uint64_t, std::vector<Interval>>& map,
+      std::uint64_t key, double t) noexcept;
+
+  // Sorted, disjoint down-intervals keyed by node id / link key.
+  std::unordered_map<std::uint64_t, std::vector<Interval>> node_down_;
+  std::unordered_map<std::uint64_t, std::vector<Interval>> link_down_;
+  std::vector<Partition> partitions_;          // sorted by start, disjoint
+  std::vector<std::pair<double, double>> loss_steps_;  // (time, rate) steps
+};
+
+}  // namespace gt::fault

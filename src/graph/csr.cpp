@@ -1,0 +1,56 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace gt::graph {
+
+CsrView::CsrView(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  if (n >= std::numeric_limits<std::uint32_t>::max())
+    throw std::invalid_argument("CsrView: more than 2^32 - 1 nodes");
+
+  offsets_.resize(n + 1);
+  std::size_t total = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    offsets_[v] = total;
+    total += g.degree(v);
+  }
+  offsets_[n] = total;
+  if (total != 2 * g.num_edges())
+    throw std::invalid_argument(
+        "CsrView: Graph edge accounting is corrupt: num_edges()=" +
+        std::to_string(g.num_edges()) + " but adjacency lists hold " +
+        std::to_string(total) + " endpoints");
+
+  targets_.resize(total);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto nbrs = g.neighbors(v);
+    std::uint64_t at = offsets_[v];
+    NodeId prev = 0;
+    bool first = true;
+    for (const NodeId u : nbrs) {
+      if (u >= n)
+        throw std::invalid_argument("CsrView: neighbor id out of range");
+      if (u == v)
+        throw std::invalid_argument("CsrView: self-loop in adjacency list");
+      if (!first && u <= prev)
+        throw std::invalid_argument(
+            "CsrView: neighbor list not strictly sorted at node " +
+            std::to_string(v));
+      prev = u;
+      first = false;
+      targets_[at++] = static_cast<std::uint32_t>(u);
+    }
+  }
+}
+
+bool CsrView::has_edge(std::uint32_t a, std::uint32_t b) const noexcept {
+  if (a >= num_nodes() || b >= num_nodes()) return false;
+  const auto row = neighbors(a);
+  return std::binary_search(row.begin(), row.end(), b);
+}
+
+}  // namespace gt::graph

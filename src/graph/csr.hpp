@@ -1,0 +1,64 @@
+// Compact read-only CSR (compressed sparse row) adjacency view.
+//
+// The adjacency-list Graph is the mutable build/churn representation:
+// one heap vector per node, cheap edge insertion and removal. At
+// million-node scale that layout costs ~56 bytes of vector header +
+// allocator slack per node and scatters neighbors across the heap. The
+// gossip hot loop only ever *reads* adjacency, so the sharded engine runs
+// on this frozen view instead: one offsets array (n + 1 entries) and one
+// targets array (2m entries of 32-bit ids) — ~8 bytes per node plus 4
+// bytes per directed edge, contiguous, and shareable across shards
+// without synchronization.
+//
+// Rebuild path: after churn mutates the Graph (add_edge / remove_edge /
+// isolate), construct a fresh CsrView from it. The constructor revalidates
+// the Graph's edge accounting (num_edges() must reconcile with the
+// adjacency lists, lists must be strictly sorted) so a corrupted
+// incremental count can never silently become a corrupted view.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/topology.hpp"
+
+namespace gt::graph {
+
+class CsrView {
+ public:
+  CsrView() = default;
+
+  /// Freezes `g` into CSR form. Throws std::invalid_argument when the
+  /// graph breaks its own invariants: num_edges() inconsistent with the
+  /// adjacency lists, an unsorted or duplicated neighbor list, an
+  /// out-of-range target, or more than 2^32 - 1 nodes.
+  explicit CsrView(const Graph& g);
+
+  std::size_t num_nodes() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  std::size_t num_edges() const noexcept { return targets_.size() / 2; }
+
+  std::span<const std::uint32_t> neighbors(std::uint32_t v) const noexcept {
+    return {targets_.data() + offsets_[v],
+            targets_.data() + offsets_[v + 1]};
+  }
+  std::size_t degree(std::uint32_t v) const noexcept {
+    return offsets_[v + 1] - offsets_[v];
+  }
+  bool has_edge(std::uint32_t a, std::uint32_t b) const noexcept;
+
+  /// Bytes held by the view (offsets + targets payload).
+  std::size_t storage_bytes() const noexcept {
+    return offsets_.size() * sizeof(std::uint64_t) +
+           targets_.size() * sizeof(std::uint32_t);
+  }
+
+ private:
+  std::vector<std::uint64_t> offsets_;  // size n + 1
+  std::vector<std::uint32_t> targets_;  // size 2m, sorted within each row
+};
+
+}  // namespace gt::graph

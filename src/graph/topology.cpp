@@ -86,9 +86,14 @@ NodeId Graph::add_node() {
 
 void Graph::isolate(NodeId v) {
   assert(v < adj_.size());
+  // Edge accounting must drop by exactly degree(v): decrement only when the
+  // reverse entry really existed, so a broken symmetry invariant surfaces
+  // as an assert (and at worst an undercount) instead of silently
+  // corrupting num_edges_ — the CSR rebuild path revalidates this count.
   for (const NodeId u : adj_[v]) {
-    sorted_erase(adj_[u], v);
-    --num_edges_;
+    const bool erased = sorted_erase(adj_[u], v);
+    assert(erased && "Graph::isolate: asymmetric adjacency");
+    if (erased) --num_edges_;
   }
   adj_[v].clear();
 }

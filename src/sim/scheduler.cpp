@@ -123,6 +123,14 @@ bool Scheduler::cancel(EventId id) {
   return true;
 }
 
+void Scheduler::prune_cancelled_top() {
+  while (!heap_.empty() && events_[heap_[0].slot].cancelled) {
+    const HeapEntry top = heap_pop();
+    --cancelled_pending_;
+    release_slot(top.slot);
+  }
+}
+
 bool Scheduler::step() {
   while (!heap_.empty()) {
     const HeapEntry top = heap_pop();
@@ -166,14 +174,28 @@ bool Scheduler::step() {
 
 std::size_t Scheduler::run_until(SimTime horizon) {
   std::size_t count = 0;
-  while (!heap_.empty()) {
-    if (heap_[0].when > horizon) break;
+  for (;;) {
+    // Peel cancelled tombstones first: the horizon comparison must look at
+    // the earliest *live* event, or a cancelled entry inside the horizon
+    // could let step() execute a live event beyond it.
+    prune_cancelled_top();
+    if (heap_.empty() || heap_[0].when > horizon) break;
     if (step()) ++count;
   }
   // Advance the clock to the horizon when it is finite so repeated calls
   // with increasing horizons behave like wall-clock progression.
   if (horizon != std::numeric_limits<SimTime>::infinity() && now_ < horizon) {
     now_ = horizon;
+  }
+  return count;
+}
+
+std::size_t Scheduler::run_before(SimTime horizon) {
+  std::size_t count = 0;
+  for (;;) {
+    prune_cancelled_top();
+    if (heap_.empty() || !(heap_[0].when < horizon)) break;
+    if (step()) ++count;
   }
   return count;
 }

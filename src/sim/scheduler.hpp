@@ -75,6 +75,15 @@ class Scheduler {
   /// Returns the number of events executed.
   std::size_t run_until(SimTime horizon = std::numeric_limits<SimTime>::infinity());
 
+  /// Runs every event strictly before `horizon` (events at exactly
+  /// `horizon` stay queued) and returns the number executed. The clock is
+  /// left at the last executed event, so the caller may keep scheduling at
+  /// any time >= that. This is the conservative-window primitive of the
+  /// sharded engine: a shard executes its window [W, W + lookahead) with
+  /// run_before(W + lookahead), and every message generated inside the
+  /// window arrives at or after the boundary, never inside it.
+  std::size_t run_before(SimTime horizon);
+
   /// Executes exactly one event if available; returns whether one ran.
   bool step();
 
@@ -130,6 +139,9 @@ class Scheduler {
 
   void heap_push(HeapEntry e);
   HeapEntry heap_pop();
+  /// Pops cancelled tombstones off the heap top so heap_[0] (when present)
+  /// is the earliest *live* event — the entry horizon checks must look at.
+  void prune_cancelled_top();
 
   std::uint32_t alloc_slot(Callback cb);
   EventId make_id(std::uint32_t slot) const noexcept {

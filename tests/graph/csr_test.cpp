@@ -1,0 +1,75 @@
+#include "graph/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/topology.hpp"
+
+namespace gt::graph {
+namespace {
+
+TEST(CsrView, MirrorsGraphExactly) {
+  Rng rng(7);
+  Graph g = make_erdos_renyi(100, 300, rng);
+  make_connected(g, rng);
+  const CsrView csr(g);
+  ASSERT_EQ(csr.num_nodes(), g.num_nodes());
+  ASSERT_EQ(csr.num_edges(), g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto want = g.neighbors(v);
+    const auto got = csr.neighbors(static_cast<std::uint32_t>(v));
+    ASSERT_EQ(got.size(), want.size()) << "node " << v;
+    for (std::size_t i = 0; i < want.size(); ++i)
+      EXPECT_EQ(got[i], want[i]);
+    EXPECT_EQ(csr.degree(static_cast<std::uint32_t>(v)), g.degree(v));
+  }
+  for (NodeId a = 0; a < g.num_nodes(); ++a)
+    for (NodeId b = 0; b < g.num_nodes(); ++b)
+      EXPECT_EQ(csr.has_edge(static_cast<std::uint32_t>(a),
+                             static_cast<std::uint32_t>(b)),
+                g.has_edge(a, b));
+}
+
+TEST(CsrView, EmptyAndEdgelessGraphs) {
+  const CsrView empty;
+  EXPECT_EQ(empty.num_nodes(), 0u);
+  EXPECT_EQ(empty.num_edges(), 0u);
+
+  const Graph g(5);
+  const CsrView csr(g);
+  EXPECT_EQ(csr.num_nodes(), 5u);
+  EXPECT_EQ(csr.num_edges(), 0u);
+  EXPECT_TRUE(csr.neighbors(3).empty());
+}
+
+TEST(CsrView, SurvivesChurnRebuild) {
+  Rng rng(13);
+  Graph g = make_erdos_renyi(50, 120, rng);
+  for (int round = 0; round < 200; ++round) {
+    const auto a = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto b = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    switch (rng.next_below(3)) {
+      case 0: g.add_edge(a, b); break;
+      case 1: g.remove_edge(a, b); break;
+      default: g.isolate(a); break;
+    }
+    if (round % 50 == 49) {
+      const CsrView csr(g);  // would throw on broken accounting
+      EXPECT_EQ(csr.num_edges(), g.num_edges());
+    }
+  }
+}
+
+TEST(CsrView, StorageIsCompact) {
+  Rng rng(3);
+  Graph g = make_erdos_renyi(1000, 3000, rng);
+  const CsrView csr(g);
+  EXPECT_EQ(csr.storage_bytes(), (1000 + 1) * sizeof(std::uint64_t) +
+                                     2 * g.num_edges() * sizeof(std::uint32_t));
+}
+
+}  // namespace
+}  // namespace gt::graph

@@ -154,5 +154,50 @@ TEST(MakeConnected, NoOpOnConnected) {
   EXPECT_EQ(make_connected(g, rng), 0u);
 }
 
+// Churn regression for the edge-accounting audit behind the CSR rebuild
+// path: after an arbitrary interleaving of adds, removes, and isolates,
+// num_edges() must reconcile with a full O(n^2) has_edge scan and every
+// adjacency list must stay strictly sorted and symmetric.
+TEST(Graph, ChurnKeepsEdgeAccountingReconciled) {
+  Rng rng(2024);
+  Graph g = make_erdos_renyi(60, 150, rng);
+  for (int round = 0; round < 400; ++round) {
+    const auto a = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto b = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    switch (rng.next_below(4)) {
+      case 0: g.add_edge(a, b); break;
+      case 1: g.remove_edge(a, b); break;
+      case 2: g.isolate(a); break;
+      default: g.add_edge(a, b); g.add_edge(b, a); break;
+    }
+  }
+  std::size_t scanned = 0;
+  for (NodeId a = 0; a < g.num_nodes(); ++a)
+    for (NodeId b = a + 1; b < g.num_nodes(); ++b)
+      if (g.has_edge(a, b)) ++scanned;
+  EXPECT_EQ(g.num_edges(), scanned);
+  std::size_t degree_sum = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    degree_sum += nbrs.size();
+    for (std::size_t i = 0; i + 1 < nbrs.size(); ++i)
+      EXPECT_LT(nbrs[i], nbrs[i + 1]) << "unsorted adjacency at node " << v;
+    for (const NodeId u : nbrs) EXPECT_TRUE(g.has_edge(u, v));
+  }
+  EXPECT_EQ(degree_sum, 2 * g.num_edges());
+}
+
+TEST(Graph, IsolateTwiceIsIdempotent) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(3, 4);
+  g.isolate(0);
+  g.isolate(0);
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.has_edge(3, 4));
+}
+
 }  // namespace
 }  // namespace gt::graph

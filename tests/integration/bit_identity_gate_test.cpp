@@ -28,6 +28,9 @@
 #include "common/rng.hpp"
 #include "core/engine.hpp"
 #include "gossip/async_gossip.hpp"
+#include "gossip/sharded_gossip.hpp"
+#include "graph/csr.hpp"
+#include "graph/topology.hpp"
 #include "net/network.hpp"
 #include "sim/scheduler.hpp"
 #include "trust/feedback.hpp"
@@ -161,6 +164,52 @@ std::uint64_t async_hash(bool acks) {
   return h.value();
 }
 
+/// Sharded million-node path at gate scale: the hash covers every final
+/// per-slot estimate plus the full counter block, run once as the
+/// single-queue oracle (shards = 1) and once sharded on 8 threads. Both
+/// must match each other AND the pinned golden — the golden catches a
+/// determinism regression that breaks both paths identically.
+std::uint64_t sharded_hash(std::size_t n, std::size_t shards,
+                           std::size_t threads) {
+  Rng grng(0x5eed + n);
+  graph::Graph g = graph::make_erdos_renyi(n, n * 3, grng);
+  graph::make_connected(g, grng);
+  const graph::CsrView csr(g);
+
+  gossip::ShardedGossipConfig cfg;
+  cfg.components = 4;
+  cfg.period = 1.0;
+  cfg.base_latency = 0.25;
+  cfg.jitter = 0.1;
+  cfg.epsilon = 1e-4;
+  cfg.stable_rounds = 3;
+  cfg.horizon = 400.0;
+  cfg.seed = 42;
+  cfg.shards = shards;
+  cfg.threads = threads;
+  cfg.sample_every = 8;
+  gossip::ShardedGossip eng(csr, cfg);
+  eng.initialize_fig3(7);
+  const auto res = eng.run();
+
+  Fnv h;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t c = 0; c < cfg.components; ++c) h.f64(eng.estimate(i, c));
+  h.f64(res.sim_time);
+  h.u64(res.converged ? 1 : 0);
+  h.u64(res.events);
+  h.u64(res.windows);
+  h.u64(res.pushes);
+  h.u64(res.deliveries);
+  h.u64(res.sends);
+  h.u64(res.wire_bytes);
+  for (const auto& [t, err] : res.error_curve) {
+    h.f64(t);
+    h.f64(err);
+  }
+  return h.value();
+}
+
 bool print_golden() { return std::getenv("GT_PRINT_GOLDEN") != nullptr; }
 
 void check(const char* label, std::uint64_t got, std::uint64_t want) {
@@ -196,6 +245,20 @@ TEST(BitIdentityGate, AsyncGossipFireAndForget) {
 
 TEST(BitIdentityGate, AsyncGossipReliable) {
   check("async_acks", async_hash(/*acks=*/true), 0xba25d94f580b34ccULL);
+}
+
+TEST(BitIdentityGate, ShardedGossipN64) {
+  const std::uint64_t oracle = sharded_hash(64, /*shards=*/1, /*threads=*/1);
+  const std::uint64_t sharded = sharded_hash(64, /*shards=*/0, /*threads=*/8);
+  check("sharded_n64_oracle", oracle, 0x92aadb162daee980ULL);
+  EXPECT_EQ(oracle, sharded);
+}
+
+TEST(BitIdentityGate, ShardedGossipN512) {
+  const std::uint64_t oracle = sharded_hash(512, /*shards=*/1, /*threads=*/1);
+  const std::uint64_t sharded = sharded_hash(512, /*shards=*/0, /*threads=*/8);
+  check("sharded_n512_oracle", oracle, 0x0ae8bf223fb6e301ULL);
+  EXPECT_EQ(oracle, sharded);
 }
 
 }  // namespace

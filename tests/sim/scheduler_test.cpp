@@ -280,5 +280,51 @@ TEST(Scheduler, TelemetryCountersMirrorEventLifecycle) {
   EXPECT_EQ(*snap.counter("sim.events_cancelled"), 1u);
 }
 
+TEST(Scheduler, RunBeforeIsStrictAtTheHorizon) {
+  Scheduler sched;
+  std::vector<int> fired;
+  sched.schedule_at(1.0, [&] { fired.push_back(1); });
+  sched.schedule_at(2.0, [&] { fired.push_back(2); });
+  sched.schedule_at(3.0, [&] { fired.push_back(3); });
+  // Events at exactly the horizon belong to the NEXT window.
+  EXPECT_EQ(sched.run_before(2.0), 1u);
+  EXPECT_EQ(fired, (std::vector<int>{1}));
+  EXPECT_EQ(sched.run_before(3.0 + 1e-9), 2u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, RunBeforeAllowsSchedulingIntoTheNextWindow) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule_at(0.5, [&] {
+    ++fired;
+    sched.schedule_at(1.5, [&] { ++fired; });
+  });
+  EXPECT_EQ(sched.run_before(1.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.run_before(2.0), 1u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+// Regression: a cancelled tombstone sitting at the heap top used to make
+// the horizon check look at the tombstone's time, so run_until could
+// execute a live event strictly beyond its horizon (and run_before would
+// inherit the same off-by-a-tombstone). The queue must prune dead entries
+// before comparing against the horizon.
+TEST(Scheduler, CancelledTombstoneAtTopDoesNotBreachHorizon) {
+  Scheduler sched;
+  std::vector<int> fired;
+  const EventId dead = sched.schedule_at(1.0, [&] { fired.push_back(1); });
+  sched.schedule_at(5.0, [&] { fired.push_back(5); });
+  EXPECT_TRUE(sched.cancel(dead));
+  EXPECT_EQ(sched.run_until(2.0), 0u);
+  EXPECT_TRUE(fired.empty()) << "event at t=5 executed past horizon 2";
+  EXPECT_EQ(sched.run_before(5.0), 0u);
+  EXPECT_TRUE(fired.empty());
+  EXPECT_EQ(sched.run_before(6.0), 1u);
+  EXPECT_EQ(fired, (std::vector<int>{5}));
+}
+
 }  // namespace
 }  // namespace gt::sim

@@ -7,6 +7,12 @@
 namespace gt::bloom {
 namespace {
 
+TEST(BloomFilter, ZeroHashesRejectedLoudly) {
+  // A 0-probe filter reports every key as present; the old ctor silently
+  // bumped it to 1, hiding broken derivations upstream.
+  EXPECT_THROW(BloomFilter(1024, 0), std::invalid_argument);
+}
+
 TEST(BloomFilter, NoFalseNegatives) {
   BloomFilter f(4096, 4);
   for (std::uint64_t k = 0; k < 200; ++k) f.insert(k * 7919);

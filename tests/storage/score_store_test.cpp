@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -86,11 +88,55 @@ TEST(BloomScoreStore, BucketOfRespectsBoundaries) {
     EXPECT_GT(store.representative(b), store.representative(b - 1));
 }
 
-TEST(BloomScoreStore, AllZeroScoresHandled) {
+// Regression: the all-zero fallback used to hand zero-score peers a
+// synthetic log range [1e-12, 1], so full distrust read back as a nonzero
+// geometric-mean representative. Exact zeros must read back exactly 0.
+TEST(BloomScoreStore, AllZeroScoresReadBackExactlyZero) {
   const std::vector<double> scores(10, 0.0);
   ScoreStoreConfig cfg;
   const BloomScoreStore store(scores, cfg);
-  for (std::size_t id = 0; id < 10; ++id) EXPECT_GT(store.lookup(id), 0.0);
+  for (std::size_t id = 0; id < 10; ++id) EXPECT_EQ(store.lookup(id), 0.0);
+}
+
+TEST(BloomScoreStore, ZeroScorePeersNeverOutrankPositivePeers) {
+  // A realistic post-eviction vector: most peers hold positive mass, a
+  // blacklisted minority sits at exactly 0.
+  auto scores = power_law_scores(200, 6);
+  for (std::size_t id = 0; id < 200; id += 10) scores[id] = 0.0;
+  ScoreStoreConfig cfg;
+  cfg.num_buckets = 12;
+  cfg.bits_per_peer = 16.0;
+  const BloomScoreStore store(scores, cfg);
+  double min_positive = std::numeric_limits<double>::infinity();
+  for (std::size_t id = 0; id < 200; ++id) {
+    const double approx = store.lookup(id);
+    if (scores[id] == 0.0)
+      EXPECT_EQ(approx, 0.0) << "peer " << id << " inflated from zero";
+    else
+      min_positive = std::min(min_positive, approx);
+  }
+  // Ranking fidelity at the bottom: every zero peer strictly below every
+  // (recovered) positive peer.
+  EXPECT_GT(min_positive, 0.0);
+}
+
+// Regression: the derived probe count is bits/items * ln2 — a near-empty
+// bucket on the 64-bit floor used to derive 64 * ln2 ~ 44 and clamp at 16
+// probes. The clamp must keep every bucket's geometry in the sane band.
+TEST(BloomScoreStore, DerivedHashCountStaysSane) {
+  // One dominant peer and many dust scores: most buckets end up (nearly)
+  // empty at the minimum filter size.
+  std::vector<double> scores(64, 1e-9);
+  scores[0] = 1.0;
+  ScoreStoreConfig cfg;
+  cfg.num_buckets = 16;
+  cfg.bits_per_peer = 8.0;
+  cfg.hashes = 0;  // derive from the budget
+  const BloomScoreStore store(scores, cfg);
+  for (std::size_t b = 0; b < store.num_buckets(); ++b) {
+    EXPECT_GE(store.filter(b).hash_count(), 1u);
+    EXPECT_LE(store.filter(b).hash_count(), 8u) << "bucket " << b;
+  }
 }
 
 TEST(BloomScoreStore, SingleBucketDegenerates) {
