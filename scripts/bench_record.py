@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Record or gate the perf trajectory (BENCH_6.json).
+"""Record or gate the perf trajectory (BENCH_6.json / BENCH_7.json).
 
 Runs the `bench_micro_perf` event-core cases (scheduler dispatch, pooled
 vs legacy network send, batched async gossip) with google-benchmark JSON
@@ -36,6 +36,20 @@ always pass:
     python3 scripts/bench_record.py --bench build/bench/bench_micro_perf \
         --million build/bench/bench_million \
         --check results/BENCH_6.json --out BENCH_6.json
+
+--serve switches to the live-service trajectory (BENCH_7.json): it runs
+`repload --bench` (which spins up its own store + TCP server and prints a
+{"cases": ...} document) instead of the google-benchmark binaries, and
+gates ns_per_op the same way. Serve cases additionally carry hard
+*floors*: a case recording floor_lookups_per_sec must sustain at least
+that absolute rate regardless of what the baseline measured — the 1M
+lookups/s serving claim is gated as a floor, not a relative tolerance:
+
+    python3 scripts/bench_record.py --serve build/tools/repload \
+        --check results/BENCH_7.json --out BENCH_7.json
+
+A missing or malformed baseline fails with a one-line diagnosis (exit 1),
+never a stack trace, so a CI misconfiguration reads as what it is.
 
 Exit status: 0 on success, 1 on a regression or I/O error (so CI can use
 it as a perf gate). No third-party deps.
@@ -125,14 +139,48 @@ def run_million(bench):
     return cases
 
 
-def check(fresh, baseline_path, tolerance):
+def load_baseline(path):
+    """Reads and validates a baseline; clear one-line failures, no traces."""
     try:
-        with open(baseline_path, encoding="utf-8") as fh:
+        with open(path, encoding="utf-8") as fh:
             baseline = json.load(fh)
-    except (OSError, ValueError) as exc:
-        raise SystemExit(f"bench_record: cannot read {baseline_path}: {exc}")
+    except OSError as exc:
+        raise SystemExit(
+            f"bench_record: cannot read baseline {path}: {exc.strerror or exc}"
+            " — check the path, or record one first with bench_record.py")
+    except ValueError as exc:
+        raise SystemExit(
+            f"bench_record: baseline {path} is not valid JSON ({exc}) — "
+            "the file is corrupt; regenerate it with bench_record.py")
+    if not isinstance(baseline, dict) or \
+            not isinstance(baseline.get("cases"), dict) or \
+            not baseline["cases"]:
+        raise SystemExit(
+            f"bench_record: baseline {path} is malformed — expected an "
+            "object with a non-empty 'cases' map (schema gossiptrust-bench-*)"
+            "; regenerate it with bench_record.py")
+    for name, case in baseline["cases"].items():
+        if not isinstance(case, dict):
+            raise SystemExit(
+                f"bench_record: baseline {path} is malformed — case "
+                f"'{name}' is not an object; regenerate the baseline")
+    return baseline
+
+
+def case_ns(case):
+    """Per-op cost of a case: ns_per_event (event core) or ns_per_op
+    (serve cases); None when the case carries neither."""
+    for key in ("ns_per_event", "ns_per_op"):
+        v = case.get(key)
+        if isinstance(v, (int, float)) and v > 0:
+            return v
+    return None
+
+
+def check(fresh, baseline_path, tolerance):
+    baseline = load_baseline(baseline_path)
     failures = []
-    for name, base in baseline.get("cases", {}).items():
+    for name, base in baseline["cases"].items():
         now = fresh.get(name)
         if now is None:
             if base.get("gated") is False:
@@ -141,12 +189,30 @@ def check(fresh, baseline_path, tolerance):
                 continue
             failures.append(f"{name}: present in baseline but not measured")
             continue
-        limit = base["ns_per_event"] * (1.0 + tolerance)
-        if now["ns_per_event"] > limit:
+        base_ns, now_ns = case_ns(base), case_ns(now)
+        if base_ns is None:
+            failures.append(f"{name}: baseline carries no ns_per_event / "
+                            "ns_per_op — malformed baseline, regenerate it")
+            continue
+        if now_ns is None:
+            failures.append(f"{name}: fresh run reported no per-op cost")
+            continue
+        limit = base_ns * (1.0 + tolerance)
+        if now_ns > limit:
             failures.append(
-                f"{name}: ns/event {now['ns_per_event']:.1f} > "
-                f"{limit:.1f} (baseline {base['ns_per_event']:.1f} "
+                f"{name}: ns/op {now_ns:.1f} > "
+                f"{limit:.1f} (baseline {base_ns:.1f} "
                 f"+{tolerance:.0%})")
+        # Absolute floors (serve cases): the recorded floor must hold no
+        # matter what the baseline measured — a hard capability gate.
+        floor = base.get("floor_lookups_per_sec")
+        now_rate = now.get("lookups_per_sec")
+        if isinstance(floor, (int, float)) and floor > 0:
+            if not isinstance(now_rate, (int, float)) or now_rate < floor:
+                failures.append(
+                    f"{name}: lookups/s "
+                    f"{now_rate if now_rate is not None else 'missing'} "
+                    f"below the hard floor {floor:.3e}")
         base_allocs = base.get("allocs_per_event")
         now_allocs = now.get("allocs_per_event")
         if base_allocs == 0 and now_allocs is not None and now_allocs > 0:
@@ -167,6 +233,27 @@ def check(fresh, baseline_path, tolerance):
     return not failures
 
 
+def run_serve(bench, seconds):
+    """Run `repload --bench` and return its {case: metrics} dict."""
+    cmd = [bench, "--bench", "--bench-seconds", str(seconds)]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True, check=True)
+    except OSError as exc:
+        raise SystemExit(f"bench_record: cannot run {bench}: {exc}")
+    except subprocess.CalledProcessError as exc:
+        sys.stderr.write(exc.stderr)
+        raise SystemExit(f"bench_record: {bench} exited {exc.returncode}")
+    sys.stderr.write(proc.stderr)
+    try:
+        doc = json.loads(proc.stdout)
+    except ValueError as exc:
+        raise SystemExit(f"bench_record: {bench} emitted bad JSON: {exc}")
+    cases = doc.get("cases", {})
+    if not cases:
+        raise SystemExit(f"bench_record: {bench} reported no cases")
+    return cases
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--bench", default="build/bench/bench_micro_perf",
@@ -174,6 +261,11 @@ def main():
     ap.add_argument("--million", metavar="BENCH_MILLION",
                     help="also run this bench_million binary and fold its "
                          "sharded-engine cases into the trajectory")
+    ap.add_argument("--serve", metavar="REPLOAD",
+                    help="record the live-service trajectory instead: run "
+                         "this repload binary with --bench (BENCH_7.json)")
+    ap.add_argument("--serve-seconds", type=float, default=1.0,
+                    help="--bench-seconds per serve case (default 1.0)")
     ap.add_argument("--out", default="BENCH_6.json",
                     help="where to write the folded measurements")
     ap.add_argument("--check", metavar="BASELINE",
@@ -187,31 +279,51 @@ def main():
                          "(default 3, use 1 for a quick look)")
     args = ap.parse_args()
 
-    report = run_bench(args.bench, args.min_time, args.repetitions)
-    cases = fold(report, args.repetitions)
-    if args.million:
-        cases.update(run_million(args.million))
-
-    doc = {
-        "schema": "gossiptrust-bench-6",
-        "bench": "bench_micro_perf + bench_million",
-        "units": {"ns_per_event": "nanoseconds",
-                  "events_per_sec": "items/s",
-                  "allocs_per_event": "heap allocations per event",
-                  "bytes_per_node": "resident bytes per node "
-                                    "(SoA state + CSR + Bloom store)"},
-        "cases": cases,
-    }
+    if args.serve:
+        cases = run_serve(args.serve, args.serve_seconds)
+        if args.out == "BENCH_6.json":  # default --out follows the mode
+            args.out = "BENCH_7.json"
+        doc = {
+            "schema": "gossiptrust-bench-7",
+            "bench": "repload --bench (live reputation service)",
+            "units": {"ns_per_op": "nanoseconds per served operation",
+                      "lookups_per_sec": "reputation keys served per second",
+                      "ops_per_sec": "keys + ingests per second",
+                      "p50_us": "client round-trip microseconds",
+                      "floor_lookups_per_sec":
+                          "hard minimum rate gated by --check"},
+            "cases": cases,
+        }
+    else:
+        report = run_bench(args.bench, args.min_time, args.repetitions)
+        cases = fold(report, args.repetitions)
+        if args.million:
+            cases.update(run_million(args.million))
+        doc = {
+            "schema": "gossiptrust-bench-6",
+            "bench": "bench_micro_perf + bench_million",
+            "units": {"ns_per_event": "nanoseconds",
+                      "events_per_sec": "items/s",
+                      "allocs_per_event": "heap allocations per event",
+                      "bytes_per_node": "resident bytes per node "
+                                        "(SoA state + CSR + Bloom store)"},
+            "cases": cases,
+        }
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")
     for name, c in sorted(cases.items()):
-        extra = (f"bytes/node {c['bytes_per_node']:.1f}"
-                 if c.get("bytes_per_node") is not None
-                 else f"allocs/ev "
-                      f"{'n/a' if c.get('allocs_per_event') is None else format(c['allocs_per_event'], 'g')}")
-        print(f"{name:36s} {c['events_per_sec']:>14.3e} ev/s "
-              f"{c['ns_per_event']:>10.1f} ns/ev  {extra}")
+        rate = c.get("events_per_sec", c.get("ops_per_sec", 0.0))
+        if c.get("bytes_per_node") is not None:
+            extra = f"bytes/node {c['bytes_per_node']:.1f}"
+        elif c.get("p99_us") is not None:
+            extra = f"p99 {c['p99_us']:.1f} us"
+        else:
+            allocs = c.get("allocs_per_event")
+            extra = ("allocs/ev "
+                     f"{'n/a' if allocs is None else format(allocs, 'g')}")
+        print(f"{name:36s} {rate:>14.3e} ev/s "
+              f"{case_ns(c) or 0.0:>10.1f} ns/ev  {extra}")
     print(f"wrote {args.out}")
 
     if args.check is not None and not check(cases, args.check, args.tolerance):

@@ -10,6 +10,7 @@ log and summarizes it per event type:
     python3 scripts/report.py run.jsonl --group n,epsilon
     python3 scripts/report.py run.jsonl --event cycle --group n,epsilon
     python3 scripts/report.py run.jsonl --trace          # flight recorder
+    python3 scripts/report.py serve.jsonl --serve        # live-service view
     python3 scripts/report.py out.json --perfetto-check  # trace JSON gate
 
 With --group, numeric fields of the selected event type are aggregated
@@ -22,6 +23,12 @@ enforces their schemas and per-trace-id sim-time monotonicity, and
 --trace summarizes retransmission chains, drops by reason, fault
 markers, and the convergence probe series.  --perfetto-check validates
 an exported Chrome trace-event JSON instead of a JSONL log.
+
+`serve` records (written by tools/repserved on shutdown) also get schema
+enforcement under --check, and --serve renders the live-service view:
+request rates per opcode (ops/s over the recorded uptime) and request
+latency percentiles (p50/p99/p999) recovered from the log-bucket
+histograms embedded in the record — no server access needed.
 
 Exit status: 0 on success, 1 on any invalid line or I/O error (so CI can
 use `report.py log --check` as a schema gate).  No third-party deps.
@@ -74,6 +81,82 @@ def validate_probe_fields(obj):
     return None
 
 
+# Counter fields a `serve` record must carry (tools/repserved writes the
+# whole family; report.py --serve renders rates from them).
+SERVE_COUNTERS = (
+    "serve_lookups", "serve_batch_lookups", "serve_batch_keys",
+    "serve_ingests", "serve_stats", "serve_proto_errors", "serve_frames",
+    "serve_bytes_in", "serve_bytes_out", "serve_conns_opened",
+    "serve_conns_closed",
+)
+
+# Latency histograms embedded in a `serve` record as nested objects.
+SERVE_HISTOGRAMS = (
+    "serve_lookup_seconds", "serve_batch_seconds", "serve_ingest_seconds",
+)
+
+
+def validate_serve_histogram(name, h):
+    """Schema check for one embedded histogram object; error string or None."""
+    if not isinstance(h, dict):
+        return f"'{name}' must be an object"
+    for key in ("count", "sum", "mean", "min", "max", "bucket_min", "growth"):
+        if not is_number(h.get(key)):
+            return f"'{name}': missing/invalid '{key}'"
+    buckets = h.get("buckets")
+    if not isinstance(buckets, list) or not buckets:
+        return f"'{name}': missing/invalid 'buckets'"
+    if any(not isinstance(b, int) or isinstance(b, bool) or b < 0
+           for b in buckets):
+        return f"'{name}': buckets must be non-negative integers"
+    if sum(buckets) != h["count"]:
+        return (f"'{name}': bucket sum {sum(buckets)} != count {h['count']}")
+    if h["growth"] <= 1.0 or h["bucket_min"] <= 0:
+        return f"'{name}': growth must be > 1 and bucket_min > 0"
+    return None
+
+
+def validate_serve_fields(obj):
+    """Schema check for a `serve` record; returns an error or None."""
+    if not is_number(obj.get("uptime_seconds")) or obj["uptime_seconds"] < 0:
+        return "serve record: missing/invalid 'uptime_seconds'"
+    for key in SERVE_COUNTERS:
+        v = obj.get(key)
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            return f"serve record: missing/invalid '{key}'"
+    for key in SERVE_HISTOGRAMS:
+        err = validate_serve_histogram(key, obj.get(key))
+        if err:
+            return f"serve record: {err}"
+    return None
+
+
+def histogram_percentile(h, pct):
+    """Recovers an upper-bound percentile estimate from log buckets.
+
+    buckets[0] is the underflow bin (< bucket_min), buckets[-1] the
+    overflow bin; interior bucket i spans
+    [bucket_min * growth^(i-1), bucket_min * growth^i).  Returns the upper
+    edge of the bucket holding the requested rank — a <= growth-factor
+    overestimate, which is the resolution the C++ histogram was built with.
+    """
+    total = h["count"]
+    if total == 0:
+        return math.nan
+    rank = pct / 100.0 * total
+    cum = 0
+    buckets = h["buckets"]
+    for i, b in enumerate(buckets):
+        cum += b
+        if cum >= rank and b > 0:
+            if i == 0:
+                return h["bucket_min"]
+            if i == len(buckets) - 1:
+                return h["max"]
+            return h["bucket_min"] * h["growth"] ** i
+    return h["max"]
+
+
 def load(path):
     """Parses a JSONL file; returns (records, errors).
 
@@ -114,6 +197,8 @@ def load(path):
                 schema_error = validate_trace_fields(obj)
             elif obj["event"] == "probe":
                 schema_error = validate_probe_fields(obj)
+            elif obj["event"] == "serve":
+                schema_error = validate_serve_fields(obj)
             if schema_error:
                 errors.append(f"line {lineno}: {schema_error}")
                 continue
@@ -317,6 +402,62 @@ def summarize_trace(records):
     return True
 
 
+def summarize_serve(records):
+    """Live-service view of `serve` records (one per repserved shutdown)."""
+    serves = [r for r in records if r["event"] == "serve"]
+    if not serves:
+        print("no serve records in log (run tools/repserved with "
+              "--telemetry)", file=sys.stderr)
+        return False
+
+    for idx, r in enumerate(serves):
+        uptime = r["uptime_seconds"]
+        label = f" #{idx}" if len(serves) > 1 else ""
+        print(f"\n== serve record{label}: uptime {fmt(uptime)}s ==")
+
+        rate = lambda v: fmt(v / uptime) if uptime > 0 else "-"
+        rows = [
+            ["LOOKUP", str(r["serve_lookups"]), rate(r["serve_lookups"])],
+            ["BATCH_LOOKUP", str(r["serve_batch_lookups"]),
+             rate(r["serve_batch_lookups"])],
+            ["  batch keys", str(r["serve_batch_keys"]),
+             rate(r["serve_batch_keys"])],
+            ["INGEST", str(r["serve_ingests"]), rate(r["serve_ingests"])],
+            ["STATS", str(r["serve_stats"]), rate(r["serve_stats"])],
+            ["frames (all)", str(r["serve_frames"]), rate(r["serve_frames"])],
+        ]
+        print_table(["opcode", "count", "ops/s"], rows)
+
+        keys_served = r["serve_lookups"] + r["serve_batch_keys"]
+        print(f"\nlookup keys served: {keys_served} "
+              f"({rate(keys_served)} keys/s)")
+        print(f"bytes in/out: {r['serve_bytes_in']} / {r['serve_bytes_out']}"
+              f"  connections: {r['serve_conns_opened']} opened, "
+              f"{r['serve_conns_closed']} closed"
+              f"  protocol errors: {r['serve_proto_errors']}")
+
+        rows = []
+        for key in SERVE_HISTOGRAMS:
+            h = r[key]
+            if h["count"] == 0:
+                continue
+            rows.append([
+                key.removeprefix("serve_").removesuffix("_seconds"),
+                str(h["count"]),
+                fmt(h["mean"] * 1e6),
+                fmt(histogram_percentile(h, 50.0) * 1e6),
+                fmt(histogram_percentile(h, 99.0) * 1e6),
+                fmt(histogram_percentile(h, 99.9) * 1e6),
+                fmt(h["max"] * 1e6),
+            ])
+        if rows:
+            print("\nper-request service time (us, from log buckets):")
+            print_table(
+                ["request", "count", "mean", "p50", "p99", "p999", "max"],
+                rows)
+    return True
+
+
 # Event phases the exporter emits: complete spans, flow start/finish,
 # instants, counters, metadata (B/E tolerated for hand-edited files).
 PERFETTO_PHASES = frozenset({"X", "s", "f", "i", "C", "M", "B", "E"})
@@ -381,6 +522,9 @@ def main():
     ap.add_argument("--trace", action="store_true",
                     help="summarize mirrored trace/probe records "
                          "(flight-recorder view)")
+    ap.add_argument("--serve", action="store_true",
+                    help="summarize live-service `serve` records "
+                         "(request rates + latency percentiles)")
     ap.add_argument("--perfetto-check", action="store_true",
                     help="validate an exported Chrome trace-event JSON "
                          "instead of a JSONL log")
@@ -408,6 +552,8 @@ def main():
     print(f"{args.log}: {len(records)} records")
     if args.trace:
         return 0 if summarize_trace(records) else 1
+    if args.serve:
+        return 0 if summarize_serve(records) else 1
     if args.group:
         keys = [k.strip() for k in args.group.split(",") if k.strip()]
         if not summarize_grouped(records, args.event, keys):

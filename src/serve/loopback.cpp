@@ -1,0 +1,101 @@
+#include "serve/loopback.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gt::serve {
+
+namespace {
+[[noreturn]] void die(const char* msg) {
+  std::fprintf(stderr, "serve::LoopbackClient: %s\n", msg);
+  std::abort();
+}
+}  // namespace
+
+LoopbackClient::LoopbackClient(ReputationStore& store, ServeMetrics& metrics,
+                               std::size_t lane, std::size_t chunk)
+    : handler_(store, metrics, lane), chunk_(chunk) {}
+
+bool LoopbackClient::send_raw(const std::uint8_t* data, std::size_t len) {
+  if (closed_) return false;
+  if (chunk_ == 0) {
+    if (!handler_.on_bytes(data, len, rx_)) closed_ = true;
+  } else {
+    for (std::size_t off = 0; off < len && !closed_; off += chunk_) {
+      const std::size_t n = std::min(chunk_, len - off);
+      if (!handler_.on_bytes(data + off, n, rx_)) closed_ = true;
+    }
+    if (len == 0 && !handler_.on_bytes(data, 0, rx_)) closed_ = true;
+  }
+  return !closed_;
+}
+
+void LoopbackClient::clear_received() {
+  rx_.clear();
+  resp_parser_ = FrameParser();
+}
+
+FrameParser::Frame LoopbackClient::round_trip() {
+  if (closed_) die("request on a closed connection");
+  const std::size_t rx_before = rx_.size();
+  if (!send_raw(tx_.data(), tx_.size())) die("server closed on a valid request");
+  tx_.clear();
+  if (!resp_parser_.feed(rx_.data() + rx_before, rx_.size() - rx_before))
+    die("malformed response header");
+  FrameParser::Frame frame;
+  if (!resp_parser_.next(&frame)) die("incomplete response frame");
+  return frame;
+}
+
+LookupResp LoopbackClient::lookup(std::uint64_t node) {
+  encode_lookup(tx_, node);
+  const FrameParser::Frame f = round_trip();
+  LookupResp r;
+  if (static_cast<Op>(f.header.opcode) != Op::kLookupResp ||
+      !decode_lookup_resp(f.payload, f.header.payload_len, &r))
+    die("bad LOOKUP response");
+  return r;
+}
+
+std::vector<LookupResp> LoopbackClient::batch_lookup(
+    const std::vector<std::uint64_t>& ids) {
+  encode_batch_lookup(tx_, ids.data(), ids.size());
+  const FrameParser::Frame f = round_trip();
+  std::uint32_t count = 0;
+  const std::uint8_t* entries = nullptr;
+  if (static_cast<Op>(f.header.opcode) != Op::kBatchLookupResp ||
+      (entries = decode_batch_resp(f.payload, f.header.payload_len, &count)) ==
+          nullptr ||
+      count != ids.size())
+    die("bad BATCH_LOOKUP response");
+  std::vector<LookupResp> out(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    out[i].epoch = get_u64(entries + 16 * i);
+    out[i].score = get_f64(entries + 16 * i + 8);
+  }
+  return out;
+}
+
+std::uint64_t LoopbackClient::ingest(std::uint64_t rater, std::uint64_t ratee,
+                                     double value) {
+  encode_ingest(tx_, rater, ratee, value);
+  const FrameParser::Frame f = round_trip();
+  std::uint64_t total = 0;
+  if (static_cast<Op>(f.header.opcode) != Op::kIngestResp ||
+      !decode_ingest_resp(f.payload, f.header.payload_len, &total))
+    die("bad INGEST response");
+  return total;
+}
+
+StatsPayload LoopbackClient::stats() {
+  encode_stats(tx_);
+  const FrameParser::Frame f = round_trip();
+  StatsPayload s;
+  if (static_cast<Op>(f.header.opcode) != Op::kStatsResp ||
+      !decode_stats_resp(f.payload, f.header.payload_len, &s))
+    die("bad STATS response");
+  return s;
+}
+
+}  // namespace gt::serve

@@ -1,0 +1,60 @@
+// LoopbackClient: the in-process transport variant of the serve stack.
+//
+// Drives a ConnectionHandler directly — same frames, same parser, same
+// store reads as the socket server, but with byte vectors instead of a TCP
+// connection, so protocol behaviour is fully deterministic under ctest and
+// needs no ports, no event loop, and no timing assumptions. An optional
+// chunk size re-feeds the encoded request bytes to the handler in slices,
+// exercising resumable frame parsing exactly as a fragmented TCP stream
+// would.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "serve/handler.hpp"
+#include "serve/protocol.hpp"
+#include "serve/store.hpp"
+
+namespace gt::serve {
+
+class LoopbackClient {
+ public:
+  /// chunk == 0 feeds each request in one piece; chunk > 0 feeds the bytes
+  /// in slices of that size.
+  LoopbackClient(ReputationStore& store, ServeMetrics& metrics,
+                 std::size_t lane = 0, std::size_t chunk = 0);
+
+  /// True once the server side closed the connection (protocol error).
+  bool closed() const noexcept { return closed_; }
+
+  // Typed request/response round trips. Aborts loudly when called on a
+  // closed connection or when the response cannot be decoded (a handler
+  // bug, not an input condition).
+  LookupResp lookup(std::uint64_t node);
+  std::vector<LookupResp> batch_lookup(const std::vector<std::uint64_t>& ids);
+  std::uint64_t ingest(std::uint64_t rater, std::uint64_t ratee, double value);
+  StatsPayload stats();
+
+  /// Raw access for malformed-input tests: feeds arbitrary bytes, returns
+  /// false when the handler closed the connection. Responses accumulate in
+  /// received().
+  bool send_raw(const std::uint8_t* data, std::size_t len);
+  const std::vector<std::uint8_t>& received() const noexcept { return rx_; }
+  void clear_received();
+
+ private:
+  /// Sends `tx_` through the handler (honoring chunking) and parses
+  /// exactly one response frame from the accumulated response bytes.
+  FrameParser::Frame round_trip();
+
+  ConnectionHandler handler_;
+  std::size_t chunk_;
+  bool closed_ = false;
+  std::vector<std::uint8_t> tx_;
+  std::vector<std::uint8_t> rx_;
+  FrameParser resp_parser_;
+};
+
+}  // namespace gt::serve

@@ -1,0 +1,192 @@
+#include "serve/protocol.hpp"
+
+#include <bit>
+
+namespace gt::serve {
+
+// The codecs memcpy native integers; the wire format is defined as
+// little-endian, so refuse to build on a big-endian target rather than
+// silently emitting an incompatible byte order.
+static_assert(std::endian::native == std::endian::little,
+              "serve wire protocol assumes a little-endian host");
+
+void encode_header(std::uint8_t* p, Op op, std::uint32_t payload_len) {
+  put_u32(p, payload_len);
+  p[4] = static_cast<std::uint8_t>(op);
+  p[5] = kProtocolVersion;
+  put_u16(p + 6, 0);
+}
+
+bool decode_header(const std::uint8_t* p, FrameHeader* out) {
+  out->payload_len = get_u32(p);
+  out->opcode = p[4];
+  out->version = p[5];
+  out->reserved = get_u16(p + 6);
+  return out->version == kProtocolVersion && out->reserved == 0 &&
+         out->payload_len <= kMaxPayload;
+}
+
+namespace {
+std::uint8_t* grow(std::vector<std::uint8_t>& out, std::size_t n) {
+  const std::size_t off = out.size();
+  out.resize(off + n);
+  return out.data() + off;
+}
+}  // namespace
+
+void encode_lookup(std::vector<std::uint8_t>& out, std::uint64_t node) {
+  std::uint8_t* p = grow(out, kHeaderSize + 8);
+  encode_header(p, Op::kLookup, 8);
+  put_u64(p + kHeaderSize, node);
+}
+
+void encode_batch_lookup(std::vector<std::uint8_t>& out,
+                         const std::uint64_t* nodes, std::size_t count) {
+  const std::size_t payload = 8 + 8 * count;
+  std::uint8_t* p = grow(out, kHeaderSize + payload);
+  encode_header(p, Op::kBatchLookup, static_cast<std::uint32_t>(payload));
+  put_u32(p + kHeaderSize, static_cast<std::uint32_t>(count));
+  put_u32(p + kHeaderSize + 4, 0);
+  for (std::size_t i = 0; i < count; ++i)
+    put_u64(p + kHeaderSize + 8 + 8 * i, nodes[i]);
+}
+
+void encode_ingest(std::vector<std::uint8_t>& out, std::uint64_t rater,
+                   std::uint64_t ratee, double value) {
+  std::uint8_t* p = grow(out, kHeaderSize + 24);
+  encode_header(p, Op::kIngest, 24);
+  put_u64(p + kHeaderSize, rater);
+  put_u64(p + kHeaderSize + 8, ratee);
+  put_f64(p + kHeaderSize + 16, value);
+}
+
+void encode_stats(std::vector<std::uint8_t>& out) {
+  std::uint8_t* p = grow(out, kHeaderSize);
+  encode_header(p, Op::kStats, 0);
+}
+
+void encode_lookup_resp(std::vector<std::uint8_t>& out, std::uint64_t epoch,
+                        double score) {
+  std::uint8_t* p = grow(out, kHeaderSize + 16);
+  encode_header(p, Op::kLookupResp, 16);
+  put_u64(p + kHeaderSize, epoch);
+  put_f64(p + kHeaderSize + 8, score);
+}
+
+std::size_t encode_batch_resp_header(std::vector<std::uint8_t>& out,
+                                     std::uint32_t count) {
+  const std::size_t payload = 8 + 16 * static_cast<std::size_t>(count);
+  std::uint8_t* p = grow(out, kHeaderSize + 8);
+  encode_header(p, Op::kBatchLookupResp, static_cast<std::uint32_t>(payload));
+  put_u32(p + kHeaderSize, count);
+  put_u32(p + kHeaderSize + 4, 0);
+  return out.size();
+}
+
+void append_batch_entry(std::vector<std::uint8_t>& out, std::uint64_t epoch,
+                        double score) {
+  std::uint8_t* p = grow(out, 16);
+  put_u64(p, epoch);
+  put_f64(p + 8, score);
+}
+
+void encode_ingest_resp(std::vector<std::uint8_t>& out,
+                        std::uint64_t total_ingested) {
+  std::uint8_t* p = grow(out, kHeaderSize + 8);
+  encode_header(p, Op::kIngestResp, 8);
+  put_u64(p + kHeaderSize, total_ingested);
+}
+
+void encode_stats_resp(std::vector<std::uint8_t>& out, const StatsPayload& s) {
+  std::uint8_t* p = grow(out, kHeaderSize + kStatsPayloadSize);
+  encode_header(p, Op::kStatsResp,
+                static_cast<std::uint32_t>(kStatsPayloadSize));
+  const std::uint64_t fields[8] = {
+      s.lookups,        s.batch_lookups,   s.batch_keys,      s.ingests,
+      s.stats_requests, s.protocol_errors, s.published_epoch, s.ingest_pending};
+  for (std::size_t i = 0; i < 8; ++i) put_u64(p + kHeaderSize + 8 * i, fields[i]);
+}
+
+bool decode_lookup_resp(const std::uint8_t* payload, std::size_t len,
+                        LookupResp* out) {
+  if (len != 16) return false;
+  out->epoch = get_u64(payload);
+  out->score = get_f64(payload + 8);
+  return true;
+}
+
+const std::uint8_t* decode_batch_resp(const std::uint8_t* payload,
+                                      std::size_t len, std::uint32_t* count) {
+  if (len < 8) return nullptr;
+  *count = get_u32(payload);
+  if (get_u32(payload + 4) != 0) return nullptr;
+  if (len != 8 + 16 * static_cast<std::size_t>(*count)) return nullptr;
+  return payload + 8;
+}
+
+bool decode_ingest_resp(const std::uint8_t* payload, std::size_t len,
+                        std::uint64_t* total) {
+  if (len != 8) return false;
+  *total = get_u64(payload);
+  return true;
+}
+
+bool decode_stats_resp(const std::uint8_t* payload, std::size_t len,
+                       StatsPayload* out) {
+  if (len != kStatsPayloadSize) return false;
+  std::uint64_t fields[8];
+  for (std::size_t i = 0; i < 8; ++i) fields[i] = get_u64(payload + 8 * i);
+  out->lookups = fields[0];
+  out->batch_lookups = fields[1];
+  out->batch_keys = fields[2];
+  out->ingests = fields[3];
+  out->stats_requests = fields[4];
+  out->protocol_errors = fields[5];
+  out->published_epoch = fields[6];
+  out->ingest_pending = fields[7];
+  return true;
+}
+
+// --- FrameParser ------------------------------------------------------------
+
+bool FrameParser::feed(const std::uint8_t* data, std::size_t len) {
+  if (error_) return false;
+  // Compact: drop already-delivered bytes before appending so the buffer
+  // stays bounded by one partial frame plus the new input.
+  if (consumed_ > 0) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + len);
+  // Validate eagerly: a malformed header is reportable as soon as its 8
+  // bytes are in, independent of the (claimed, possibly absurd) payload.
+  if (buf_.size() - consumed_ >= kHeaderSize && !header_ok(buf_.data() + consumed_)) {
+    error_ = true;
+    return false;
+  }
+  return true;
+}
+
+bool FrameParser::header_ok(const std::uint8_t* p) {
+  FrameHeader h;
+  return decode_header(p, &h);
+}
+
+bool FrameParser::next(Frame* out) {
+  if (error_) return false;
+  const std::size_t avail = buf_.size() - consumed_;
+  if (avail < kHeaderSize) return false;
+  FrameHeader h;
+  if (!decode_header(buf_.data() + consumed_, &h)) {
+    error_ = true;
+    return false;
+  }
+  if (avail < kHeaderSize + h.payload_len) return false;
+  out->header = h;
+  out->payload = buf_.data() + consumed_ + kHeaderSize;
+  consumed_ += kHeaderSize + h.payload_len;
+  return true;
+}
+
+}  // namespace gt::serve

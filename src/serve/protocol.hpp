@@ -1,0 +1,182 @@
+// serve wire protocol: a compact length-prefixed binary format.
+//
+// Every frame is an 8-byte little-endian header followed by a payload:
+//
+//   offset 0  u32  payload_len   bytes after the header (<= kMaxPayload)
+//   offset 4  u8   opcode
+//   offset 5  u8   version       must be kProtocolVersion (1)
+//   offset 6  u16  reserved      must be 0
+//
+// Request payloads:
+//   LOOKUP        (0x01)  u64 node_id
+//   BATCH_LOOKUP  (0x02)  u32 count; u32 pad(0); count x u64 node_id
+//   INGEST        (0x03)  u64 rater; u64 ratee; f64 value
+//   STATS         (0x04)  (empty)
+//
+// Response opcode = request opcode | 0x80:
+//   LOOKUP_R      (0x81)  u64 epoch; f64 score          (epoch 0 = miss)
+//   BATCH_R       (0x82)  u32 count; u32 pad; count x {u64 epoch; f64 score}
+//   INGEST_R      (0x83)  u64 total_ingested
+//   STATS_R       (0x84)  8 x u64 (see StatsPayload)
+//
+// Malformed input — bad version, nonzero reserved bits, unknown opcode,
+// oversized or inconsistent lengths — is a protocol error: the peer closes
+// the connection loudly (counted + logged), it never guesses. All multi-
+// byte values are little-endian; encode/decode goes through memcpy so the
+// parser is free of alignment/aliasing UB and never reads past the buffer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace gt::serve {
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderSize = 8;
+inline constexpr std::size_t kMaxPayload = 1u << 20;  ///< 1 MiB
+inline constexpr std::size_t kMaxBatch = (kMaxPayload - 8) / 8;
+
+enum class Op : std::uint8_t {
+  kLookup = 0x01,
+  kBatchLookup = 0x02,
+  kIngest = 0x03,
+  kStats = 0x04,
+  kLookupResp = 0x81,
+  kBatchLookupResp = 0x82,
+  kIngestResp = 0x83,
+  kStatsResp = 0x84,
+};
+
+struct FrameHeader {
+  std::uint32_t payload_len = 0;
+  std::uint8_t opcode = 0;
+  std::uint8_t version = kProtocolVersion;
+  std::uint16_t reserved = 0;
+};
+
+/// Fixed order of the STATS_R counters (8 x u64 on the wire).
+struct StatsPayload {
+  std::uint64_t lookups = 0;
+  std::uint64_t batch_lookups = 0;
+  std::uint64_t batch_keys = 0;
+  std::uint64_t ingests = 0;
+  std::uint64_t stats_requests = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t published_epoch = 0;
+  std::uint64_t ingest_pending = 0;
+};
+inline constexpr std::size_t kStatsPayloadSize = 8 * sizeof(std::uint64_t);
+
+// --- primitive little-endian codecs (memcpy: no alignment/aliasing UB) ------
+
+inline void put_u16(std::uint8_t* p, std::uint16_t v) { std::memcpy(p, &v, 2); }
+inline void put_u32(std::uint8_t* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
+inline void put_u64(std::uint8_t* p, std::uint64_t v) { std::memcpy(p, &v, 8); }
+inline void put_f64(std::uint8_t* p, double v) { std::memcpy(p, &v, 8); }
+inline std::uint16_t get_u16(const std::uint8_t* p) {
+  std::uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+inline std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+inline std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+inline double get_f64(const std::uint8_t* p) {
+  double v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+/// Writes a frame header into `p` (which must hold kHeaderSize bytes).
+void encode_header(std::uint8_t* p, Op op, std::uint32_t payload_len);
+
+/// Parses a header. Returns false (protocol error) on bad version, nonzero
+/// reserved bits, or payload_len > kMaxPayload.
+bool decode_header(const std::uint8_t* p, FrameHeader* out);
+
+// --- request encoders (append to `out`; used by clients and tests) ----------
+
+void encode_lookup(std::vector<std::uint8_t>& out, std::uint64_t node);
+void encode_batch_lookup(std::vector<std::uint8_t>& out,
+                         const std::uint64_t* nodes, std::size_t count);
+void encode_ingest(std::vector<std::uint8_t>& out, std::uint64_t rater,
+                   std::uint64_t ratee, double value);
+void encode_stats(std::vector<std::uint8_t>& out);
+
+// --- response encoders (used by the server) ---------------------------------
+
+void encode_lookup_resp(std::vector<std::uint8_t>& out, std::uint64_t epoch,
+                        double score);
+/// Begins a batch response; returns the offset where entries start. Append
+/// `count` entries with append_batch_entry, in order.
+std::size_t encode_batch_resp_header(std::vector<std::uint8_t>& out,
+                                     std::uint32_t count);
+void append_batch_entry(std::vector<std::uint8_t>& out, std::uint64_t epoch,
+                        double score);
+void encode_ingest_resp(std::vector<std::uint8_t>& out,
+                        std::uint64_t total_ingested);
+void encode_stats_resp(std::vector<std::uint8_t>& out, const StatsPayload& s);
+
+// --- response decoders (client side; return false on malformed) -------------
+
+struct LookupResp {
+  std::uint64_t epoch = 0;
+  double score = 0.0;
+};
+bool decode_lookup_resp(const std::uint8_t* payload, std::size_t len,
+                        LookupResp* out);
+/// Batch payload: writes entry count to *count and returns a pointer to the
+/// first 16-byte {epoch, score} entry, or nullptr on malformed.
+const std::uint8_t* decode_batch_resp(const std::uint8_t* payload,
+                                      std::size_t len, std::uint32_t* count);
+bool decode_ingest_resp(const std::uint8_t* payload, std::size_t len,
+                        std::uint64_t* total);
+bool decode_stats_resp(const std::uint8_t* payload, std::size_t len,
+                       StatsPayload* out);
+
+/// Incremental frame splitter: feed bytes, pull complete frames. Holds one
+/// partial frame at most; the accumulation buffer is reused, so steady-state
+/// parsing does not allocate.
+class FrameParser {
+ public:
+  /// One complete frame, pointing into the parser's buffer (or the caller's
+  /// input when a frame arrived whole). Valid until the next feed() call.
+  struct Frame {
+    FrameHeader header;
+    const std::uint8_t* payload = nullptr;
+  };
+
+  /// Appends input bytes. Returns false on a malformed header (protocol
+  /// error: the connection must be closed). Complete frames are delivered
+  /// through next().
+  bool feed(const std::uint8_t* data, std::size_t len);
+
+  /// Pops the next complete frame; returns false when more bytes are
+  /// needed — or on a malformed header, distinguishable via error().
+  bool next(Frame* out);
+
+  /// True once a malformed header was seen; the parser is then dead and
+  /// the connection must be closed.
+  bool error() const noexcept { return error_; }
+
+  /// Bytes currently buffered (diagnostics).
+  std::size_t buffered() const noexcept { return buf_.size() - consumed_; }
+
+ private:
+  bool header_ok(const std::uint8_t* p);
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t consumed_ = 0;  ///< bytes of buf_ already delivered
+  bool error_ = false;
+};
+
+}  // namespace gt::serve

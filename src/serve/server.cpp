@@ -1,0 +1,369 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#define GT_SERVE_HAVE_EPOLL 1
+#else
+#define GT_SERVE_HAVE_EPOLL 0
+#endif
+
+namespace gt::serve {
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+// Minimal readiness abstraction so the epoll and poll loops share every
+// line of connection logic. Not a hot path: one wait() per loop iteration.
+struct Poller {
+  struct Event {
+    int fd;
+    bool readable;
+    bool writable;
+    bool error;
+  };
+  virtual ~Poller() = default;
+  virtual bool add(int fd, bool want_write) = 0;
+  virtual void modify(int fd, bool want_write) = 0;
+  virtual void remove(int fd) = 0;
+  virtual int wait(std::vector<Event>& out, int timeout_ms) = 0;
+};
+
+#if GT_SERVE_HAVE_EPOLL
+struct EpollPoller final : Poller {
+  int ep = -1;
+  std::vector<epoll_event> buf;
+
+  EpollPoller() : ep(::epoll_create1(EPOLL_CLOEXEC)), buf(64) {}
+  ~EpollPoller() override {
+    if (ep >= 0) ::close(ep);
+  }
+  bool ok() const { return ep >= 0; }
+
+  static std::uint32_t mask(bool want_write) {
+    return EPOLLIN | (want_write ? EPOLLOUT : 0u);
+  }
+  bool add(int fd, bool want_write) override {
+    epoll_event ev{};
+    ev.events = mask(want_write);
+    ev.data.fd = fd;
+    return ::epoll_ctl(ep, EPOLL_CTL_ADD, fd, &ev) == 0;
+  }
+  void modify(int fd, bool want_write) override {
+    epoll_event ev{};
+    ev.events = mask(want_write);
+    ev.data.fd = fd;
+    ::epoll_ctl(ep, EPOLL_CTL_MOD, fd, &ev);
+  }
+  void remove(int fd) override { ::epoll_ctl(ep, EPOLL_CTL_DEL, fd, nullptr); }
+  int wait(std::vector<Event>& out, int timeout_ms) override {
+    const int n = ::epoll_wait(ep, buf.data(), static_cast<int>(buf.size()),
+                               timeout_ms);
+    out.clear();
+    for (int i = 0; i < n; ++i) {
+      const epoll_event& ev = buf[static_cast<std::size_t>(i)];
+      out.push_back({ev.data.fd, (ev.events & (EPOLLIN | EPOLLHUP)) != 0,
+                     (ev.events & EPOLLOUT) != 0,
+                     (ev.events & EPOLLERR) != 0});
+    }
+    if (n == static_cast<int>(buf.size())) buf.resize(buf.size() * 2);
+    return n;
+  }
+};
+#endif
+
+struct PollPoller final : Poller {
+  std::vector<pollfd> fds;
+  std::unordered_map<int, std::size_t> index;
+
+  static short mask(bool want_write) {
+    return static_cast<short>(POLLIN | (want_write ? POLLOUT : 0));
+  }
+  bool add(int fd, bool want_write) override {
+    index[fd] = fds.size();
+    fds.push_back({fd, mask(want_write), 0});
+    return true;
+  }
+  void modify(int fd, bool want_write) override {
+    auto it = index.find(fd);
+    if (it != index.end()) fds[it->second].events = mask(want_write);
+  }
+  void remove(int fd) override {
+    auto it = index.find(fd);
+    if (it == index.end()) return;
+    const std::size_t i = it->second;
+    index.erase(it);
+    if (i + 1 != fds.size()) {
+      fds[i] = fds.back();
+      index[fds[i].fd] = i;
+    }
+    fds.pop_back();
+  }
+  int wait(std::vector<Event>& out, int timeout_ms) override {
+    const int n = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                         timeout_ms);
+    out.clear();
+    if (n <= 0) return n;
+    for (const pollfd& p : fds) {
+      if (p.revents == 0) continue;
+      out.push_back({p.fd, (p.revents & (POLLIN | POLLHUP)) != 0,
+                     (p.revents & POLLOUT) != 0,
+                     (p.revents & (POLLERR | POLLNVAL)) != 0});
+    }
+    return n;
+  }
+};
+
+}  // namespace
+
+struct Server::Connection {
+  int fd = -1;
+  ConnectionHandler handler;
+  std::vector<std::uint8_t> tx;
+  std::size_t tx_off = 0;
+  bool want_write = false;
+
+  Connection(int fd_, ReputationStore& store, ServeMetrics& metrics)
+      : fd(fd_), handler(store, metrics, /*lane=*/0) {}
+};
+
+Server::Server(ReputationStore& store, telemetry::MetricsRegistry& registry,
+               ServerConfig config)
+    : store_(store),
+      registry_(registry),
+      metrics_(ServeMetrics::register_on(registry)),
+      config_(std::move(config)) {}
+
+Server::~Server() { stop(); }
+
+const char* Server::backend() const noexcept {
+#if GT_SERVE_HAVE_EPOLL
+  return config_.use_poll ? "poll" : "epoll";
+#else
+  return "poll";
+#endif
+}
+
+bool Server::start(std::string* error) {
+  auto fail = [&](const char* what) {
+    if (error != nullptr) *error = errno_string(what);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (wake_rd_ >= 0) ::close(wake_rd_);
+    if (wake_wr_ >= 0) ::close(wake_wr_);
+    listen_fd_ = wake_rd_ = wake_wr_ = -1;
+    return false;
+  };
+  if (running_.load(std::memory_order_acquire)) {
+    if (error != nullptr) *error = "already running";
+    return false;
+  }
+  stop_requested_.store(false, std::memory_order_release);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (!set_nonblocking(listen_fd_)) return fail("fcntl(listen)");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1)
+    return fail("inet_pton");
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    return fail("bind");
+  if (::listen(listen_fd_, config_.backlog) != 0) return fail("listen");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    return fail("getsockname");
+  port_ = ntohs(addr.sin_port);
+
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) return fail("pipe");
+  wake_rd_ = pipefd[0];
+  wake_wr_ = pipefd[1];
+  set_nonblocking(wake_rd_);
+  set_nonblocking(wake_wr_);
+
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { run_loop(); });
+  return true;
+}
+
+void Server::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_requested_.store(true, std::memory_order_release);
+  if (wake_wr_ >= 0) {
+    const char b = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_wr_, &b, 1);
+  }
+  if (thread_.joinable()) thread_.join();
+  if (wake_rd_ >= 0) ::close(wake_rd_);
+  if (wake_wr_ >= 0) ::close(wake_wr_);
+  wake_rd_ = wake_wr_ = -1;
+  running_.store(false, std::memory_order_release);
+}
+
+void Server::run_loop() {
+  std::unique_ptr<Poller> poller;
+#if GT_SERVE_HAVE_EPOLL
+  if (!config_.use_poll) {
+    auto ep = std::make_unique<EpollPoller>();
+    if (ep->ok()) poller = std::move(ep);
+  }
+#endif
+  if (poller == nullptr) poller = std::make_unique<PollPoller>();
+
+  poller->add(listen_fd_, false);
+  poller->add(wake_rd_, false);
+
+  std::unordered_map<int, std::unique_ptr<Connection>> conns;
+  std::vector<std::uint8_t> read_buf(config_.read_chunk);
+  std::vector<Poller::Event> events;
+
+  // handler_error: the handler already counted the close; normal closes
+  // (EOF, write failure, shutdown) are counted here.
+  auto close_conn = [&](int fd, bool handler_error) {
+    poller->remove(fd);
+    ::close(fd);
+    conns.erase(fd);
+    active_.store(conns.size(), std::memory_order_relaxed);
+    if (!handler_error) registry_.add(metrics_.conns_closed, 1, 0);
+  };
+
+  // Returns false when the connection died on a write error.
+  auto flush_tx = [&](Connection& c) -> bool {
+    while (c.tx_off < c.tx.size()) {
+      const ssize_t n = ::write(c.fd, c.tx.data() + c.tx_off,
+                                c.tx.size() - c.tx_off);
+      if (n > 0) {
+        c.tx_off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (!c.want_write) {
+          c.want_write = true;
+          poller->modify(c.fd, true);
+        }
+        return true;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // peer gone mid-write
+    }
+    c.tx.clear();
+    c.tx_off = 0;
+    if (c.want_write) {
+      c.want_write = false;
+      poller->modify(c.fd, false);
+    }
+    return true;
+  };
+
+  auto accept_all = [&] {
+    for (;;) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+        return;  // transient accept failure; the loop will retry
+      }
+      if (conns.size() >= config_.max_connections || !set_nonblocking(fd)) {
+        ::close(fd);
+        continue;
+      }
+      if (config_.tcp_nodelay) {
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      }
+      conns.emplace(fd, std::make_unique<Connection>(fd, store_, metrics_));
+      poller->add(fd, false);
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      active_.store(conns.size(), std::memory_order_relaxed);
+    }
+  };
+
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    poller->wait(events, -1);
+    for (const Poller::Event& ev : events) {
+      if (ev.fd == wake_rd_) {
+        char drain[64];
+        while (::read(wake_rd_, drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      if (ev.fd == listen_fd_) {
+        accept_all();
+        continue;
+      }
+      auto it = conns.find(ev.fd);
+      if (it == conns.end()) continue;
+      Connection& c = *it->second;
+      if (ev.error) {
+        close_conn(ev.fd, false);
+        continue;
+      }
+      if (ev.writable && !flush_tx(c)) {
+        close_conn(ev.fd, false);
+        continue;
+      }
+      if (!ev.readable) continue;
+      bool closed = false;
+      for (;;) {
+        const ssize_t n = ::read(c.fd, read_buf.data(), read_buf.size());
+        if (n > 0) {
+          if (!c.handler.on_bytes(read_buf.data(),
+                                  static_cast<std::size_t>(n), c.tx)) {
+            close_conn(ev.fd, true);  // protocol error: loud close
+            closed = true;
+            break;
+          }
+          if (static_cast<std::size_t>(n) < read_buf.size()) break;
+          continue;
+        }
+        if (n == 0) {  // EOF
+          close_conn(ev.fd, false);
+          closed = true;
+          break;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        close_conn(ev.fd, false);
+        closed = true;
+        break;
+      }
+      if (!closed && !flush_tx(c)) close_conn(ev.fd, false);
+    }
+  }
+
+  for (auto& [fd, conn] : conns) {
+    ::close(fd);
+    registry_.add(metrics_.conns_closed, 1, 0);
+  }
+  conns.clear();
+  active_.store(0, std::memory_order_relaxed);
+  poller->remove(listen_fd_);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+}  // namespace gt::serve

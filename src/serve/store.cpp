@@ -1,0 +1,305 @@
+#include "serve/store.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace gt::serve {
+
+namespace {
+
+[[noreturn]] void die(const char* msg) {
+  std::fprintf(stderr, "serve::ReputationStore: %s\n", msg);
+  std::abort();
+}
+
+constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
+}  // namespace
+
+// Immutable open-addressing table (linear probing, power-of-two capacity).
+// Built once by a writer, then only ever read until reclaimed.
+struct ReputationStore::Snapshot {
+  std::uint64_t epoch = 0;
+  std::size_t mask = 0;  ///< capacity - 1
+  std::size_t size = 0;  ///< live keys
+  std::vector<std::uint64_t> keys;
+  std::vector<double> scores;
+
+  static std::uint64_t hash(std::uint64_t k) noexcept {
+    // splitmix64 finalizer: full-avalanche, so linear probing stays short
+    // even on dense sequential node ids.
+    k += 0x9e3779b97f4a7c15ULL;
+    k = (k ^ (k >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    k = (k ^ (k >> 27)) * 0x94d049bb133111ebULL;
+    return k ^ (k >> 31);
+  }
+
+  bool find(std::uint64_t key, double* out) const noexcept {
+    if (size == 0) return false;
+    std::size_t i = static_cast<std::size_t>(hash(key)) & mask;
+    for (;;) {
+      const std::uint64_t k = keys[i];
+      if (k == key) {
+        *out = scores[i];
+        return true;
+      }
+      if (k == kEmptyKey) return false;
+      i = (i + 1) & mask;
+    }
+  }
+
+  void insert(std::uint64_t key, double score) {
+    std::size_t i = static_cast<std::size_t>(hash(key)) & mask;
+    for (;;) {
+      if (keys[i] == key) {
+        scores[i] = score;
+        return;
+      }
+      if (keys[i] == kEmptyKey) {
+        keys[i] = key;
+        scores[i] = score;
+        ++size;
+        return;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+};
+
+struct ReputationStore::Shard {
+  std::atomic<Snapshot*> current{nullptr};
+};
+
+std::size_t ReputationStore::round_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+ReputationStore::ReputationStore(StoreConfig config) {
+  std::size_t shards = config.shards;
+  if (shards == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    shards = hw == 0 ? 1 : hw;
+  }
+  shards = round_pow2(shards);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+  if (config.max_readers == 0) die("max_readers must be > 0");
+  slots_ = std::vector<ReaderSlot>(config.max_readers);
+}
+
+ReputationStore::~ReputationStore() {
+  // No readers may be alive here; free everything still reachable.
+  for (auto& s : shards_) {
+    delete s->current.load(std::memory_order_relaxed);
+    s->current.store(nullptr, std::memory_order_relaxed);
+  }
+  for (auto& e : limbo_) delete e.snap;
+  limbo_.clear();
+}
+
+// --- read path --------------------------------------------------------------
+
+std::uint64_t ReputationStore::pin_slot(std::size_t slot) noexcept {
+  // Pin-and-validate loop (see header). Both the pin store and the
+  // validating load are seq_cst so the writer's slot scan after an epoch
+  // advance is guaranteed to observe the pin.
+  for (;;) {
+    const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+    slots_[slot].epoch.store(e, std::memory_order_seq_cst);
+    if (global_epoch_.load(std::memory_order_seq_cst) == e) return e;
+  }
+}
+
+ReputationStore::ReadGuard ReputationStore::reader() {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    bool expected = false;
+    if (slots_[i].taken.compare_exchange_strong(expected, true,
+                                                std::memory_order_acq_rel)) {
+      pin_slot(i);
+      return ReadGuard(this, i);
+    }
+  }
+  die("reader slots exhausted (raise StoreConfig::max_readers)");
+}
+
+void ReputationStore::ReadGuard::refresh() {
+  if (store_ == nullptr) return;
+  store_->pin_slot(slot_);
+}
+
+void ReputationStore::ReadGuard::release() {
+  if (store_ == nullptr) return;
+  store_->slots_[slot_].epoch.store(0, std::memory_order_release);
+  store_->slots_[slot_].taken.store(false, std::memory_order_release);
+  store_ = nullptr;
+}
+
+LookupResult ReputationStore::lookup(const ReadGuard& guard,
+                                     std::uint64_t node) const {
+  if (guard.store_ != this) die("lookup with a foreign/released ReadGuard");
+  const Shard& shard =
+      *shards_[static_cast<std::size_t>(node) & (shards_.size() - 1)];
+  const Snapshot* snap = shard.current.load(std::memory_order_acquire);
+  LookupResult r;
+  if (snap == nullptr) return r;
+  double score = 0.0;
+  if (snap->find(node, &score)) {
+    r.epoch = snap->epoch;
+    r.score = score;
+  }
+  return r;
+}
+
+// --- write path -------------------------------------------------------------
+
+ReputationStore::Snapshot* ReputationStore::build_snapshot(
+    std::uint64_t epoch, const std::vector<std::uint64_t>& ids,
+    const std::vector<double>& scores) {
+  auto* snap = new Snapshot;
+  snap->epoch = epoch;
+  // Load factor <= 0.5: capacity = next pow2 >= 2 * size (min 8 slots).
+  std::size_t cap = 8;
+  while (cap < ids.size() * 2) cap <<= 1;
+  snap->mask = cap - 1;
+  snap->keys.assign(cap, kEmptyKey);
+  snap->scores.assign(cap, 0.0);
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    snap->insert(ids[i], scores[i]);
+  return snap;
+}
+
+std::uint64_t ReputationStore::publish(const std::vector<double>& scores) {
+  const std::size_t nshards = shards_.size();
+  std::vector<std::vector<std::uint64_t>> ids(nshards);
+  std::vector<std::vector<double>> vals(nshards);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const std::size_t s = i & (nshards - 1);
+    ids[s].push_back(static_cast<std::uint64_t>(i));
+    vals[s].push_back(scores[i]);
+  }
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  const std::uint64_t epoch = published_epoch_.load(std::memory_order_relaxed) + 1;
+  std::vector<Snapshot*> fresh(nshards, nullptr);
+  for (std::size_t s = 0; s < nshards; ++s)
+    fresh[s] = build_snapshot(epoch, ids[s], vals[s]);
+  return publish_locked(fresh);
+}
+
+std::uint64_t ReputationStore::publish_delta(
+    const std::vector<std::pair<std::uint64_t, double>>& updates) {
+  const std::size_t nshards = shards_.size();
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  const std::uint64_t epoch = published_epoch_.load(std::memory_order_relaxed) + 1;
+  // Group updates per shard; untouched shards keep their snapshot (their
+  // epoch stays older, which is fine: epochs identify publishes, and a
+  // mixed-epoch batch read is still per-key consistent).
+  std::vector<std::vector<std::uint64_t>> ids(nshards);
+  std::vector<std::vector<double>> vals(nshards);
+  for (const auto& [id, score] : updates) {
+    const std::size_t s = static_cast<std::size_t>(id) & (nshards - 1);
+    ids[s].push_back(id);
+    vals[s].push_back(score);
+  }
+  std::vector<Snapshot*> fresh(nshards, nullptr);
+  for (std::size_t s = 0; s < nshards; ++s) {
+    if (ids[s].empty()) continue;
+    // Rebuild from the old snapshot's live entries plus the updates.
+    const Snapshot* old = shards_[s]->current.load(std::memory_order_relaxed);
+    std::vector<std::uint64_t> all_ids;
+    std::vector<double> all_vals;
+    if (old != nullptr) {
+      all_ids.reserve(old->size + ids[s].size());
+      all_vals.reserve(old->size + ids[s].size());
+      for (std::size_t i = 0; i <= old->mask; ++i) {
+        if (old->keys[i] != kEmptyKey) {
+          all_ids.push_back(old->keys[i]);
+          all_vals.push_back(old->scores[i]);
+        }
+      }
+    }
+    fresh[s] = build_snapshot(epoch, all_ids, all_vals);
+    for (std::size_t i = 0; i < ids[s].size(); ++i)
+      fresh[s]->insert(ids[s][i], vals[s][i]);
+  }
+  return publish_locked(fresh);
+}
+
+std::uint64_t ReputationStore::publish_locked(std::vector<Snapshot*>& fresh) {
+  std::uint64_t epoch = 0;
+  const std::uint64_t retire_tag = global_epoch_.load(std::memory_order_relaxed);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (fresh[s] == nullptr) continue;
+    epoch = fresh[s]->epoch;
+    Snapshot* old =
+        shards_[s]->current.exchange(fresh[s], std::memory_order_acq_rel);
+    if (old != nullptr) limbo_.push_back({old, retire_tag});
+  }
+  published_epoch_.store(epoch, std::memory_order_release);
+  global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  reclaim_locked();
+  return epoch;
+}
+
+void ReputationStore::reclaim_locked() {
+  // A limbo snapshot tagged T was reachable only while global epoch <= T;
+  // any reader that can still touch it holds a pin <= T. Free entries whose
+  // tag is strictly below every active pin (and below the current epoch,
+  // which it always is after the advance).
+  std::uint64_t min_pin = global_epoch_.load(std::memory_order_seq_cst);
+  for (const auto& slot : slots_) {
+    const std::uint64_t e = slot.epoch.load(std::memory_order_seq_cst);
+    if (e != 0 && e < min_pin) min_pin = e;
+  }
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < limbo_.size(); ++i) {
+    if (limbo_[i].tag < min_pin) {
+      delete limbo_[i].snap;
+      snapshots_reclaimed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      limbo_[kept++] = limbo_[i];
+    }
+  }
+  limbo_.resize(kept);
+}
+
+// --- ingest queue -----------------------------------------------------------
+
+void ReputationStore::enqueue_feedback(const FeedbackUpdate& f) {
+  {
+    std::lock_guard<std::mutex> lock(ingest_mutex_);
+    pending_.push_back(f);
+  }
+  feedback_enqueued_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t ReputationStore::drain_feedback(std::vector<FeedbackUpdate>& out) {
+  out.clear();
+  std::lock_guard<std::mutex> lock(ingest_mutex_);
+  out.swap(pending_);
+  return out.size();
+}
+
+std::size_t ReputationStore::feedback_pending() const {
+  std::lock_guard<std::mutex> lock(ingest_mutex_);
+  return pending_.size();
+}
+
+// --- accounting -------------------------------------------------------------
+
+std::size_t ReputationStore::snapshots_live() const {
+  std::size_t live = 0;
+  for (const auto& s : shards_)
+    if (s->current.load(std::memory_order_acquire) != nullptr) ++live;
+  return live;
+}
+
+std::size_t ReputationStore::limbo_size() const {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  return limbo_.size();
+}
+
+}  // namespace gt::serve

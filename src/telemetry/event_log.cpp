@@ -92,6 +92,24 @@ EventLog::Record& EventLog::Record::metrics(const MetricsSnapshot& snap) {
   return *this;
 }
 
+EventLog::Record& EventLog::Record::histogram_detail(std::string_view key,
+                                                     const HistogramSnapshot& h) {
+  if (log_ == nullptr) return *this;
+  writer_.begin_object(key);
+  writer_.field("count", h.count);
+  writer_.field("sum", h.sum);
+  writer_.field("mean", h.mean());
+  writer_.field("min", h.min);
+  writer_.field("max", h.max);
+  writer_.field("bucket_min", h.options.min);
+  writer_.field("growth", h.options.growth);
+  writer_.begin_array("buckets");
+  for (const std::uint64_t c : h.counts) writer_.element(c);
+  writer_.end();  // buckets
+  writer_.end();  // key
+  return *this;
+}
+
 void EventLog::set_context(std::string key, std::string value) {
   JsonWriter w;
   w.field("v", value);

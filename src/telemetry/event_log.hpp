@@ -74,6 +74,13 @@ class EventLog {
     /// histograms as {count, sum, mean, min, max} objects.
     Record& metrics(const MetricsSnapshot& snap);
 
+    /// Writes one histogram *with its bucket counts* as a nested object:
+    /// {count, sum, mean, min, max, bucket_min, growth, buckets: [u64...]}
+    /// where buckets[0] is the underflow bucket and buckets.back() the
+    /// overflow bucket. Lets offline tools (scripts/report.py --serve)
+    /// recover percentiles from the log alone.
+    Record& histogram_detail(std::string_view key, const HistogramSnapshot& h);
+
    private:
     friend class EventLog;
     explicit Record(EventLog* log) : log_(log) {}
