@@ -36,7 +36,15 @@ namespace gt::serve {
 inline constexpr std::uint8_t kProtocolVersion = 1;
 inline constexpr std::size_t kHeaderSize = 8;
 inline constexpr std::size_t kMaxPayload = 1u << 20;  ///< 1 MiB
-inline constexpr std::size_t kMaxBatch = (kMaxPayload - 8) / 8;
+/// Batch key cap. The *response* carries 16 bytes per key ({epoch, score})
+/// against the request's 8, so it is the binding constraint: a larger count
+/// would make the server emit a header that exceeds kMaxPayload and that a
+/// compliant client must reject as malformed.
+inline constexpr std::size_t kMaxBatch = (kMaxPayload - 8) / 16;
+static_assert(8 + 8 * kMaxBatch <= kMaxPayload,
+              "max batch request must fit in kMaxPayload");
+static_assert(8 + 16 * kMaxBatch <= kMaxPayload,
+              "max batch response must fit in kMaxPayload");
 
 enum class Op : std::uint8_t {
   kLookup = 0x01,

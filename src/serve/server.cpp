@@ -43,8 +43,8 @@ struct Poller {
     bool error;
   };
   virtual ~Poller() = default;
-  virtual bool add(int fd, bool want_write) = 0;
-  virtual void modify(int fd, bool want_write) = 0;
+  virtual bool add(int fd) = 0;  ///< registers read-only interest
+  virtual void modify(int fd, bool want_read, bool want_write) = 0;
   virtual void remove(int fd) = 0;
   virtual int wait(std::vector<Event>& out, int timeout_ms) = 0;
 };
@@ -60,18 +60,18 @@ struct EpollPoller final : Poller {
   }
   bool ok() const { return ep >= 0; }
 
-  static std::uint32_t mask(bool want_write) {
-    return EPOLLIN | (want_write ? EPOLLOUT : 0u);
+  static std::uint32_t mask(bool want_read, bool want_write) {
+    return (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
   }
-  bool add(int fd, bool want_write) override {
+  bool add(int fd) override {
     epoll_event ev{};
-    ev.events = mask(want_write);
+    ev.events = mask(true, false);
     ev.data.fd = fd;
     return ::epoll_ctl(ep, EPOLL_CTL_ADD, fd, &ev) == 0;
   }
-  void modify(int fd, bool want_write) override {
+  void modify(int fd, bool want_read, bool want_write) override {
     epoll_event ev{};
-    ev.events = mask(want_write);
+    ev.events = mask(want_read, want_write);
     ev.data.fd = fd;
     ::epoll_ctl(ep, EPOLL_CTL_MOD, fd, &ev);
   }
@@ -96,17 +96,18 @@ struct PollPoller final : Poller {
   std::vector<pollfd> fds;
   std::unordered_map<int, std::size_t> index;
 
-  static short mask(bool want_write) {
-    return static_cast<short>(POLLIN | (want_write ? POLLOUT : 0));
+  static short mask(bool want_read, bool want_write) {
+    return static_cast<short>((want_read ? POLLIN : 0) |
+                              (want_write ? POLLOUT : 0));
   }
-  bool add(int fd, bool want_write) override {
+  bool add(int fd) override {
     index[fd] = fds.size();
-    fds.push_back({fd, mask(want_write), 0});
+    fds.push_back({fd, mask(true, false), 0});
     return true;
   }
-  void modify(int fd, bool want_write) override {
+  void modify(int fd, bool want_read, bool want_write) override {
     auto it = index.find(fd);
-    if (it != index.end()) fds[it->second].events = mask(want_write);
+    if (it != index.end()) fds[it->second].events = mask(want_read, want_write);
   }
   void remove(int fd) override {
     auto it = index.find(fd);
@@ -141,7 +142,9 @@ struct Server::Connection {
   ConnectionHandler handler;
   std::vector<std::uint8_t> tx;
   std::size_t tx_off = 0;
+  bool want_read = true;
   bool want_write = false;
+  bool paused = false;  ///< reads suspended: tx backlog over the high water
 
   Connection(int fd_, ReputationStore& store, ServeMetrics& metrics)
       : fd(fd_), handler(store, metrics, /*lane=*/0) {}
@@ -235,8 +238,8 @@ void Server::run_loop() {
 #endif
   if (poller == nullptr) poller = std::make_unique<PollPoller>();
 
-  poller->add(listen_fd_, false);
-  poller->add(wake_rd_, false);
+  poller->add(listen_fd_);
+  poller->add(wake_rd_);
 
   std::unordered_map<int, std::unique_ptr<Connection>> conns;
   std::vector<std::uint8_t> read_buf(config_.read_chunk);
@@ -252,7 +255,8 @@ void Server::run_loop() {
     if (!handler_error) registry_.add(metrics_.conns_closed, 1, 0);
   };
 
-  // Returns false when the connection died on a write error.
+  // Returns false when the connection died on a write error. Leaves poller
+  // interest to update_interest (call it after every flush on a live conn).
   auto flush_tx = [&](Connection& c) -> bool {
     while (c.tx_off < c.tx.size()) {
       const ssize_t n = ::write(c.fd, c.tx.data() + c.tx_off,
@@ -261,23 +265,33 @@ void Server::run_loop() {
         c.tx_off += static_cast<std::size_t>(n);
         continue;
       }
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-        if (!c.want_write) {
-          c.want_write = true;
-          poller->modify(c.fd, true);
-        }
-        return true;
-      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
       if (n < 0 && errno == EINTR) continue;
       return false;  // peer gone mid-write
     }
     c.tx.clear();
     c.tx_off = 0;
-    if (c.want_write) {
-      c.want_write = false;
-      poller->modify(c.fd, false);
-    }
     return true;
+  };
+
+  // Backpressure: a client that pipelines requests without reading the
+  // responses must not grow tx without bound. Past the high watermark stop
+  // reading (drop read interest) so the request flow stalls; resume once
+  // the backlog drains below the low watermark. Write interest simply
+  // tracks whether anything is pending.
+  auto update_interest = [&](Connection& c) {
+    const std::size_t pending = c.tx.size() - c.tx_off;
+    if (pending > config_.tx_high_watermark)
+      c.paused = true;
+    else if (pending <= config_.tx_low_watermark)
+      c.paused = false;
+    const bool want_read = !c.paused;
+    const bool want_write = pending > 0;
+    if (want_read != c.want_read || want_write != c.want_write) {
+      c.want_read = want_read;
+      c.want_write = want_write;
+      poller->modify(c.fd, want_read, want_write);
+    }
   };
 
   auto accept_all = [&] {
@@ -296,7 +310,7 @@ void Server::run_loop() {
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       }
       conns.emplace(fd, std::make_unique<Connection>(fd, store_, metrics_));
-      poller->add(fd, false);
+      poller->add(fd);
       accepted_.fetch_add(1, std::memory_order_relaxed);
       active_.store(conns.size(), std::memory_order_relaxed);
     }
@@ -322,11 +336,14 @@ void Server::run_loop() {
         close_conn(ev.fd, false);
         continue;
       }
-      if (ev.writable && !flush_tx(c)) {
-        close_conn(ev.fd, false);
-        continue;
+      if (ev.writable) {
+        if (!flush_tx(c)) {
+          close_conn(ev.fd, false);
+          continue;
+        }
+        update_interest(c);  // may resume reads after draining
       }
-      if (!ev.readable) continue;
+      if (!ev.readable || c.paused) continue;
       bool closed = false;
       for (;;) {
         const ssize_t n = ::read(c.fd, read_buf.data(), read_buf.size());
@@ -337,6 +354,12 @@ void Server::run_loop() {
             closed = true;
             break;
           }
+          // Stop consuming input once the response backlog crosses the
+          // high watermark — a 64 KiB read of pipelined batch requests can
+          // expand to many MiB of responses. The post-loop update_interest
+          // pauses the connection; level-triggered polling re-raises
+          // readability for the unread socket data once reads resume.
+          if (c.tx.size() - c.tx_off > config_.tx_high_watermark) break;
           if (static_cast<std::size_t>(n) < read_buf.size()) break;
           continue;
         }
@@ -351,7 +374,12 @@ void Server::run_loop() {
         closed = true;
         break;
       }
-      if (!closed && !flush_tx(c)) close_conn(ev.fd, false);
+      if (closed) continue;
+      if (!flush_tx(c)) {
+        close_conn(ev.fd, false);
+        continue;
+      }
+      update_interest(c);
     }
   }
 

@@ -6,7 +6,10 @@
 // semantics. Each accepted connection owns a ConnectionHandler (fixed-size
 // frame parsing, no per-request allocation once buffers are warm) and a tx
 // buffer flushed opportunistically after handling and completed via
-// EPOLLOUT/POLLOUT when the socket back-pressures.
+// EPOLLOUT/POLLOUT when the socket back-pressures. Connections whose unsent
+// tx backlog crosses ServerConfig::tx_high_watermark stop being read until
+// it drains below tx_low_watermark, so a client that pipelines requests
+// without consuming responses cannot grow server memory without bound.
 //
 // Protocol errors close the connection immediately (the handler already
 // counted them); EOF closes it quietly. stop() wakes the loop through a
@@ -32,6 +35,12 @@ struct ServerConfig {
   int backlog = 128;
   std::size_t max_connections = 256;  ///< accepts beyond this are refused
   std::size_t read_chunk = 64 * 1024; ///< per-read buffer size
+  /// Per-connection response backpressure: once the unsent tx backlog
+  /// exceeds the high watermark the server stops reading that connection
+  /// (bounding memory against clients that pipeline requests but never
+  /// read responses) and resumes below the low watermark.
+  std::size_t tx_high_watermark = 4u << 20;
+  std::size_t tx_low_watermark = 256 * 1024;
   bool use_poll = false;  ///< force the poll(2) backend even on Linux
   bool tcp_nodelay = true;
 };

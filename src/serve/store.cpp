@@ -186,7 +186,7 @@ std::uint64_t ReputationStore::publish(const std::vector<double>& scores) {
   std::vector<Snapshot*> fresh(nshards, nullptr);
   for (std::size_t s = 0; s < nshards; ++s)
     fresh[s] = build_snapshot(epoch, ids[s], vals[s]);
-  return publish_locked(fresh);
+  return publish_locked(fresh, epoch);
 }
 
 std::uint64_t ReputationStore::publish_delta(
@@ -207,13 +207,19 @@ std::uint64_t ReputationStore::publish_delta(
   std::vector<Snapshot*> fresh(nshards, nullptr);
   for (std::size_t s = 0; s < nshards; ++s) {
     if (ids[s].empty()) continue;
-    // Rebuild from the old snapshot's live entries plus the updates.
+    // Rebuild from the old snapshot's live entries plus the updates. The
+    // updates go into the same arrays, *after* the old entries, before the
+    // snapshot is built: capacity is sized from the combined count (an upper
+    // bound on distinct keys, so load factor stays <= 0.5 even when every
+    // update is a new key), and insert() overwrites on key match so the
+    // later update values win over the old entries.
     const Snapshot* old = shards_[s]->current.load(std::memory_order_relaxed);
     std::vector<std::uint64_t> all_ids;
     std::vector<double> all_vals;
+    const std::size_t old_size = old != nullptr ? old->size : 0;
+    all_ids.reserve(old_size + ids[s].size());
+    all_vals.reserve(old_size + ids[s].size());
     if (old != nullptr) {
-      all_ids.reserve(old->size + ids[s].size());
-      all_vals.reserve(old->size + ids[s].size());
       for (std::size_t i = 0; i <= old->mask; ++i) {
         if (old->keys[i] != kEmptyKey) {
           all_ids.push_back(old->keys[i]);
@@ -221,19 +227,27 @@ std::uint64_t ReputationStore::publish_delta(
         }
       }
     }
+    all_ids.insert(all_ids.end(), ids[s].begin(), ids[s].end());
+    all_vals.insert(all_vals.end(), vals[s].begin(), vals[s].end());
     fresh[s] = build_snapshot(epoch, all_ids, all_vals);
-    for (std::size_t i = 0; i < ids[s].size(); ++i)
-      fresh[s]->insert(ids[s][i], vals[s][i]);
   }
-  return publish_locked(fresh);
+  return publish_locked(fresh, epoch);
 }
 
-std::uint64_t ReputationStore::publish_locked(std::vector<Snapshot*>& fresh) {
-  std::uint64_t epoch = 0;
+std::uint64_t ReputationStore::publish_locked(std::vector<Snapshot*>& fresh,
+                                              std::uint64_t epoch) {
+  // An all-null batch (e.g. publish_delta with no updates) publishes
+  // nothing: leave the epoch where it is instead of regressing it.
+  bool any = false;
+  for (const Snapshot* f : fresh)
+    if (f != nullptr) {
+      any = true;
+      break;
+    }
+  if (!any) return published_epoch_.load(std::memory_order_relaxed);
   const std::uint64_t retire_tag = global_epoch_.load(std::memory_order_relaxed);
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     if (fresh[s] == nullptr) continue;
-    epoch = fresh[s]->epoch;
     Snapshot* old =
         shards_[s]->current.exchange(fresh[s], std::memory_order_acq_rel);
     if (old != nullptr) limbo_.push_back({old, retire_tag});

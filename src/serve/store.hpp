@@ -123,7 +123,8 @@ class ReputationStore {
   std::uint64_t publish(const std::vector<double>& scores);
 
   /// Publishes sparse (id, score) pairs on top of the currently published
-  /// state (read-modify-write of the previous snapshots). Returns the epoch.
+  /// state (read-modify-write of the previous snapshots). Returns the new
+  /// epoch; an empty batch publishes nothing and returns the current one.
   std::uint64_t publish_delta(
       const std::vector<std::pair<std::uint64_t, double>>& updates);
 
@@ -166,10 +167,13 @@ class ReputationStore {
                                   const std::vector<std::uint64_t>& ids,
                                   const std::vector<double>& scores);
 
-  /// Swaps per-shard snapshots in, retires the old ones, advances the
-  /// epoch, reclaims. Caller holds write_mutex_. `fresh` has one entry per
-  /// shard (nullptr = keep the current snapshot for that shard).
-  std::uint64_t publish_locked(std::vector<Snapshot*>& fresh);
+  /// Swaps per-shard snapshots in, retires the old ones, publishes `epoch`,
+  /// advances the global epoch, reclaims. Caller holds write_mutex_. `fresh`
+  /// has one entry per shard (nullptr = keep the current snapshot for that
+  /// shard); when every entry is null nothing is published and the current
+  /// epoch is returned unchanged.
+  std::uint64_t publish_locked(std::vector<Snapshot*>& fresh,
+                               std::uint64_t epoch);
   void reclaim_locked();
 
   std::vector<std::unique_ptr<Shard>> shards_;

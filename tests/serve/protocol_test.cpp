@@ -188,6 +188,21 @@ TEST_F(HandlerTest, BatchLookupPreservesOrder) {
   EXPECT_EQ(registry_.counter_value(metrics_.batch_keys), 4u);
 }
 
+TEST_F(HandlerTest, MaxBatchResponseFitsProtocolLimit) {
+  // The largest accepted batch: the response carries 16 bytes per key, so
+  // kMaxBatch must be low enough that the server's own reply still decodes
+  // on a compliant client (payload_len <= kMaxPayload).
+  LoopbackClient c(store_, metrics_);
+  std::vector<std::uint64_t> ids(kMaxBatch);
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  const auto resp = c.batch_lookup(ids);
+  ASSERT_EQ(resp.size(), kMaxBatch);
+  EXPECT_DOUBLE_EQ(resp[2].score, 0.125);
+  EXPECT_EQ(resp[kMaxBatch - 1].epoch, 0u);  // id past the published range
+  EXPECT_FALSE(c.closed());
+  EXPECT_EQ(errors(), 0u);
+}
+
 TEST_F(HandlerTest, IngestQueuesFeedback) {
   LoopbackClient c(store_, metrics_);
   EXPECT_EQ(c.ingest(1, 2, 0.9), 1u);

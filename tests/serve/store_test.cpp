@@ -87,6 +87,59 @@ TEST(ReputationStore, PublishDeltaKeepsUntouchedKeys) {
   EXPECT_DOUBLE_EQ(store.lookup(guard, 3).score, 0.4);
 }
 
+TEST(ReputationStore, PublishDeltaWithManyNewKeysGrowsCapacity) {
+  // Far more new keys than the previous snapshot has free slots: the
+  // rebuilt snapshot must be sized for the union of old and new keys, not
+  // just the old entry count.
+  StoreConfig cfg;
+  cfg.shards = 1;
+  ReputationStore store(cfg);
+  store.publish({0.1, 0.2, 0.3, 0.4});
+  std::vector<std::pair<std::uint64_t, double>> updates;
+  updates.emplace_back(1, 0.9);  // overwrite of an existing key
+  for (std::uint64_t i = 0; i < 64; ++i)
+    updates.emplace_back(100 + i, static_cast<double>(i));
+  EXPECT_EQ(store.publish_delta(updates), 2u);
+  auto guard = store.reader();
+  EXPECT_DOUBLE_EQ(store.lookup(guard, 0).score, 0.1);  // untouched
+  EXPECT_DOUBLE_EQ(store.lookup(guard, 1).score, 0.9);  // update wins
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const LookupResult r = store.lookup(guard, 100 + i);
+    ASSERT_TRUE(r.found()) << "id " << (100 + i);
+    EXPECT_DOUBLE_EQ(r.score, static_cast<double>(i));
+  }
+}
+
+TEST(ReputationStore, PublishDeltaAsFirstPublish) {
+  // The delta path must also work with no prior snapshot, including more
+  // keys than the minimum snapshot capacity.
+  StoreConfig cfg;
+  cfg.shards = 1;
+  ReputationStore store(cfg);
+  std::vector<std::pair<std::uint64_t, double>> updates;
+  for (std::uint64_t i = 0; i < 20; ++i)
+    updates.emplace_back(i, 0.5 + static_cast<double>(i));
+  EXPECT_EQ(store.publish_delta(updates), 1u);
+  auto guard = store.reader();
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    const LookupResult r = store.lookup(guard, i);
+    ASSERT_TRUE(r.found()) << "id " << i;
+    EXPECT_DOUBLE_EQ(r.score, 0.5 + static_cast<double>(i));
+  }
+}
+
+TEST(ReputationStore, EmptyDeltaLeavesEpochUntouched) {
+  StoreConfig cfg;
+  cfg.shards = 2;
+  ReputationStore store(cfg);
+  store.publish({0.1, 0.2});
+  EXPECT_EQ(store.publish_delta({}), 1u);
+  EXPECT_EQ(store.published_epoch(), 1u);
+  auto guard = store.reader();
+  EXPECT_EQ(store.lookup(guard, 0).epoch, 1u);
+  EXPECT_EQ(store.publish({0.3, 0.4}), 2u);  // numbering continues cleanly
+}
+
 TEST(ReputationStore, ReclamationWithoutReaders) {
   StoreConfig cfg;
   cfg.shards = 4;

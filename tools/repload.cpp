@@ -106,6 +106,9 @@ Options parse(int argc, char** argv) {
   }
   if (o.batch == 0 || o.pipeline == 0 || o.connections == 0 || o.n == 0)
     usage(argv[0], "--batch/--pipeline/--connections/--n must be > 0");
+  if (o.batch > gt::serve::kMaxBatch)
+    usage(argv[0], "--batch exceeds protocol kMaxBatch (" +
+                       std::to_string(gt::serve::kMaxBatch) + ")");
   if (o.bench && o.port != 0) usage(argv[0], "--bench runs its own server");
   if (!o.bench && !o.inproc && o.port == 0)
     usage(argv[0], "client mode needs --port");
