@@ -11,6 +11,7 @@ log and summarizes it per event type:
     python3 scripts/report.py run.jsonl --event cycle --group n,epsilon
     python3 scripts/report.py run.jsonl --trace          # flight recorder
     python3 scripts/report.py serve.jsonl --serve        # live-service view
+    python3 scripts/report.py campaign.jsonl --attacks   # adversarial matrix
     python3 scripts/report.py out.json --perfetto-check  # trace JSON gate
 
 With --group, numeric fields of the selected event type are aggregated
@@ -29,6 +30,12 @@ enforcement under --check, and --serve renders the live-service view:
 request rates per opcode (ops/s over the recorded uptime) and request
 latency percentiles (p50/p99/p999) recovered from the log-bucket
 histograms embedded in the record — no server access needed.
+
+`attack` and `attack_campaign` records (written by tools/attack_campaign)
+are schema-checked too, and --attacks renders the adversarial-campaign
+view: the attack x alpha matrix (ranking error, malicious gain, power-node
+capture) plus a detection scoreboard that fails the run when a seeded
+attack went undetected or a clean control raised a manipulation anomaly.
 
 Exit status: 0 on success, 1 on any invalid line or I/O error (so CI can
 use `report.py log --check` as a schema gate).  No third-party deps.
@@ -72,12 +79,75 @@ def validate_trace_fields(obj):
 
 def validate_probe_fields(obj):
     """Schema check for a flight-recorder `probe` record."""
-    for key in ("sim_time", "weight", "mass_residual", "delta_v"):
+    for key in ("sim_time", "weight", "mass_residual", "delta_v",
+                "score", "x_residual"):
         if not isinstance(obj.get(key), (int, float)):
             return f"probe record: missing/invalid '{key}'"
     for key in ("trace_id", "series", "node"):
         if not _is_id(obj.get(key)):
             return f"probe record: missing/invalid '{key}'"
+    return None
+
+
+# Single-field probe series names (ProbeField enum in src/trace/trace.hpp).
+PROBE_FIELD_NAMES = frozenset({
+    "weight", "mass_residual", "delta_v", "score", "x_residual",
+    "rating_bias",
+})
+
+
+def validate_probe_field_fields(obj):
+    """Schema check for a single-field `probe_field` record."""
+    for key in ("sim_time", "value"):
+        if not isinstance(obj.get(key), (int, float)):
+            return f"probe_field record: missing/invalid '{key}'"
+    for key in ("trace_id", "series", "node"):
+        if not _is_id(obj.get(key)):
+            return f"probe_field record: missing/invalid '{key}'"
+    if obj.get("field") not in PROBE_FIELD_NAMES:
+        return f"probe_field record: unknown field {obj.get('field')!r}"
+    return None
+
+
+# AttackKind names (src/attack/attack_plan.hpp) an `attack` record carries.
+ATTACK_KINDS = frozenset({
+    "ring_start", "ring_end", "sybil_leave", "sybil_rejoin",
+    "defect_start", "defect_end", "liar_start", "liar_end",
+    "withhold_start", "withhold_end",
+})
+
+
+def validate_attack_fields(obj):
+    """Schema check for an AttackInjector `attack` marker record."""
+    if not isinstance(obj.get("sim_time"), (int, float)):
+        return "attack record: missing/invalid 'sim_time'"
+    if not _is_id(obj.get("index")):
+        return "attack record: missing/invalid 'index'"
+    kind = obj.get("kind")
+    if kind not in ATTACK_KINDS:
+        return f"attack record: unknown kind {kind!r}"
+    # AttackInjector emits `ring` for ring events and `node` otherwise; the
+    # campaign driver's markers always carry `node` (the ring id for rings).
+    if not _is_id(obj.get("node")) and not _is_id(obj.get("ring")):
+        return "attack record: missing/invalid 'node'/'ring'"
+    return None
+
+
+def validate_attack_campaign_fields(obj):
+    """Schema check for one `attack_campaign` matrix-cell record."""
+    if not isinstance(obj.get("archetype"), str):
+        return "attack_campaign record: missing/invalid 'archetype'"
+    for key in ("alpha", "kendall_tau", "honest_rms_error", "malicious_gain",
+                "capture_rate"):
+        if not is_number(obj.get(key)):
+            return f"attack_campaign record: missing/invalid '{key}'"
+    for key in ("n", "cycles", "attackers", "attack_events"):
+        if not _is_id(obj.get(key)):
+            return f"attack_campaign record: missing/invalid '{key}'"
+    if obj.get("detected") not in (0, 1):
+        return "attack_campaign record: 'detected' must be 0 or 1"
+    if not isinstance(obj.get("detected_types"), str):
+        return "attack_campaign record: missing/invalid 'detected_types'"
     return None
 
 
@@ -197,8 +267,14 @@ def load(path):
                 schema_error = validate_trace_fields(obj)
             elif obj["event"] == "probe":
                 schema_error = validate_probe_fields(obj)
+            elif obj["event"] == "probe_field":
+                schema_error = validate_probe_field_fields(obj)
             elif obj["event"] == "serve":
                 schema_error = validate_serve_fields(obj)
+            elif obj["event"] == "attack":
+                schema_error = validate_attack_fields(obj)
+            elif obj["event"] == "attack_campaign":
+                schema_error = validate_attack_campaign_fields(obj)
             if schema_error:
                 errors.append(f"line {lineno}: {schema_error}")
                 continue
@@ -458,6 +534,55 @@ def summarize_serve(records):
     return True
 
 
+def summarize_attacks(records):
+    """Adversarial-campaign view of `attack_campaign` / `attack` records."""
+    cells = [r for r in records if r["event"] == "attack_campaign"]
+    if not cells:
+        print("no attack_campaign records in log (run tools/attack_campaign "
+              "with --out)", file=sys.stderr)
+        return False
+
+    rows = []
+    for r in cells:
+        rows.append([
+            r["archetype"], fmt(r["alpha"]), str(r["n"]), str(r["cycles"]),
+            str(r["attackers"]), fmt(r["kendall_tau"]),
+            fmt(r["honest_rms_error"]),
+            fmt(r["malicious_gain"]) if r["malicious_gain"] >= 0 else "inf",
+            fmt(r["capture_rate"]),
+            "yes" if r["detected"] else "no",
+            r["detected_types"] or "-",
+        ])
+    print(f"\n== attack campaign matrix ({len(cells)} cells) ==")
+    print_table(["archetype", "alpha", "n", "cycles", "attackers", "tau",
+                 "rms", "gain", "capture", "detect", "signatures"], rows)
+
+    # Detection scoreboard: every attacked cell should be detected, every
+    # clean control should not — the same contract the CI attack job gates.
+    attacked = [r for r in cells if r["attackers"] > 0]
+    clean = [r for r in cells if r["attackers"] == 0]
+    missed = [r for r in attacked if not r["detected"]]
+    false_pos = [r for r in clean if r["detected"]]
+    print(f"\ndetection: {len(attacked) - len(missed)}/{len(attacked)} "
+          f"attacked cells flagged, "
+          f"{len(false_pos)}/{len(clean)} clean cells false-positive")
+    for r in missed:
+        print(f"  missed: {r['archetype']} alpha={fmt(r['alpha'])}")
+    for r in false_pos:
+        print(f"  false positive: {r['archetype']} alpha={fmt(r['alpha'])} "
+              f"({r['detected_types']})")
+
+    marks = [r for r in records if r["event"] == "attack"]
+    if marks:
+        by_kind = OrderedDict()
+        for r in marks:
+            by_kind.setdefault(r["kind"], []).append(r)
+        print(f"\nattack events applied ({len(marks)} total):")
+        print_table(["kind", "count"],
+                    [[k, str(len(v))] for k, v in by_kind.items()])
+    return not missed and not false_pos
+
+
 # Event phases the exporter emits: complete spans, flow start/finish,
 # instants, counters, metadata (B/E tolerated for hand-edited files).
 PERFETTO_PHASES = frozenset({"X", "s", "f", "i", "C", "M", "B", "E"})
@@ -525,6 +650,10 @@ def main():
     ap.add_argument("--serve", action="store_true",
                     help="summarize live-service `serve` records "
                          "(request rates + latency percentiles)")
+    ap.add_argument("--attacks", action="store_true",
+                    help="summarize adversarial-campaign records (matrix "
+                         "table + detection scoreboard; exits 1 on a missed "
+                         "attack or clean false positive)")
     ap.add_argument("--perfetto-check", action="store_true",
                     help="validate an exported Chrome trace-event JSON "
                          "instead of a JSONL log")
@@ -554,6 +683,8 @@ def main():
         return 0 if summarize_trace(records) else 1
     if args.serve:
         return 0 if summarize_serve(records) else 1
+    if args.attacks:
+        return 0 if summarize_attacks(records) else 1
     if args.group:
         keys = [k.strip() for k in args.group.split(",") if k.strip()]
         if not summarize_grouped(records, args.event, keys):

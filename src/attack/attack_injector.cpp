@@ -1,0 +1,107 @@
+#include "attack/attack_injector.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+namespace gt::attack {
+
+AttackInjector::AttackInjector(sim::Scheduler& scheduler, net::Network& network,
+                               AttackPlan plan)
+    : scheduler_(scheduler),
+      network_(network),
+      plan_(std::move(plan)),
+      state_(network.num_nodes()) {
+  const std::string problem = plan_.validate(network_.num_nodes());
+  if (!problem.empty())
+    throw std::invalid_argument("AttackInjector: invalid plan: " + problem);
+}
+
+void AttackInjector::arm() {
+  if (armed_) {
+    std::fprintf(stderr, "fatal: AttackInjector::arm() called twice\n");
+    std::abort();
+  }
+  armed_ = true;
+  executed_.reserve(plan_.size());
+  for (const AttackEvent& e : plan_.events()) {
+    const double when = std::max(e.time, scheduler_.now());
+    scheduler_.schedule_at(when, [this, &e] { execute(e); });
+  }
+}
+
+void AttackInjector::execute(const AttackEvent& e) {
+  state_.apply(e);
+  // Sybil churn is the one behavior with membership side effects; the
+  // network must reflect them before the hooks run (an on_leave hook that
+  // checks Network::is_node_up already sees the node down, matching
+  // FaultInjector's crash-hook ordering).
+  if (e.kind == AttackKind::kSybilLeave) {
+    network_.set_node_up(e.a, false);
+  } else if (e.kind == AttackKind::kSybilRejoin) {
+    network_.set_node_up(e.a, true);
+  }
+
+  executed_.push_back(AttackRecord{executed_.size(), e});
+
+  if (trace_ != nullptr) {
+    trace::TraceRecord rec;
+    rec.t_start = rec.t_end = scheduler_.now();
+    rec.span_id = trace_->alloc_span();
+    rec.kind = static_cast<std::uint32_t>(trace::SpanKind::kAttack);
+    rec.flags = static_cast<std::uint32_t>(e.kind);
+    if (e.kind != AttackKind::kRingStart && e.kind != AttackKind::kRingEnd)
+      rec.node = static_cast<std::uint32_t>(e.a);
+    rec.value = e.kind == AttackKind::kRingStart
+                    ? static_cast<double>(e.members.size())
+                    : e.rate;
+    trace_->emit(rec);
+  }
+
+  if (events_ != nullptr) {
+    auto rec = events_->record("attack");
+    rec.field("sim_time", scheduler_.now())
+        .field("index", executed_.back().index)
+        .field("kind", to_string(e.kind));
+    switch (e.kind) {
+      case AttackKind::kRingStart:
+        rec.field("ring", e.a).field("members", e.members.size());
+        break;
+      case AttackKind::kRingEnd:
+        rec.field("ring", e.a);
+        break;
+      case AttackKind::kSybilRejoin:
+        rec.field("node", e.a).field("whitewash", e.rate != 0.0 ? 1 : 0);
+        break;
+      case AttackKind::kLiarStart:
+        rec.field("node", e.a).field("factor", e.rate);
+        break;
+      default:
+        rec.field("node", e.a);
+        break;
+    }
+  }
+
+  if (e.kind == AttackKind::kSybilLeave) {
+    for (const auto& hook : leave_hooks_) hook(e.a);
+  } else if (e.kind == AttackKind::kSybilRejoin) {
+    for (const auto& hook : rejoin_hooks_) hook(e.a);
+    if (e.rate != 0.0)
+      for (const auto& hook : whitewash_hooks_) hook(e.a);
+  }
+}
+
+std::string AttackInjector::log_text() const {
+  std::string out;
+  char buf[64];
+  for (const AttackRecord& rec : executed_) {
+    std::snprintf(buf, sizeof(buf), "#%zu ", rec.index);
+    out += buf;
+    out += format_attack(rec.event);
+  }
+  return out;
+}
+
+}  // namespace gt::attack

@@ -1,0 +1,100 @@
+// Replays an AttackPlan through the scheduler, deterministically.
+//
+// The injector turns each scheduled attack event into a sim::Scheduler
+// event that folds the behavior change into an AttackState (which the
+// gossip layer consults as its ShareAdversary) and applies the membership
+// side effects of Sybil churn (net::Network node up/down, protocol and
+// ledger hooks). Every executed event is appended to an in-memory log
+// whose text serialization carries no wall-clock timestamps, so two runs
+// of one plan produce byte-identical logs. With a trace sink attached,
+// each event emits one kAttack instant marker (flags = AttackKind);
+// with an EventLog, one `attack` JSONL record. Composes freely with a
+// FaultInjector on the same scheduler — both are just timed events.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "attack/attack_plan.hpp"
+#include "attack/attack_state.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+#include "telemetry/event_log.hpp"
+#include "trace/trace.hpp"
+
+namespace gt::attack {
+
+/// One attack event as it actually fired: plan entry + execution order.
+struct AttackRecord {
+  std::size_t index = 0;  ///< execution sequence number
+  AttackEvent event;
+};
+
+class AttackInjector {
+ public:
+  using NodeHook = std::function<void(NodeId)>;
+
+  /// The plan must validate against `network`; a malformed plan throws
+  /// std::invalid_argument naming the offending event (unlike
+  /// FaultInjector's abort: attack scripts arrive from campaign configs,
+  /// not just hand-written tests, so they get a catchable error).
+  AttackInjector(sim::Scheduler& scheduler, net::Network& network,
+                 AttackPlan plan);
+
+  /// Live behavior flags — hand this to AsyncGossip::set_adversary and
+  /// the feedback layer. Valid for the injector's lifetime.
+  const AttackState& state() const noexcept { return state_; }
+  AttackState& state() noexcept { return state_; }
+
+  /// Membership hooks, called after the network state change is applied.
+  /// Register before arm(). on_whitewash fires on rejoins that wipe the
+  /// ledger (after on_rejoin).
+  void on_leave(NodeHook hook) { leave_hooks_.push_back(std::move(hook)); }
+  void on_rejoin(NodeHook hook) { rejoin_hooks_.push_back(std::move(hook)); }
+  void on_whitewash(NodeHook hook) {
+    whitewash_hooks_.push_back(std::move(hook));
+  }
+
+  /// Optional JSONL sink: one `attack` record per executed event.
+  void set_event_log(telemetry::EventLog* events) { events_ = events; }
+
+  /// Optional trace sink: one kAttack instant marker per executed event
+  /// (flags = AttackKind, node = the affected node, value = rate).
+  void set_trace(trace::TraceSink* sink) { trace_ = sink; }
+
+  /// Schedules every event in the plan (absolute times; events already in
+  /// the past fire at the scheduler's next step). Call exactly once.
+  void arm();
+
+  const AttackPlan& plan() const noexcept { return plan_; }
+  std::size_t attacks_executed() const noexcept { return executed_.size(); }
+  std::size_t attacks_pending() const noexcept {
+    return plan_.size() - executed_.size();
+  }
+  const std::vector<AttackRecord>& executed() const noexcept {
+    return executed_;
+  }
+
+  /// Deterministic text serialization of the executed events, in
+  /// execution order: identical plan => byte-identical text across runs.
+  std::string log_text() const;
+
+ private:
+  void execute(const AttackEvent& e);
+
+  sim::Scheduler& scheduler_;
+  net::Network& network_;
+  AttackPlan plan_;
+  AttackState state_;
+  bool armed_ = false;
+  std::vector<NodeHook> leave_hooks_;
+  std::vector<NodeHook> rejoin_hooks_;
+  std::vector<NodeHook> whitewash_hooks_;
+  std::vector<AttackRecord> executed_;
+  telemetry::EventLog* events_ = nullptr;
+  trace::TraceSink* trace_ = nullptr;
+};
+
+}  // namespace gt::attack

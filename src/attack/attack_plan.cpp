@@ -1,0 +1,288 @@
+#include "attack/attack_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace gt::attack {
+
+const char* to_string(AttackKind kind) noexcept {
+  switch (kind) {
+    case AttackKind::kRingStart: return "ring_start";
+    case AttackKind::kRingEnd: return "ring_end";
+    case AttackKind::kSybilLeave: return "sybil_leave";
+    case AttackKind::kSybilRejoin: return "sybil_rejoin";
+    case AttackKind::kDefectStart: return "defect_start";
+    case AttackKind::kDefectEnd: return "defect_end";
+    case AttackKind::kLiarStart: return "liar_start";
+    case AttackKind::kLiarEnd: return "liar_end";
+    case AttackKind::kWithholdStart: return "withhold_start";
+    case AttackKind::kWithholdEnd: return "withhold_end";
+  }
+  return "unknown";
+}
+
+AttackPlan& AttackPlan::push(AttackEvent e) {
+  if (!events_.empty() && e.time < events_.back().time) sorted_ = false;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+AttackPlan& AttackPlan::ring(double t_start, double t_end,
+                             std::vector<NodeId> members) {
+  if (members.empty())
+    throw std::invalid_argument("AttackPlan::ring: empty member set");
+  if (!(t_end > t_start))
+    throw std::invalid_argument("AttackPlan::ring: window end <= start");
+  const NodeId id = next_ring_++;
+  push({t_start, AttackKind::kRingStart, id, 0.0, std::move(members)});
+  return push({t_end, AttackKind::kRingEnd, id, 0.0, {}});
+}
+
+AttackPlan& AttackPlan::sybil_whitewash(double t_leave, double t_rejoin,
+                                        NodeId node, bool whitewash) {
+  if (!(t_rejoin > t_leave))
+    throw std::invalid_argument("AttackPlan::sybil_whitewash: rejoin <= leave");
+  push({t_leave, AttackKind::kSybilLeave, node, 0.0, {}});
+  return push(
+      {t_rejoin, AttackKind::kSybilRejoin, node, whitewash ? 1.0 : 0.0, {}});
+}
+
+AttackPlan& AttackPlan::oscillator(NodeId node, double t_start, double t_end,
+                                   double period, double duty) {
+  if (!(period > 0.0) || !std::isfinite(period))
+    throw std::invalid_argument("AttackPlan::oscillator: period must be > 0");
+  if (!(duty > 0.0 && duty <= 1.0))
+    throw std::invalid_argument("AttackPlan::oscillator: duty outside (0, 1]");
+  if (!(t_end > t_start))
+    throw std::invalid_argument("AttackPlan::oscillator: window end <= start");
+  for (double t = t_start; t < t_end; t += period) {
+    push({t, AttackKind::kDefectStart, node, 0.0, {}});
+    push({std::min(t + duty * period, t_end), AttackKind::kDefectEnd, node,
+          0.0, {}});
+  }
+  return *this;
+}
+
+AttackPlan& AttackPlan::liar(double t_start, double t_end, NodeId node,
+                             double factor) {
+  if (!(std::isfinite(factor) && factor > 0.0))
+    throw std::invalid_argument(
+        "AttackPlan::liar: factor must be finite and > 0");
+  if (!(t_end > t_start))
+    throw std::invalid_argument("AttackPlan::liar: window end <= start");
+  push({t_start, AttackKind::kLiarStart, node, factor, {}});
+  return push({t_end, AttackKind::kLiarEnd, node, 0.0, {}});
+}
+
+AttackPlan& AttackPlan::withhold(double t_start, double t_end, NodeId node) {
+  if (!(t_end > t_start))
+    throw std::invalid_argument("AttackPlan::withhold: window end <= start");
+  push({t_start, AttackKind::kWithholdStart, node, 0.0, {}});
+  return push({t_end, AttackKind::kWithholdEnd, node, 0.0, {}});
+}
+
+AttackPlan AttackPlan::random_rings(std::size_t n, const RingSpec& spec,
+                                    std::uint64_t seed) {
+  AttackPlan plan;
+  if (n == 0 || spec.rings == 0 || spec.ring_size == 0) return plan;
+  Rng rng(mix64(seed, 0xa77aULL));
+  const std::size_t want = std::min(spec.rings * spec.ring_size, n);
+  auto pool = rng.sample_without_replacement(n, want);
+  // Disjoint by construction; canonical member order inside each ring.
+  for (std::size_t r = 0; r * spec.ring_size < pool.size(); ++r) {
+    const std::size_t b = r * spec.ring_size;
+    const std::size_t e = std::min(b + spec.ring_size, pool.size());
+    if (e - b < 2) break;  // a one-node "ring" colludes with nobody
+    std::vector<NodeId> members(pool.begin() + b, pool.begin() + e);
+    std::sort(members.begin(), members.end());
+    plan.ring(spec.start, spec.end, std::move(members));
+  }
+  return plan;
+}
+
+const std::vector<AttackEvent>& AttackPlan::events() const {
+  if (!sorted_) {
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const AttackEvent& x, const AttackEvent& y) {
+                       return x.time < y.time;
+                     });
+    sorted_ = true;
+  }
+  return events_;
+}
+
+double AttackPlan::end_time() const {
+  const auto& es = events();
+  return es.empty() ? 0.0 : es.back().time;
+}
+
+std::string AttackPlan::validate(std::size_t n) const {
+  char buf[160];
+  // Open-window state, keyed by node (and ring id for rings).
+  std::unordered_map<NodeId, std::vector<NodeId>> open_rings;  // id -> members
+  std::unordered_map<NodeId, NodeId> ringed;  // node -> open ring id
+  std::unordered_set<NodeId> defecting, lying, withholding, departed;
+  for (const AttackEvent& e : events()) {
+    if (!(e.time >= 0.0) || !std::isfinite(e.time)) {
+      std::snprintf(buf, sizeof(buf), "%s: bad time %g", attack::to_string(e.kind),
+                    e.time);
+      return buf;
+    }
+    if (e.kind != AttackKind::kRingStart && e.kind != AttackKind::kRingEnd &&
+        e.a >= n) {
+      std::snprintf(buf, sizeof(buf), "%s: node %zu out of range (n=%zu)",
+                    attack::to_string(e.kind), e.a, n);
+      return buf;
+    }
+    auto window = [&](std::unordered_set<NodeId>& open, bool is_start,
+                      const char* what) -> const char* {
+      if (is_start) {
+        if (!open.insert(e.a).second) {
+          std::snprintf(buf, sizeof(buf),
+                        "%s: node %zu already %s (overlapping windows)",
+                        attack::to_string(e.kind), e.a, what);
+          return buf;
+        }
+      } else if (open.erase(e.a) == 0) {
+        std::snprintf(buf, sizeof(buf), "%s: node %zu was not %s",
+                      attack::to_string(e.kind), e.a, what);
+        return buf;
+      }
+      return nullptr;
+    };
+    const char* problem = nullptr;
+    switch (e.kind) {
+      case AttackKind::kRingStart: {
+        if (e.members.size() < 2) {
+          std::snprintf(buf, sizeof(buf),
+                        "ring_start: ring %zu has %zu members (need >= 2)",
+                        e.a, e.members.size());
+          return buf;
+        }
+        if (open_rings.count(e.a) != 0) {
+          std::snprintf(buf, sizeof(buf), "ring_start: ring %zu started twice",
+                        e.a);
+          return buf;
+        }
+        std::unordered_set<NodeId> seen;
+        for (const NodeId m : e.members) {
+          if (m >= n) {
+            std::snprintf(buf, sizeof(buf),
+                          "ring_start: ring %zu member %zu out of range (n=%zu)",
+                          e.a, m, n);
+            return buf;
+          }
+          if (!seen.insert(m).second) {
+            std::snprintf(buf, sizeof(buf),
+                          "ring_start: ring %zu lists member %zu twice", e.a, m);
+            return buf;
+          }
+          const auto it = ringed.find(m);
+          if (it != ringed.end()) {
+            std::snprintf(buf, sizeof(buf),
+                          "ring_start: node %zu already colludes in ring %zu "
+                          "(overlapping membership)",
+                          m, it->second);
+            return buf;
+          }
+        }
+        for (const NodeId m : e.members) ringed[m] = e.a;
+        open_rings[e.a] = e.members;
+        break;
+      }
+      case AttackKind::kRingEnd: {
+        const auto it = open_rings.find(e.a);
+        if (it == open_rings.end()) {
+          std::snprintf(buf, sizeof(buf), "ring_end: ring %zu is not open",
+                        e.a);
+          return buf;
+        }
+        for (const NodeId m : it->second) ringed.erase(m);
+        open_rings.erase(it);
+        break;
+      }
+      case AttackKind::kSybilLeave:
+        problem = window(departed, /*is_start=*/true, "departed");
+        break;
+      case AttackKind::kSybilRejoin:
+        problem = window(departed, /*is_start=*/false, "departed");
+        break;
+      case AttackKind::kDefectStart:
+        problem = window(defecting, true, "defecting");
+        break;
+      case AttackKind::kDefectEnd:
+        problem = window(defecting, false, "defecting");
+        break;
+      case AttackKind::kLiarStart:
+        if (!(std::isfinite(e.rate) && e.rate > 0.0)) {
+          std::snprintf(buf, sizeof(buf),
+                        "liar_start: node %zu factor %g must be finite and > 0",
+                        e.a, e.rate);
+          return buf;
+        }
+        problem = window(lying, true, "lying");
+        break;
+      case AttackKind::kLiarEnd:
+        problem = window(lying, false, "lying");
+        break;
+      case AttackKind::kWithholdStart:
+        problem = window(withholding, true, "withholding");
+        break;
+      case AttackKind::kWithholdEnd:
+        problem = window(withholding, false, "withholding");
+        break;
+    }
+    if (problem != nullptr) return problem;
+  }
+  return {};
+}
+
+std::string format_attack(const AttackEvent& e) {
+  std::string out;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "t=%.17g %s", e.time, attack::to_string(e.kind));
+  out += buf;
+  switch (e.kind) {
+    case AttackKind::kRingStart:
+      std::snprintf(buf, sizeof(buf), " ring=%zu members=[", e.a);
+      out += buf;
+      for (std::size_t i = 0; i < e.members.size(); ++i) {
+        if (i != 0) out += ',';
+        std::snprintf(buf, sizeof(buf), "%zu", e.members[i]);
+        out += buf;
+      }
+      out += ']';
+      break;
+    case AttackKind::kRingEnd:
+      std::snprintf(buf, sizeof(buf), " ring=%zu", e.a);
+      out += buf;
+      break;
+    case AttackKind::kSybilRejoin:
+      std::snprintf(buf, sizeof(buf), " node=%zu whitewash=%d", e.a,
+                    e.rate != 0.0 ? 1 : 0);
+      out += buf;
+      break;
+    case AttackKind::kLiarStart:
+      std::snprintf(buf, sizeof(buf), " node=%zu factor=%.17g", e.a, e.rate);
+      out += buf;
+      break;
+    default:
+      std::snprintf(buf, sizeof(buf), " node=%zu", e.a);
+      out += buf;
+      break;
+  }
+  out += '\n';
+  return out;
+}
+
+std::string AttackPlan::to_string() const {
+  std::string out;
+  for (const AttackEvent& e : events()) out += format_attack(e);
+  return out;
+}
+
+}  // namespace gt::attack

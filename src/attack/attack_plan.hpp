@@ -1,0 +1,142 @@
+// Deterministic behavioral-adversary schedules.
+//
+// FaultPlan scripts *infrastructure* failures; an AttackPlan scripts
+// *behavioral* adversaries over the same timeline: collusive
+// slander/self-promotion rings (coordinated false feedback), Sybil
+// leave-rejoin whitewashing (departing with a bad history, returning with
+// a clean ledger), on-off oscillators (honest-then-defect duty cycles),
+// and gossip-layer liars/withholders (corrupt or suppressed push-sum
+// shares). A plan is a seeded, validated, time-sorted event list; an
+// AttackInjector replays it through the scheduler (async runs) and the
+// campaign driver replays it cycle-by-cycle (sync engine runs). Identical
+// plan + identical seed => byte-identical attack logs and campaign JSONL.
+// Attacks compose freely with FaultPlans — both are just timed events.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/network.hpp"
+
+namespace gt::attack {
+
+using NodeId = net::NodeId;
+
+/// Every adversarial behavior this harness can script. Start/End pairs
+/// bound a behavior window; unclosed windows run to the end of the run.
+enum class AttackKind : std::uint8_t {
+  kRingStart,     ///< collusive ring `a` forms over `members`
+  kRingEnd,       ///< ring `a` disbands
+  kSybilLeave,    ///< node `a` departs (its resident state is lost)
+  kSybilRejoin,   ///< node `a` rejoins; rate != 0 => whitewashed ledger
+  kDefectStart,   ///< oscillator `a` starts defecting in transactions
+  kDefectEnd,     ///< oscillator `a` behaves honestly again
+  kLiarStart,     ///< node `a` scales its own-component x share by `rate`
+  kLiarEnd,       ///< node `a` stops lying on the gossip layer
+  kWithholdStart, ///< node `a` suppresses all but its own component
+  kWithholdEnd,   ///< node `a` relays shares honestly again
+};
+
+const char* to_string(AttackKind kind) noexcept;
+
+/// One scheduled attack event. Which fields matter depends on `kind`:
+/// ring events use `a` as the ring id (kRingStart also `members`); node
+/// events use `a` as the node; kLiarStart uses `rate` as the share scale
+/// factor; kSybilRejoin uses `rate` != 0 to mean "whitewash the ledger".
+struct AttackEvent {
+  double time = 0.0;
+  AttackKind kind = AttackKind::kDefectStart;
+  NodeId a = 0;
+  double rate = 0.0;
+  std::vector<NodeId> members;
+};
+
+/// Canonical one-line text form (newline-terminated): fixed field order,
+/// %.17g numerics — deterministic byte-for-byte.
+std::string format_attack(const AttackEvent& e);
+
+/// Parameters for AttackPlan::random_rings.
+struct RingSpec {
+  double start = 0.0;        ///< ring formation time
+  double end = 100.0;        ///< ring disband time
+  std::size_t rings = 2;     ///< number of collusive rings
+  std::size_t ring_size = 4; ///< members per ring
+};
+
+/// An ordered, validated behavioral-attack schedule. Builders throw
+/// std::invalid_argument on locally malformed input (empty ring, bad
+/// window, non-positive factor); cross-event problems (overlapping ring
+/// membership, double starts, out-of-range ids) are reported by
+/// validate(), which AttackInjector and the campaign driver turn into
+/// exceptions with the offending event spelled out.
+class AttackPlan {
+ public:
+  AttackPlan() = default;
+
+  // -- Builder helpers (all return *this for chaining). Times are
+  //    absolute; out-of-order insertion is fine, events() always sorts by
+  //    (time, insertion order).
+
+  /// Collusive ring over [t_start, t_end): members rate each other 1.0
+  /// and slander every outsider 0.0 while the ring is up. Returns the
+  /// ring id assigned to this ring (dense, starting at 0).
+  AttackPlan& ring(double t_start, double t_end, std::vector<NodeId> members);
+
+  /// Sybil whitewash: `node` departs at t_leave and rejoins at t_rejoin
+  /// with (by default) a wiped feedback history — the join-churn-rejoin
+  /// identity-reset attack.
+  AttackPlan& sybil_whitewash(double t_leave, double t_rejoin, NodeId node,
+                              bool whitewash = true);
+
+  /// On-off oscillator: `node` defects for the first `duty` fraction of
+  /// every `period` starting at t_start, until t_end.
+  AttackPlan& oscillator(NodeId node, double t_start, double t_end,
+                         double period, double duty);
+
+  /// Gossip-layer liar: over [t_start, t_end), `node` multiplies its
+  /// own-component x share by `factor` on the wire (> 1 self-promotes).
+  AttackPlan& liar(double t_start, double t_end, NodeId node, double factor);
+
+  /// Share withholder: over [t_start, t_end), `node` pushes only its own
+  /// component and suppresses everything else it holds.
+  AttackPlan& withhold(double t_start, double t_end, NodeId node);
+
+  /// Seeded random collusive rings: disjoint pseudo-random member sets
+  /// drawn from [0, n) (independent of every other RNG stream in a run).
+  static AttackPlan random_rings(std::size_t n, const RingSpec& spec,
+                                 std::uint64_t seed);
+
+  /// Events sorted by (time, insertion order).
+  const std::vector<AttackEvent>& events() const;
+
+  std::size_t size() const noexcept { return events_.size(); }
+  bool empty() const noexcept { return events_.empty(); }
+  std::size_t num_rings() const noexcept { return next_ring_; }
+
+  /// Time of the last event (0 when empty).
+  double end_time() const;
+
+  /// Validates against an n-node population: times finite and >= 0, node
+  /// ids < n, ring members in range and duplicate-free, liar factors
+  /// finite and > 0, start/end windows correctly paired per node and
+  /// behavior, no node in two time-overlapping rings, and no
+  /// leave-while-departed / rejoin-while-present Sybil sequences. Returns
+  /// an empty string when valid, else a description of the first problem.
+  std::string validate(std::size_t n) const;
+
+  /// Canonical text form, one event per line — deterministic, so two
+  /// plans (or two runs of one plan) compare byte-for-byte.
+  std::string to_string() const;
+
+ private:
+  AttackPlan& push(AttackEvent e);
+
+  mutable std::vector<AttackEvent> events_;
+  mutable bool sorted_ = true;
+  std::size_t next_ring_ = 0;
+};
+
+}  // namespace gt::attack

@@ -1,0 +1,73 @@
+#include "attack/attack_state.hpp"
+
+namespace gt::attack {
+
+AttackState::AttackState(std::size_t n)
+    : n_(n),
+      scale_(n, 1.0),
+      withhold_(n, 0),
+      defect_(n, 0),
+      departed_(n, 0),
+      ring_(n, -1),
+      ever_(n, 0) {}
+
+void AttackState::apply(const AttackEvent& e) {
+  switch (e.kind) {
+    case AttackKind::kRingStart: {
+      if (ring_members_.size() <= e.a) ring_members_.resize(e.a + 1);
+      ring_members_[e.a] = e.members;
+      for (const NodeId m : e.members) {
+        ring_[m] = static_cast<int>(e.a);
+        ever_[m] = 1;
+      }
+      break;
+    }
+    case AttackKind::kRingEnd:
+      if (e.a < ring_members_.size()) {
+        for (const NodeId m : ring_members_[e.a]) ring_[m] = -1;
+        ring_members_[e.a].clear();
+      }
+      break;
+    case AttackKind::kSybilLeave:
+      departed_[e.a] = 1;
+      ever_[e.a] = 1;
+      break;
+    case AttackKind::kSybilRejoin:
+      departed_[e.a] = 0;
+      break;
+    case AttackKind::kDefectStart:
+      defect_[e.a] = 1;
+      ever_[e.a] = 1;
+      break;
+    case AttackKind::kDefectEnd:
+      defect_[e.a] = 0;
+      break;
+    case AttackKind::kLiarStart:
+      // A factor of exactly 1.0 is honest; don't count (or later leak) it.
+      if (scale_[e.a] == 1.0 && e.rate != 1.0) ++liars_;
+      scale_[e.a] = e.rate;
+      if (e.rate != 1.0) ever_[e.a] = 1;
+      break;
+    case AttackKind::kLiarEnd:
+      if (scale_[e.a] != 1.0) --liars_;
+      scale_[e.a] = 1.0;
+      break;
+    case AttackKind::kWithholdStart:
+      if (withhold_[e.a] == 0) ++withholders_;
+      withhold_[e.a] = 1;
+      ever_[e.a] = 1;
+      break;
+    case AttackKind::kWithholdEnd:
+      if (withhold_[e.a] != 0) --withholders_;
+      withhold_[e.a] = 0;
+      break;
+  }
+}
+
+std::size_t AttackState::num_ever_adversarial() const {
+  std::size_t count = 0;
+  for (const auto f : ever_) count += f != 0;
+  return count;
+}
+
+}  // namespace gt::attack

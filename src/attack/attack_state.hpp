@@ -1,0 +1,89 @@
+// Live behavioral state of an AttackPlan at some instant.
+//
+// AttackState folds sorted AttackEvents into per-node behavior flags and
+// answers the two questions the rest of the stack asks:
+//   * the gossip kernels (via gossip::ShareAdversary): does node i lie
+//     about or withhold its shares right now?
+//   * the feedback/transaction layer: is node i defecting, colluding
+//     (and with whom), or departed right now?
+// Both the scheduler-driven AttackInjector (async runs) and the
+// cycle-indexed campaign driver (sync engine runs) advance one of these;
+// the fold is pure state bookkeeping — no RNG, no side effects — so the
+// same event sequence always lands in the same state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "attack/attack_plan.hpp"
+#include "gossip/adversary.hpp"
+
+namespace gt::attack {
+
+class AttackState final : public gossip::ShareAdversary {
+ public:
+  explicit AttackState(std::size_t n);
+
+  std::size_t num_nodes() const noexcept { return n_; }
+
+  /// Folds one event into the state. Events must arrive in plan order
+  /// (the injector and campaign driver both walk the sorted list); the
+  /// caller handles side effects beyond behavior flags (network
+  /// membership, ledger wipes) by inspecting the event kind itself.
+  void apply(const AttackEvent& e);
+
+  // -- gossip::ShareAdversary -------------------------------------------
+  double share_scale(std::uint32_t node) const override {
+    return scale_[node];
+  }
+  bool withholds(std::uint32_t node) const override {
+    return withhold_[node] != 0;
+  }
+
+  /// Dense views for the synchronous kernel / engine (size n). The
+  /// `any_*` flags let callers pass empty spans when nothing is active,
+  /// keeping unattacked cycles on the exact honest code path.
+  std::span<const double> x_scale() const noexcept { return scale_; }
+  std::span<const std::uint8_t> withhold_mask() const noexcept {
+    return withhold_;
+  }
+  bool any_liar() const noexcept { return liars_ > 0; }
+  bool any_withholder() const noexcept { return withholders_ > 0; }
+
+  // -- Behavioral queries for feedback/transaction generation -----------
+  bool defecting(NodeId i) const { return defect_[i] != 0; }
+  bool departed(NodeId i) const { return departed_[i] != 0; }
+  /// Ring id node i currently colludes in, -1 for none.
+  int ring_of(NodeId i) const { return ring_[i]; }
+  bool colluding(NodeId i) const { return ring_[i] >= 0; }
+  /// Two nodes collude together right now.
+  bool same_ring(NodeId i, NodeId j) const {
+    return ring_[i] >= 0 && ring_[i] == ring_[j];
+  }
+
+  /// Node i exhibits any adversarial behavior right now.
+  bool adversarial(NodeId i) const {
+    return ring_[i] >= 0 || defect_[i] != 0 || withhold_[i] != 0 ||
+           departed_[i] != 0 || scale_[i] != 1.0;
+  }
+  /// Node i has exhibited adversarial behavior at any point so far —
+  /// the attacker set the campaign's capture-rate metric scores against.
+  bool ever_adversarial(NodeId i) const { return ever_[i] != 0; }
+  std::size_t num_ever_adversarial() const;
+
+ private:
+  std::size_t n_;
+  std::vector<double> scale_;         // own-share x multiplier, 1.0 honest
+  std::vector<std::uint8_t> withhold_;
+  std::vector<std::uint8_t> defect_;
+  std::vector<std::uint8_t> departed_;
+  std::vector<int> ring_;             // open ring id, -1 none
+  std::vector<std::uint8_t> ever_;
+  std::vector<std::vector<NodeId>> ring_members_;  // by ring id, while open
+  std::size_t liars_ = 0;
+  std::size_t withholders_ = 0;
+};
+
+}  // namespace gt::attack

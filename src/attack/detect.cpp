@@ -1,0 +1,56 @@
+#include "attack/detect.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace gt::attack {
+
+std::vector<double> slander_bias(const trust::FeedbackLedger& ledger,
+                                 std::size_t min_ratings) {
+  const std::size_t n = ledger.num_peers();
+  std::vector<double> out(n, std::numeric_limits<double>::quiet_NaN());
+  if (n == 0) return out;
+
+  // Burst consensus per ratee: mean clamped rating across all raters.
+  std::vector<double> sum(n, 0.0);
+  std::vector<std::uint32_t> cnt(n, 0);
+  for (trust::NodeId i = 0; i < n; ++i) {
+    for (const trust::Feedback& f : ledger.ratings_of(i)) {
+      sum[f.ratee] += std::clamp(f.value, 0.0, 1.0);
+      ++cnt[f.ratee];
+    }
+  }
+  std::vector<bool> reputable(n, false);
+  for (trust::NodeId j = 0; j < n; ++j)
+    reputable[j] = cnt[j] > 0 && sum[j] / cnt[j] >= 0.5;
+
+  const std::size_t need = std::max<std::size_t>(min_ratings, 1);
+  for (trust::NodeId i = 0; i < n; ++i) {
+    std::size_t condemnations = 0;
+    std::size_t slanders = 0;
+    for (const trust::Feedback& f : ledger.ratings_of(i)) {
+      if (std::clamp(f.value, 0.0, 1.0) > 0.2) continue;
+      ++condemnations;
+      if (reputable[f.ratee]) ++slanders;
+    }
+    if (condemnations >= need)
+      out[i] =
+          static_cast<double>(slanders) / static_cast<double>(condemnations);
+  }
+  return out;
+}
+
+std::uint64_t emit_rating_bias(trace::TraceSink& sink, std::uint64_t series,
+                               double t, std::span<const double> bias) {
+  if (!sink.enabled()) return 0;
+  const std::uint64_t sweep = sink.alloc_trace();
+  for (std::size_t i = 0; i < bias.size(); ++i) {
+    if (!std::isfinite(bias[i])) continue;
+    sink.probe_field(sweep, series, t, static_cast<std::uint32_t>(i),
+                     trace::ProbeField::kRatingBias, bias[i]);
+  }
+  return sweep;
+}
+
+}  // namespace gt::attack

@@ -1,0 +1,40 @@
+// Manipulation-signature inputs for the trace analyzer.
+//
+// The analyzer's attack detectors run on three probe series: per-column
+// x-mass residuals (counterfeit mass), per-node score trajectories (rank
+// jumps), and per-rater slander bias (feedback rings). The first two are
+// emitted by the kernels/engine; this module computes the third from a
+// feedback ledger and mirrors it into the trace as kRatingBias probe
+// records, one sweep per feedback burst.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "trust/feedback.hpp"
+
+namespace gt::attack {
+
+/// Per-rater slander bias: of the rater's condemnations (ratings with
+/// value <= 0.2), the fraction aimed at ratees the burst's own consensus
+/// holds reputable (mean clamped rating across all raters >= 0.5). An
+/// honest rater's low ratings track genuinely bad service, so its
+/// condemnations land on consensus-low peers (bias 0); a slander ring
+/// condemns only reputable outsiders (bias ~1) — and because only
+/// condemnations enter the ratio, the ring's in-group praise cannot
+/// dilute the signal. Raters with fewer than `min_ratings` condemnations
+/// return NaN (no accusations to audit). Pass the *per-burst* ledger,
+/// not an accumulated one: aging/accumulation confound the value scale.
+std::vector<double> slander_bias(const trust::FeedbackLedger& ledger,
+                                 std::size_t min_ratings = 2);
+
+/// Emits one kRatingBias kProbe record per rater with a defined (finite)
+/// bias, all sharing one freshly allocated sweep trace id, with `series`
+/// as the burst index (the campaign uses the cycle number) at time t.
+/// Returns the sweep trace id (0 when the sink is disabled).
+std::uint64_t emit_rating_bias(trace::TraceSink& sink, std::uint64_t series,
+                               double t, std::span<const double> bias);
+
+}  // namespace gt::attack

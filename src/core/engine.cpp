@@ -60,6 +60,23 @@ void GossipTrustEngine::set_event_log(telemetry::EventLog* events,
   step_sample_every_ = step_sample_every;
 }
 
+void GossipTrustEngine::set_gossip_adversary(
+    std::span<const double> x_scale, std::span<const std::uint8_t> withhold) {
+  if (!x_scale.empty() && x_scale.size() != n_)
+    throw std::invalid_argument(
+        "GossipTrustEngine::set_gossip_adversary: x_scale size");
+  if (!withhold.empty() && withhold.size() != n_)
+    throw std::invalid_argument(
+        "GossipTrustEngine::set_gossip_adversary: withhold size");
+  for (const double c : x_scale)
+    if (!(std::isfinite(c) && c > 0.0))
+      throw std::invalid_argument(
+          "GossipTrustEngine::set_gossip_adversary: x_scale values must be "
+          "finite and > 0");
+  adv_scale_.assign(x_scale.begin(), x_scale.end());
+  adv_withhold_.assign(withhold.begin(), withhold.end());
+}
+
 CycleStats GossipTrustEngine::run_cycle(const trust::SparseMatrix& s,
                                         std::vector<double>& v,
                                         std::vector<NodeId>& power, Rng& rng,
@@ -79,6 +96,8 @@ CycleStats GossipTrustEngine::run_cycle(const trust::SparseMatrix& s,
 
   gossip::VectorGossip gossip(n_, ps, pool_.get());
   if (alive != nullptr) gossip.set_participants(*alive);
+  if (!adv_scale_.empty() || !adv_withhold_.empty())
+    gossip.set_adversary(adv_scale_, adv_withhold_);
   // Step sampling is the kernel's job; the engine emits the richer `cycle`
   // record below, so the kernel sink is only attached when sampling is on.
   if (events_ != nullptr && step_sample_every_ > 0)
@@ -106,6 +125,13 @@ CycleStats GossipTrustEngine::run_cycle(const trust::SparseMatrix& s,
                                     readout_begin)
           .count();
   normalize_l1(next);
+
+  // Pre-mix consensus, snapshotted for the probe sweep below: the rank
+  // detectors must see what the *network* computed — the alpha re-anchoring
+  // legitimately jumps a node's score whenever the power-node selection
+  // churns, and that engine-side step must not read as manipulation.
+  std::vector<double> premix;
+  if (trace_ != nullptr) premix = next;
 
   auto is_alive = [alive](NodeId v_id) {
     return alive == nullptr || (*alive)[v_id] != 0;
@@ -168,12 +194,31 @@ CycleStats GossipTrustEngine::run_cycle(const trust::SparseMatrix& s,
     rec.value = stats.change_from_previous;
     trace_->emit(rec);
     const std::uint64_t sweep = trace_->alloc_trace();
+    // Legitimate per-column x mass this cycle: what Algorithm 2 seeded,
+    // column sums of S^T restricted to live rows (dangling raters spread
+    // uniformly, matching VectorGossip::initialize). Sync gossip conserves
+    // it exactly, so measured minus expected isolates adversary-minted
+    // mass — computed only when traced (pure reads, no RNG).
+    std::vector<double> expected_x(n_, 0.0);
+    const double uniform = 1.0 / static_cast<double>(n_);
+    for (NodeId i = 0; i < n_; ++i) {
+      if (!is_alive(i)) continue;
+      const auto entries = s.row(i);
+      if (entries.empty()) {
+        const double share = v[i] * uniform;
+        for (NodeId j = 0; j < n_; ++j) expected_x[j] += share;
+      } else {
+        for (const auto& e : entries) expected_x[e.col] += e.value * v[i];
+      }
+    }
     for (NodeId j = 0; j < n_; ++j) {
       if (!is_alive(j)) continue;
       const double weight = gossip.column_w_mass(j);
+      const double score = degraded ? v[j] : premix[j];
       trace_->probe(sweep, trace_cycle_seq_, cycle_end,
                     static_cast<std::uint32_t>(j), weight, weight - 1.0,
-                    std::abs(next[j] - v[j]));
+                    std::abs(next[j] - v[j]), score,
+                    gossip.column_x_mass(j) - expected_x[j]);
     }
     ++trace_cycle_seq_;
   }

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -132,6 +133,14 @@ class GossipTrustEngine {
   /// aggregation is bit-identical with tracing on or off. Null detaches.
   void set_trace(trace::TraceSink* sink) { trace_ = sink; }
 
+  /// Installs gossip-layer adversary vectors forwarded to every subsequent
+  /// cycle's kernel (see VectorGossip::set_adversary): x_scale[i] scales
+  /// node i's own-component x share on the wire, withhold[i] suppresses
+  /// everything but its own component. Empty spans clear the respective
+  /// behavior; RNG-free, so clearing restores bit-identical runs.
+  void set_gossip_adversary(std::span<const double> x_scale,
+                            std::span<const std::uint8_t> withhold);
+
  private:
   std::size_t n_;
   GossipTrustConfig config_;
@@ -141,6 +150,8 @@ class GossipTrustEngine {
   std::uint64_t cycles_emitted_ = 0;  // cycle index stamped onto records
   trace::TraceSink* trace_ = nullptr;
   std::uint64_t trace_cycle_seq_ = 0;  // probe-sweep series index
+  std::vector<double> adv_scale_;            // gossip-layer liars (empty = none)
+  std::vector<std::uint8_t> adv_withhold_;   // share withholders (empty = none)
 };
 
 }  // namespace gt::core

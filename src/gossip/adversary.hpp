@@ -1,0 +1,41 @@
+// Gossip-layer adversary hooks: a read-only view the push-sum kernels
+// consult when a node hands its halved share batch to the network.
+//
+// Contract (what keeps BitIdentityGate green):
+//
+//   * No randomness. An adversary never draws from any RNG — liar and
+//     withhold behavior are pure functions of (node, current shares) —
+//     so honest nodes' RNG streams are untouched and a run with an
+//     all-honest adversary (or none) is bit-identical to today.
+//   * Mass-explicit. A liar that scales its own component *mints* x
+//     mass; the kernels ledger every minted unit (AsyncGossip's
+//     injected_x, the engine's measured-vs-expected column mass) so
+//     conservation checks distinguish counterfeit mass from leaks.
+//   * Withholding is local. A withholding node folds only its own
+//     component into outgoing batches; the suppressed components stay
+//     resident at the sender (async) or are kept un-halved (sync), so
+//     honest mass is still conserved — the attack starves mixing, it
+//     does not destroy mass.
+#pragma once
+
+#include <cstdint>
+
+namespace gt::gossip {
+
+/// Per-node adversary view consulted by the kernels at send time.
+/// Implementations must be deterministic and side-effect free.
+class ShareAdversary {
+ public:
+  virtual ~ShareAdversary() = default;
+
+  /// Multiplier applied to node i's *own-component* x share in outgoing
+  /// batches. 1.0 = honest. >1 self-promotes (mints x mass, ledgered by
+  /// the kernel); (0,1) self-slanders. Must be finite and > 0.
+  virtual double share_scale(std::uint32_t node) const = 0;
+
+  /// True if node i withholds every component but its own from outgoing
+  /// batches this instant (selective share suppression).
+  virtual bool withholds(std::uint32_t node) const = 0;
+};
+
+}  // namespace gt::gossip

@@ -64,7 +64,9 @@ AsyncGossip::AsyncGossip(sim::Scheduler& scheduler, net::Network& network,
       destroyed_x_(n_, 0.0),
       destroyed_w_(n_, 0.0),
       repaired_x_(n_, 0.0),
-      repaired_w_(n_, 0.0) {
+      repaired_w_(n_, 0.0),
+      injected_x_(n_, 0.0),
+      injected_w_(n_, 0.0) {
   if (n_ == 0) throw std::invalid_argument("AsyncGossip: empty network");
   if (timing_.period <= 0.0) throw std::invalid_argument("AsyncGossip: bad period");
   if (reliability_.acks) {
@@ -120,6 +122,8 @@ void AsyncGossip::initialize(const trust::SparseMatrix& s, std::span<const doubl
   std::fill(destroyed_w_.begin(), destroyed_w_.end(), 0.0);
   std::fill(repaired_x_.begin(), repaired_x_.end(), 0.0);
   std::fill(repaired_w_.begin(), repaired_w_.end(), 0.0);
+  std::fill(injected_x_.begin(), injected_x_.end(), 0.0);
+  std::fill(injected_w_.begin(), injected_w_.end(), 0.0);
   epoch_ = 0;
   next_msg_id_ = 1;
   pending_.clear();
@@ -179,8 +183,12 @@ void AsyncGossip::probe_sweep() {
     if (!std::isnan(ratio) && !std::isnan(probe_prev_[j]))
       delta = std::abs(ratio - probe_prev_[j]);
     probe_prev_[j] = ratio;
+    // x residual: raw inflation of the column's available x mass over its
+    // legitimate books — x_gap() reconciles to ~0 under faults alone, so
+    // gap + injected isolates the adversary-minted share.
     trace_->probe(tid, series, t, static_cast<std::uint32_t>(j), avail_w,
-                  a.w_gap(), delta);
+                  a.w_gap(), delta, std::isfinite(ratio) ? ratio : 0.0,
+                  a.x_gap() + a.injected_x);
   }
 }
 
@@ -291,6 +299,8 @@ void AsyncGossip::node_push(net::NodeId i, Rng& rng, const graph::Graph* overlay
     wi[j] = pw;
   }
 
+  if (adv_ != nullptr) apply_adversary(i, xi, wi);
+
   if (!reliability_.acks) {
     // Fire-and-forget: the pushed half rides inside a pooled wire buffer
     // until delivery; destruction events (loss, stale epoch) destroy x and
@@ -312,6 +322,38 @@ void AsyncGossip::node_push(net::NodeId i, Rng& rng, const graph::Graph* overlay
     queue_pending(i, target, Payload(scratch_.begin(), scratch_.end()));
   } else {
     for (const auto& e : scratch_) queue_pending(i, target, Payload{e});
+  }
+}
+
+void AsyncGossip::apply_adversary(net::NodeId i, double* xi, double* wi) {
+  // Rewrites the staged outgoing batch in place, after the honest halving
+  // and before any wire accounting, so every downstream path (ff / ack /
+  // per-triplet) sees the adversarial payload consistently. No RNG draws.
+  const auto self = static_cast<std::uint32_t>(i);
+  if (adv_->withholds(i) && !scratch_.empty()) {
+    // Suppress every component but the sender's own: the withheld halves
+    // return to the resident row (un-halving them), so no mass is lost —
+    // the node simply refuses to relay others' shares.
+    std::size_t out = 0;
+    for (const WireEntry& e : scratch_) {
+      if (e.id == self) {
+        scratch_[out++] = e;
+        continue;
+      }
+      xi[e.id] += e.x;
+      wi[e.id] += e.w;
+    }
+    scratch_.resize(out);
+  }
+  const double c = adv_->share_scale(i);
+  if (c != 1.0) {
+    for (WireEntry& e : scratch_) {
+      if (e.id != self) continue;
+      const double extra = (c - 1.0) * e.x;
+      e.x += extra;
+      injected_x_[i] += extra;  // minted (or burnt, c<1) counterfeit mass
+      break;
+    }
   }
 }
 
@@ -795,6 +837,8 @@ MassAccount AsyncGossip::mass_account(net::NodeId j) const {
   a.destroyed_w = destroyed_w_[j];
   a.repaired_x = repaired_x_[j];
   a.repaired_w = repaired_w_[j];
+  a.injected_x = injected_x_[j];
+  a.injected_w = injected_w_[j];
   return a;
 }
 

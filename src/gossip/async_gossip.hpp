@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "gossip/adversary.hpp"
 #include "gossip/pushsum.hpp"
 #include "graph/topology.hpp"
 #include "net/network.hpp"
@@ -78,18 +79,25 @@ struct AsyncGossipResult {
 };
 
 /// Per-component mass ledger (see the invariant in the file header).
+/// `injected_*` is counterfeit mass minted by a gossip-layer adversary
+/// (ShareAdversary); the gap identities subtract it, so honest runs
+/// (injected == 0) are unchanged and attacked runs still reconcile to 0 —
+/// while x_gap() + injected_x exposes the raw inflation for detectors.
 struct MassAccount {
   double initial_x = 0.0, initial_w = 0.0;
   double resident_x = 0.0, resident_w = 0.0;
   double in_flight_x = 0.0, in_flight_w = 0.0;
   double destroyed_x = 0.0, destroyed_w = 0.0;
   double repaired_x = 0.0, repaired_w = 0.0;
+  double injected_x = 0.0, injected_w = 0.0;
 
   double x_gap() const noexcept {
-    return resident_x + in_flight_x + destroyed_x - repaired_x - initial_x;
+    return resident_x + in_flight_x + destroyed_x - repaired_x - injected_x -
+           initial_x;
   }
   double w_gap() const noexcept {
-    return resident_w + in_flight_w + destroyed_w - repaired_w - initial_w;
+    return resident_w + in_flight_w + destroyed_w - repaired_w - injected_w -
+           initial_w;
   }
 };
 
@@ -219,6 +227,12 @@ class AsyncGossip {
   /// bit-identical with tracing on or off. Null disables.
   void set_trace(trace::TraceSink* sink, std::size_t probe_every = 0);
 
+  /// Attaches a gossip-layer adversary consulted at each push (null
+  /// detaches). Deterministic and RNG-free by the ShareAdversary contract:
+  /// an all-honest adversary leaves runs bit-identical to no adversary.
+  /// Minted own-component mass is ledgered in MassAccount::injected_x.
+  void set_adversary(const ShareAdversary* adv) { adv_ = adv; }
+
  private:
   using Payload = std::vector<WireEntry>;
 
@@ -278,6 +292,7 @@ class AsyncGossip {
                      net::NodeId peer, std::uint32_t flags, double value);
   void probe_sweep();
   void seed_row(net::NodeId i, bool count_repaired);
+  void apply_adversary(net::NodeId i, double* xi, double* wi);
   void add_in_flight(std::span<const WireEntry> p, double sign);
   void add_destroyed(std::span<const WireEntry> p);
   void destroy_row(net::NodeId i);
@@ -301,6 +316,9 @@ class AsyncGossip {
   std::vector<double> in_flight_x_, in_flight_w_;
   std::vector<double> destroyed_x_, destroyed_w_;
   std::vector<double> repaired_x_, repaired_w_;
+  std::vector<double> injected_x_, injected_w_;  ///< adversary-minted mass
+
+  const ShareAdversary* adv_ = nullptr;
 
   // Reliability state (ack mode).
   std::uint32_t epoch_ = 0;

@@ -101,6 +101,20 @@ void VectorGossip::set_participants(std::vector<std::uint8_t> alive) {
   }
 }
 
+void VectorGossip::set_adversary(std::span<const double> x_scale,
+                                 std::span<const std::uint8_t> withhold) {
+  if (!x_scale.empty() && x_scale.size() != n_)
+    throw std::invalid_argument("VectorGossip::set_adversary: x_scale size");
+  if (!withhold.empty() && withhold.size() != n_)
+    throw std::invalid_argument("VectorGossip::set_adversary: withhold size");
+  for (const double c : x_scale)
+    if (!(std::isfinite(c) && c > 0.0))
+      throw std::invalid_argument(
+          "VectorGossip::set_adversary: x_scale values must be finite and > 0");
+  adv_scale_.assign(x_scale.begin(), x_scale.end());
+  adv_withhold_.assign(withhold.begin(), withhold.end());
+}
+
 void VectorGossip::initialize(const trust::SparseMatrix& s, std::span<const double> v) {
   if (s.size() != n_ || v.size() != n_)
     throw std::invalid_argument("VectorGossip::initialize: size mismatch");
@@ -224,12 +238,16 @@ void VectorGossip::route_phase(const graph::Graph* overlay) {
 
       if (have_target) {
         // Payload accounting walks only the active support; a lost message
-        // still carried its (un-halved) payload onto the wire.
+        // still carried its (un-halved) payload onto the wire. A
+        // withholding adversary ships only its own component.
         const double* xi = row_x(i);
         const double* wi = row_w(i);
         const double h = lost ? 1.0 : 0.5;
         std::uint64_t payload = 0;
-        if (dense_[i]) {
+        if (adv_withholds(i)) {
+          payload = (h * xi[i] != 0.0 || h * wi[i] != 0.0) ? 1 : 0;
+          if (!dense_[i]) ctr.skipped += n_ - active_[i].size();
+        } else if (dense_[i]) {
           for (NodeId j = 0; j < n_; ++j)
             payload += (h * xi[j] != 0.0 || h * wi[j] != 0.0);
         } else {
@@ -282,23 +300,42 @@ void VectorGossip::gather_phase() {
       const std::size_t sb = in_off_[r];
       const std::size_t se = in_off_[r + 1];
 
+      // A withholding receiver that pushed this step (keep == 0.5) only
+      // parted with its own component; the withheld halves stay whole.
+      const bool self_wh = adv_withholds(r) && keep != 1.0;
+
       bool out_dense = dense_[r] != 0;
-      for (std::size_t k = sb; k < se && !out_dense; ++k)
-        out_dense = dense_[in_senders_[k]] != 0;
+      for (std::size_t k = sb; k < se && !out_dense; ++k) {
+        const NodeId s = in_senders_[k];
+        // A withholding sender contributes one component, never density.
+        out_dense = dense_[s] != 0 && !adv_withholds(s);
+      }
 
       if (out_dense) {
         // Contiguous fast path once any contributing row has densified.
         // The initial assignment also overwrites whatever the stale inbox
         // buffer held, so no separate clearing sweep is needed.
-        for (NodeId j = 0; j < n_; ++j) {
-          nx[j] = keep * xr[j];
-          nw[j] = keep * wr[j];
+        if (self_wh) {
+          for (NodeId j = 0; j < n_; ++j) {
+            nx[j] = xr[j];
+            nw[j] = wr[j];
+          }
+          nx[r] = keep * xr[r];
+          nw[r] = keep * wr[r];
+        } else {
+          for (NodeId j = 0; j < n_; ++j) {
+            nx[j] = keep * xr[j];
+            nw[j] = keep * wr[j];
+          }
         }
         for (std::size_t k = sb; k < se; ++k) {
           const NodeId s = in_senders_[k];
           const double* xs = row_x(s);
           const double* ws = row_w(s);
-          if (dense_[s]) {
+          if (adv_withholds(s)) {
+            nx[s] += 0.5 * xs[s];
+            nw[s] += 0.5 * ws[s];
+          } else if (dense_[s]) {
             for (NodeId j = 0; j < n_; ++j) {
               nx[j] += 0.5 * xs[j];
               nw[j] += 0.5 * ws[j];
@@ -320,16 +357,40 @@ void VectorGossip::gather_phase() {
         auto& out = next_active_[r];
         out.clear();
         const std::uint64_t stamp = ++sc.stamp;
-        for (const NodeId j : active_[r]) {
-          sc.mark[j] = stamp;
-          out.push_back(j);
-          nx[j] = keep * xr[j];
-          nw[j] = keep * wr[j];
+        if (self_wh) {
+          for (const NodeId j : active_[r]) {
+            sc.mark[j] = stamp;
+            out.push_back(j);
+            const double kj = j == r ? keep : 1.0;
+            nx[j] = kj * xr[j];
+            nw[j] = kj * wr[j];
+          }
+        } else {
+          for (const NodeId j : active_[r]) {
+            sc.mark[j] = stamp;
+            out.push_back(j);
+            nx[j] = keep * xr[j];
+            nw[j] = keep * wr[j];
+          }
         }
         for (std::size_t k = sb; k < se; ++k) {
           const NodeId s = in_senders_[k];
           const double* xs = row_x(s);
           const double* ws = row_w(s);
+          if (adv_withholds(s)) {
+            // Own component only (always in s's active set: the consensus
+            // factor seeds the diagonal).
+            if (sc.mark[s] != stamp) {
+              sc.mark[s] = stamp;
+              out.push_back(s);
+              nx[s] = 0.5 * xs[s];
+              nw[s] = 0.5 * ws[s];
+            } else {
+              nx[s] += 0.5 * xs[s];
+              nw[s] += 0.5 * ws[s];
+            }
+            continue;
+          }
           for (const NodeId j : active_[s]) {
             if (sc.mark[j] != stamp) {
               sc.mark[j] = stamp;
@@ -347,6 +408,18 @@ void VectorGossip::gather_phase() {
           out.clear();
         } else {
           next_dense_[r] = 0;
+        }
+      }
+
+      // Gossip-layer liars: scale the *received* own-component x share.
+      // The sender's fold above already first-touched component s (the
+      // diagonal is always active), so this is a pure adjustment — it
+      // mints (c-1) * half-share of counterfeit x mass per delivery.
+      if (!adv_scale_.empty()) {
+        for (std::size_t k = sb; k < se; ++k) {
+          const NodeId s = in_senders_[k];
+          const double c = adv_scale_[s];
+          if (c != 1.0) nx[s] += (c - 1.0) * 0.5 * row_x(s)[s];
         }
       }
     }

@@ -156,8 +156,25 @@ class VectorGossip {
   void set_trace(trace::TraceSink* sink, double base_time = -1.0,
                  std::uint64_t trace_id = 0, std::uint64_t parent_span = 0);
 
+  /// Installs per-node gossip-layer adversaries for subsequent steps.
+  /// `x_scale[i]` multiplies node i's *own-component* x share as received
+  /// by its push target (1.0 = honest; > 1 self-promotes by minting x
+  /// mass, (0,1) self-slanders); `withhold[i]` != 0 makes node i suppress
+  /// every component but its own from pushes (the withheld halves stay
+  /// resident, so honest mass is conserved). Each span must be empty (no
+  /// adversary of that kind) or size n with finite positive scales, else
+  /// std::invalid_argument. Deterministic and RNG-free: routing, loss
+  /// coins, and all per-node RNG streams are untouched, so a run with
+  /// both spans empty (or all-honest values) is bit-identical to an
+  /// unattacked run at any thread count.
+  void set_adversary(std::span<const double> x_scale,
+                     std::span<const std::uint8_t> withhold);
+
  private:
   bool is_alive(NodeId v) const { return alive_.empty() || alive_[v] != 0; }
+  bool adv_withholds(NodeId v) const {
+    return !adv_withhold_.empty() && adv_withhold_[v] != 0;
+  }
   std::size_t lanes() const noexcept { return pool_ ? pool_->num_threads() : 1; }
   void for_chunks(std::size_t count, std::size_t num_chunks,
                   const ThreadPool::ChunkFn& fn) const;
@@ -174,6 +191,8 @@ class VectorGossip {
 
   std::vector<std::uint8_t> alive_;     // empty = everyone participates
   std::vector<NodeId> alive_list_;      // cached ids of live peers
+  std::vector<double> adv_scale_;       // empty = no liars (see set_adversary)
+  std::vector<std::uint8_t> adv_withhold_;  // empty = no withholders
   std::vector<double> x_;        // n*n row-major
   std::vector<double> w_;        // n*n row-major
   std::vector<double> inbox_x_;  // accumulation buffers for the next state

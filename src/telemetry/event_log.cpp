@@ -66,7 +66,7 @@ EventLog::Record EventLog::record(std::string_view event_type) {
     std::lock_guard<std::mutex> lock(mutex_);
     seq = seq_++;
   }
-  r.writer_.field("ts", wall_clock_seconds());
+  r.writer_.field("ts", config_.deterministic_ts ? 0.0 : wall_clock_seconds());
   r.writer_.field("seq", seq);
   r.writer_.field("event", event_type);
   {

@@ -39,6 +39,11 @@ struct EventLogConfig {
   /// lines_dropped() and reported by the final `meta` record — overflow is
   /// loud, never silent.
   bool drop_oldest_on_overflow = false;
+  /// Replayable mode: stamp "ts" as 0.0 on every record instead of the
+  /// wall clock, so two runs with the same seed produce byte-identical
+  /// logs (the attack campaign's replayability contract diffs whole files;
+  /// "seq" still orders records within a log).
+  bool deterministic_ts = false;
 };
 
 class EventLog {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <unordered_map>
@@ -11,7 +12,9 @@
 namespace gt::threat {
 
 std::vector<PeerProfile> make_population(const ThreatConfig& cfg, Rng& rng) {
-  if (cfg.malicious_fraction < 0.0 || cfg.malicious_fraction > 1.0)
+  // Negated-range form so NaN (which compares false both ways) is rejected
+  // instead of silently rounding to zero malicious peers.
+  if (!(cfg.malicious_fraction >= 0.0 && cfg.malicious_fraction <= 1.0))
     throw std::invalid_argument("make_population: malicious_fraction out of range");
   std::vector<PeerProfile> peers(cfg.n);
   for (auto& p : peers) p.service_quality = rng.next_double(0.8, 1.0);
@@ -135,6 +138,9 @@ double honest_rms_error(const std::vector<PeerProfile>& peers,
       est_h.push_back(estimate[i]);
     }
   }
+  // gamma = 1 leaves nobody whose reputation the metric is defined over;
+  // "no honest peers were wronged" is the only defensible answer.
+  if (ref_h.empty()) return 0.0;
   // Skip honest peers whose reference reputation is negligible (< 1% of
   // the uniform share): they have essentially no reputation to protect,
   // and dividing by their near-zero reference turns Eq. (8) into a ratio
@@ -149,13 +155,23 @@ double malicious_reputation_gain(const std::vector<PeerProfile>& peers,
   if (peers.size() != reference.size() || peers.size() != estimate.size())
     throw std::invalid_argument("malicious_reputation_gain: size mismatch");
   double ref_mass = 0.0, est_mass = 0.0;
+  std::size_t n_bad = 0;
   for (std::size_t i = 0; i < peers.size(); ++i) {
     if (peers[i].type != PeerType::kHonest) {
+      ++n_bad;
       ref_mass += reference[i];
       est_mass += estimate[i];
     }
   }
-  return ref_mass > 0.0 ? est_mass / ref_mass : 0.0;
+  // Edge cases get well-defined answers instead of a silent 0.0 that reads
+  // as "attack fully suppressed": an all-honest population gained nothing
+  // (1.0), and mass conjured against a zero reference is an unbounded gain
+  // (+inf) — the caller should treat that as "whitewash defeated the
+  // reference", not divide-by-zero garbage.
+  if (n_bad == 0) return 1.0;
+  if (ref_mass <= 0.0)
+    return est_mass > 0.0 ? std::numeric_limits<double>::infinity() : 1.0;
+  return est_mass / ref_mass;
 }
 
 void generate_honest_counterfactual(trust::FeedbackLedger& ledger,

@@ -40,6 +40,9 @@ const char* anomaly_type_name(Anomaly::Type type) noexcept {
     case Anomaly::Type::kRetransmitStorm: return "retransmit_storm";
     case Anomaly::Type::kPartition: return "partition";
     case Anomaly::Type::kConvergenceStall: return "convergence_stall";
+    case Anomaly::Type::kMassInflation: return "mass_inflation";
+    case Anomaly::Type::kRankAnomaly: return "rank_anomaly";
+    case Anomaly::Type::kFeedbackRing: return "feedback_ring";
   }
   return "unknown";
 }
@@ -226,6 +229,172 @@ TraceSummary analyze_trace(const TraceFileHeader& header,
                    static_cast<unsigned long long>(prev.series),
                    static_cast<unsigned long long>(cur.series), m0, m1);
     out.anomalies.push_back(std::move(a));
+  }
+
+  // --- manipulation-signature detectors ----------------------------------
+  // These read only honest probe series (kXMassResidual / kScore /
+  // kRatingBias), never the kAttack markers, so a hit is evidence the
+  // attack left a measurable footprint in the run itself.
+
+  // Mass inflation: a gossip-layer liar mints x-mass every cycle, and the
+  // synchronous kernel's per-cycle restart folds the counterfeit mass into
+  // v at the cycle boundary — so the signature is the *maximum* positive
+  // per-column excess over all sweeps, not the final sweep's.
+  struct Inflation {
+    double value = 0.0;
+    double t = 0.0;
+    std::uint64_t trace_id = 0;
+  };
+  std::map<std::uint32_t, Inflation> inflation;
+  for (const auto& r : records) {
+    if (!is_kind(r, SpanKind::kProbe)) continue;
+    if (r.flags != static_cast<std::uint32_t>(ProbeField::kXMassResidual))
+      continue;
+    auto& worst = inflation[r.node];
+    if (r.value > worst.value) {
+      worst.value = r.value;
+      worst.t = r.t_end;
+      worst.trace_id = r.trace_id;
+    }
+  }
+  for (const auto& [node, worst] : inflation) {
+    if (worst.value <= config.inflation_tolerance) continue;
+    Anomaly a;
+    a.type = Anomaly::Type::kMassInflation;
+    a.trace_id = worst.trace_id;
+    a.node = node;
+    a.t_start = a.t_end = worst.t;
+    a.value = worst.value;
+    a.detail = fmt("column %u carries %.3e counterfeit x-mass at t=%.3f "
+                   "(tolerance %.1e)",
+                   node, worst.value, worst.t, config.inflation_tolerance);
+    out.anomalies.push_back(std::move(a));
+  }
+
+  // Rank anomaly: per-node score trajectories across sweeps of one series.
+  // A relative move beyond rank_jump within rank_window sweeps after the
+  // warmup is the signature of a whitewashing rejoin or an on-off
+  // oscillator (whose erosion/recovery spans a few cycles, hence the
+  // trailing window rather than a single consecutive pair). The
+  // denominator is floored at 0.01/n so near-zero scores cannot
+  // manufacture unbounded jump factors.
+  struct ScoreSweep {
+    std::uint64_t trace_id = 0;
+    std::uint64_t series = 0;
+    double t = 0.0;
+    std::map<std::uint32_t, double> score;
+  };
+  std::vector<ScoreSweep> score_sweeps;
+  for (const auto& r : records) {
+    if (!is_kind(r, SpanKind::kProbe)) continue;
+    if (r.flags != static_cast<std::uint32_t>(ProbeField::kScore)) continue;
+    if (score_sweeps.empty() || score_sweeps.back().trace_id != r.trace_id) {
+      ScoreSweep s;
+      s.trace_id = r.trace_id;
+      s.series = r.peer;
+      s.t = r.t_end;
+      score_sweeps.push_back(std::move(s));
+    }
+    score_sweeps.back().score[r.node] = r.value;
+  }
+  struct RankJump {
+    double factor = 0.0;
+    double from = 0.0;
+    double to = 0.0;
+    double t_start = 0.0;
+    double t_end = 0.0;
+    std::uint64_t trace_id = 0;
+    std::uint64_t sweep = 0;
+  };
+  std::map<std::uint32_t, RankJump> rank_jumps;
+  const double score_floor =
+      0.01 / static_cast<double>(std::max<std::uint32_t>(header.node_count, 1));
+  const std::uint64_t window = std::max<std::uint64_t>(config.rank_window, 1);
+  for (std::size_t i = 1; i < score_sweeps.size(); ++i) {
+    const ScoreSweep& cur = score_sweeps[i];
+    if (cur.series < std::max<std::uint64_t>(config.rank_warmup, 1)) continue;
+    for (std::size_t lag = 1; lag <= window && lag <= i; ++lag) {
+      const ScoreSweep& prev = score_sweeps[i - lag];
+      // Stay inside one contiguous series run (a reset to 0 starts a new
+      // run; sweeps from another series don't chain).
+      if (cur.series != prev.series + lag) break;
+      for (const auto& [node, to] : cur.score) {
+        const auto it = prev.score.find(node);
+        if (it == prev.score.end()) continue;
+        const double from = it->second;
+        const double rel =
+            std::abs(to - from) / std::max(std::abs(from), score_floor);
+        if (rel <= config.rank_jump) continue;
+        auto& worst = rank_jumps[node];
+        if (rel > worst.factor)
+          worst = RankJump{rel, from, to, prev.t, cur.t, cur.trace_id,
+                           cur.series};
+      }
+    }
+  }
+  for (const auto& [node, j] : rank_jumps) {
+    Anomaly a;
+    a.type = Anomaly::Type::kRankAnomaly;
+    a.trace_id = j.trace_id;
+    a.node = node;
+    a.t_start = j.t_start;
+    a.t_end = j.t_end;
+    a.value = j.factor;
+    a.detail = fmt("node %u score jumped %.2fx (%.3e -> %.3e) into sweep %llu",
+                   node, j.factor, j.from, j.to,
+                   static_cast<unsigned long long>(j.sweep));
+    out.anomalies.push_back(std::move(a));
+  }
+
+  // Feedback ring: a kRatingBias sweep where >= min_ring raters score the
+  // top half of the population at bias >= bias_threshold. Consecutive
+  // flagged sweeps merge into one anomaly window.
+  struct BiasSweep {
+    std::uint64_t trace_id = 0;
+    std::uint64_t series = 0;
+    double t = 0.0;
+    std::size_t hostile = 0;
+  };
+  std::vector<BiasSweep> bias_sweeps;
+  for (const auto& r : records) {
+    if (!is_kind(r, SpanKind::kProbe)) continue;
+    if (r.flags != static_cast<std::uint32_t>(ProbeField::kRatingBias))
+      continue;
+    if (bias_sweeps.empty() || bias_sweeps.back().trace_id != r.trace_id) {
+      BiasSweep s;
+      s.trace_id = r.trace_id;
+      s.series = r.peer;
+      s.t = r.t_end;
+      bias_sweeps.push_back(s);
+    }
+    if (r.value >= config.bias_threshold) ++bias_sweeps.back().hostile;
+  }
+  bool ring_open = false;
+  for (const BiasSweep& s : bias_sweeps) {
+    const bool flagged = s.hostile >= config.min_ring;
+    if (!flagged) {
+      ring_open = false;
+      continue;
+    }
+    if (ring_open) {
+      Anomaly& a = out.anomalies.back();
+      a.t_end = s.t;
+      a.value = std::max(a.value, static_cast<double>(s.hostile));
+      a.detail = fmt("feedback ring: up to %.0f raters with bias >= %.2f "
+                     "over [%.3f, %.3f]",
+                     a.value, config.bias_threshold, a.t_start, a.t_end);
+      continue;
+    }
+    Anomaly a;
+    a.type = Anomaly::Type::kFeedbackRing;
+    a.trace_id = s.trace_id;
+    a.t_start = a.t_end = s.t;
+    a.value = static_cast<double>(s.hostile);
+    a.detail = fmt("feedback ring: up to %.0f raters with bias >= %.2f "
+                   "over [%.3f, %.3f]",
+                   a.value, config.bias_threshold, a.t_start, a.t_end);
+    out.anomalies.push_back(std::move(a));
+    ring_open = true;
   }
 
   return out;

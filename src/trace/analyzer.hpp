@@ -19,6 +19,25 @@
 //                        cycle (the analyzer self-calibrates from the
 //                        series itself; set expected_rate to also flag
 //                        sweeps decaying slower than a known lambda2/lambda1).
+//
+// Manipulation-signature detectors (forensic: they read only honest probe
+// series — kXMassResidual, kScore, kRatingBias — never the kAttack markers,
+// so a detection is evidence the attack left a measurable footprint, not an
+// echo of the injector's own log):
+//   * mass inflation   — some column's x-mass exceeds what the trust matrix
+//                        and current scores can account for by more than
+//                        inflation_tolerance in any sweep (a gossip-layer
+//                        liar minting counterfeit shares);
+//   * rank anomaly     — after rank_warmup sweeps, a node's score moves by
+//                        more than rank_jump (relative) within rank_window
+//                        consecutive sweeps of one series (whitewashing
+//                        rejoin, or an on-off oscillator whose erosion and
+//                        recovery each span a few cycles);
+//   * feedback ring    — one kRatingBias sweep shows >= min_ring raters
+//                        whose slander bias (fraction of their condemnations
+//                        aimed at consensus-reputable peers) is >= bias
+//                        threshold (a collusive slander ring; consecutive
+//                        flagged sweeps merge into one anomaly window).
 #pragma once
 
 #include <cstdint>
@@ -35,6 +54,12 @@ struct AnalyzerConfig {
   std::uint32_t storm_threshold = 3;///< retransmits per chain to call a storm
   double growth_threshold = 5.0;    ///< mean |dV| growth factor to call a stall
   double expected_rate = 0.0;       ///< optional lambda2/lambda1; 0 = off
+  double inflation_tolerance = 1e-6;///< x-mass excess above this is minting
+  double rank_jump = 0.6;           ///< relative score jump to call an anomaly
+  std::uint64_t rank_warmup = 8;    ///< sweeps to skip before rank detection
+  std::uint64_t rank_window = 3;    ///< trailing sweeps a jump may span
+  double bias_threshold = 0.6;      ///< slander bias to count a rater hostile
+  std::size_t min_ring = 3;         ///< hostile raters per sweep to call a ring
 };
 
 struct Anomaly {
@@ -45,6 +70,9 @@ struct Anomaly {
     kRetransmitStorm = 3,
     kPartition = 4,
     kConvergenceStall = 5,
+    kMassInflation = 6,
+    kRankAnomaly = 7,
+    kFeedbackRing = 8,
   };
   Type type = Type::kRingOverflow;
   std::uint64_t trace_id = 0;       ///< causal tree involved (0 = none)

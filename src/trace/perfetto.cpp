@@ -181,6 +181,12 @@ bool write_perfetto_json(const TraceFileHeader& header,
                 "\"args\":{\"kind\":%u,\"value\":%.9g}}",
                 tid, ts, r.flags, r.flags, finite(r.value));
         break;
+      case SpanKind::kAttack:
+        w.event("{\"ph\":\"i\",\"pid\":0,\"tid\":%ld,\"ts\":%.3f,\"s\":\"g\","
+                "\"name\":\"attack #%u\",\"cat\":\"attack\","
+                "\"args\":{\"kind\":%u,\"value\":%.9g}}",
+                tid, ts, r.flags, r.flags, finite(r.value));
+        break;
       case SpanKind::kProbe: {
         auto& agg = probes[{r.trace_id, r.flags}];
         const double v = finite(r.value);
@@ -199,6 +205,12 @@ bool write_perfetto_json(const TraceFileHeader& header,
       name = "probe.mass_residual";
     else if (key.second == static_cast<std::uint32_t>(ProbeField::kDeltaV))
       name = "probe.delta_v";
+    else if (key.second == static_cast<std::uint32_t>(ProbeField::kScore))
+      name = "probe.score";
+    else if (key.second == static_cast<std::uint32_t>(ProbeField::kXMassResidual))
+      name = "probe.x_residual";
+    else if (key.second == static_cast<std::uint32_t>(ProbeField::kRatingBias))
+      name = "probe.rating_bias";
     w.event("{\"ph\":\"C\",\"pid\":0,\"ts\":%.3f,\"name\":\"%s\","
             "\"args\":{\"mean\":%.9g,\"max\":%.9g}}",
             agg.t * kTimeScale, name,

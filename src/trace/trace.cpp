@@ -1,5 +1,6 @@
 #include "trace/trace.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <utility>
@@ -25,6 +26,19 @@ const char* kind_name(SpanKind kind) noexcept {
     case SpanKind::kEpochRestart: return "epoch_restart";
     case SpanKind::kFault: return "fault";
     case SpanKind::kProbe: return "probe";
+    case SpanKind::kAttack: return "attack";
+  }
+  return "unknown";
+}
+
+const char* probe_field_name(ProbeField field) noexcept {
+  switch (field) {
+    case ProbeField::kWeight: return "weight";
+    case ProbeField::kMassResidual: return "mass_residual";
+    case ProbeField::kDeltaV: return "delta_v";
+    case ProbeField::kScore: return "score";
+    case ProbeField::kXMassResidual: return "x_residual";
+    case ProbeField::kRatingBias: return "rating_bias";
   }
   return "unknown";
 }
@@ -109,7 +123,7 @@ void TraceSink::emit(const TraceRecord& rec) {
 
 void TraceSink::probe(std::uint64_t sweep_trace, std::uint64_t series, double t,
                       std::uint32_t node, double weight, double mass_residual,
-                      double delta_v) {
+                      double delta_v, double score, double x_residual) {
   if (!enabled_) return;
   TraceRecord rec;
   rec.t_start = rec.t_end = t;
@@ -131,8 +145,17 @@ void TraceSink::probe(std::uint64_t sweep_trace, std::uint64_t series, double t,
   rec.flags = static_cast<std::uint32_t>(ProbeField::kDeltaV);
   rec.value = delta_v;
   emit(rec);
+  rec.span_id = alloc_span();
+  rec.flags = static_cast<std::uint32_t>(ProbeField::kScore);
+  rec.value = score;
+  emit(rec);
+  rec.span_id = alloc_span();
+  rec.flags = static_cast<std::uint32_t>(ProbeField::kXMassResidual);
+  rec.value = x_residual;
+  emit(rec);
 
   if (events_ != nullptr) {
+    // JSON has no NaN/Inf (JsonWriter would emit null); sanitize to 0.
     events_->record("probe")
         .field("sim_time", t)
         .field("trace_id", sweep_trace)
@@ -140,7 +163,36 @@ void TraceSink::probe(std::uint64_t sweep_trace, std::uint64_t series, double t,
         .field("node", node)
         .field("weight", weight)
         .field("mass_residual", mass_residual)
-        .field("delta_v", delta_v);
+        .field("delta_v", delta_v)
+        .field("score", std::isfinite(score) ? score : 0.0)
+        .field("x_residual", std::isfinite(x_residual) ? x_residual : 0.0);
+  }
+}
+
+void TraceSink::probe_field(std::uint64_t sweep_trace, std::uint64_t series,
+                            double t, std::uint32_t node, ProbeField field,
+                            double value) {
+  if (!enabled_) return;
+  TraceRecord rec;
+  rec.t_start = rec.t_end = t;
+  rec.trace_id = sweep_trace;
+  rec.span_id = alloc_span();
+  rec.parent_id = 0;
+  rec.kind = static_cast<std::uint32_t>(SpanKind::kProbe);
+  rec.flags = static_cast<std::uint32_t>(field);
+  rec.node = node;
+  rec.peer = static_cast<std::uint32_t>(series);
+  rec.value = value;
+  emit(rec);
+
+  if (events_ != nullptr) {
+    events_->record("probe_field")
+        .field("sim_time", t)
+        .field("trace_id", sweep_trace)
+        .field("series", series)
+        .field("node", node)
+        .field("field", probe_field_name(field))
+        .field("value", std::isfinite(value) ? value : 0.0);
   }
 }
 

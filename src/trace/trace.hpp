@@ -54,6 +54,7 @@ enum class SpanKind : std::uint32_t {
   kEpochRestart = 13,///< mass-repair epoch restart; value = new epoch
   kFault = 14,       ///< fault-injector marker; flags = fault::FaultKind
   kProbe = 15,       ///< flight-recorder sample; flags = ProbeField
+  kAttack = 16,      ///< attack-injector marker; flags = attack::AttackKind
 };
 
 const char* kind_name(SpanKind kind) noexcept;
@@ -67,13 +68,20 @@ enum class PhaseId : std::uint32_t {
 };
 
 /// Flight-recorder probe fields (kProbe flags). One sample per node emits
-/// three kProbe records, one per field, sharing trace_id (the sweep) and
-/// `peer` (the sweep's series index).
+/// five kProbe records, one per field, sharing trace_id (the sweep) and
+/// `peer` (the sweep's series index). kRatingBias records are emitted
+/// separately (probe_field) by the attack monitors, one per flagged rater.
 enum class ProbeField : std::uint32_t {
   kWeight = 0,        ///< local/column weight mass
   kMassResidual = 1,  ///< weight mass minus its conserved expectation
   kDeltaV = 2,        ///< |estimate(t) - estimate(t-1)|
+  kScore = 3,         ///< the component's reputation estimate (pre-alpha-mix)
+  kXMassResidual = 4, ///< x mass minus its legitimate expectation
+                      ///< (> 0 = counterfeit mass injected into the column)
+  kRatingBias = 5,    ///< per-rater slander bias of a feedback burst
 };
+
+const char* probe_field_name(ProbeField field) noexcept;
 
 /// Numeric drop reasons (kMsgDrop/kAckDrop flags), mirroring the static
 /// reason strings net::Network reports.
@@ -169,13 +177,20 @@ class TraceSink {
   /// (kProbe records are mirrored by probe() as `probe` records instead).
   void emit(const TraceRecord& rec);
 
-  /// Flight-recorder sample: one node's (weight, mass residual, delta)
-  /// triple at time t. Emits three kProbe records sharing `sweep_trace`
-  /// (one probe sweep = one trace id) with `series` as the sweep index,
-  /// plus one consolidated `probe` JSONL record when mirroring.
+  /// Flight-recorder sample: one node's (weight, mass residual, delta,
+  /// score, x residual) tuple at time t. Emits five kProbe records sharing
+  /// `sweep_trace` (one probe sweep = one trace id) with `series` as the
+  /// sweep index, plus one consolidated `probe` JSONL record when
+  /// mirroring. Non-finite values are mirrored as 0 (JSON has no NaN).
   void probe(std::uint64_t sweep_trace, std::uint64_t series, double t,
              std::uint32_t node, double weight, double mass_residual,
-             double delta_v);
+             double delta_v, double score, double x_residual);
+
+  /// Emits a single kProbe record for one (node, field, value) sample —
+  /// the attack monitors use it for kRatingBias series. Mirrored as a
+  /// `probe_field` JSONL record (field name + value) when mirroring.
+  void probe_field(std::uint64_t sweep_trace, std::uint64_t series, double t,
+                   std::uint32_t node, ProbeField field, double value);
 
   /// Synthetic time cursor for synchronous traces (time axis = cumulative
   /// gossip steps): kernels resolve their base offset from it and bump it

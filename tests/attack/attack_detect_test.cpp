@@ -1,0 +1,176 @@
+// Manipulation-signature detection: the slander-bias statistic and the
+// trace analyzer's three forensic detectors (mass inflation, rank
+// anomaly, feedback ring). Every positive case here is mirrored by a
+// clean control asserting zero false positives — the same contract the
+// CI attack matrix gates end-to-end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "attack/detect.hpp"
+#include "trace/analyzer.hpp"
+#include "trace/trace.hpp"
+#include "trust/feedback.hpp"
+
+namespace gt::attack {
+namespace {
+
+using trace::Anomaly;
+
+bool has_anomaly(const trace::TraceSummary& summary, Anomaly::Type type) {
+  for (const auto& a : summary.anomalies)
+    if (a.type == type) return true;
+  return false;
+}
+
+std::size_t count_anomalies(const trace::TraceSummary& summary,
+                            Anomaly::Type type) {
+  std::size_t count = 0;
+  for (const auto& a : summary.anomalies) count += a.type == type;
+  return count;
+}
+
+std::string temp_trace(const char* tag) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("attack_detect_") + tag + ".trace.bin"))
+      .string();
+}
+
+trace::TraceSummary analyze(trace::TraceSink& sink, std::uint32_t node_count,
+                            const trace::AnalyzerConfig& cfg = {}) {
+  trace::TraceFileHeader header;
+  header.record_count = sink.records().size();
+  header.records_emitted = sink.records_emitted();
+  header.node_count = node_count;
+  return trace::analyze_trace(header, sink.records(), cfg);
+}
+
+// A 12-node burst: ring {0,1,2,3} praises itself and slanders reputable
+// outsiders {4,5,6}; honest nodes 7..11 rate those outsiders well; honest
+// nodes 4..6 condemn a genuine defector (node 11).
+trust::FeedbackLedger ring_burst() {
+  trust::FeedbackLedger ledger(12);
+  for (trust::NodeId i = 0; i < 4; ++i) {
+    for (trust::NodeId j = 0; j < 4; ++j)
+      if (i != j) ledger.record(i, j, 1.0);
+    for (trust::NodeId j = 4; j < 7; ++j) ledger.record(i, j, 0.0);
+  }
+  for (trust::NodeId h = 7; h < 12; ++h)
+    for (trust::NodeId j = 4; j < 7; ++j) ledger.record(h, j, 0.95);
+  for (trust::NodeId h = 4; h < 7; ++h) ledger.record(h, 11, 0.1);
+  return ledger;
+}
+
+TEST(SlanderBias, AuditsCondemnationsAgainstBurstConsensus) {
+  const auto ledger = ring_burst();
+  const auto bias = slander_bias(ledger, 2);
+  ASSERT_EQ(bias.size(), 12u);
+  // Every ring member's condemnations all target reputable outsiders.
+  for (trust::NodeId i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(bias[i], 1.0) << i;
+  // Honest raters either condemn nobody (no accusations to audit -> NaN)
+  // or only the consensus-low defector (visible at min_ratings = 1).
+  for (trust::NodeId i = 4; i < 12; ++i) EXPECT_TRUE(std::isnan(bias[i])) << i;
+  const auto loose = slander_bias(ledger, 1);
+  for (trust::NodeId i = 4; i < 7; ++i) EXPECT_DOUBLE_EQ(loose[i], 0.0) << i;
+}
+
+TEST(SlanderBias, EmptyLedgerAndNoCondemnationsAreUndefined) {
+  trust::FeedbackLedger ledger(4);
+  auto bias = slander_bias(ledger, 1);
+  for (const double b : bias) EXPECT_TRUE(std::isnan(b));
+  ledger.record(0, 1, 0.9);
+  ledger.record(1, 0, 0.8);
+  bias = slander_bias(ledger, 1);
+  for (const double b : bias) EXPECT_TRUE(std::isnan(b));
+}
+
+TEST(FeedbackRingDetector, FlagsSustainedRingAndMergesSweeps) {
+  const std::string path = temp_trace("ring");
+  trace::TraceConfig tcfg;
+  tcfg.path = path;
+  trace::TraceSink sink(tcfg);
+  const auto ledger = ring_burst();
+  for (std::uint64_t sweep = 0; sweep < 5; ++sweep) {
+    const auto bias = slander_bias(ledger, 2);
+    emit_rating_bias(sink, sweep, static_cast<double>(sweep), bias);
+  }
+  const auto summary = analyze(sink, 12);
+  EXPECT_TRUE(has_anomaly(summary, Anomaly::Type::kFeedbackRing));
+  // Five consecutive flagged sweeps merge into one anomaly window.
+  EXPECT_EQ(count_anomalies(summary, Anomaly::Type::kFeedbackRing), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(FeedbackRingDetector, StaysSilentOnHonestBias) {
+  const std::string path = temp_trace("ring_clean");
+  trace::TraceConfig tcfg;
+  tcfg.path = path;
+  trace::TraceSink sink(tcfg);
+  const std::vector<double> honest(12, 0.0);
+  for (std::uint64_t sweep = 0; sweep < 5; ++sweep)
+    emit_rating_bias(sink, sweep, static_cast<double>(sweep), honest);
+  const auto summary = analyze(sink, 12);
+  EXPECT_TRUE(summary.anomalies.empty());
+  std::remove(path.c_str());
+}
+
+TEST(MassInflationDetector, CatchesTransientMintingInAnySweep) {
+  const std::string path = temp_trace("inflate");
+  trace::TraceConfig tcfg;
+  tcfg.path = path;
+  trace::TraceSink sink(tcfg);
+  const std::uint32_t n = 6;
+  for (std::uint64_t sweep = 0; sweep < 4; ++sweep) {
+    const std::uint64_t tid = sink.alloc_trace();
+    for (std::uint32_t node = 0; node < n; ++node) {
+      // The sync kernel's per-cycle restart folds counterfeit mass back
+      // into v, so the residual is transient: visible in sweep 1 only.
+      const double residual = (node == 2 && sweep == 1) ? 1e-3 : 0.0;
+      sink.probe(tid, sweep, static_cast<double>(sweep), node, 1.0, 0.0,
+                 1e-4, 1.0 / n, residual);
+    }
+  }
+  const auto summary = analyze(sink, n);
+  EXPECT_TRUE(has_anomaly(summary, Anomaly::Type::kMassInflation));
+  EXPECT_EQ(count_anomalies(summary, Anomaly::Type::kMassInflation), 1u);
+  for (const auto& a : summary.anomalies) {
+    if (a.type == Anomaly::Type::kMassInflation) {
+      EXPECT_EQ(a.node, 2u);
+    }
+  }
+  EXPECT_FALSE(has_anomaly(summary, Anomaly::Type::kMassLeak));
+  std::remove(path.c_str());
+}
+
+TEST(RankAnomalyDetector, FiresAfterWarmupOnly) {
+  auto run = [](std::uint64_t jump_sweep) {
+    const std::string path = temp_trace("rank");
+    trace::TraceConfig tcfg;
+    tcfg.path = path;
+    trace::TraceSink sink(tcfg);
+    const std::uint32_t n = 6;
+    for (std::uint64_t sweep = 0; sweep < 14; ++sweep) {
+      const std::uint64_t tid = sink.alloc_trace();
+      for (std::uint32_t node = 0; node < n; ++node) {
+        double score = 1.0 / n;
+        if (node == 1 && sweep >= jump_sweep) score = 0.6;  // 3.6x jump
+        sink.probe(tid, sweep, static_cast<double>(sweep), node, 1.0, 0.0,
+                   1e-4, score, 0.0);
+      }
+    }
+    const auto summary = analyze(sink, n);
+    std::remove(path.c_str());
+    return has_anomaly(summary, Anomaly::Type::kRankAnomaly);
+  };
+  EXPECT_TRUE(run(11));   // past the default 8-sweep warmup
+  EXPECT_FALSE(run(3));   // convergence-transient territory: ignored
+  // A flat series never trips the detector at all.
+  EXPECT_FALSE(run(99));
+}
+
+}  // namespace
+}  // namespace gt::attack

@@ -1,0 +1,119 @@
+#include "attack/attack_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace gt::attack {
+namespace {
+
+struct Fixture {
+  sim::Scheduler scheduler;
+  net::Network network;
+  Fixture(std::size_t n = 8) : network(scheduler, n, {}, Rng(1)) {}
+};
+
+AttackPlan demo_plan() {
+  AttackPlan plan;
+  plan.ring(1.0, 9.0, {0, 1, 2})
+      .liar(2.0, 8.0, 3, 2.5)
+      .withhold(3.0, 7.0, 4)
+      .sybil_whitewash(4.0, 6.0, 5)
+      .oscillator(6, 5.0, 9.0, 2.0, 0.5);
+  return plan;
+}
+
+TEST(AttackInjector, ReplaysPlanStateAndMembershipThroughScheduler) {
+  Fixture f;
+  AttackInjector injector(f.scheduler, f.network, demo_plan());
+  std::vector<NodeId> left, rejoined, whitewashed;
+  injector.on_leave([&](NodeId v) {
+    left.push_back(v);
+    EXPECT_FALSE(f.network.is_node_up(v));  // membership applied first
+  });
+  injector.on_rejoin([&](NodeId v) { rejoined.push_back(v); });
+  injector.on_whitewash([&](NodeId v) { whitewashed.push_back(v); });
+  injector.arm();
+
+  // Mid-plan: every behavior window is open.
+  f.scheduler.run_until(5.5);
+  const AttackState& st = injector.state();
+  EXPECT_TRUE(st.colluding(0));
+  EXPECT_TRUE(st.same_ring(1, 2));
+  EXPECT_FALSE(st.same_ring(2, 3));
+  EXPECT_DOUBLE_EQ(st.share_scale(3), 2.5);
+  EXPECT_TRUE(st.any_liar());
+  EXPECT_TRUE(st.withholds(4));
+  EXPECT_TRUE(st.departed(5));  // left at t=4, rejoins at t=6
+  EXPECT_FALSE(f.network.is_node_up(5));
+  EXPECT_TRUE(st.defecting(6));
+  EXPECT_GT(injector.attacks_pending(), 0u);
+
+  // Drained: every window closed again, membership restored.
+  f.scheduler.run_until();
+  EXPECT_EQ(injector.attacks_pending(), 0u);
+  EXPECT_FALSE(st.colluding(0));
+  EXPECT_FALSE(st.any_liar());
+  EXPECT_FALSE(st.any_withholder());
+  EXPECT_FALSE(st.defecting(6));
+  EXPECT_TRUE(f.network.is_node_up(5));
+  EXPECT_EQ(left, (std::vector<NodeId>{5}));
+  EXPECT_EQ(rejoined, (std::vector<NodeId>{5}));
+  EXPECT_EQ(whitewashed, (std::vector<NodeId>{5}));
+
+  // Every attacker is remembered for the capture-rate metric.
+  for (NodeId v : {NodeId{0}, NodeId{3}, NodeId{4}, NodeId{5}, NodeId{6}})
+    EXPECT_TRUE(st.ever_adversarial(v)) << v;
+  EXPECT_FALSE(st.ever_adversarial(7));
+  EXPECT_EQ(st.num_ever_adversarial(), 7u);  // ring of 3 + 4 loners
+}
+
+TEST(AttackInjector, LogTextIsByteIdenticalAcrossRuns) {
+  auto run = [] {
+    Fixture f;
+    AttackInjector injector(f.scheduler, f.network, demo_plan());
+    injector.arm();
+    f.scheduler.run_until();
+    return injector.log_text();
+  };
+  const std::string a = run();
+  const std::string b = run();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("#0 t=1 ring_start ring=0 members=[0,1,2]"),
+            std::string::npos);
+  EXPECT_NE(a.find("liar_start node=3 factor=2.5"), std::string::npos);
+}
+
+TEST(AttackInjector, ThrowsActionablyOnMalformedPlans) {
+  Fixture f;  // n = 8
+
+  AttackPlan out_of_range;
+  out_of_range.liar(1.0, 2.0, 99, 2.0);
+  try {
+    AttackInjector injector(f.scheduler, f.network, out_of_range);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("invalid plan"), std::string::npos);
+    EXPECT_NE(what.find("out of range"), std::string::npos);
+  }
+
+  AttackPlan overlapping;
+  overlapping.ring(1.0, 5.0, {0, 1}).ring(2.0, 6.0, {1, 2});
+  EXPECT_THROW(AttackInjector(f.scheduler, f.network, overlapping),
+               std::invalid_argument);
+
+  AttackPlan rejoin_only;
+  rejoin_only.sybil_whitewash(1.0, 2.0, 0);
+  rejoin_only.sybil_whitewash(3.0, 4.0, 0);  // fine: sequential churn
+  EXPECT_NO_THROW(AttackInjector(f.scheduler, f.network, rejoin_only));
+}
+
+}  // namespace
+}  // namespace gt::attack

@@ -1,0 +1,144 @@
+#include "attack/attack_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+namespace gt::attack {
+namespace {
+
+TEST(AttackPlan, BuildersChainAndSortByTime) {
+  AttackPlan plan;
+  plan.liar(7.0, 9.0, 3, 2.0)
+      .withhold(1.0, 4.0, 5)
+      .sybil_whitewash(2.0, 6.0, 4);
+  const auto& es = plan.events();
+  ASSERT_EQ(es.size(), 6u);
+  EXPECT_DOUBLE_EQ(es[0].time, 1.0);
+  EXPECT_EQ(es[0].kind, AttackKind::kWithholdStart);
+  EXPECT_DOUBLE_EQ(es[1].time, 2.0);
+  EXPECT_EQ(es[1].kind, AttackKind::kSybilLeave);
+  EXPECT_EQ(es[2].kind, AttackKind::kWithholdEnd);
+  EXPECT_EQ(es[3].kind, AttackKind::kSybilRejoin);
+  EXPECT_NE(es[3].rate, 0.0);  // whitewash defaults on
+  EXPECT_EQ(es[4].kind, AttackKind::kLiarStart);
+  EXPECT_DOUBLE_EQ(es[4].rate, 2.0);
+  EXPECT_DOUBLE_EQ(plan.end_time(), 9.0);
+  EXPECT_TRUE(plan.validate(8).empty());
+}
+
+TEST(AttackPlan, OscillatorExpandsToClippedDutyWindows) {
+  AttackPlan plan;
+  plan.oscillator(2, 0.0, 10.0, 4.0, 0.5);
+  std::size_t starts = 0, ends = 0;
+  double last_end = -1.0;
+  for (const auto& e : plan.events()) {
+    EXPECT_EQ(e.a, 2u);
+    EXPECT_GE(e.time, 0.0);
+    EXPECT_LE(e.time, 10.0);  // final defect window clipped at t_end
+    if (e.kind == AttackKind::kDefectStart) ++starts;
+    if (e.kind == AttackKind::kDefectEnd) {
+      ++ends;
+      last_end = e.time;
+    }
+  }
+  EXPECT_EQ(starts, 3u);  // periods at t = 0, 4, 8
+  EXPECT_EQ(ends, 3u);
+  EXPECT_DOUBLE_EQ(last_end, 10.0);
+  EXPECT_TRUE(plan.validate(4).empty());
+}
+
+TEST(AttackPlan, BuildersThrowOnLocallyMalformedInput) {
+  AttackPlan plan;
+  EXPECT_THROW(plan.ring(0.0, 1.0, {}), std::invalid_argument);
+  EXPECT_THROW(plan.ring(5.0, 5.0, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(plan.sybil_whitewash(3.0, 2.0, 0), std::invalid_argument);
+  EXPECT_THROW(plan.oscillator(0, 0.0, 10.0, 0.0, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(plan.oscillator(0, 0.0, 10.0, 4.0, 1.5),
+               std::invalid_argument);
+  EXPECT_THROW(plan.liar(0.0, 1.0, 0, 0.0), std::invalid_argument);
+  EXPECT_THROW(
+      plan.liar(0.0, 1.0, 0, std::numeric_limits<double>::quiet_NaN()),
+      std::invalid_argument);
+  EXPECT_THROW(plan.withhold(2.0, 2.0, 0), std::invalid_argument);
+  EXPECT_TRUE(plan.empty());  // nothing was half-appended
+}
+
+TEST(AttackPlan, ValidateCatchesEveryCrossEventProblemClass) {
+  const std::size_t n = 8;
+  EXPECT_TRUE(AttackPlan{}.validate(n).empty());
+
+  AttackPlan out_of_range;
+  out_of_range.liar(1.0, 2.0, 8, 2.0);
+  EXPECT_NE(out_of_range.validate(n).find("out of range"), std::string::npos);
+
+  AttackPlan bad_member;
+  bad_member.ring(1.0, 2.0, {0, 9});
+  EXPECT_NE(bad_member.validate(n).find("out of range"), std::string::npos);
+
+  AttackPlan overlap;
+  overlap.ring(1.0, 5.0, {0, 1, 2}).ring(3.0, 6.0, {2, 3});
+  EXPECT_NE(overlap.validate(n).find("already colludes"), std::string::npos);
+  // Sequential membership is fine: the first ring disbands first.
+  AttackPlan sequential;
+  sequential.ring(1.0, 3.0, {0, 1, 2}).ring(4.0, 6.0, {2, 3});
+  EXPECT_TRUE(sequential.validate(n).empty());
+
+  AttackPlan double_start;
+  double_start.liar(1.0, 5.0, 0, 2.0).liar(2.0, 3.0, 0, 3.0);
+  EXPECT_NE(double_start.validate(n).find("already lying"),
+            std::string::npos);
+
+  AttackPlan bad_time;
+  bad_time.withhold(-1.0, 2.0, 0);
+  EXPECT_NE(bad_time.validate(n).find("bad time"), std::string::npos);
+}
+
+TEST(AttackPlan, ToStringIsCanonicalAndDeterministic) {
+  auto build = [] {
+    AttackPlan plan;
+    plan.ring(5.0, 50.0, {1, 4, 6})
+        .liar(10.0, 20.0, 0, 2.5)
+        .sybil_whitewash(15.0, 30.0, 7);
+    return plan;
+  };
+  const std::string a = build().to_string();
+  EXPECT_EQ(a, build().to_string());
+  EXPECT_NE(a.find("ring_start ring=0 members=[1,4,6]"), std::string::npos);
+  EXPECT_NE(a.find("liar_start node=0 factor=2.5"), std::string::npos);
+  EXPECT_NE(a.find("sybil_rejoin node=7 whitewash=1"), std::string::npos);
+}
+
+TEST(AttackPlan, RandomRingsAreSeededDisjointAndValid) {
+  RingSpec spec;
+  spec.start = 5.0;
+  spec.end = 40.0;
+  spec.rings = 3;
+  spec.ring_size = 5;
+  const AttackPlan a = AttackPlan::random_rings(60, spec, 42);
+  const AttackPlan b = AttackPlan::random_rings(60, spec, 42);
+  const AttackPlan c = AttackPlan::random_rings(60, spec, 43);
+  EXPECT_EQ(a.to_string(), b.to_string());
+  EXPECT_NE(a.to_string(), c.to_string());
+  EXPECT_TRUE(a.validate(60).empty());
+  EXPECT_EQ(a.num_rings(), 3u);
+
+  std::set<NodeId> members;
+  for (const auto& e : a.events()) {
+    if (e.kind != AttackKind::kRingStart) continue;
+    EXPECT_EQ(e.members.size(), 5u);
+    for (const NodeId m : e.members) {
+      EXPECT_LT(m, 60u);
+      EXPECT_TRUE(members.insert(m).second) << "rings must be disjoint";
+    }
+  }
+  EXPECT_EQ(members.size(), 15u);
+
+  EXPECT_TRUE(AttackPlan::random_rings(0, spec, 1).empty());
+}
+
+}  // namespace
+}  // namespace gt::attack

@@ -62,7 +62,7 @@ TEST(TraceSink, DisabledSinkIsANoOp) {
   TraceSink sink;  // default: no path, disabled
   EXPECT_FALSE(sink.enabled());
   sink.emit(instant(SpanKind::kMsgSend, 1.0, 1, 1));
-  sink.probe(1, 0, 1.0, 0, 1.0, 0.0, 0.0);
+  sink.probe(1, 0, 1.0, 0, 1.0, 0.0, 0.0, 0.0, 0.0);
   EXPECT_EQ(sink.records_emitted(), 0u);
   EXPECT_TRUE(sink.records().empty());
   EXPECT_TRUE(sink.finish());  // nothing to write
@@ -150,12 +150,12 @@ TEST(Analyzer, SyntheticMassLeakAndConvergenceStallDetected) {
   // Sweep 0: small deltas, clean residuals.
   const auto t0 = sink.alloc_trace();
   for (std::uint32_t node = 0; node < 4; ++node)
-    sink.probe(t0, 0, 1.0, node, 1.0, 0.0, 1e-3);
+    sink.probe(t0, 0, 1.0, node, 1.0, 0.0, 1e-3, 0.25, 0.0);
   // Sweep 1: mean |dV| grows 10x (> growth_threshold 5) and node 2 leaks
   // mass beyond the 1e-6 tolerance.
   const auto t1 = sink.alloc_trace();
   for (std::uint32_t node = 0; node < 4; ++node)
-    sink.probe(t1, 1, 2.0, node, 1.0, node == 2 ? 1e-3 : 0.0, 1e-2);
+    sink.probe(t1, 1, 2.0, node, 1.0, node == 2 ? 1e-3 : 0.0, 1e-2, 0.25, 0.0);
 
   const auto summary = analyze_trace(TraceFileHeader{}, sink.records());
   EXPECT_TRUE(has_anomaly(summary, Anomaly::Type::kMassLeak));
@@ -178,7 +178,7 @@ TEST(Analyzer, DecayingSeriesIsClean) {
     const auto tid = sink.alloc_trace();
     for (std::uint32_t node = 0; node < 3; ++node)
       sink.probe(tid, series, 1.0 + static_cast<double>(series), node, 1.0,
-                 0.0, dv);
+                 0.0, dv, 1.0 / 3.0, 0.0);
   }
   const auto summary = analyze_trace(TraceFileHeader{}, sink.records());
   EXPECT_TRUE(summary.anomalies.empty());
@@ -590,7 +590,7 @@ TEST(EngineTrace, CycleSpansProbesAndObservationalResults) {
   EXPECT_EQ(cycles, res_traced.num_cycles());
   EXPECT_EQ(last_cycle_seq + 1, res_traced.num_cycles());
   // One flight-recorder sweep per cycle, three records per live node.
-  EXPECT_EQ(probes, res_traced.num_cycles() * n * 3u);
+  EXPECT_EQ(probes, res_traced.num_cycles() * n * 5u);
   // Clean engine run: conserved mass, decaying deltas -> no anomalies.
   const auto summary = analyze_trace(TraceFileHeader{}, sink.records());
   for (const auto& a : summary.anomalies) ADD_FAILURE() << a.detail;

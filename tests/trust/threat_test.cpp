@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
 
 namespace gt::threat {
@@ -66,6 +68,69 @@ TEST(MakePopulation, BadFractionThrows) {
   ThreatConfig cfg;
   cfg.malicious_fraction = 1.5;
   EXPECT_THROW(make_population(cfg, rng), std::invalid_argument);
+  cfg.malicious_fraction = -0.1;
+  EXPECT_THROW(make_population(cfg, rng), std::invalid_argument);
+  cfg.malicious_fraction = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(make_population(cfg, rng), std::invalid_argument);
+}
+
+TEST(MakePopulation, GammaBoundariesAreWellDefined) {
+  Rng rng(41);
+  ThreatConfig cfg;
+  cfg.n = 64;
+
+  // gamma = 1: every peer is malicious, none honest.
+  cfg.malicious_fraction = 1.0;
+  const auto all_bad = make_population(cfg, rng);
+  EXPECT_EQ(malicious_indices(all_bad).size(), 64u);
+
+  // A tiny gamma whose rounded count is 0 behaves exactly like gamma = 0.
+  cfg.malicious_fraction = 1e-9;
+  const auto none_bad = make_population(cfg, rng);
+  EXPECT_TRUE(malicious_indices(none_bad).empty());
+
+  // A gamma just under 1 whose rounded count is n behaves like gamma = 1,
+  // in the collusive setting too (groups still partition cleanly).
+  cfg.malicious_fraction = 1.0 - 1e-9;
+  cfg.collusive = true;
+  cfg.collusion_group_size = 8;
+  const auto rounded_up = make_population(cfg, rng);
+  EXPECT_EQ(malicious_indices(rounded_up).size(), 64u);
+  for (const auto& p : rounded_up) EXPECT_GE(p.collusion_group, 0);
+}
+
+TEST(ThreatMetrics, GainEdgeCasesAreLoudOrWellDefined) {
+  // No malicious peers: the attack gained nothing, by definition.
+  std::vector<PeerProfile> honest_only(4);
+  const std::vector<double> ref{0.25, 0.25, 0.25, 0.25};
+  const std::vector<double> est{0.1, 0.2, 0.3, 0.4};
+  EXPECT_DOUBLE_EQ(malicious_reputation_gain(honest_only, ref, est), 1.0);
+
+  // Zero reference mass but a positive attacked estimate: the attackers
+  // manufactured reputation from nothing — report +inf, not a quiet 0/0.
+  std::vector<PeerProfile> peers(4);
+  peers[3].type = PeerType::kIndependentMalicious;
+  const std::vector<double> zero_ref{0.4, 0.3, 0.3, 0.0};
+  const std::vector<double> inflated{0.3, 0.3, 0.3, 0.1};
+  EXPECT_TRUE(std::isinf(malicious_reputation_gain(peers, zero_ref, inflated)));
+
+  // Both masses zero: nothing to gain, nothing gained.
+  const std::vector<double> zero_est{0.5, 0.3, 0.2, 0.0};
+  EXPECT_DOUBLE_EQ(malicious_reputation_gain(peers, zero_ref, zero_est), 1.0);
+}
+
+TEST(ThreatMetrics, HonestRmsErrorDegenerateInputs) {
+  // An all-malicious population leaves no honest components: error 0, not
+  // a 0/0 NaN.
+  std::vector<PeerProfile> all_bad(3);
+  for (auto& p : all_bad) p.type = PeerType::kIndependentMalicious;
+  const std::vector<double> ref{0.5, 0.3, 0.2};
+  const std::vector<double> est{0.2, 0.3, 0.5};
+  EXPECT_DOUBLE_EQ(honest_rms_error(all_bad, ref, est), 0.0);
+
+  // A perfect estimate reports exactly zero error.
+  std::vector<PeerProfile> peers(3);
+  EXPECT_DOUBLE_EQ(honest_rms_error(peers, ref, ref), 0.0);
 }
 
 TEST(MaliciousIndices, MatchesPopulation) {

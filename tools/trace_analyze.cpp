@@ -1,13 +1,19 @@
 // trace_analyze: flight-recorder post-mortem for GTTRACE1 binary traces.
 //
 //   trace_analyze <trace.bin> [--perfetto out.json] [--expect-clean]
-//                 [--expect-anomalies N] [--mass-tolerance T]
-//                 [--storm-threshold K]
+//                 [--expect-anomalies N] [--expect-type NAME]
+//                 [--mass-tolerance T] [--storm-threshold K]
+//                 [--inflation-tolerance T] [--rank-jump X]
+//                 [--rank-warmup N] [--bias-threshold X] [--min-ring N]
 //
 // Prints the analyzer summary (kind counts, retransmission chains grouped
 // by trace id, partition windows, anomalies) and optionally exports Chrome
-// trace-event JSON loadable at ui.perfetto.dev. Exit codes: 0 ok, 1 an
-// --expect-* check failed, 2 file/usage error.
+// trace-event JSON loadable at ui.perfetto.dev. --expect-type NAME (an
+// anomaly_type_name string such as mass_inflation, rank_anomaly or
+// feedback_ring; repeatable) requires at least one anomaly of that type —
+// the CI attack matrix uses it to assert that seeded attacks leave their
+// specific manipulation signature. Exit codes: 0 ok, 1 an --expect-* check
+// failed, 2 file/usage error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,8 +29,10 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <trace.bin> [--perfetto out.json] [--expect-clean] "
-               "[--expect-anomalies N] [--mass-tolerance T] "
-               "[--storm-threshold K]\n",
+               "[--expect-anomalies N] [--expect-type NAME] "
+               "[--mass-tolerance T] [--storm-threshold K] "
+               "[--inflation-tolerance T] [--rank-jump X] [--rank-warmup N] "
+               "[--bias-threshold X] [--min-ring N]\n",
                argv0);
   return 2;
 }
@@ -36,6 +44,7 @@ int main(int argc, char** argv) {
   std::string perfetto_out;
   bool expect_clean = false;
   long expect_anomalies = -1;
+  std::vector<std::string> expect_types;
   gt::trace::AnalyzerConfig config;
 
   for (int i = 1; i < argc; ++i) {
@@ -51,6 +60,21 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--storm-threshold") == 0 && i + 1 < argc) {
       config.storm_threshold =
           static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(arg, "--expect-type") == 0 && i + 1 < argc) {
+      expect_types.emplace_back(argv[++i]);
+    } else if (std::strcmp(arg, "--inflation-tolerance") == 0 && i + 1 < argc) {
+      config.inflation_tolerance = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(arg, "--rank-jump") == 0 && i + 1 < argc) {
+      config.rank_jump = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(arg, "--rank-warmup") == 0 && i + 1 < argc) {
+      config.rank_warmup = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(arg, "--rank-window") == 0 && i + 1 < argc) {
+      config.rank_window = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(arg, "--bias-threshold") == 0 && i + 1 < argc) {
+      config.bias_threshold = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(arg, "--min-ring") == 0 && i + 1 < argc) {
+      config.min_ring =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (arg[0] == '-') {
       return usage(argv[0]);
     } else if (input.empty()) {
@@ -85,6 +109,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "FAIL: expected >= %ld anomalies, found %zu\n",
                  expect_anomalies, summary.anomalies.size());
     return 1;
+  }
+  for (const std::string& want : expect_types) {
+    bool found = false;
+    for (const auto& a : summary.anomalies)
+      if (want == gt::trace::anomaly_type_name(a.type)) {
+        found = true;
+        break;
+      }
+    if (!found) {
+      std::fprintf(stderr, "FAIL: expected an anomaly of type %s\n",
+                   want.c_str());
+      return 1;
+    }
   }
   return 0;
 }
