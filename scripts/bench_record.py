@@ -43,7 +43,9 @@ always pass:
 gates ns_per_op the same way. Serve cases additionally carry hard
 *floors*: a case recording floor_lookups_per_sec must sustain at least
 that absolute rate regardless of what the baseline measured — the 1M
-lookups/s serving claim is gated as a floor, not a relative tolerance:
+lookups/s serving claim is gated as a floor, not a relative tolerance.
+A case recording overhead_frac (the observed-vs-plain throughput loss of
+the observability plane) must stay within the 2% budget:
 
     python3 scripts/bench_record.py --serve build/tools/repload \
         --check results/BENCH_7.json --out BENCH_7.json
@@ -213,6 +215,15 @@ def check(fresh, baseline_path, tolerance):
                     f"{name}: lookups/s "
                     f"{now_rate if now_rate is not None else 'missing'} "
                     f"below the hard floor {floor:.3e}")
+        # Observability overhead (serve cases): the observed in-process case
+        # records the fraction of throughput lost to frame timing + hot-path
+        # recording. The budget is 2% — more means the metrics plane leaked
+        # into the fast path.
+        now_overhead = now.get("overhead_frac")
+        if isinstance(now_overhead, (int, float)) and now_overhead > 0.02:
+            failures.append(
+                f"{name}: observability overhead {now_overhead:.1%} exceeds "
+                "the 2% budget")
         base_allocs = base.get("allocs_per_event")
         now_allocs = now.get("allocs_per_event")
         if base_allocs == 0 and now_allocs is not None and now_allocs > 0:
@@ -291,7 +302,10 @@ def main():
                       "ops_per_sec": "keys + ingests per second",
                       "p50_us": "client round-trip microseconds",
                       "floor_lookups_per_sec":
-                          "hard minimum rate gated by --check"},
+                          "hard minimum rate gated by --check",
+                      "overhead_frac":
+                          "throughput lost to observability recording "
+                          "(gated at 2% by --check)"},
             "cases": cases,
         }
     else:

@@ -151,13 +151,17 @@ def validate_attack_campaign_fields(obj):
     return None
 
 
-# Counter fields a `serve` record must carry (tools/repserved writes the
-# whole family; report.py --serve renders rates from them).
+# Counter fields a `serve` / `serve_metrics` record must carry
+# (tools/repserved writes the whole family; report.py --serve/--live
+# render rates from them).
 SERVE_COUNTERS = (
     "serve_lookups", "serve_batch_lookups", "serve_batch_keys",
-    "serve_ingests", "serve_stats", "serve_proto_errors", "serve_frames",
-    "serve_bytes_in", "serve_bytes_out", "serve_conns_opened",
-    "serve_conns_closed",
+    "serve_ingests", "serve_stats", "serve_metrics_requests",
+    "serve_health_requests", "serve_proto_errors", "serve_frames",
+    "serve_bytes_in", "serve_bytes_out", "serve_lookup_bytes",
+    "serve_batch_bytes", "serve_ingest_bytes", "serve_conns_opened",
+    "serve_conns_closed", "serve_bp_pauses", "serve_bp_resumes",
+    "serve_slow_frames",
 )
 
 # Latency histograms embedded in a `serve` record as nested objects.
@@ -186,18 +190,51 @@ def validate_serve_histogram(name, h):
     return None
 
 
-def validate_serve_fields(obj):
-    """Schema check for a `serve` record; returns an error or None."""
+def validate_serve_fields(obj, what="serve"):
+    """Schema check for a `serve` / `serve_metrics` record."""
     if not is_number(obj.get("uptime_seconds")) or obj["uptime_seconds"] < 0:
-        return "serve record: missing/invalid 'uptime_seconds'"
+        return f"{what} record: missing/invalid 'uptime_seconds'"
     for key in SERVE_COUNTERS:
         v = obj.get(key)
         if not isinstance(v, int) or isinstance(v, bool) or v < 0:
-            return f"serve record: missing/invalid '{key}'"
+            return f"{what} record: missing/invalid '{key}'"
     for key in SERVE_HISTOGRAMS:
         err = validate_serve_histogram(key, obj.get(key))
         if err:
-            return f"serve record: {err}"
+            return f"{what} record: {err}"
+    return None
+
+
+# Fields a `serve_health` record carries (mirrors serve::HealthPayload,
+# written by repserved's periodic exporter).
+SERVE_HEALTH_FLAGS = ("fold_loop", "converged", "degraded")
+SERVE_HEALTH_COUNTS = ("published_epoch", "ingest_backlog", "ingest_enqueued",
+                       "staleness_frames", "refolds")
+SERVE_HEALTH_NUMBERS = ("staleness_seconds", "mass_gap", "last_fold_seconds",
+                        "uptime_seconds")
+
+
+def validate_serve_health_fields(obj):
+    """Schema check for a `serve_health` record; returns an error or None."""
+    for key in SERVE_HEALTH_FLAGS:
+        if obj.get(key) not in (0, 1):
+            return f"serve_health record: '{key}' must be 0 or 1"
+    for key in SERVE_HEALTH_COUNTS:
+        if not _is_id(obj.get(key)):
+            return f"serve_health record: missing/invalid '{key}'"
+    for key in SERVE_HEALTH_NUMBERS:
+        if not is_number(obj.get(key)) or obj[key] < 0:
+            return f"serve_health record: missing/invalid '{key}'"
+    return None
+
+
+def validate_slow_frame_fields(obj):
+    """Schema check for a handler `slow_frame` record."""
+    for key in ("opcode", "bytes", "conn"):
+        if not _is_id(obj.get(key)):
+            return f"slow_frame record: missing/invalid '{key}'"
+    if not is_number(obj.get("seconds")) or obj["seconds"] <= 0:
+        return "slow_frame record: missing/invalid 'seconds'"
     return None
 
 
@@ -271,6 +308,12 @@ def load(path):
                 schema_error = validate_probe_field_fields(obj)
             elif obj["event"] == "serve":
                 schema_error = validate_serve_fields(obj)
+            elif obj["event"] == "serve_metrics":
+                schema_error = validate_serve_fields(obj, "serve_metrics")
+            elif obj["event"] == "serve_health":
+                schema_error = validate_serve_health_fields(obj)
+            elif obj["event"] == "slow_frame":
+                schema_error = validate_slow_frame_fields(obj)
             elif obj["event"] == "attack":
                 schema_error = validate_attack_fields(obj)
             elif obj["event"] == "attack_campaign":
@@ -534,6 +577,85 @@ def summarize_serve(records):
     return True
 
 
+def hist_delta(cur, prev):
+    """Interval histogram from two cumulative `serve_metrics` snapshots."""
+    d = dict(cur)
+    if prev is not None and len(prev["buckets"]) == len(cur["buckets"]):
+        d["buckets"] = [a - b for a, b in zip(cur["buckets"], prev["buckets"])]
+        d["count"] = cur["count"] - prev["count"]
+    return d
+
+
+def summarize_live(records):
+    """Timeline view of the periodic `serve_metrics` / `serve_health` /
+    `slow_frame` stream a live repserved emits.
+
+    Rates and percentiles come from *consecutive-snapshot deltas* (counter
+    differences over the uptime difference, histogram-bucket differences
+    for interval p50/p99/p999), so the table shows how the service behaved
+    over time, not just the final cumulative totals.
+    """
+    metrics = [r for r in records if r["event"] == "serve_metrics"]
+    healths = [r for r in records if r["event"] == "serve_health"]
+    slows = [r for r in records if r["event"] == "slow_frame"]
+    if not metrics:
+        print("no serve_metrics records in log (run tools/repserved with "
+              "--telemetry and a --metrics-interval > 0)", file=sys.stderr)
+        return False
+
+    rows = []
+    for prev, cur in zip(metrics, metrics[1:]):
+        dt = cur["uptime_seconds"] - prev["uptime_seconds"]
+        if dt <= 0:
+            continue
+        rate = lambda k: fmt((cur[k] - prev[k]) / dt)
+        d = hist_delta(cur["serve_batch_seconds"], prev["serve_batch_seconds"])
+        if d["count"] == 0:  # no batch traffic: fall back to single lookups
+            d = hist_delta(cur["serve_lookup_seconds"],
+                           prev["serve_lookup_seconds"])
+        rows.append([
+            fmt(cur["uptime_seconds"]),
+            rate("serve_lookups"), rate("serve_batch_keys"),
+            rate("serve_ingests"), rate("serve_bytes_in"),
+            fmt(histogram_percentile(d, 50.0) * 1e6),
+            fmt(histogram_percentile(d, 99.0) * 1e6),
+            fmt(histogram_percentile(d, 99.9) * 1e6),
+        ])
+    print(f"\n== live rate timeline ({len(metrics)} snapshots, "
+          "batch-frame percentiles in us) ==")
+    if rows:
+        print_table(["t(s)", "lookup/s", "keys/s", "ingest/s", "bytes_in/s",
+                     "p50", "p99", "p999"], rows)
+    else:
+        print("(need >= 2 serve_metrics snapshots for a timeline)")
+
+    if healths:
+        rows = [[
+            fmt(r["uptime_seconds"]), str(r["published_epoch"]),
+            str(r["ingest_backlog"]), str(r["staleness_frames"]),
+            fmt(r["staleness_seconds"]), fmt(r["mass_gap"]),
+            str(r["converged"]), str(r["degraded"]),
+            fmt(r["last_fold_seconds"]),
+        ] for r in healths]
+        print(f"\n== health/staleness timeline ({len(healths)} snapshots) ==")
+        print_table(["t(s)", "epoch", "backlog", "stale_frames", "stale_s",
+                     "mass_gap", "conv", "degr", "fold_s"], rows)
+
+    last = metrics[-1]
+    print(f"\nbackpressure: {last['serve_bp_pauses']} pauses / "
+          f"{last['serve_bp_resumes']} resumes"
+          f"  slow frames: {last['serve_slow_frames']}"
+          f"  log lines dropped: "
+          f"{last.get('serve_log_lines_dropped', 0)}")
+    if slows:
+        worst = sorted(slows, key=lambda r: -r["seconds"])[:5]
+        rows = [[fmt(r["opcode"]), str(r["bytes"]), str(r["conn"]),
+                 fmt(r["seconds"] * 1e6)] for r in worst]
+        print(f"\nslowest frames ({len(slows)} logged):")
+        print_table(["opcode", "bytes", "conn", "us"], rows)
+    return True
+
+
 def summarize_attacks(records):
     """Adversarial-campaign view of `attack_campaign` / `attack` records."""
     cells = [r for r in records if r["event"] == "attack_campaign"]
@@ -650,6 +772,11 @@ def main():
     ap.add_argument("--serve", action="store_true",
                     help="summarize live-service `serve` records "
                          "(request rates + latency percentiles)")
+    ap.add_argument("--live", action="store_true",
+                    help="summarize periodic `serve_metrics`/`serve_health` "
+                         "snapshots (rate/percentile/staleness timelines); "
+                         "with --check, also require both record kinds to "
+                         "be present")
     ap.add_argument("--attacks", action="store_true",
                     help="summarize adversarial-campaign records (matrix "
                          "table + detection scoreboard; exits 1 on a missed "
@@ -667,6 +794,12 @@ def main():
         errors += check_trace_monotonic(records)
     for e in errors:
         print(f"error: {e}", file=sys.stderr)
+    if args.live and args.check:
+        # The observability smoke gate: a "valid" log that never exported a
+        # snapshot means the metrics plane silently failed — fail loudly.
+        for kind in ("serve_metrics", "serve_health"):
+            if not any(r["event"] == kind for r in records):
+                errors.append(f"--live log has no {kind} records")
     if args.check:
         verdict = "OK" if not errors else "INVALID"
         print(f"{args.log}: {verdict} ({len(records)} records, "
@@ -683,6 +816,8 @@ def main():
         return 0 if summarize_trace(records) else 1
     if args.serve:
         return 0 if summarize_serve(records) else 1
+    if args.live:
+        return 0 if summarize_live(records) else 1
     if args.attacks:
         return 0 if summarize_attacks(records) else 1
     if args.group:

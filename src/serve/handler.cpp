@@ -1,6 +1,6 @@
 #include "serve/handler.hpp"
 
-#include "telemetry/scoped_timer.hpp"
+#include <chrono>
 
 namespace gt::serve {
 
@@ -16,12 +16,20 @@ ServeMetrics ServeMetrics::register_on(telemetry::MetricsRegistry& registry) {
   m.batch_keys = registry.counter("serve_batch_keys");
   m.ingests = registry.counter("serve_ingests");
   m.stats_requests = registry.counter("serve_stats");
+  m.metrics_requests = registry.counter("serve_metrics_requests");
+  m.health_requests = registry.counter("serve_health_requests");
   m.proto_errors = registry.counter("serve_proto_errors");
   m.frames = registry.counter("serve_frames");
   m.bytes_in = registry.counter("serve_bytes_in");
   m.bytes_out = registry.counter("serve_bytes_out");
+  m.lookup_bytes = registry.counter("serve_lookup_bytes");
+  m.batch_bytes = registry.counter("serve_batch_bytes");
+  m.ingest_bytes = registry.counter("serve_ingest_bytes");
   m.conns_opened = registry.counter("serve_conns_opened");
   m.conns_closed = registry.counter("serve_conns_closed");
+  m.bp_pauses = registry.counter("serve_bp_pauses");
+  m.bp_resumes = registry.counter("serve_bp_resumes");
+  m.slow_frames = registry.counter("serve_slow_frames");
   m.lookup_seconds = registry.histogram("serve_lookup_seconds", lat);
   m.batch_seconds = registry.histogram("serve_batch_seconds", lat);
   m.ingest_seconds = registry.histogram("serve_ingest_seconds", lat);
@@ -30,10 +38,10 @@ ServeMetrics ServeMetrics::register_on(telemetry::MetricsRegistry& registry) {
 
 void write_serve_record(telemetry::EventLog& log,
                         const telemetry::MetricsRegistry& registry,
-                        double uptime_seconds) {
+                        double uptime_seconds, const char* event) {
   if (!log.enabled()) return;
   const telemetry::MetricsSnapshot snap = registry.snapshot();
-  auto rec = log.record("serve");
+  auto rec = log.record(event);
   rec.field("uptime_seconds", uptime_seconds);
   for (const auto& [name, v] : snap.counters) {
     if (name.rfind("serve_", 0) == 0) rec.field(name, v);
@@ -44,8 +52,10 @@ void write_serve_record(telemetry::EventLog& log,
 }
 
 ConnectionHandler::ConnectionHandler(ReputationStore& store,
-                                     ServeMetrics& metrics, std::size_t lane)
-    : store_(store), m_(metrics), lane_(lane) {
+                                     ServeMetrics& metrics, std::size_t lane,
+                                     const ServeObservability* obs,
+                                     std::uint64_t conn_id)
+    : store_(store), m_(metrics), lane_(lane), obs_(obs), conn_id_(conn_id) {
   m_.registry->add(m_.conns_opened, 1, lane_);
 }
 
@@ -66,7 +76,12 @@ bool ConnectionHandler::on_bytes(const std::uint8_t* data, std::size_t len,
   // One epoch pin covers every frame completed by this read.
   const ReputationStore::ReadGuard guard = store_.reader();
   while (parser_.next(&frame)) {
+    const auto t0 = std::chrono::steady_clock::now();
     if (!handle_frame(frame, guard, out)) return protocol_error();
+    const double dt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    record_frame(frame, dt);
     ++frames_;
     m_.registry->add(m_.frames, 1, lane_);
   }
@@ -83,7 +98,6 @@ bool ConnectionHandler::handle_frame(const FrameParser::Frame& frame,
   switch (static_cast<Op>(frame.header.opcode)) {
     case Op::kLookup: {
       if (len != 8) return false;
-      telemetry::ScopedTimer t(*m_.registry, m_.lookup_seconds, lane_);
       const LookupResult r = store_.lookup(guard, get_u64(p));
       encode_lookup_resp(out, r.epoch, r.score);
       m_.registry->add(m_.lookups, 1, lane_);
@@ -95,7 +109,6 @@ bool ConnectionHandler::handle_frame(const FrameParser::Frame& frame,
       if (get_u32(p + 4) != 0) return false;
       if (count > kMaxBatch) return false;
       if (len != 8 + 8 * static_cast<std::size_t>(count)) return false;
-      telemetry::ScopedTimer t(*m_.registry, m_.batch_seconds, lane_);
       encode_batch_resp_header(out, count);
       for (std::uint32_t i = 0; i < count; ++i) {
         const LookupResult r = store_.lookup(guard, get_u64(p + 8 + 8 * i));
@@ -107,7 +120,6 @@ bool ConnectionHandler::handle_frame(const FrameParser::Frame& frame,
     }
     case Op::kIngest: {
       if (len != 24) return false;
-      telemetry::ScopedTimer t(*m_.registry, m_.ingest_seconds, lane_);
       FeedbackUpdate f;
       f.rater = get_u64(p);
       f.ratee = get_u64(p + 8);
@@ -128,12 +140,64 @@ bool ConnectionHandler::handle_frame(const FrameParser::Frame& frame,
       s.protocol_errors = m_.registry->counter_value(m_.proto_errors);
       s.published_epoch = store_.published_epoch();
       s.ingest_pending = store_.feedback_pending();
+      s.bp_pauses = m_.registry->counter_value(m_.bp_pauses);
+      s.bp_resumes = m_.registry->counter_value(m_.bp_resumes);
+      s.snapshots_reclaimed = store_.snapshots_reclaimed();
+      s.limbo_size = store_.limbo_size();
       encode_stats_resp(out, s);
       m_.registry->add(m_.stats_requests, 1, lane_);
       return true;
     }
+    case Op::kMetrics: {
+      if (len != 0) return false;
+      // Self-inclusive like STATS: count the request before collecting so
+      // the snapshot reflects it.
+      m_.registry->add(m_.metrics_requests, 1, lane_);
+      encode_metrics_resp(out, collect_metrics(m_, store_, obs_));
+      return true;
+    }
+    case Op::kHealth: {
+      if (len != 0) return false;
+      m_.registry->add(m_.health_requests, 1, lane_);
+      encode_health_resp(
+          out, collect_health(store_, obs_ != nullptr ? obs_->health : nullptr));
+      return true;
+    }
     default:
       return false;  // unknown opcode (including response opcodes)
+  }
+}
+
+void ConnectionHandler::record_frame(const FrameParser::Frame& frame,
+                                     double seconds) {
+  const auto bytes =
+      static_cast<std::uint64_t>(kHeaderSize + frame.header.payload_len);
+  switch (static_cast<Op>(frame.header.opcode)) {
+    case Op::kLookup:
+      m_.registry->observe(m_.lookup_seconds, seconds, lane_);
+      m_.registry->add(m_.lookup_bytes, bytes, lane_);
+      break;
+    case Op::kBatchLookup:
+      m_.registry->observe(m_.batch_seconds, seconds, lane_);
+      m_.registry->add(m_.batch_bytes, bytes, lane_);
+      break;
+    case Op::kIngest:
+      m_.registry->observe(m_.ingest_seconds, seconds, lane_);
+      m_.registry->add(m_.ingest_bytes, bytes, lane_);
+      break;
+    default:
+      break;  // introspection opcodes are not latency-tracked
+  }
+  if (obs_ != nullptr && obs_->slow_frame_seconds > 0.0 &&
+      seconds >= obs_->slow_frame_seconds) {
+    m_.registry->add(m_.slow_frames, 1, lane_);
+    if (obs_->log != nullptr && obs_->log->enabled()) {
+      auto rec = obs_->log->record("slow_frame");
+      rec.field("opcode", static_cast<std::uint64_t>(frame.header.opcode));
+      rec.field("bytes", bytes);
+      rec.field("conn", conn_id_);
+      rec.field("seconds", seconds);
+    }
   }
 }
 

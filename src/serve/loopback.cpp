@@ -14,8 +14,9 @@ namespace {
 }  // namespace
 
 LoopbackClient::LoopbackClient(ReputationStore& store, ServeMetrics& metrics,
-                               std::size_t lane, std::size_t chunk)
-    : handler_(store, metrics, lane), chunk_(chunk) {}
+                               std::size_t lane, std::size_t chunk,
+                               const ServeObservability* obs)
+    : handler_(store, metrics, lane, obs), chunk_(chunk) {}
 
 bool LoopbackClient::send_raw(const std::uint8_t* data, std::size_t len) {
   if (closed_) return false;
@@ -96,6 +97,26 @@ StatsPayload LoopbackClient::stats() {
       !decode_stats_resp(f.payload, f.header.payload_len, &s))
     die("bad STATS response");
   return s;
+}
+
+MetricsPayload LoopbackClient::metrics() {
+  encode_metrics(tx_);
+  const FrameParser::Frame f = round_trip();
+  MetricsPayload m;
+  if (static_cast<Op>(f.header.opcode) != Op::kMetricsResp ||
+      !decode_metrics_resp(f.payload, f.header.payload_len, &m))
+    die("bad METRICS response");
+  return m;
+}
+
+HealthPayload LoopbackClient::health() {
+  encode_health(tx_);
+  const FrameParser::Frame f = round_trip();
+  HealthPayload h;
+  if (static_cast<Op>(f.header.opcode) != Op::kHealthResp ||
+      !decode_health_resp(f.payload, f.header.payload_len, &h))
+    die("bad HEALTH response");
+  return h;
 }
 
 }  // namespace gt::serve

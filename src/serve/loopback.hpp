@@ -22,9 +22,11 @@ namespace gt::serve {
 class LoopbackClient {
  public:
   /// chunk == 0 feeds each request in one piece; chunk > 0 feeds the bytes
-  /// in slices of that size.
+  /// in slices of that size. `obs` (optional) threads the observability
+  /// context through to the handler, exactly as the socket server does.
   LoopbackClient(ReputationStore& store, ServeMetrics& metrics,
-                 std::size_t lane = 0, std::size_t chunk = 0);
+                 std::size_t lane = 0, std::size_t chunk = 0,
+                 const ServeObservability* obs = nullptr);
 
   /// True once the server side closed the connection (protocol error).
   bool closed() const noexcept { return closed_; }
@@ -36,6 +38,8 @@ class LoopbackClient {
   std::vector<LookupResp> batch_lookup(const std::vector<std::uint64_t>& ids);
   std::uint64_t ingest(std::uint64_t rater, std::uint64_t ratee, double value);
   StatsPayload stats();
+  MetricsPayload metrics();
+  HealthPayload health();
 
   /// Raw access for malformed-input tests: feeds arbitrary bytes, returns
   /// false when the handler closed the connection. Responses accumulate in

@@ -1,0 +1,144 @@
+// Serve observability plane: the shared context that turns the hot-path
+// metric lanes into something an operator can read at runtime.
+//
+// Three pieces live here:
+//   * HealthState — a lock-free mailbox the repserved fold loop writes
+//     after every republish (folded-through frame count, convergence
+//     flags, mass-ledger gap, fold cost) and the METRICS/HEALTH opcodes
+//     read from any server loop thread. All fields are relaxed atomics:
+//     health is advisory telemetry, never a synchronization edge.
+//   * ServeObservability — the per-process bundle handed to every
+//     ConnectionHandler: the JSONL EventLog (slow-frame records), the
+//     slow-frame threshold, and the HealthState. All pointers optional;
+//     a default bundle (or none at all) keeps the hot path on the plain
+//     counter/histogram lanes only.
+//   * collect_metrics / collect_health — assemble the wire payloads for
+//     the METRICS (0x05) and HEALTH (0x06) opcodes from the metric lanes,
+//     the store's epoch/reclamation counters, and the health mailbox.
+//
+// Staleness semantics: the fold loop records `folded_through` = the
+// store's feedback_enqueued() value captured *before* the re-aggregation
+// that produced the currently published epoch. HEALTH then reports
+//   staleness_frames  = feedback_enqueued() - folded_through
+//   staleness_seconds = now - last_publish   (0 when fully folded)
+// i.e. how many accepted feedback frames the published scores do not yet
+// reflect, and for how long. Without a fold loop (bare Server, bench
+// paths) HEALTH still answers with store-derived fields and the
+// kHealthFlagFoldLoop bit clear.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "serve/protocol.hpp"
+
+namespace gt::telemetry {
+class EventLog;
+class MetricsRegistry;
+}  // namespace gt::telemetry
+
+namespace gt::serve {
+
+class ReputationStore;
+struct ServeMetrics;
+
+/// Monotonic nanoseconds (steady clock) — the time base for staleness and
+/// uptime arithmetic in the health plane.
+std::uint64_t monotonic_ns() noexcept;
+
+/// Fold-loop → serve-loop mailbox. Single conceptual writer (the fold
+/// loop); any number of readers (server loops answering HEALTH, the
+/// periodic exporter). Relaxed atomics throughout: a torn *set* of fields
+/// across publishes is acceptable, torn individual fields are not.
+class HealthState {
+ public:
+  /// Stamps the process start time (uptime epoch) and marks the fold loop
+  /// live. Call once before serving.
+  void note_start() noexcept {
+    start_ns_.store(monotonic_ns(), std::memory_order_relaxed);
+    flags_.fetch_or(kHealthFlagFoldLoop, std::memory_order_relaxed);
+  }
+
+  /// Records one republish: `folded_through` is the feedback_enqueued()
+  /// value captured before the re-aggregation ran, so every frame at or
+  /// below it is reflected in the now-published scores.
+  void note_publish(std::uint64_t folded_through, bool converged,
+                    bool degraded, double mass_gap,
+                    double fold_seconds) noexcept {
+    folded_through_.store(folded_through, std::memory_order_relaxed);
+    refolds_.fetch_add(1, std::memory_order_relaxed);
+    mass_gap_.store(mass_gap, std::memory_order_relaxed);
+    last_fold_seconds_.store(fold_seconds, std::memory_order_relaxed);
+    std::uint32_t f = flags_.load(std::memory_order_relaxed) & kHealthFlagFoldLoop;
+    if (converged) f |= kHealthFlagConverged;
+    if (degraded) f |= kHealthFlagDegraded;
+    flags_.store(f, std::memory_order_relaxed);
+    last_publish_ns_.store(monotonic_ns(), std::memory_order_relaxed);
+  }
+
+  std::uint64_t start_ns() const noexcept {
+    return start_ns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t last_publish_ns() const noexcept {
+    return last_publish_ns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t folded_through() const noexcept {
+    return folded_through_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t refolds() const noexcept {
+    return refolds_.load(std::memory_order_relaxed);
+  }
+  std::uint32_t flags() const noexcept {
+    return flags_.load(std::memory_order_relaxed);
+  }
+  double mass_gap() const noexcept {
+    return mass_gap_.load(std::memory_order_relaxed);
+  }
+  double last_fold_seconds() const noexcept {
+    return last_fold_seconds_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> start_ns_{0};
+  std::atomic<std::uint64_t> last_publish_ns_{0};
+  std::atomic<std::uint64_t> folded_through_{0};
+  std::atomic<std::uint64_t> refolds_{0};
+  std::atomic<std::uint32_t> flags_{0};
+  std::atomic<double> mass_gap_{0.0};
+  std::atomic<double> last_fold_seconds_{0.0};
+};
+
+/// Optional observability context threaded into ConnectionHandler (and
+/// through ServerConfig into every connection). Everything is optional:
+/// null log disables slow-frame records, slow_frame_seconds <= 0 disables
+/// the slow-frame check entirely, null health leaves HEALTH store-only.
+struct ServeObservability {
+  telemetry::EventLog* log = nullptr;   ///< slow_frame JSONL sink
+  double slow_frame_seconds = 0.0;      ///< handler-time threshold; <=0 = off
+  const HealthState* health = nullptr;  ///< fold-loop mailbox for HEALTH
+};
+
+/// Assembles the METRICS (0x05) response payload: every MetricsCounter in
+/// wire order from the metric lanes + store + (optional) EventLog, and the
+/// three serve latency histograms merged across lanes.
+MetricsPayload collect_metrics(const ServeMetrics& m,
+                               const ReputationStore& store,
+                               const ServeObservability* obs);
+
+/// Assembles the HEALTH (0x06) response payload from the store and the
+/// (optional) fold-loop mailbox.
+HealthPayload collect_health(const ReputationStore& store,
+                             const HealthState* health);
+
+/// Appends one `serve_metrics` JSONL record (same shape as the final
+/// `serve` record: every serve_* counter flat + bucket-level histograms) —
+/// the periodic exporter's heartbeat, rendered by report.py --live.
+void write_serve_metrics_record(telemetry::EventLog& log,
+                                const telemetry::MetricsRegistry& registry,
+                                double uptime_seconds);
+
+/// Appends one `serve_health` JSONL record mirroring a HealthPayload.
+void write_serve_health_record(telemetry::EventLog& log,
+                               const HealthPayload& h);
+
+}  // namespace gt::serve

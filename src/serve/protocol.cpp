@@ -1,6 +1,7 @@
 #include "serve/protocol.hpp"
 
 #include <bit>
+#include <limits>
 
 namespace gt::serve {
 
@@ -65,6 +66,16 @@ void encode_stats(std::vector<std::uint8_t>& out) {
   encode_header(p, Op::kStats, 0);
 }
 
+void encode_metrics(std::vector<std::uint8_t>& out) {
+  std::uint8_t* p = grow(out, kHeaderSize);
+  encode_header(p, Op::kMetrics, 0);
+}
+
+void encode_health(std::vector<std::uint8_t>& out) {
+  std::uint8_t* p = grow(out, kHeaderSize);
+  encode_header(p, Op::kHealth, 0);
+}
+
 void encode_lookup_resp(std::vector<std::uint8_t>& out, std::uint64_t epoch,
                         double score) {
   std::uint8_t* p = grow(out, kHeaderSize + 16);
@@ -101,10 +112,71 @@ void encode_stats_resp(std::vector<std::uint8_t>& out, const StatsPayload& s) {
   std::uint8_t* p = grow(out, kHeaderSize + kStatsPayloadSize);
   encode_header(p, Op::kStatsResp,
                 static_cast<std::uint32_t>(kStatsPayloadSize));
-  const std::uint64_t fields[8] = {
-      s.lookups,        s.batch_lookups,   s.batch_keys,      s.ingests,
-      s.stats_requests, s.protocol_errors, s.published_epoch, s.ingest_pending};
-  for (std::size_t i = 0; i < 8; ++i) put_u64(p + kHeaderSize + 8 * i, fields[i]);
+  const std::uint64_t fields[kStatsPayloadFields] = {
+      s.lookups,        s.batch_lookups,   s.batch_keys,
+      s.ingests,        s.stats_requests,  s.protocol_errors,
+      s.published_epoch, s.ingest_pending, s.bp_pauses,
+      s.bp_resumes,     s.snapshots_reclaimed, s.limbo_size};
+  for (std::size_t i = 0; i < kStatsPayloadFields; ++i)
+    put_u64(p + kHeaderSize + 8 * i, fields[i]);
+}
+
+namespace {
+// Payload byte size of one encoded MetricsHistogram block.
+std::size_t hist_wire_size(const MetricsHistogram& h) {
+  return 8 * 6 + 8 + 8 * h.buckets.size();  // 5 f64 + u64 count, 2 u32, buckets
+}
+}  // namespace
+
+void encode_metrics_resp(std::vector<std::uint8_t>& out,
+                         const MetricsPayload& m) {
+  std::size_t payload = 16 + 8 * m.counters.size();
+  for (const MetricsHistogram& h : m.hists) payload += hist_wire_size(h);
+  std::uint8_t* p = grow(out, kHeaderSize + payload);
+  encode_header(p, Op::kMetricsResp, static_cast<std::uint32_t>(payload));
+  p += kHeaderSize;
+  put_u32(p, m.version);
+  put_u32(p + 4, static_cast<std::uint32_t>(m.counters.size()));
+  put_u32(p + 8, static_cast<std::uint32_t>(m.hists.size()));
+  put_u32(p + 12, 0);
+  p += 16;
+  for (const std::uint64_t v : m.counters) {
+    put_u64(p, v);
+    p += 8;
+  }
+  for (const MetricsHistogram& h : m.hists) {
+    put_f64(p, h.bucket_min);
+    put_f64(p + 8, h.growth);
+    put_u64(p + 16, h.count);
+    put_f64(p + 24, h.sum);
+    put_f64(p + 32, h.min);
+    put_f64(p + 40, h.max);
+    put_u32(p + 48, static_cast<std::uint32_t>(h.buckets.size()));
+    put_u32(p + 52, 0);
+    p += 56;
+    for (const std::uint64_t b : h.buckets) {
+      put_u64(p, b);
+      p += 8;
+    }
+  }
+}
+
+void encode_health_resp(std::vector<std::uint8_t>& out, const HealthPayload& h) {
+  std::uint8_t* p = grow(out, kHeaderSize + kHealthPayloadSize);
+  encode_header(p, Op::kHealthResp,
+                static_cast<std::uint32_t>(kHealthPayloadSize));
+  p += kHeaderSize;
+  put_u32(p, h.version);
+  put_u32(p + 4, h.flags);
+  put_u64(p + 8, h.published_epoch);
+  put_u64(p + 16, h.ingest_backlog);
+  put_u64(p + 24, h.ingest_enqueued);
+  put_u64(p + 32, h.staleness_frames);
+  put_f64(p + 40, h.staleness_seconds);
+  put_u64(p + 48, h.refolds);
+  put_f64(p + 56, h.mass_gap);
+  put_f64(p + 64, h.last_fold_seconds);
+  put_f64(p + 72, h.uptime_seconds);
 }
 
 bool decode_lookup_resp(const std::uint8_t* payload, std::size_t len,
@@ -134,8 +206,9 @@ bool decode_ingest_resp(const std::uint8_t* payload, std::size_t len,
 bool decode_stats_resp(const std::uint8_t* payload, std::size_t len,
                        StatsPayload* out) {
   if (len != kStatsPayloadSize) return false;
-  std::uint64_t fields[8];
-  for (std::size_t i = 0; i < 8; ++i) fields[i] = get_u64(payload + 8 * i);
+  std::uint64_t fields[kStatsPayloadFields];
+  for (std::size_t i = 0; i < kStatsPayloadFields; ++i)
+    fields[i] = get_u64(payload + 8 * i);
   out->lookups = fields[0];
   out->batch_lookups = fields[1];
   out->batch_keys = fields[2];
@@ -144,6 +217,109 @@ bool decode_stats_resp(const std::uint8_t* payload, std::size_t len,
   out->protocol_errors = fields[5];
   out->published_epoch = fields[6];
   out->ingest_pending = fields[7];
+  out->bp_pauses = fields[8];
+  out->bp_resumes = fields[9];
+  out->snapshots_reclaimed = fields[10];
+  out->limbo_size = fields[11];
+  return true;
+}
+
+// --- METRICS / HEALTH -------------------------------------------------------
+
+namespace {
+constexpr const char* kMetricsCounterNames[kMetricsCounterCount] = {
+    "lookups",        "batch_lookups",  "batch_keys",
+    "ingests",        "stats_requests", "metrics_requests",
+    "health_requests", "proto_errors",  "frames",
+    "bytes_in",       "bytes_out",      "lookup_bytes",
+    "batch_bytes",    "ingest_bytes",   "conns_opened",
+    "conns_closed",   "bp_pauses",      "bp_resumes",
+    "slow_frames",    "published_epoch", "ingest_pending",
+    "ingest_enqueued", "snapshots_live", "snapshots_reclaimed",
+    "limbo_size",     "log_lines_dropped", "log_records",
+};
+constexpr const char* kMetricsHistogramNames[kMetricsHistogramCount] = {
+    "lookup_seconds",
+    "batch_seconds",
+    "ingest_seconds",
+};
+}  // namespace
+
+const char* metrics_counter_name(std::size_t index) {
+  return index < kMetricsCounterCount ? kMetricsCounterNames[index] : nullptr;
+}
+
+const char* metrics_histogram_name(std::size_t index) {
+  return index < kMetricsHistogramCount ? kMetricsHistogramNames[index]
+                                        : nullptr;
+}
+
+double MetricsHistogram::percentile(double pct) const noexcept {
+  if (count == 0) return std::numeric_limits<double>::quiet_NaN();
+  const double rank = pct / 100.0 * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cum += buckets[i];
+    if (static_cast<double>(cum) >= rank && buckets[i] > 0) {
+      if (i == 0) return bucket_min;
+      if (i + 1 == buckets.size()) return max;
+      double edge = bucket_min;
+      for (std::size_t k = 1; k <= i; ++k) edge *= growth;
+      return edge;
+    }
+  }
+  return max;
+}
+
+bool decode_metrics_resp(const std::uint8_t* payload, std::size_t len,
+                         MetricsPayload* out) {
+  if (len < 16) return false;
+  out->version = get_u32(payload);
+  if (out->version != kMetricsVersion) return false;
+  const std::uint32_t n_counters = get_u32(payload + 4);
+  const std::uint32_t n_hists = get_u32(payload + 8);
+  if (get_u32(payload + 12) != 0) return false;
+  std::size_t off = 16;
+  if (len - off < 8 * static_cast<std::size_t>(n_counters)) return false;
+  out->counters.assign(n_counters, 0);
+  for (std::uint32_t i = 0; i < n_counters; ++i, off += 8)
+    out->counters[i] = get_u64(payload + off);
+  out->hists.assign(n_hists, MetricsHistogram{});
+  for (std::uint32_t i = 0; i < n_hists; ++i) {
+    if (len - off < 56) return false;
+    MetricsHistogram& h = out->hists[i];
+    h.bucket_min = get_f64(payload + off);
+    h.growth = get_f64(payload + off + 8);
+    h.count = get_u64(payload + off + 16);
+    h.sum = get_f64(payload + off + 24);
+    h.min = get_f64(payload + off + 32);
+    h.max = get_f64(payload + off + 40);
+    const std::uint32_t n_buckets = get_u32(payload + off + 48);
+    if (get_u32(payload + off + 52) != 0) return false;
+    off += 56;
+    if (len - off < 8 * static_cast<std::size_t>(n_buckets)) return false;
+    h.buckets.assign(n_buckets, 0);
+    for (std::uint32_t b = 0; b < n_buckets; ++b, off += 8)
+      h.buckets[b] = get_u64(payload + off);
+  }
+  return off == len;  // trailing bytes are malformed
+}
+
+bool decode_health_resp(const std::uint8_t* payload, std::size_t len,
+                        HealthPayload* out) {
+  if (len != kHealthPayloadSize) return false;
+  out->version = get_u32(payload);
+  if (out->version != kHealthVersion) return false;
+  out->flags = get_u32(payload + 4);
+  out->published_epoch = get_u64(payload + 8);
+  out->ingest_backlog = get_u64(payload + 16);
+  out->ingest_enqueued = get_u64(payload + 24);
+  out->staleness_frames = get_u64(payload + 32);
+  out->staleness_seconds = get_f64(payload + 40);
+  out->refolds = get_u64(payload + 48);
+  out->mass_gap = get_f64(payload + 56);
+  out->last_fold_seconds = get_f64(payload + 64);
+  out->uptime_seconds = get_f64(payload + 72);
   return true;
 }
 

@@ -146,8 +146,10 @@ struct Server::Connection {
   bool want_write = false;
   bool paused = false;  ///< reads suspended: tx backlog over the high water
 
-  Connection(int fd_, ReputationStore& store, ServeMetrics& metrics)
-      : fd(fd_), handler(store, metrics, /*lane=*/0) {}
+  Connection(int fd_, ReputationStore& store, ServeMetrics& metrics,
+             std::size_t lane, const ServeObservability* obs,
+             std::uint64_t conn_id)
+      : fd(fd_), handler(store, metrics, lane, obs, conn_id) {}
 };
 
 Server::Server(ReputationStore& store, telemetry::MetricsRegistry& registry,
@@ -244,6 +246,7 @@ void Server::run_loop() {
   std::unordered_map<int, std::unique_ptr<Connection>> conns;
   std::vector<std::uint8_t> read_buf(config_.read_chunk);
   std::vector<Poller::Event> events;
+  const std::size_t lane = config_.metrics_lane;
 
   // handler_error: the handler already counted the close; normal closes
   // (EOF, write failure, shutdown) are counted here.
@@ -252,7 +255,7 @@ void Server::run_loop() {
     ::close(fd);
     conns.erase(fd);
     active_.store(conns.size(), std::memory_order_relaxed);
-    if (!handler_error) registry_.add(metrics_.conns_closed, 1, 0);
+    if (!handler_error) registry_.add(metrics_.conns_closed, 1, lane);
   };
 
   // Returns false when the connection died on a write error. Leaves poller
@@ -281,10 +284,13 @@ void Server::run_loop() {
   // tracks whether anything is pending.
   auto update_interest = [&](Connection& c) {
     const std::size_t pending = c.tx.size() - c.tx_off;
-    if (pending > config_.tx_high_watermark)
+    if (pending > config_.tx_high_watermark) {
+      if (!c.paused) registry_.add(metrics_.bp_pauses, 1, lane);
       c.paused = true;
-    else if (pending <= config_.tx_low_watermark)
+    } else if (pending <= config_.tx_low_watermark) {
+      if (c.paused) registry_.add(metrics_.bp_resumes, 1, lane);
       c.paused = false;
+    }
     const bool want_read = !c.paused;
     const bool want_write = pending > 0;
     if (want_read != c.want_read || want_write != c.want_write) {
@@ -309,9 +315,12 @@ void Server::run_loop() {
         const int one = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       }
-      conns.emplace(fd, std::make_unique<Connection>(fd, store_, metrics_));
+      const std::uint64_t conn_id =
+          accepted_.fetch_add(1, std::memory_order_relaxed) + 1;
+      conns.emplace(fd, std::make_unique<Connection>(
+                            fd, store_, metrics_, lane,
+                            &config_.observability, conn_id));
       poller->add(fd);
-      accepted_.fetch_add(1, std::memory_order_relaxed);
       active_.store(conns.size(), std::memory_order_relaxed);
     }
   };
@@ -385,7 +394,7 @@ void Server::run_loop() {
 
   for (auto& [fd, conn] : conns) {
     ::close(fd);
-    registry_.add(metrics_.conns_closed, 1, 0);
+    registry_.add(metrics_.conns_closed, 1, lane);
   }
   conns.clear();
   active_.store(0, std::memory_order_relaxed);

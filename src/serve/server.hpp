@@ -43,6 +43,13 @@ struct ServerConfig {
   std::size_t tx_low_watermark = 256 * 1024;
   bool use_poll = false;  ///< force the poll(2) backend even on Linux
   bool tcp_nodelay = true;
+  /// Metrics lane used by this loop thread's handlers and lifecycle
+  /// counters; a future multi-loop server gives each loop its own lane.
+  std::size_t metrics_lane = 0;
+  /// Observability context threaded into every connection handler (slow
+  /// frame log + fold-loop health; see observe.hpp). Copied at Server
+  /// construction; the pointed-at log/health must outlive the server.
+  ServeObservability observability{};
 };
 
 class Server {

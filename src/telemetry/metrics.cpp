@@ -146,6 +146,36 @@ double MetricsRegistry::gauge_value(Gauge g) const noexcept {
   return g.valid() ? gauges_[g.id].v.load(kRelaxed) : 0.0;
 }
 
+HistogramSnapshot MetricsRegistry::histogram_snapshot(Histogram h) const {
+  HistogramSnapshot hs;
+  if (!h.valid() || h.id >= hist_names_.size()) return hs;
+  hs.options = hist_options_[h.id];
+  hs.counts.assign(hs.options.buckets + 2, 0);
+  bool any = false;
+  for (const auto& lane : lanes_) {  // fixed lane order: deterministic merge
+    const HistLane& hl = lane.hists[h.id];
+    for (std::size_t b = 0; b < hs.counts.size(); ++b) {
+      const std::uint64_t c = hl.counts[b].v.load(kRelaxed);
+      hs.counts[b] += c;
+      hs.count += c;
+    }
+    hs.sum += hl.sum.v.load(kRelaxed);
+    if (hl.any.v.load(kRelaxed) != 0) {
+      const double lo = hl.min.v.load(kRelaxed);
+      const double hi = hl.max.v.load(kRelaxed);
+      if (!any) {
+        hs.min = lo;
+        hs.max = hi;
+        any = true;
+      } else {
+        hs.min = std::min(hs.min, lo);
+        hs.max = std::max(hs.max, hi);
+      }
+    }
+  }
+  return hs;
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
   snap.counters.reserve(counter_names_.size());
@@ -155,34 +185,8 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   for (std::size_t i = 0; i < gauge_names_.size(); ++i)
     snap.gauges.emplace_back(gauge_names_[i], gauges_[i].v.load(kRelaxed));
   snap.histograms.reserve(hist_names_.size());
-  for (std::size_t i = 0; i < hist_names_.size(); ++i) {
-    HistogramSnapshot hs;
-    hs.options = hist_options_[i];
-    hs.counts.assign(hs.options.buckets + 2, 0);
-    bool any = false;
-    for (const auto& lane : lanes_) {  // fixed lane order: deterministic merge
-      const HistLane& hl = lane.hists[i];
-      for (std::size_t b = 0; b < hs.counts.size(); ++b) {
-        const std::uint64_t c = hl.counts[b].v.load(kRelaxed);
-        hs.counts[b] += c;
-        hs.count += c;
-      }
-      hs.sum += hl.sum.v.load(kRelaxed);
-      if (hl.any.v.load(kRelaxed) != 0) {
-        const double lo = hl.min.v.load(kRelaxed);
-        const double hi = hl.max.v.load(kRelaxed);
-        if (!any) {
-          hs.min = lo;
-          hs.max = hi;
-          any = true;
-        } else {
-          hs.min = std::min(hs.min, lo);
-          hs.max = std::max(hs.max, hi);
-        }
-      }
-    }
-    snap.histograms.emplace_back(hist_names_[i], std::move(hs));
-  }
+  for (std::size_t i = 0; i < hist_names_.size(); ++i)
+    snap.histograms.emplace_back(hist_names_[i], histogram_snapshot(Histogram{i}));
   return snap;
 }
 

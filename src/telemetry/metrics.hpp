@@ -101,6 +101,12 @@ class MetricsRegistry {
   std::uint64_t counter_value(Counter c) const noexcept;
   double gauge_value(Gauge g) const noexcept;
 
+  /// Merged view of one histogram across lanes (fixed lane order, same
+  /// merge as snapshot() but without materializing every metric) — the
+  /// serve METRICS opcode snapshots its three latency histograms per
+  /// request through this. Invalid handles return an empty snapshot.
+  HistogramSnapshot histogram_snapshot(Histogram h) const;
+
   /// Full merged view (lane order fixed, so output is deterministic).
   MetricsSnapshot snapshot() const;
 

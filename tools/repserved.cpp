@@ -3,11 +3,20 @@
 // Boots the full serving stack: seeds a paper-shaped feedback workload
 // (power-law feedback counts, honest ratings), runs the GossipTrust engine
 // to convergence, publishes the converged scores into a sharded
-// serve::ReputationStore, and serves LOOKUP/BATCH_LOOKUP/INGEST/STATS over
-// the epoll server. A fold loop then drains the ingest queue into the
-// feedback ledger and re-aggregates every --refold feedbacks (warm-started
-// from the previous vector), republishing the fresh scores under a new
-// epoch — the paper's "reputation updating" path, live.
+// serve::ReputationStore, and serves LOOKUP/BATCH_LOOKUP/INGEST/STATS/
+// METRICS/HEALTH over the epoll server. A fold loop then drains the ingest
+// queue into the feedback ledger and re-aggregates every --refold feedbacks
+// (warm-started from the previous vector), republishing the fresh scores
+// under a new epoch — the paper's "reputation updating" path, live.
+//
+// Observability (PR 9): the JSONL EventLog opens at startup; every
+// --metrics-interval seconds the fold loop appends a `serve_metrics`
+// record (all serve_* counters + latency histogram buckets) and a
+// `serve_health` record (published epoch, ingest backlog, staleness,
+// convergence flags, mass gap). Handler frames slower than
+// --slow-frame-us emit one `slow_frame` record each. The log's destructor
+// writes the final `meta` record (records logged, lines dropped) on clean
+// shutdown. `scripts/report.py --live` renders the whole stream.
 //
 //   repserved --port 7777 --n 512 --telemetry serve.jsonl
 //
@@ -17,6 +26,7 @@
 // + latency histogram buckets) is flushed, and the exit code is 0.
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +38,7 @@
 #include "common/rng.hpp"
 #include "core/engine.hpp"
 #include "serve/handler.hpp"
+#include "serve/observe.hpp"
 #include "serve/server.hpp"
 #include "serve/store.hpp"
 #include "telemetry/event_log.hpp"
@@ -50,7 +61,9 @@ struct Options {
   std::size_t shards = 0;
   std::string telemetry;
   bool use_poll = false;
-  double max_seconds = 0.0;  ///< 0 = run until signalled
+  double max_seconds = 0.0;      ///< 0 = run until signalled
+  double metrics_interval = 1.0; ///< seconds between serve_metrics/_health records
+  double slow_frame_us = 1000.0; ///< slow-frame threshold; <= 0 disables
 };
 
 [[noreturn]] void usage(const char* argv0, const char* msg) {
@@ -58,7 +71,8 @@ struct Options {
   std::fprintf(stderr,
                "usage: %s [--bind A] [--port P] [--n N] [--seed S]\n"
                "          [--refold K] [--shards S] [--telemetry PATH]\n"
-               "          [--poll] [--max-seconds T]\n",
+               "          [--poll] [--max-seconds T] [--metrics-interval T]\n"
+               "          [--slow-frame-us U]\n",
                argv0);
   std::exit(2);
 }
@@ -80,10 +94,18 @@ Options parse(int argc, char** argv) {
     else if (a == "--telemetry") o.telemetry = need(i++);
     else if (a == "--poll") o.use_poll = true;
     else if (a == "--max-seconds") o.max_seconds = std::atof(need(i++));
+    else if (a == "--metrics-interval") o.metrics_interval = std::atof(need(i++));
+    else if (a == "--slow-frame-us") o.slow_frame_us = std::atof(need(i++));
     else usage(argv[0], ("unknown flag: " + a).c_str());
   }
   if (o.n < 2) usage(argv[0], "--n must be >= 2");
   return o;
+}
+
+double mass_gap_of(const std::vector<double>& scores) {
+  double sum = 0.0;
+  for (double s : scores) sum += s;
+  return std::fabs(sum - 1.0);
 }
 
 }  // namespace
@@ -92,6 +114,9 @@ int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
   using Clock = std::chrono::steady_clock;
   const auto t0 = Clock::now();
+  auto uptime_now = [&t0] {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
 
   // --- seed the reputation state (paper Table 2-shaped workload) -----------
   gt::Rng rng(opt.seed);
@@ -115,11 +140,29 @@ int main(int argc, char** argv) {
   gt::serve::ReputationStore store(scfg);
   store.publish(agg.scores);
 
+  // Observability plane: JSONL log (disabled when --telemetry is empty),
+  // fold-loop health mailbox, slow-frame threshold. The log lives for the
+  // whole process so its destructor's final `meta` record covers the run.
+  gt::telemetry::EventLogConfig lcfg;
+  lcfg.path = opt.telemetry;
+  gt::telemetry::EventLog log(lcfg);
+  log.set_context("tool", std::string("repserved"));
+  log.set_context("n", static_cast<std::uint64_t>(opt.n));
+  gt::serve::HealthState health;
+  health.note_start();
+  health.note_publish(/*folded_through=*/0, agg.converged,
+                      agg.degraded_cycles() > 0, mass_gap_of(agg.scores),
+                      0.0);
+
   gt::telemetry::MetricsRegistry registry(1);
   gt::serve::ServerConfig svcfg;
   svcfg.bind_address = opt.bind;
   svcfg.port = opt.port;
   svcfg.use_poll = opt.use_poll;
+  svcfg.observability.log = &log;
+  svcfg.observability.health = &health;
+  svcfg.observability.slow_frame_seconds =
+      opt.slow_frame_us > 0.0 ? opt.slow_frame_us * 1e-6 : 0.0;
   gt::serve::Server server(store, registry, svcfg);
   std::string error;
   if (!server.start(&error)) {
@@ -138,12 +181,12 @@ int main(int argc, char** argv) {
   std::vector<gt::serve::FeedbackUpdate> drained;
   std::size_t since_refold = 0;
   std::uint64_t refolds = 0;
+  std::uint64_t folded = 0;  ///< feedback frames drained into the ledger
   std::vector<double> scores = agg.scores;
+  double next_export = opt.metrics_interval;
   while (!g_stop.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
-    if (opt.max_seconds > 0.0 &&
-        std::chrono::duration<double>(Clock::now() - t0).count() >= opt.max_seconds)
-      break;
+    if (opt.max_seconds > 0.0 && uptime_now() >= opt.max_seconds) break;
     store.drain_feedback(drained);
     for (const auto& f : drained) {
       if (f.rater < opt.n && f.ratee < opt.n)
@@ -151,32 +194,41 @@ int main(int argc, char** argv) {
                       static_cast<gt::trust::NodeId>(f.ratee), f.value);
     }
     since_refold += drained.size();
+    folded += drained.size();
     if (since_refold >= opt.refold) {
       since_refold = 0;
+      // Every frame drained so far is in the ledger, so the scores this
+      // fold publishes cover exactly `folded` frames.
+      const std::uint64_t fold_covers = folded;
+      const auto f0 = Clock::now();
       gt::core::AggregationResult next =
           engine.run(ledger.normalized_matrix(), rng, nullptr, scores);
       scores = next.scores;
       const std::uint64_t epoch = store.publish(scores);
+      const double fold_seconds =
+          std::chrono::duration<double>(Clock::now() - f0).count();
+      health.note_publish(fold_covers, next.converged,
+                          next.degraded_cycles() > 0, mass_gap_of(scores),
+                          fold_seconds);
       ++refolds;
       std::fprintf(stderr,
                    "repserved: refold #%llu -> epoch %llu (%zu cycles)\n",
                    static_cast<unsigned long long>(refolds),
                    static_cast<unsigned long long>(epoch), next.num_cycles());
     }
+    if (opt.metrics_interval > 0.0 && uptime_now() >= next_export) {
+      next_export = uptime_now() + opt.metrics_interval;
+      gt::serve::write_serve_metrics_record(log, registry, uptime_now());
+      gt::serve::write_serve_health_record(
+          log, gt::serve::collect_health(store, &health));
+    }
   }
 
   server.stop();
-  const double uptime = std::chrono::duration<double>(Clock::now() - t0).count();
+  const double uptime = uptime_now();
 
-  if (!opt.telemetry.empty()) {
-    gt::telemetry::EventLogConfig lcfg;
-    lcfg.path = opt.telemetry;
-    gt::telemetry::EventLog log(lcfg);
-    log.set_context("tool", std::string("repserved"));
-    log.set_context("n", static_cast<std::uint64_t>(opt.n));
-    gt::serve::write_serve_record(log, registry, uptime);
-    log.flush();
-  }
+  gt::serve::write_serve_record(log, registry, uptime);
+  log.flush();
 
   const auto snap = registry.snapshot();
   const std::uint64_t* lookups = snap.counter("serve_lookups");
