@@ -12,6 +12,11 @@
 //   GT_TRACE=path     -> record a binary causal trace (equivalent: --trace
 //                        <path>; inspect with tools/trace_analyze, export to
 //                        Perfetto with its --perfetto flag)
+//   GT_SIMD=level     -> gossip kernel ISA: off|scalar|auto|avx2|avx512|neon
+//                        (default auto = best the CPU supports; results are
+//                        bit-identical at every level — this only moves
+//                        speed, which is exactly what the scalar-vs-SIMD
+//                        bench pairs measure)
 #pragma once
 
 #include <cstdio>
@@ -125,6 +130,9 @@ inline telemetry::EventLog* telemetry_init(const char* bench_name, int argc,
       log->set_context("bench", std::string(bench_name));
       log->set_context("threads", static_cast<std::uint64_t>(gossip_threads()));
       log->set_context("seed", base_seed());
+      log->set_context(
+          "simd",
+          std::string(simd::level_name(simd::resolve_level(simd::SimdLevel::kAuto))));
       std::printf("[telemetry -> %s]\n", path.c_str());
     }
   }

@@ -5,7 +5,9 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
+#include <limits>
 #include <new>
 #include <span>
 #include <vector>
@@ -19,7 +21,11 @@
 #include "gossip/pushsum.hpp"
 #include "gossip/vector_gossip.hpp"
 #include "gossip/async_gossip.hpp"
+#include "gossip/sharded_gossip.hpp"
+#include "graph/csr.hpp"
 #include "graph/topology.hpp"
+#include "simd/kernels.hpp"
+#include "simd/simd.hpp"
 #include "net/network.hpp"
 #include "sim/scheduler.hpp"
 #include "trust/feedback.hpp"
@@ -381,6 +387,130 @@ void BM_AsyncGossipConverge(benchmark::State& state) {
                                static_cast<double>(state.iterations());
 }
 BENCHMARK(BM_AsyncGossipConverge)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// SIMD kernel pairs: each case exists twice — forced-scalar and the level
+// runtime dispatch picked — and scripts/bench_record.py --simd folds the
+// pair into BENCH_8.json as a speedup ratio. The gated GossipStep pair
+// composes only the mul/add kernels of one dense gossip step (halve both
+// shares, fold a half-weight inbox, copy-scale + merge the read-out) over
+// an L1-resident vector; its composition has fixed point 1.0 so a billion
+// iterations never drift into denormals or infinities. The division-heavy
+// residual sweep and the end-to-end sharded engine are reported ungated —
+// their wins are real but bounded by divide latency and event-loop
+// overhead respectively, not by lane count.
+
+constexpr std::size_t kStepKernelCalls = 6;
+
+void gossip_step_kernel_pass(const simd::Kernels& kn, double* x, double* w,
+                             double* y, const double* ones, std::size_t n) {
+  kn.halve(x, n);
+  kn.halve(w, n);
+  kn.accumulate_scaled(x, ones, 0.5, n);  // x = x/2 + 1/2 -> stays 1.0
+  kn.accumulate_scaled(w, ones, 0.5, n);
+  kn.scale_assign(y, x, 1.0, n);
+  kn.add(y, w, n);
+}
+
+void bm_gossip_step(benchmark::State& state, simd::SimdLevel level) {
+  constexpr std::size_t n = 1024;  // 8 KiB/array: L1-resident
+  const auto& kn = simd::kernels(level);
+  // One slab, arrays staggered by n + kPadSlots doubles: four separate
+  // 8 KiB allocations land on identical 4 KiB page offsets and the
+  // store-to-load aliasing stalls flatten the vector win.
+  constexpr std::size_t stride = n + simd::kPadSlots;
+  simd::aligned_vector<double> slab(4 * stride, 1.0);
+  double* x = slab.data();
+  double* w = slab.data() + stride;
+  double* y = slab.data() + 2 * stride;
+  double* ones = slab.data() + 3 * stride;
+  for (std::size_t i = 0; i < n; ++i) y[i] = 0.0;
+  for (auto _ : state) {
+    gossip_step_kernel_pass(kn, x, w, y, ones, n);
+    benchmark::DoNotOptimize(x);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * kStepKernelCalls));
+  state.SetLabel(simd::level_name(kn.level));
+}
+
+void BM_GossipStepScalar(benchmark::State& state) {
+  bm_gossip_step(state, simd::SimdLevel::kScalar);
+}
+BENCHMARK(BM_GossipStepScalar);
+
+void BM_GossipStepSimd(benchmark::State& state) {
+  bm_gossip_step(state, simd::resolve_level(simd::SimdLevel::kAuto));
+}
+BENCHMARK(BM_GossipStepSimd);
+
+void bm_residual_sweep(benchmark::State& state, simd::SimdLevel level) {
+  constexpr std::size_t n = 4096;
+  const auto& kn = simd::kernels(level);
+  simd::aligned_vector<double> x(n), w(n, 1.0), prev(n);
+  Rng rng(17);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.next_double() + 0.5;
+    prev[i] = std::numeric_limits<double>::quiet_NaN();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kn.residual_keep(x.data(), w.data(), prev.data(),
+                                              1e-300, 1e-9, n));
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.SetLabel(simd::level_name(kn.level));
+}
+
+void BM_ResidualSweepScalar(benchmark::State& state) {
+  bm_residual_sweep(state, simd::SimdLevel::kScalar);
+}
+BENCHMARK(BM_ResidualSweepScalar);
+
+void BM_ResidualSweepSimd(benchmark::State& state) {
+  bm_residual_sweep(state, simd::resolve_level(simd::SimdLevel::kAuto));
+}
+BENCHMARK(BM_ResidualSweepSimd);
+
+void bm_sharded_gossip(benchmark::State& state, simd::SimdLevel level) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng grng(23);
+  graph::Graph g = graph::make_erdos_renyi(n, n * 3, grng);
+  graph::make_connected(g, grng);
+  const graph::CsrView csr(g);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    gossip::ShardedGossipConfig cfg;
+    cfg.components = 4;
+    cfg.base_latency = 0.25;
+    cfg.jitter = 0.1;
+    cfg.epsilon = 1e-4;
+    cfg.stable_rounds = 3;
+    cfg.horizon = 60.0;
+    cfg.seed = 42;
+    cfg.shards = 1;
+    cfg.threads = 1;
+    cfg.simd_level = level;
+    gossip::ShardedGossip eng(csr, cfg);
+    eng.initialize_fig3(7);
+    const auto res = eng.run();
+    events += res.events;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel(simd::level_name(simd::kernels(level).level));
+}
+
+void BM_ShardedGossipScalar(benchmark::State& state) {
+  bm_sharded_gossip(state, simd::SimdLevel::kScalar);
+}
+BENCHMARK(BM_ShardedGossipScalar)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_ShardedGossipSimd(benchmark::State& state) {
+  bm_sharded_gossip(state, simd::resolve_level(simd::SimdLevel::kAuto));
+}
+BENCHMARK(BM_ShardedGossipSimd)->Arg(2000)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -125,6 +125,7 @@ int main() {
   std::printf("      \"n\": %zu,\n", n);
   std::printf("      \"shards\": %zu,\n", eng.num_shards());
   std::printf("      \"threads\": %zu,\n", threads);
+  std::printf("      \"simd\": \"%s\",\n", simd::level_name(eng.simd_level()));
   std::printf("      \"converged\": %s,\n", res.converged ? "true" : "false");
   std::printf("      \"windows\": %llu,\n",
               static_cast<unsigned long long>(res.windows));

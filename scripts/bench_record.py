@@ -50,8 +50,27 @@ the observability plane) must stay within the 2% budget:
     python3 scripts/bench_record.py --serve build/tools/repload \
         --check results/BENCH_7.json --out BENCH_7.json
 
+--simd switches to the SIMD-kernel trajectory (BENCH_8.json): it runs the
+scalar/SIMD bench pairs in bench_micro_perf (BM_GossipStep*,
+BM_ResidualSweep*, BM_ShardedGossip*) and folds each pair into one case
+carrying the dispatched SIMD level, both rates, and speedup_vs_scalar.
+The gossip-step case records floor_speedup: 4.0 — a --check run fails
+unless the vector kernels hold at least 4x over the honest scalar oracle,
+as an absolute floor like the serve-path lookup rate. With --million the
+sharded engine additionally runs twice (GT_SIMD=off, then GT_SIMD=auto)
+and the end-to-end events/s win is recorded alongside:
+
+    python3 scripts/bench_record.py --simd \
+        --bench build/bench/bench_micro_perf \
+        --million build/bench/bench_million \
+        --check results/BENCH_8.json --out BENCH_8.json
+
 A missing or malformed baseline fails with a one-line diagnosis (exit 1),
-never a stack trace, so a CI misconfiguration reads as what it is.
+never a stack trace, so a CI misconfiguration reads as what it is. A
+--check run also fails loudly when the fresh run measures a case the
+baseline has never seen: a new bench case must be recorded into the
+trajectory file in the same PR, not silently skipped until someone
+notices it was never gated.
 
 Exit status: 0 on success, 1 on a regression or I/O error (so CI can use
 it as a perf gate). No third-party deps.
@@ -59,6 +78,7 @@ it as a perf gate). No third-party deps.
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 
@@ -74,17 +94,34 @@ CASES = (
 )
 FILTER = "|".join(dict.fromkeys(n.split("/")[0] for n in CASES))
 
+# The scalar/SIMD pairs recorded in BENCH_8.json: (case, scalar bench,
+# simd bench, hard speedup floor or None). The gossip-step pair composes
+# only the streaming mul/add kernels, so lane width is the whole story and
+# 4x is gated as an absolute floor; the division-bound residual sweep and
+# the event-loop-bound sharded engine are recorded without a floor.
+SIMD_PAIRS = (
+    ("BM_GossipStep", "BM_GossipStepScalar", "BM_GossipStepSimd", 4.0),
+    ("BM_ResidualSweep", "BM_ResidualSweepScalar", "BM_ResidualSweepSimd",
+     None),
+    ("BM_ShardedGossip/2000", "BM_ShardedGossipScalar/2000",
+     "BM_ShardedGossipSimd/2000", None),
+)
+SIMD_FILTER = "|".join(dict.fromkeys(
+    n.split("/")[0] for pair in SIMD_PAIRS for n in pair[1:3]))
 
-def run_bench(bench, min_time, repetitions):
+
+def run_bench(bench, min_time, repetitions, bench_filter=FILTER,
+              aggregates_only=True):
     cmd = [
         bench,
-        f"--benchmark_filter=^({FILTER})",
+        f"--benchmark_filter=^({bench_filter})",
         f"--benchmark_min_time={min_time}",
         "--benchmark_format=json",
     ]
     if repetitions > 1:
         cmd.append(f"--benchmark_repetitions={repetitions}")
-        cmd.append("--benchmark_report_aggregates_only=true")
+        if aggregates_only:
+            cmd.append("--benchmark_report_aggregates_only=true")
     try:
         proc = subprocess.run(cmd, capture_output=True, text=True, check=True)
     except OSError as exc:
@@ -139,6 +176,97 @@ def run_million(bench):
     if not cases:
         raise SystemExit(f"bench_record: {bench} reported no cases")
     return cases
+
+
+def fold_simd(report):
+    """google-benchmark JSON -> one case per scalar/SIMD pair.
+
+    Takes the best (max items/s) repetition per bench, not the median:
+    the speedup floor is a capability gate, and on a shared box noise
+    only ever subtracts from a capability measurement — the fastest
+    repetition is the least contaminated one, for scalar and SIMD alike.
+    """
+    rows = {}
+    for row in report.get("benchmarks", ()):
+        base = row.get("run_name", row.get("name", ""))
+        if row.get("run_type") == "aggregate":
+            continue
+        best = rows.get(base)
+        if best is None or (row.get("items_per_second") or 0.0) > \
+                (best.get("items_per_second") or 0.0):
+            rows[base] = row
+    cases = {}
+    for name, scalar_name, simd_name, floor in SIMD_PAIRS:
+        missing = [b for b in (scalar_name, simd_name) if b not in rows]
+        if missing:
+            raise SystemExit(
+                f"bench_record: missing SIMD cases: {', '.join(missing)} "
+                "(bench out of date?)")
+        scalar_rate = rows[scalar_name].get("items_per_second")
+        simd_rate = rows[simd_name].get("items_per_second")
+        if not scalar_rate or not simd_rate:
+            raise SystemExit(f"bench_record: pair {name} reported no "
+                             "items_per_second")
+        case = {
+            "simd": rows[simd_name].get("label", "unknown"),
+            "events_per_sec": simd_rate,
+            "events_per_sec_scalar": scalar_rate,
+            "ns_per_event": 1e9 / simd_rate,
+            "speedup_vs_scalar": simd_rate / scalar_rate,
+        }
+        if floor is not None:
+            case["floor_speedup"] = floor
+        cases[name] = case
+    return cases
+
+
+def run_million_pair(bench):
+    """Run bench_million under GT_SIMD=off then GT_SIMD=auto and fold the
+    end-to-end events/s of each case into a scalar-vs-SIMD comparison."""
+    def one(level):
+        env = dict(os.environ)
+        env["GT_SIMD"] = level
+        try:
+            proc = subprocess.run([bench], capture_output=True, text=True,
+                                  check=True, env=env)
+        except OSError as exc:
+            raise SystemExit(f"bench_record: cannot run {bench}: {exc}")
+        except subprocess.CalledProcessError as exc:
+            sys.stderr.write(exc.stderr)
+            raise SystemExit(f"bench_record: {bench} (GT_SIMD={level}) "
+                             f"exited {exc.returncode}")
+        sys.stderr.write(proc.stderr)
+        try:
+            doc = json.loads(proc.stdout)
+        except ValueError as exc:
+            raise SystemExit(f"bench_record: {bench} emitted bad JSON: {exc}")
+        cases = doc.get("cases", {})
+        if not cases:
+            raise SystemExit(f"bench_record: {bench} reported no cases")
+        return cases
+
+    scalar_cases = one("off")
+    simd_cases = one("auto")
+    folded = {}
+    for name, simd_case in simd_cases.items():
+        scalar_case = scalar_cases.get(name)
+        if scalar_case is None:
+            raise SystemExit(f"bench_record: bench_million case {name} "
+                             "present under GT_SIMD=auto but not GT_SIMD=off")
+        simd_rate = simd_case.get("events_per_sec")
+        scalar_rate = scalar_case.get("events_per_sec")
+        if not simd_rate or not scalar_rate:
+            raise SystemExit(f"bench_record: bench_million case {name} "
+                             "reported no events_per_sec")
+        folded[f"{name}/simd"] = {
+            "simd": simd_case.get("simd", "unknown"),
+            "events_per_sec": simd_rate,
+            "events_per_sec_scalar": scalar_rate,
+            "ns_per_event": 1e9 / simd_rate,
+            "speedup_vs_scalar": simd_rate / scalar_rate,
+            "gated": simd_case.get("gated", False),
+        }
+    return folded
 
 
 def load_baseline(path):
@@ -215,6 +343,18 @@ def check(fresh, baseline_path, tolerance):
                     f"{name}: lookups/s "
                     f"{now_rate if now_rate is not None else 'missing'} "
                     f"below the hard floor {floor:.3e}")
+        # SIMD speedup floor (BENCH_8 cases): the vector kernels must hold
+        # this multiple over the scalar oracle no matter what the baseline
+        # happened to measure — lane width is a capability, not a trend.
+        floor_sp = base.get("floor_speedup")
+        now_sp = now.get("speedup_vs_scalar")
+        if isinstance(floor_sp, (int, float)) and floor_sp > 0:
+            if not isinstance(now_sp, (int, float)) or now_sp < floor_sp:
+                failures.append(
+                    f"{name}: SIMD speedup "
+                    f"{f'{now_sp:.2f}x' if isinstance(now_sp, (int, float)) else 'missing'} "
+                    f"below the hard floor {floor_sp:g}x "
+                    f"(level {now.get('simd', 'unknown')})")
         # Observability overhead (serve cases): the observed in-process case
         # records the fraction of throughput lost to frame timing + hot-path
         # recording. The budget is 2% — more means the metrics plane leaked
@@ -236,6 +376,14 @@ def check(fresh, baseline_path, tolerance):
             failures.append(
                 f"{name}: bytes/node {now_bpn:.1f} > "
                 f"{base_bpn * 1.05:.1f} (baseline {base_bpn:.1f} +5%)")
+    # The reverse direction must be loud too: a case the fresh run measured
+    # that the baseline has never seen means a bench was added without
+    # recording it into the trajectory file — it would never be gated.
+    extras = sorted(n for n in fresh if n not in baseline["cases"])
+    if extras:
+        failures.append(
+            f"cases measured but missing from baseline {baseline_path}: "
+            f"{', '.join(extras)} — re-record the baseline in this PR")
     for line in failures:
         print(f"REGRESSION {line}")
     if not failures:
@@ -275,6 +423,11 @@ def main():
     ap.add_argument("--serve", metavar="REPLOAD",
                     help="record the live-service trajectory instead: run "
                          "this repload binary with --bench (BENCH_7.json)")
+    ap.add_argument("--simd", action="store_true",
+                    help="record the SIMD-kernel trajectory instead: run the "
+                         "scalar/SIMD bench pairs (BENCH_8.json); with "
+                         "--million also compare bench_million under "
+                         "GT_SIMD=off vs auto")
     ap.add_argument("--serve-seconds", type=float, default=1.0,
                     help="--bench-seconds per serve case (default 1.0)")
     ap.add_argument("--out", default="BENCH_6.json",
@@ -290,7 +443,27 @@ def main():
                          "(default 3, use 1 for a quick look)")
     args = ap.parse_args()
 
-    if args.serve:
+    if args.simd:
+        report = run_bench(args.bench, args.min_time, args.repetitions,
+                           bench_filter=SIMD_FILTER, aggregates_only=False)
+        cases = fold_simd(report)
+        if args.million:
+            cases.update(run_million_pair(args.million))
+        if args.out == "BENCH_6.json":  # default --out follows the mode
+            args.out = "BENCH_8.json"
+        doc = {
+            "schema": "gossiptrust-bench-8",
+            "bench": "bench_micro_perf scalar/SIMD pairs"
+                     " + bench_million GT_SIMD off/auto",
+            "units": {"ns_per_event": "nanoseconds (SIMD level)",
+                      "events_per_sec": "items/s at the dispatched level",
+                      "events_per_sec_scalar": "items/s with GT_SIMD=off",
+                      "speedup_vs_scalar": "events_per_sec ratio",
+                      "floor_speedup":
+                          "hard minimum speedup gated by --check"},
+            "cases": cases,
+        }
+    elif args.serve:
         cases = run_serve(args.serve, args.serve_seconds)
         if args.out == "BENCH_6.json":  # default --out follows the mode
             args.out = "BENCH_7.json"
@@ -328,7 +501,10 @@ def main():
         fh.write("\n")
     for name, c in sorted(cases.items()):
         rate = c.get("events_per_sec", c.get("ops_per_sec", 0.0))
-        if c.get("bytes_per_node") is not None:
+        if c.get("speedup_vs_scalar") is not None:
+            extra = (f"{c.get('simd', '?')} "
+                     f"{c['speedup_vs_scalar']:.2f}x vs scalar")
+        elif c.get("bytes_per_node") is not None:
             extra = f"bytes/node {c['bytes_per_node']:.1f}"
         elif c.get("p99_us") is not None:
             extra = f"p99 {c['p99_us']:.1f} us"

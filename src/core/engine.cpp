@@ -93,6 +93,7 @@ CycleStats GossipTrustEngine::run_cycle(const trust::SparseMatrix& s,
   ps.loss_probability = config_.loss_probability;
   ps.neighbors_only = config_.neighbors_only;
   ps.num_threads = config_.num_threads;
+  ps.simd_level = config_.simd_level;
 
   gossip::VectorGossip gossip(n_, ps, pool_.get());
   if (alive != nullptr) gossip.set_participants(*alive);
@@ -227,6 +228,7 @@ CycleStats GossipTrustEngine::run_cycle(const trust::SparseMatrix& s,
     events_->record("cycle")
         .field("cycle", cycles_emitted_++)
         .field("n", n_)
+        .field("simd", simd::level_name(gossip.simd_level()))
         .field("gossip_steps", stats.gossip_steps)
         .field("gossip_converged", stats.gossip_converged)
         .field("degraded", stats.degraded ? 1 : 0)

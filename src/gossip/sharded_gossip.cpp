@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 #include <thread>
@@ -113,6 +114,8 @@ ShardedGossip::ShardedGossip(const graph::CsrView& csr,
     throw std::invalid_argument(
         "ShardedGossip: base_latency must be positive — it is the "
         "conservative lookahead bound");
+  simd_level_ = simd::resolve_level(cfg_.simd_level);
+  kn_ = &simd::kernels(simd_level_);
   threads_ = cfg_.threads != 0
                  ? cfg_.threads
                  : std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -154,6 +157,18 @@ void ShardedGossip::initialize(std::span<const std::uint32_t> comp,
   prev_ratio_.assign(slots, kNaN);
   stable_count_.assign(n_, 0);
   push_count_.assign(n_, 0);
+  // Pad the SoA tails to the kernel granularity (benign values, outside
+  // every logical slot index) and assert the aligned allocator delivered.
+  const std::size_t padded = simd::padded_size(slots);
+  comp_.resize(padded, 0);
+  x_.resize(padded, 0.0);
+  w_.resize(padded, 0.0);
+  prev_ratio_.resize(padded, kNaN);
+  simd::assert_aligned(comp_.data(), simd::kAlignment, "ShardedGossip::comp_");
+  simd::assert_aligned(x_.data(), simd::kAlignment, "ShardedGossip::x_");
+  simd::assert_aligned(w_.data(), simd::kAlignment, "ShardedGossip::w_");
+  simd::assert_aligned(prev_ratio_.data(), simd::kAlignment,
+                       "ShardedGossip::prev_ratio_");
 
   const std::size_t num_comp = slots != 0 ? max_comp + 1u : 0;
   initial_x_.assign(num_comp, 0.0);
@@ -255,10 +270,8 @@ void ShardedGossip::push_event(std::uint32_t node, Shard& sh) {
 
     // Halve the resident state; the other halves are the wire shares.
     const std::size_t base = static_cast<std::size_t>(node) * k_;
-    for (std::size_t c = 0; c < k_; ++c) {
-      x_[base + c] *= 0.5;
-      w_[base + c] *= 0.5;
-    }
+    kn_->halve(x_.data() + base, k_);
+    kn_->halve(w_.data() + base, k_);
     ++sh.ctr.sends;
 
     if (timeline_.any() && timeline_.path_blocked(node, to, t)) {
@@ -323,10 +336,18 @@ void ShardedGossip::apply_payload(Shard& sh, std::uint32_t to,
                                   const std::uint32_t* comp, const double* x,
                                   const double* w) {
   const std::size_t base = static_cast<std::size_t>(to) * k_;
+  // Fast path: homogeneous layouts (the fig3 workload) keep component c in
+  // slot c on every node — the whole payload applies as two elementwise
+  // vector adds when the id blocks match byte-for-byte.
+  if (std::memcmp(comp, comp_.data() + base, k_ * sizeof(std::uint32_t)) ==
+      0) {
+    kn_->add(x_.data() + base, x, k_);
+    kn_->add(w_.data() + base, w, k_);
+    return;
+  }
   for (std::size_t c = 0; c < k_; ++c) {
     const std::uint32_t id = comp[c];
-    // Fast path: homogeneous layouts (the fig3 workload) keep component c
-    // in slot c on every node; fall back to a K-wide scan otherwise.
+    // Heterogeneous fallback: slot-aligned probe first, K-wide scan after.
     std::size_t slot = k_;
     if (c < k_ && comp_[base + c] == id) {
       slot = c;
@@ -358,18 +379,13 @@ void ShardedGossip::destroy_payload(Shard& sh, const std::uint32_t* comp,
 
 void ShardedGossip::update_stability(std::uint32_t node, Shard& sh) {
   const std::size_t base = static_cast<std::size_t>(node) * k_;
-  bool stable = true;
-  for (std::size_t c = 0; c < k_; ++c) {
-    const double w = w_[base + c];
-    if (!(w > kWeightFloor)) {
-      stable = false;
-      continue;
-    }
-    const double est = x_[base + c] / w;
-    const double prev = prev_ratio_[base + c];
-    if (!(std::abs(est - prev) <= cfg_.epsilon)) stable = false;  // NaN-safe
-    prev_ratio_[base + c] = est;
-  }
+  // Vectorized K-wide sweep; simd::Kernels::residual_keep documents the
+  // exact per-element branch semantics this replaced (undefined weights
+  // leave prev untouched, NaN-safe epsilon compare).
+  const bool stable =
+      kn_->residual_keep(x_.data() + base, w_.data() + base,
+                         prev_ratio_.data() + base, kWeightFloor,
+                         cfg_.epsilon, k_);
   const bool was = stable_count_[node] >= cfg_.stable_rounds;
   if (stable) {
     if (stable_count_[node] < std::numeric_limits<std::uint16_t>::max())

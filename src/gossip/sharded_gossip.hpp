@@ -48,6 +48,7 @@
 #include "fault/fault_timeline.hpp"
 #include "graph/csr.hpp"
 #include "sim/scheduler.hpp"
+#include "simd/kernels.hpp"
 
 namespace gt::gossip {
 
@@ -64,6 +65,10 @@ struct ShardedGossipConfig {
   std::size_t threads = 1;      ///< ThreadPool lanes (0 = hardware)
   std::size_t sample_every = 0; ///< windows between error-curve samples
                                 ///< (0 = no sampling)
+  simd::SimdLevel simd_level = simd::SimdLevel::kAuto;
+                                ///< kernel ISA for the SoA sweeps; resolved
+                                ///< via simd::resolve_level (GT_SIMD env
+                                ///< wins). Bit-identical at every level.
 };
 
 struct ShardedGossipResult {
@@ -108,6 +113,9 @@ class ShardedGossip {
   std::size_t num_nodes() const noexcept { return n_; }
   std::size_t num_shards() const noexcept { return shards_count_; }
   std::size_t components() const noexcept { return k_; }
+
+  /// Resolved kernel ISA (cfg.simd_level after GT_SIMD / CPU resolution).
+  simd::SimdLevel simd_level() const noexcept { return simd_level_; }
 
   /// Seeds node state: slot (i, c) tracks component comp[i*K + c] with
   /// initial mass (x0[i*K + c], w0[i*K + c]). Component ids must be
@@ -172,10 +180,16 @@ class ShardedGossip {
   std::size_t shards_count_ = 0;
   std::size_t threads_ = 0;
 
-  // SoA triplet state: slot (i, c) lives at index i * K + c.
-  std::vector<std::uint32_t> comp_;
-  std::vector<double> x_, w_;
-  std::vector<double> prev_ratio_;
+  // SoA triplet state: slot (i, c) lives at index i * K + c. Arrays are
+  // 64-byte aligned with tails padded to simd::padded_size (padding slots
+  // hold benign values and sit outside every logical index) so the
+  // vector kernels in push/apply/stability sweeps stay in-bounds.
+  simd::aligned_vector<std::uint32_t> comp_;
+  simd::aligned_vector<double> x_, w_;
+  simd::aligned_vector<double> prev_ratio_;
+
+  simd::SimdLevel simd_level_ = simd::SimdLevel::kScalar;  // resolved
+  const simd::Kernels* kn_ = nullptr;  // kernel set for simd_level_
   std::vector<std::uint16_t> stable_count_;
   std::vector<std::uint32_t> push_count_;
 

@@ -19,11 +19,11 @@ VectorGossip::VectorGossip(std::size_t n, PushSumConfig config, ThreadPool* pool
     : n_(n),
       config_(config),
       pool_(pool),
-      x_(n * n, 0.0),
-      w_(n * n, 0.0),
-      inbox_x_(n * n, 0.0),
-      inbox_w_(n * n, 0.0),
-      prev_ratio_(n * n, kNaN),
+      x_(simd::padded_size(n * n), 0.0),
+      w_(simd::padded_size(n * n), 0.0),
+      inbox_x_(simd::padded_size(n * n), 0.0),
+      inbox_w_(simd::padded_size(n * n), 0.0),
+      prev_ratio_(simd::padded_size(n * n), kNaN),
       stable_count_(n, 0),
       active_(n),
       next_active_(n),
@@ -35,6 +35,14 @@ VectorGossip::VectorGossip(std::size_t n, PushSumConfig config, ThreadPool* pool
       in_off_(n + 1, 0),
       in_senders_(n, 0) {
   if (n == 0) throw std::invalid_argument("VectorGossip: n must be positive");
+  simd_level_ = simd::resolve_level(config_.simd_level);
+  kn_ = &simd::kernels(simd_level_);
+  simd::assert_aligned(x_.data(), simd::kAlignment, "VectorGossip::x_");
+  simd::assert_aligned(w_.data(), simd::kAlignment, "VectorGossip::w_");
+  simd::assert_aligned(inbox_x_.data(), simd::kAlignment,
+                       "VectorGossip::inbox_x_");
+  simd::assert_aligned(inbox_w_.data(), simd::kAlignment,
+                       "VectorGossip::inbox_w_");
   if (pool_ == nullptr && config_.num_threads != 1) {
     owned_pool_ = std::make_unique<ThreadPool>(config_.num_threads);
     pool_ = owned_pool_.get();
@@ -248,8 +256,7 @@ void VectorGossip::route_phase(const graph::Graph* overlay) {
           payload = (h * xi[i] != 0.0 || h * wi[i] != 0.0) ? 1 : 0;
           if (!dense_[i]) ctr.skipped += n_ - active_[i].size();
         } else if (dense_[i]) {
-          for (NodeId j = 0; j < n_; ++j)
-            payload += (h * xi[j] != 0.0 || h * wi[j] != 0.0);
+          payload = kn_->count_nonzero_pair(xi, wi, h, n_);
         } else {
           for (const NodeId j : active_[i])
             payload += (h * xi[j] != 0.0 || h * wi[j] != 0.0);
@@ -312,21 +319,18 @@ void VectorGossip::gather_phase() {
       }
 
       if (out_dense) {
-        // Contiguous fast path once any contributing row has densified.
-        // The initial assignment also overwrites whatever the stale inbox
-        // buffer held, so no separate clearing sweep is needed.
+        // Contiguous fast path once any contributing row has densified:
+        // vector kernels sweep whole rows. The initial assignment also
+        // overwrites whatever the stale inbox buffer held, so no separate
+        // clearing sweep is needed.
         if (self_wh) {
-          for (NodeId j = 0; j < n_; ++j) {
-            nx[j] = xr[j];
-            nw[j] = wr[j];
-          }
+          std::copy_n(xr, n_, nx);  // withheld halves stay whole
+          std::copy_n(wr, n_, nw);
           nx[r] = keep * xr[r];
           nw[r] = keep * wr[r];
         } else {
-          for (NodeId j = 0; j < n_; ++j) {
-            nx[j] = keep * xr[j];
-            nw[j] = keep * wr[j];
-          }
+          kn_->scale_assign(nx, xr, keep, n_);
+          kn_->scale_assign(nw, wr, keep, n_);
         }
         for (std::size_t k = sb; k < se; ++k) {
           const NodeId s = in_senders_[k];
@@ -336,10 +340,8 @@ void VectorGossip::gather_phase() {
             nx[s] += 0.5 * xs[s];
             nw[s] += 0.5 * ws[s];
           } else if (dense_[s]) {
-            for (NodeId j = 0; j < n_; ++j) {
-              nx[j] += 0.5 * xs[j];
-              nw[j] += 0.5 * ws[j];
-            }
+            kn_->accumulate_scaled(nx, xs, 0.5, n_);
+            kn_->accumulate_scaled(nw, ws, 0.5, n_);
           } else {
             for (const NodeId j : active_[s]) {
               nx[j] += 0.5 * xs[j];
@@ -465,7 +467,17 @@ void VectorGossip::bookkeeping_phase(VectorGossipResult& result) {
       };
       if (dense_[i]) {
         active += n_;
-        for (NodeId j = 0; j < n_; ++j) visit(j);
+        if (alive == nullptr) {
+          // Unmasked dense rows take the vector kernel: identical branch
+          // semantics per element (see simd::Kernels::residual_nan), and
+          // every component is owned, so owned_seen is trivially n.
+          owned_seen = n_;
+          if (!kn_->residual_nan(xi, wi, prev, kWeightFloor, config_.epsilon,
+                                 n_))
+            stable = false;
+        } else {
+          for (NodeId j = 0; j < n_; ++j) visit(j);
+        }
       } else {
         active += active_[i].size();
         for (const NodeId j : active_[i]) visit(j);
@@ -638,16 +650,17 @@ std::vector<double> VectorGossip::consensus_means() const {
       if (!is_alive(i)) continue;
       const double* xi = row_x(i);
       const double* wi = row_w(i);
-      auto visit = [&](NodeId j) {
-        if (wi[j] > kWeightFloor) {
-          a[j] += xi[j] / wi[j];
-          ++k[j];
-        }
-      };
       if (dense_[i]) {
-        for (NodeId j = 0; j < n_; ++j) visit(j);
+        // Elementwise masked kernel: same per-element predicate and
+        // division as the sparse visit below, no cross-element math.
+        kn_->ratio_accumulate(a.data(), k.data(), xi, wi, kWeightFloor, n_);
       } else {
-        for (const NodeId j : active_[i]) visit(j);
+        for (const NodeId j : active_[i]) {
+          if (wi[j] > kWeightFloor) {
+            a[j] += xi[j] / wi[j];
+            ++k[j];
+          }
+        }
       }
     }
   });
@@ -655,10 +668,10 @@ std::vector<double> VectorGossip::consensus_means() const {
   std::vector<std::uint32_t> total(n_, 0);
   for (std::size_t c = 0; c < chunks; ++c) {
     if (acc[c].empty()) continue;  // chunk never ran (count < chunks)
-    for (NodeId j = 0; j < n_; ++j) {
-      mean[j] += acc[c][j];
-      total[j] += cnt[c][j];
-    }
+    // Chunk merge order stays c-ascending; within a chunk the add is
+    // elementwise, so the fixed (n, kChunks) grid still pins every sum.
+    kn_->add(mean.data(), acc[c].data(), n_);
+    for (NodeId j = 0; j < n_; ++j) total[j] += cnt[c][j];
   }
   for (NodeId j = 0; j < n_; ++j)
     mean[j] = total[j] ? mean[j] / static_cast<double>(total[j]) : 0.0;

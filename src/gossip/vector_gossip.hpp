@@ -38,6 +38,7 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "gossip/pushsum.hpp"
+#include "simd/kernels.hpp"
 #include "graph/topology.hpp"
 #include "telemetry/event_log.hpp"
 #include "telemetry/metrics.hpp"
@@ -121,6 +122,11 @@ class VectorGossip {
 
   const PushSumConfig& config() const noexcept { return config_; }
 
+  /// Resolved kernel ISA for this instance (config.simd_level after
+  /// GT_SIMD / CPU-capability resolution): kScalar, kAvx2, or kNeon.
+  /// Informational only — every level computes bit-identical results.
+  simd::SimdLevel simd_level() const noexcept { return simd_level_; }
+
   /// Active (potentially nonzero) component count on node i: n for a
   /// densified row, the active-list length otherwise.
   std::size_t active_components(NodeId i) const {
@@ -193,11 +199,18 @@ class VectorGossip {
   std::vector<NodeId> alive_list_;      // cached ids of live peers
   std::vector<double> adv_scale_;       // empty = no liars (see set_adversary)
   std::vector<std::uint8_t> adv_withhold_;  // empty = no withholders
-  std::vector<double> x_;        // n*n row-major
-  std::vector<double> w_;        // n*n row-major
-  std::vector<double> inbox_x_;  // accumulation buffers for the next state
-  std::vector<double> inbox_w_;
-  std::vector<double> prev_ratio_;       // last defined beta per (i, j)
+
+  // Dense state: n*n row-major, 64-byte aligned with tails padded to
+  // simd::padded_size so the vector kernels can run unmasked full rows.
+  // Padding slots are benign (0 / NaN) and outside every logical loop.
+  simd::aligned_vector<double> x_;
+  simd::aligned_vector<double> w_;
+  simd::aligned_vector<double> inbox_x_;  // accumulation buffers (next state)
+  simd::aligned_vector<double> inbox_w_;
+  simd::aligned_vector<double> prev_ratio_;  // last defined beta per (i, j)
+
+  simd::SimdLevel simd_level_ = simd::SimdLevel::kScalar;  // resolved
+  const simd::Kernels* kn_ = nullptr;  // kernel set for simd_level_
   std::vector<std::size_t> stable_count_;  // per node
 
   // Sparsity bookkeeping: per-node active component lists, double-buffered

@@ -1,0 +1,98 @@
+// Vectorized kernels for the hot gossip loops, dispatched by SimdLevel.
+//
+// Determinism contract: every kernel either
+//   (a) is *elementwise* — each output element is a pure function of the
+//       same-index input elements, computed with the exact IEEE-754
+//       operations of the scalar loop (no FMA contraction, no
+//       reassociation), so lane width cannot change a single bit; or
+//   (b) follows a *pinned lane decomposition* — `sum` splits the range
+//       into kLanes strided partial sums (lane l accumulates elements
+//       i == l mod 4 over the aligned prefix, combined as
+//       (l0 + l1) + (l2 + l3), then the scalar tail folds in order), and
+//       the scalar fallback replicates that exact order.
+//
+// In consequence scalar, AVX2, AVX-512, and NEON results are bit-identical — the
+// BitIdentityGate goldens recorded on the scalar path stay valid at every
+// level, and scalar remains the always-on oracle. The kernels.cpp TU is
+// compiled with -ffp-contract=off -fno-tree-vectorize so the scalar
+// reference really is sequential scalar code even at -O3.
+//
+// NaN semantics are part of the contract: the residual kernels replicate
+// the exact branch predicates of the loops they replace (documented per
+// kernel), because an undefined weight or a first-step NaN prev-ratio is
+// a *normal* state in push-sum, not an error.
+//
+// Pointer rules: all pointers may be unaligned (kernels use unaligned
+// loads; the SoA arrays are 64-byte aligned anyway for the fast path) and
+// `dst == src` aliasing is allowed for the elementwise kernels; partially
+// overlapping ranges are not.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/simd.hpp"
+
+namespace gt::simd {
+
+/// One resolved kernel set. Obtained once per engine via kernels(); the
+/// function pointers are immutable after process start.
+struct Kernels {
+  SimdLevel level;
+
+  /// x[i] *= 0.5 — the push-half sweep.
+  void (*halve)(double* x, std::size_t n);
+
+  /// dst[i] = scale * src[i] — the keep-half assignment (also used with
+  /// dst == src as an in-place scale).
+  void (*scale_assign)(double* dst, const double* src, double scale,
+                       std::size_t n);
+
+  /// dst[i] += scale * src[i], computed as mul-then-add (never fused) —
+  /// the received-half accumulation.
+  void (*accumulate_scaled)(double* dst, const double* src, double scale,
+                            std::size_t n);
+
+  /// dst[i] += src[i] — payload application / chunk-accumulator merge.
+  void (*add)(double* dst, const double* src, std::size_t n);
+
+  /// VectorGossip bookkeeping sweep. For each i:
+  ///   if (w[i] <= floor)  prev[i] = NaN, row unstable;
+  ///   else ratio = x[i]/w[i]; unstable when isnan(prev[i]) or
+  ///        |ratio - prev[i]| > eps; prev[i] = ratio.
+  /// Returns true when every element was stable. (NaN w counts as
+  /// defined — !(NaN <= floor) — exactly like the scalar branch.)
+  bool (*residual_nan)(const double* x, const double* w, double* prev,
+                       double floor, double eps, std::size_t n);
+
+  /// ShardedGossip stability sweep. For each i:
+  ///   if (!(w[i] > floor))  row unstable, prev[i] untouched;
+  ///   else est = x[i]/w[i]; unstable when !(|est - prev[i]| <= eps)
+  ///        (NaN-safe: a NaN prev is unstable); prev[i] = est.
+  /// Returns true when every element was stable.
+  bool (*residual_keep)(const double* x, const double* w, double* prev,
+                        double floor, double eps, std::size_t n);
+
+  /// consensus_means read-out: for each i with w[i] > floor,
+  /// acc[i] += x[i]/w[i] and ++cnt[i]; undefined slots untouched.
+  void (*ratio_accumulate)(double* acc, std::uint32_t* cnt, const double* x,
+                           const double* w, double floor, std::size_t n);
+
+  /// Payload accounting: number of i with h*x[i] != 0.0 || h*w[i] != 0.0
+  /// (NaN compares unequal to zero, matching the scalar `!=`).
+  std::uint64_t (*count_nonzero_pair)(const double* x, const double* w,
+                                      double h, std::size_t n);
+
+  /// Pinned-order reduction (contract (b) above): kLanes strided partial
+  /// sums over the aligned prefix, merged (l0+l1)+(l2+l3), scalar tail.
+  /// NOT a drop-in for a sequential left fold — callers adopt the lane
+  /// order explicitly (new call sites only; pinned by golden tests).
+  double (*sum)(const double* v, std::size_t n);
+};
+
+/// Kernel set for a level. kAuto resolves via resolve_level(); a concrete
+/// unsupported level degrades to the scalar set (mirroring
+/// resolve_level), so the returned set is always executable on this CPU.
+const Kernels& kernels(SimdLevel level);
+
+}  // namespace gt::simd
